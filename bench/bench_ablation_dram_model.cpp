@@ -1,0 +1,39 @@
+/**
+ * @file
+ * DRAM-model fidelity ablation: re-run the headline GROW-vs-GCNAX
+ * comparison with the banked row-buffer DRAM model instead of the
+ * bandwidth/latency channel. The qualitative conclusions must be
+ * insensitive to the memory-model choice (DESIGN.md, Sec. 5).
+ */
+#include "common.hpp"
+
+using namespace grow;
+using namespace grow::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, "tiny");
+    ctx.banner("DRAM model ablation: simple channel vs banked "
+               "row-buffer");
+
+    TextTable t("GROW cycles under both DRAM models");
+    t.setHeader({"dataset", "simple", "banked", "banked/simple"});
+    for (const auto &spec : ctx.specs()) {
+        const auto &w = ctx.workload(spec.name);
+        gcn::RunnerOptions opt;
+        opt.usePartitioning = true;
+        core::GrowSim simA(EngineSet::growDefault());
+        auto simple = gcn::runInference(simA, w, opt);
+        opt.sim.dramKind = "banked";
+        core::GrowSim simB(EngineSet::growDefault());
+        auto banked = gcn::runInference(simB, w, opt);
+        t.addRow({spec.name, fmtCount(simple.totalCycles),
+                  fmtCount(banked.totalCycles),
+                  fmtDouble(static_cast<double>(banked.totalCycles) /
+                                static_cast<double>(simple.totalCycles),
+                            2)});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 2 reproduction: normalized MAC counts of the two execution
+ * orders (A*X)*W vs A*(X*W). The A*(XW) order should need dramatically
+ * fewer MACs, which is why all unified SpDeGEMM accelerators adopt it
+ * (Sec. II-B).
+ */
+#include "common.hpp"
+#include "sparse/reference_gemm.hpp"
+
+using namespace grow;
+using namespace grow::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv);
+    ctx.banner("Figure 2: MACs by execution order, layer 1 "
+               "(normalized to (A*X)*W)");
+
+    TextTable t("Figure 2");
+    t.setHeader({"dataset", "(AX)W MACs", "A(XW) MACs", "A(XW)/(AX)W"});
+    for (const auto &spec : ctx.specs()) {
+        const auto &w = ctx.workload(spec.name);
+        auto counts = sparse::countMacsBothOrders(w.adjacency, w.x0,
+                                                  w.shape.hidden);
+        double ratio = static_cast<double>(counts.xwThenA) /
+                       static_cast<double>(counts.axThenW);
+        t.addRow({spec.name, fmtSci(double(counts.axThenW)),
+                  fmtSci(double(counts.xwThenA)), fmtDouble(ratio, 3)});
+    }
+    t.print();
+    return 0;
+}

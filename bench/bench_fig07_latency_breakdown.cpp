@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figure 7 reproduction: breakdown of GCNAX's end-to-end inference
+ * latency into aggregation and combination. Aggregation dominates for
+ * the large, sparse graphs -- the bottleneck GROW attacks.
+ */
+#include "common.hpp"
+
+using namespace grow;
+using namespace grow::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv);
+    ctx.banner("Figure 7: GCNAX latency breakdown");
+
+    TextTable t("Figure 7");
+    t.setHeader({"dataset", "total cycles", "aggregation", "combination"});
+    for (const auto &spec : ctx.specs()) {
+        const auto &r = ctx.inference(spec.name, "gcnax");
+        double agg = static_cast<double>(r.aggregationCycles) /
+                     static_cast<double>(r.totalCycles);
+        t.addRow({spec.name, fmtCount(r.totalCycles), fmtPercent(agg),
+                  fmtPercent(1.0 - agg)});
+    }
+    t.print();
+    return 0;
+}

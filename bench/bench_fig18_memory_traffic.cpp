@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 18 reproduction: total DRAM bytes per inference, normalized to
+ * GCNAX. GROW with graph partitioning cuts traffic ~2x on average in
+ * the paper (max 4.7x), with Reddit as the adversarial case where
+ * GROW's row-stationary fetch loses to GCNAX's dense tiles.
+ */
+#include "common.hpp"
+
+using namespace grow;
+using namespace grow::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv);
+    ctx.banner("Figure 18: DRAM traffic normalized to GCNAX "
+               "(lower is better)");
+
+    TextTable t("Figure 18");
+    t.setHeader({"dataset", "GCNAX (bytes)", "GCNAX", "GROW (w/o G.P)",
+                 "GROW (with G.P)", "reduction (with G.P)"});
+    std::vector<double> reductions;
+    for (const auto &spec : ctx.specs()) {
+        double base = static_cast<double>(
+            ctx.inference(spec.name, "gcnax").totalTrafficBytes());
+        double noGp = static_cast<double>(
+            ctx.inference(spec.name, "grow-nogp").totalTrafficBytes());
+        double gp = static_cast<double>(
+            ctx.inference(spec.name, "grow").totalTrafficBytes());
+        reductions.push_back(base / gp);
+        t.addRow({spec.name,
+                  fmtBytes(static_cast<Bytes>(base)), "1.00",
+                  fmtDouble(noGp / base, 2), fmtDouble(gp / base, 2),
+                  fmtRatio(base / gp)});
+    }
+    t.print();
+    TextTable avg("Average");
+    avg.setHeader({"metric", "value"});
+    avg.addRow({"geomean traffic reduction (paper: ~2x, max 4.7x)",
+                fmtRatio(geomean(reductions))});
+    avg.print();
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 19 reproduction: DRAM traffic reduction from HDN caching and
+ * graph partitioning, normalized to GROW *without* either (higher is
+ * better). The paper reports HDN caching alone buys ~4.3x and adding
+ * partitioning ~5.8x on average.
+ */
+#include "common.hpp"
+
+using namespace grow;
+using namespace grow::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv);
+    ctx.banner("Figure 19: traffic reduction from HDN caching + G.P "
+               "(normalized to GROW w/o HDN caching)");
+
+    TextTable t("Figure 19");
+    t.setHeader({"dataset", "w/o HDN caching", "w/ HDN caching",
+                 "w/ HDN caching + G.P"});
+    std::vector<double> cacheGain, bothGain;
+    for (const auto &spec : ctx.specs()) {
+        double none = static_cast<double>(
+            ctx.inference(spec.name, "grow-nocache").totalTrafficBytes());
+        double cache = static_cast<double>(
+            ctx.inference(spec.name, "grow-nogp").totalTrafficBytes());
+        double both = static_cast<double>(
+            ctx.inference(spec.name, "grow").totalTrafficBytes());
+        cacheGain.push_back(none / cache);
+        bothGain.push_back(none / both);
+        t.addRow({spec.name, "1.00", fmtRatio(none / cache),
+                  fmtRatio(none / both)});
+    }
+    t.print();
+    TextTable avg("Average");
+    avg.setHeader({"metric", "value"});
+    avg.addRow({"geomean w/ HDN caching (paper: ~4.3x)",
+                fmtRatio(geomean(cacheGain))});
+    avg.addRow({"geomean w/ caching + G.P (paper: ~5.8x)",
+                fmtRatio(geomean(bothGain))});
+    avg.print();
+    return 0;
+}

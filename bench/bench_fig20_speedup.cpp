@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 20 reproduction: (a) end-to-end speedup over GCNAX and (b) the
+ * per-engine latency breakdown into aggregation/combination. GROW's
+ * gains come from collapsing the aggregation bottleneck, shifting the
+ * residual time into combination.
+ */
+#include "common.hpp"
+
+using namespace grow;
+using namespace grow::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv);
+    ctx.banner("Figure 20(a): speedup vs GCNAX");
+
+    TextTable t("Figure 20(a)");
+    t.setHeader({"dataset", "GCNAX cycles", "GROW (w/o G.P)",
+                 "GROW (with G.P)"});
+    std::vector<double> speedups;
+    for (const auto &spec : ctx.specs()) {
+        double base = static_cast<double>(
+            ctx.inference(spec.name, "gcnax").totalCycles);
+        double noGp = static_cast<double>(
+            ctx.inference(spec.name, "grow-nogp").totalCycles);
+        double gp = static_cast<double>(
+            ctx.inference(spec.name, "grow").totalCycles);
+        speedups.push_back(base / gp);
+        t.addRow({spec.name, fmtCount(static_cast<uint64_t>(base)),
+                  fmtRatio(base / noGp), fmtRatio(base / gp)});
+    }
+    t.print();
+    TextTable avg("Average");
+    avg.setHeader({"metric", "value"});
+    avg.addRow({"geomean speedup with G.P (paper: 2.8x avg, 14.2x max)",
+                fmtRatio(geomean(speedups))});
+    avg.print();
+
+    ctx.banner("Figure 20(b): latency breakdown (fraction aggregation)");
+    TextTable b("Figure 20(b)");
+    b.setHeader({"dataset", "GCNAX agg%", "GROW (w/o G.P) agg%",
+                 "GROW (with G.P) agg%"});
+    for (const auto &spec : ctx.specs()) {
+        auto aggFrac = [&](const char *key) {
+            const auto &r = ctx.inference(spec.name, key);
+            return static_cast<double>(r.aggregationCycles) /
+                   static_cast<double>(r.totalCycles);
+        };
+        b.addRow({spec.name, fmtPercent(aggFrac("gcnax")),
+                  fmtPercent(aggFrac("grow-nogp")),
+                  fmtPercent(aggFrac("grow"))});
+    }
+    b.print();
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 21 reproduction: incremental ablation of GROW's three
+ * mechanisms. Baseline = row-stationary dataflow + HDN cache but no
+ * runahead and no partitioning; then runahead execution is enabled;
+ * then graph partitioning. Speedups are relative to GCNAX.
+ */
+#include "common.hpp"
+
+using namespace grow;
+using namespace grow::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv);
+    ctx.banner("Figure 21: ablation (speedup vs GCNAX)");
+
+    TextTable t("Figure 21");
+    t.setHeader({"dataset", "HDN cache only", "+ runahead",
+                 "+ graph partition"});
+    std::vector<double> s1, s2, s3;
+    for (const auto &spec : ctx.specs()) {
+        double base = static_cast<double>(
+            ctx.inference(spec.name, "gcnax").totalCycles);
+        double cacheOnly = static_cast<double>(
+            ctx.inference(spec.name, "grow-norunahead").totalCycles);
+        double runahead = static_cast<double>(
+            ctx.inference(spec.name, "grow-nogp").totalCycles);
+        double full = static_cast<double>(
+            ctx.inference(spec.name, "grow").totalCycles);
+        s1.push_back(base / cacheOnly);
+        s2.push_back(base / runahead);
+        s3.push_back(base / full);
+        t.addRow({spec.name, fmtRatio(base / cacheOnly),
+                  fmtRatio(base / runahead), fmtRatio(base / full)});
+    }
+    t.print();
+    TextTable avg("Average (paper: ~1.4x -> ~2.5x -> ~2.8x)");
+    avg.setHeader({"config", "geomean speedup"});
+    avg.addRow({"HDN cache only", fmtRatio(geomean(s1))});
+    avg.addRow({"+ runahead", fmtRatio(geomean(s2))});
+    avg.addRow({"+ graph partition", fmtRatio(geomean(s3))});
+    avg.print();
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 24 reproduction: throughput as the PE count sweeps 1..16 with
+ * proportional memory bandwidth. Small graphs saturate with one PE;
+ * large graphs scale close to linearly because the row-stationary
+ * dataflow parallelises over clusters.
+ */
+#include "common.hpp"
+
+using namespace grow;
+using namespace grow::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, "tiny");
+    ctx.banner("Figure 24: PE scaling (throughput normalized to 1 PE)");
+
+    TextTable t("Figure 24");
+    t.setHeader({"dataset", "1 PE", "2 PE", "4 PE", "8 PE", "16 PE"});
+    for (const auto &spec : ctx.specs()) {
+        const auto &w = ctx.workload(spec.name);
+        gcn::RunnerOptions opt;
+        opt.usePartitioning = true;
+        std::vector<std::string> row{spec.name};
+        double base = 0;
+        for (uint32_t pes : {1u, 2u, 4u, 8u, 16u}) {
+            core::GrowConfig cfg = EngineSet::growDefault();
+            cfg.numPes = pes;
+            core::GrowSim sim(cfg);
+            auto r = gcn::runInference(sim, w, opt);
+            double cycles = static_cast<double>(r.totalCycles);
+            if (pes == 1)
+                base = cycles;
+            row.push_back(fmtDouble(base / cycles, 2));
+        }
+        t.addRow(row);
+    }
+    t.print();
+    return 0;
+}

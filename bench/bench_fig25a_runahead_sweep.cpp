@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 25(a) reproduction: throughput vs runahead execution degree
+ * (1..32-way), normalized to 1-way. Gains grow until the LDN/LHS-ID
+ * tables saturate around 8-16-way.
+ */
+#include "common.hpp"
+
+using namespace grow;
+using namespace grow::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, "tiny");
+    ctx.banner("Figure 25(a): runahead degree sweep "
+               "(throughput normalized to 1-way)");
+
+    TextTable t("Figure 25(a)");
+    t.setHeader({"dataset", "1-way", "2-way", "4-way", "8-way", "16-way",
+                 "32-way"});
+    for (const auto &spec : ctx.specs()) {
+        const auto &w = ctx.workload(spec.name);
+        gcn::RunnerOptions opt;
+        opt.usePartitioning = true;
+        std::vector<std::string> row{spec.name};
+        double base = 0;
+        for (uint32_t degree : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            core::GrowConfig cfg = EngineSet::growDefault();
+            cfg.runaheadDegree = degree;
+            core::GrowSim sim(cfg);
+            auto r = gcn::runInference(sim, w, opt);
+            double cycles = static_cast<double>(r.totalCycles);
+            if (degree == 1)
+                base = cycles;
+            row.push_back(fmtDouble(base / cycles, 2));
+        }
+        t.addRow(row);
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 25(b) reproduction: sensitivity to off-chip bandwidth
+ * (16..256 GB/s), each engine normalized to its own 64 GB/s point.
+ * GCNAX's curve is much steeper than GROW's -- it lives and dies by
+ * memory bandwidth, while GROW's better utilization flattens the slope.
+ */
+#include "common.hpp"
+
+using namespace grow;
+using namespace grow::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, "tiny");
+    ctx.banner("Figure 25(b): bandwidth sweep (normalized to own "
+               "64 GB/s point)");
+
+    const std::vector<double> bws = {16, 32, 64, 128, 256};
+    TextTable t("Figure 25(b)");
+    std::vector<std::string> header{"dataset", "engine"};
+    for (double bw : bws)
+        header.push_back(fmtDouble(bw, 0) + " GB/s");
+    t.setHeader(header);
+
+    for (const auto &spec : ctx.specs()) {
+        const auto &w = ctx.workload(spec.name);
+        // GROW.
+        {
+            std::vector<double> cycles;
+            for (double bw : bws) {
+                core::GrowConfig cfg = EngineSet::growDefault();
+                cfg.dram.bandwidthGBps = bw;
+                core::GrowSim sim(cfg);
+                gcn::RunnerOptions opt;
+                opt.usePartitioning = true;
+                cycles.push_back(static_cast<double>(
+                    gcn::runInference(sim, w, opt).totalCycles));
+            }
+            std::vector<std::string> row{spec.name, "GROW"};
+            for (double c : cycles)
+                row.push_back(fmtDouble(cycles[2] / c, 2));
+            t.addRow(row);
+        }
+        // GCNAX.
+        {
+            std::vector<double> cycles;
+            for (double bw : bws) {
+                accel::GcnaxConfig cfg = EngineSet::gcnaxDefault();
+                cfg.dram.bandwidthGBps = bw;
+                accel::GcnaxSim sim(cfg);
+                gcn::RunnerOptions opt;
+                cycles.push_back(static_cast<double>(
+                    gcn::runInference(sim, w, opt).totalCycles));
+            }
+            std::vector<std::string> row{spec.name, "GCNAX"};
+            for (double c : cycles)
+                row.push_back(fmtDouble(cycles[2] / c, 2));
+            t.addRow(row);
+        }
+    }
+    t.print();
+    return 0;
+}

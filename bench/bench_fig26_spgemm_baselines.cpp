@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 26 reproduction: GROW vs the row-wise sparse-sparse GEMM
+ * accelerators MatRaptor and GAMMA (and GCNAX), speedup normalized to
+ * GCNAX. The paper reports GROW at ~9.3x over MatRaptor and ~1.5x over
+ * GAMMA on average, driven by 18x/4x traffic reductions.
+ */
+#include "common.hpp"
+
+using namespace grow;
+using namespace grow::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv);
+    ctx.banner("Figure 26: speedup vs MatRaptor / GAMMA "
+               "(normalized to GCNAX)");
+
+    TextTable t("Figure 26");
+    t.setHeader({"dataset", "GCNAX", "MatRaptor", "GAMMA", "GROW"});
+    std::vector<double> vsMat, vsGamma;
+    for (const auto &spec : ctx.specs()) {
+        double base = static_cast<double>(
+            ctx.inference(spec.name, "gcnax").totalCycles);
+        double mat = static_cast<double>(
+            ctx.inference(spec.name, "matraptor").totalCycles);
+        double gam = static_cast<double>(
+            ctx.inference(spec.name, "gamma").totalCycles);
+        double grw = static_cast<double>(
+            ctx.inference(spec.name, "grow").totalCycles);
+        vsMat.push_back(mat / grw);
+        vsGamma.push_back(gam / grw);
+        t.addRow({spec.name, "1.00", fmtDouble(base / mat, 2),
+                  fmtDouble(base / gam, 2), fmtDouble(base / grw, 2)});
+    }
+    t.print();
+
+    TextTable m("Traffic comparison");
+    m.setHeader({"dataset", "MatRaptor/GROW bytes", "GAMMA/GROW bytes"});
+    for (const auto &spec : ctx.specs()) {
+        double grw = static_cast<double>(
+            ctx.inference(spec.name, "grow").totalTrafficBytes());
+        double mat = static_cast<double>(
+            ctx.inference(spec.name, "matraptor").totalTrafficBytes());
+        double gam = static_cast<double>(
+            ctx.inference(spec.name, "gamma").totalTrafficBytes());
+        m.addRow({spec.name, fmtRatio(mat / grw), fmtRatio(gam / grw)});
+    }
+    m.print();
+
+    TextTable avg("Average");
+    avg.setHeader({"metric", "value"});
+    avg.addRow({"geomean GROW speedup vs MatRaptor (paper: ~9.3x)",
+                fmtRatio(geomean(vsMat))});
+    avg.addRow({"geomean GROW speedup vs GAMMA (paper: ~1.5x)",
+                fmtRatio(geomean(vsGamma))});
+    avg.print();
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the substrate kernels: golden
+ * SpMM, format conversions, tile census, graph generation and the
+ * multilevel partitioner. These quantify the host-side cost of the
+ * simulation substrate itself (not simulated cycles).
+ */
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/normalize.hpp"
+#include "partition/multilevel.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/reference_gemm.hpp"
+#include "sparse/tiling.hpp"
+#include "util/random.hpp"
+
+using namespace grow;
+
+namespace {
+
+sparse::CsrMatrix
+fixtureCsr(uint32_t n, double density)
+{
+    Rng rng(n);
+    return sparse::randomCsr(n, n, density, rng);
+}
+
+void
+BM_ReferenceSpMM(benchmark::State &state)
+{
+    auto s = fixtureCsr(static_cast<uint32_t>(state.range(0)), 0.01);
+    Rng rng(7);
+    auto d = sparse::randomDense(s.cols(), 64, rng);
+    for (auto _ : state) {
+        auto c = sparse::referenceSpMM(s, d);
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetItemsProcessed(state.iterations() * s.nnz() * 64);
+}
+BENCHMARK(BM_ReferenceSpMM)->Arg(1024)->Arg(4096);
+
+void
+BM_CsrToCsc(benchmark::State &state)
+{
+    auto m = fixtureCsr(static_cast<uint32_t>(state.range(0)), 0.01);
+    for (auto _ : state) {
+        auto c = sparse::toCsc(m);
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_CsrToCsc)->Arg(4096)->Arg(16384);
+
+void
+BM_TileCensus(benchmark::State &state)
+{
+    auto m = fixtureCsr(8192, 0.002);
+    for (auto _ : state) {
+        auto stats = sparse::TileGridStats::compute(
+            m, sparse::TileShape{512, 16});
+        benchmark::DoNotOptimize(stats);
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_TileCensus);
+
+void
+BM_DcSbmGenerate(benchmark::State &state)
+{
+    graph::DcSbmParams p;
+    p.nodes = static_cast<uint32_t>(state.range(0));
+    p.avgDegree = 16.0;
+    p.communities = p.nodes / 700 + 1;
+    for (auto _ : state) {
+        p.seed += 1;
+        auto g = graph::generateDcSbm(p);
+        benchmark::DoNotOptimize(g);
+    }
+    state.SetItemsProcessed(state.iterations() * p.nodes * 16);
+}
+BENCHMARK(BM_DcSbmGenerate)->Arg(10000)->Arg(40000);
+
+void
+BM_MultilevelPartition(benchmark::State &state)
+{
+    graph::DcSbmParams p;
+    p.nodes = static_cast<uint32_t>(state.range(0));
+    p.avgDegree = 12.0;
+    p.communities = p.nodes / 700 + 1;
+    p.seed = 3;
+    auto g = graph::generateDcSbm(p);
+    partition::PartitionConfig pc;
+    pc.numParts = p.communities;
+    for (auto _ : state) {
+        pc.seed += 1;
+        auto r = partition::MultilevelPartitioner(pc).partition(g);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * g.numArcs());
+}
+BENCHMARK(BM_MultilevelPartition)->Arg(10000)->Arg(40000);
+
+void
+BM_NormalizeAdjacency(benchmark::State &state)
+{
+    auto g = graph::generateChungLu(
+        static_cast<uint32_t>(state.range(0)), 12.0, 2.3, 5);
+    for (auto _ : state) {
+        auto a = graph::normalizedAdjacency(g, true);
+        benchmark::DoNotOptimize(a);
+    }
+    state.SetItemsProcessed(state.iterations() * g.numArcs());
+}
+BENCHMARK(BM_NormalizeAdjacency)->Arg(20000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table IV reproduction: GROW's area breakdown at 65 nm (measured in
+ * the paper via Synopsys DC) and the 40 nm scaling used to compare
+ * against GCNAX's published 6.51 mm^2. Also derives the Sec. VII-E
+ * performance-per-area claim using the measured speedup from this
+ * repository's Figure 20 bench.
+ */
+#include "common.hpp"
+#include "energy/area_model.hpp"
+
+using namespace grow;
+using namespace grow::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, "tiny");
+    ctx.banner("Table IV: area breakdown");
+
+    auto a65 = energy::estimateGrowArea(energy::GrowAreaInputs{},
+                                        energy::ProcessNode::Nm65);
+    auto a40 = energy::estimateGrowArea(energy::GrowAreaInputs{},
+                                        energy::ProcessNode::Nm40);
+
+    TextTable t("Table IV (mm^2)");
+    t.setHeader({"component", "40 nm (estimated)", "65 nm (measured)"});
+    t.addRow({"MAC array", fmtDouble(a40.macArray, 3),
+              fmtDouble(a65.macArray, 3)});
+    t.addRow({"I-BUF_sparse", fmtDouble(a40.iBufSparse, 3),
+              fmtDouble(a65.iBufSparse, 3)});
+    t.addRow({"HDN ID list", fmtDouble(a40.hdnIdList, 3),
+              fmtDouble(a65.hdnIdList, 3)});
+    t.addRow({"HDN cache", fmtDouble(a40.hdnCache, 3),
+              fmtDouble(a65.hdnCache, 3)});
+    t.addRow({"O-BUF_dense", fmtDouble(a40.oBufDense, 3),
+              fmtDouble(a65.oBufDense, 3)});
+    t.addRow({"Others", fmtDouble(a40.others, 3),
+              fmtDouble(a65.others, 3)});
+    t.addRow({"Total", fmtDouble(a40.total(), 3),
+              fmtDouble(a65.total(), 3)});
+    t.addRow({"GCNAX (reported, 40 nm)",
+              fmtDouble(energy::gcnaxReportedAreaMm2(), 2), "-"});
+    t.print();
+
+    // Measure the average speedup at this bench's scale and fold it
+    // into performance/mm^2 (Sec. VII-E).
+    std::vector<double> speedups;
+    for (const auto &spec : ctx.specs()) {
+        double base = static_cast<double>(
+            ctx.inference(spec.name, "gcnax").totalCycles);
+        double gp = static_cast<double>(
+            ctx.inference(spec.name, "grow").totalCycles);
+        speedups.push_back(base / gp);
+    }
+    double speedup = geomean(speedups);
+    double perfPerArea =
+        speedup * energy::gcnaxReportedAreaMm2() / a40.total();
+
+    TextTable s("Performance per area (Sec. VII-E)");
+    s.setHeader({"metric", "value"});
+    s.addRow({"measured geomean speedup", fmtRatio(speedup)});
+    s.addRow({"area ratio GCNAX/GROW @40nm",
+              fmtRatio(energy::gcnaxReportedAreaMm2() / a40.total())});
+    s.addRow({"performance/mm^2 vs GCNAX (paper: 8.2x @2.8x speedup)",
+              fmtRatio(perfPerArea)});
+    s.print();
+    return 0;
+}

@@ -1,0 +1,166 @@
+#include "common.hpp"
+
+#include <cmath>
+#include <iostream>
+
+#include "util/logging.hpp"
+
+namespace grow::bench {
+
+core::GrowConfig
+EngineSet::growDefault()
+{
+    return core::GrowConfig{};
+}
+
+core::GrowConfig
+EngineSet::growNoRunahead()
+{
+    // "Without runahead" (Fig. 21 baseline) removes the *multi-row*
+    // window: the engine derives one output row at a time and only
+    // admits the next row once the current one retires. Misses within
+    // the single active row may still overlap (the LDN/LHS-ID tables
+    // exist in all configurations).
+    core::GrowConfig c;
+    c.runaheadDegree = 1;
+    return c;
+}
+
+core::GrowConfig
+EngineSet::growNoCache()
+{
+    core::GrowConfig c;
+    c.hdnCacheEnabled = false;
+    return c;
+}
+
+accel::GcnaxConfig
+EngineSet::gcnaxDefault()
+{
+    return accel::GcnaxConfig{};
+}
+
+accel::MatRaptorConfig
+EngineSet::matraptorDefault()
+{
+    return accel::MatRaptorConfig{};
+}
+
+accel::GammaConfig
+EngineSet::gammaDefault()
+{
+    return accel::GammaConfig{};
+}
+
+BenchContext::BenchContext(int argc, char **argv,
+                           const std::string &default_scale,
+                           const std::string &default_datasets)
+    : args_(argc, argv)
+{
+    tier_ = graph::tierFromString(args_.get("scale", default_scale));
+    specs_ = graph::datasetsByNames(
+        args_.getList("datasets", split(default_datasets, ',')));
+}
+
+const gcn::GcnWorkload &
+BenchContext::workload(const std::string &name)
+{
+    auto it = workloads_.find(name);
+    if (it == workloads_.end()) {
+        gcn::WorkloadConfig wc;
+        wc.tier = tier_;
+        it = workloads_
+                 .emplace(name, gcn::buildWorkload(
+                                    graph::datasetByName(name), wc))
+                 .first;
+    }
+    return it->second;
+}
+
+gcn::InferenceResult
+BenchContext::runEngine(const gcn::GcnWorkload &w,
+                        const std::string &engine_key)
+{
+    gcn::RunnerOptions opt;
+    if (engine_key == "grow") {
+        opt.usePartitioning = true;
+        core::GrowSim sim(EngineSet::growDefault());
+        return gcn::runInference(sim, w, opt);
+    }
+    if (engine_key == "grow-nogp") {
+        core::GrowSim sim(EngineSet::growDefault());
+        return gcn::runInference(sim, w, opt);
+    }
+    if (engine_key == "grow-norunahead") {
+        core::GrowSim sim(EngineSet::growNoRunahead());
+        return gcn::runInference(sim, w, opt);
+    }
+    if (engine_key == "grow-norunahead-gp") {
+        opt.usePartitioning = true;
+        core::GrowSim sim(EngineSet::growNoRunahead());
+        return gcn::runInference(sim, w, opt);
+    }
+    if (engine_key == "grow-nocache") {
+        core::GrowSim sim(EngineSet::growNoCache());
+        return gcn::runInference(sim, w, opt);
+    }
+    if (engine_key == "grow-lru") {
+        opt.usePartitioning = true;
+        core::GrowConfig c = EngineSet::growDefault();
+        c.hdnPolicy = core::HdnPolicy::Lru;
+        core::GrowSim sim(c);
+        return gcn::runInference(sim, w, opt);
+    }
+    if (engine_key == "grow-lru-nogp") {
+        core::GrowConfig c = EngineSet::growDefault();
+        c.hdnPolicy = core::HdnPolicy::Lru;
+        core::GrowSim sim(c);
+        return gcn::runInference(sim, w, opt);
+    }
+    if (engine_key == "gcnax") {
+        accel::GcnaxSim sim(EngineSet::gcnaxDefault());
+        return gcn::runInference(sim, w, opt);
+    }
+    if (engine_key == "matraptor") {
+        accel::MatRaptorSim sim(EngineSet::matraptorDefault());
+        return gcn::runInference(sim, w, opt);
+    }
+    if (engine_key == "gamma") {
+        accel::GammaSim sim(EngineSet::gammaDefault());
+        return gcn::runInference(sim, w, opt);
+    }
+    fatal("unknown engine key: " + engine_key);
+}
+
+const gcn::InferenceResult &
+BenchContext::inference(const std::string &dataset,
+                        const std::string &engine_key)
+{
+    std::string key = dataset + "/" + engine_key;
+    auto it = results_.find(key);
+    if (it == results_.end()) {
+        it = results_.emplace(key, runEngine(workload(dataset), engine_key))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+BenchContext::banner(const std::string &what) const
+{
+    std::cout << "\n### " << what << " [scale=" << graph::tierName(tier_)
+              << "]\n";
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values)
+        logSum += std::log(v);
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+} // namespace grow::bench

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared scaffolding for the paper-reproduction bench binaries.
+ *
+ * Every bench accepts `key=value` arguments:
+ *   scale=mini|tiny|full|unit   dataset scale tier (per-bench default)
+ *   datasets=cora,...|all       dataset subset
+ * and prints one or more TextTables that mirror a specific table or
+ * figure of the paper. EXPERIMENTS.md records paper-vs-measured per
+ * bench.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/gamma.hpp"
+#include "accel/gcnax.hpp"
+#include "accel/matraptor.hpp"
+#include "core/grow.hpp"
+#include "gcn/runner.hpp"
+#include "gcn/workload.hpp"
+#include "graph/datasets.hpp"
+#include "util/cli.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace grow::bench {
+
+/** Named GROW/baseline configurations used across benches. */
+struct EngineSet
+{
+    /** Paper-default GROW (Table III). */
+    static core::GrowConfig growDefault();
+    /** GROW with the runahead window disabled (1-way). */
+    static core::GrowConfig growNoRunahead();
+    /** GROW with the HDN cache disabled entirely. */
+    static core::GrowConfig growNoCache();
+    static accel::GcnaxConfig gcnaxDefault();
+    static accel::MatRaptorConfig matraptorDefault();
+    static accel::GammaConfig gammaDefault();
+};
+
+/** Workload cache + argument handling shared by all bench mains. */
+class BenchContext
+{
+  public:
+    BenchContext(int argc, char **argv,
+                 const std::string &default_scale = "mini",
+                 const std::string &default_datasets = "all");
+
+    const CliArgs &args() const { return args_; }
+    graph::ScaleTier tier() const { return tier_; }
+    const std::vector<graph::DatasetSpec> &specs() const { return specs_; }
+
+    /** Build (once) and return the workload of @p name. */
+    const gcn::GcnWorkload &workload(const std::string &name);
+
+    /** Run 2-layer inference; results are cached per (engine, layout). */
+    const gcn::InferenceResult &
+    inference(const std::string &dataset, const std::string &engine_key);
+
+    /** Pretty header line for the bench. */
+    void banner(const std::string &what) const;
+
+  private:
+    gcn::InferenceResult runEngine(const gcn::GcnWorkload &w,
+                                   const std::string &engine_key);
+
+    CliArgs args_;
+    graph::ScaleTier tier_;
+    std::vector<graph::DatasetSpec> specs_;
+    std::map<std::string, gcn::GcnWorkload> workloads_;
+    std::map<std::string, gcn::InferenceResult> results_;
+};
+
+/** Geometric mean helper for "average speedup" rows. */
+double geomean(const std::vector<double> &values);
+
+} // namespace grow::bench

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Architectural design-space exploration with the GROW model: sweep the
+ * HDN cache capacity and the runahead degree for one dataset, and
+ * report the latency / area / energy trade-off each point buys. This is
+ * the kind of study Table III's chosen configuration came from.
+ *
+ * Usage: design_space_sweep [dataset=pokec] [scale=tiny]
+ */
+#include <iostream>
+
+#include "core/grow.hpp"
+#include "energy/area_model.hpp"
+#include "gcn/runner.hpp"
+#include "gcn/workload.hpp"
+#include "util/cli.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+using namespace grow;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const auto &spec = graph::datasetByName(args.get("dataset", "pokec"));
+    auto tier = graph::tierFromString(args.get("scale", "tiny"));
+
+    gcn::WorkloadConfig wc;
+    wc.tier = tier;
+    auto w = gcn::buildWorkload(spec, wc);
+    std::cout << "dataset " << spec.name << " @" << graph::tierName(tier)
+              << ": " << fmtCount(w.nodes()) << " nodes\n";
+
+    gcn::RunnerOptions opt;
+    opt.usePartitioning = true;
+
+    // --- Sweep 1: HDN cache capacity. ---------------------------------
+    TextTable c("HDN cache capacity sweep (runahead 16)");
+    c.setHeader({"capacity", "hit rate", "cycles", "DRAM traffic",
+                 "area @65nm (mm^2)", "energy (uJ)"});
+    for (Bytes kb : {64u, 128u, 256u, 512u, 1024u}) {
+        core::GrowConfig cfg;
+        cfg.hdn.capacityBytes = kb * 1024;
+        core::GrowSim sim(cfg);
+        auto r = gcn::runInference(sim, w, opt);
+        energy::GrowAreaInputs area;
+        area.hdnCacheBytes = kb * 1024;
+        auto a = energy::estimateGrowArea(area,
+                                          energy::ProcessNode::Nm65);
+        c.addRow({std::to_string(kb) + " KiB",
+                  fmtPercent(r.cacheHitRate()), fmtCount(r.totalCycles),
+                  fmtBytes(r.totalTrafficBytes()),
+                  fmtDouble(a.total(), 2),
+                  fmtDouble(r.energy.total() / 1e6, 1)});
+    }
+    c.print();
+
+    // --- Sweep 2: runahead degree x LDN entries. -----------------------
+    TextTable ra("runahead degree x LDN table sweep (512 KiB cache)");
+    ra.setHeader({"runahead", "LDN entries", "cycles",
+                  "vs (1,1) baseline"});
+    double base = 0;
+    const std::pair<uint32_t, uint32_t> points[] = {
+        {1, 1}, {4, 4}, {8, 8}, {16, 16}, {32, 32}};
+    for (auto [degree, ldn] : points) {
+        core::GrowConfig cfg;
+        cfg.runaheadDegree = degree;
+        cfg.ldnEntries = ldn;
+        cfg.lhsIdEntries = 4 * ldn;
+        core::GrowSim sim(cfg);
+        auto r = gcn::runInference(sim, w, opt);
+        double cycles = static_cast<double>(r.totalCycles);
+        if (base == 0)
+            base = cycles;
+        ra.addRow({std::to_string(degree), std::to_string(ldn),
+                   fmtCount(r.totalCycles), fmtRatio(base / cycles)});
+    }
+    ra.print();
+
+    // --- Sweep 3: MAC width (compute vs memory balance). --------------
+    TextTable m("MAC array width sweep");
+    m.setHeader({"MACs", "cycles", "speedup vs 16", "area @65nm"});
+    double ref = 0;
+    for (uint32_t macs : {8u, 16u, 32u, 64u}) {
+        core::GrowConfig cfg;
+        cfg.numMacs = macs;
+        core::GrowSim sim(cfg);
+        auto r = gcn::runInference(sim, w, opt);
+        double cycles = static_cast<double>(r.totalCycles);
+        if (macs == 16)
+            ref = cycles;
+        energy::GrowAreaInputs area;
+        area.numMacs = macs;
+        auto a = energy::estimateGrowArea(area,
+                                          energy::ProcessNode::Nm65);
+        m.addRow({std::to_string(macs), fmtCount(r.totalCycles),
+                  ref > 0 ? fmtRatio(ref / cycles) : "-",
+                  fmtDouble(a.total(), 2)});
+    }
+    m.print();
+    return 0;
+}

@@ -1,0 +1,24 @@
+#include "accel/accelerator.hpp"
+
+namespace grow::accel {
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Combination: return "combination";
+      case Phase::Aggregation: return "aggregation";
+    }
+    return "?";
+}
+
+double
+PhaseResult::sparseBandwidthUtil() const
+{
+    if (fetchedSparseBytes == 0)
+        return 1.0;
+    return static_cast<double>(effectualSparseBytes) /
+           static_cast<double>(fetchedSparseBytes);
+}
+
+} // namespace grow::accel

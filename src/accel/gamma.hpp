@@ -1,0 +1,46 @@
+/**
+ * @file
+ * GAMMA baseline model (Zhang et al., ASPLOS'21).
+ *
+ * GAMMA also uses Gustavson's algorithm, but targets generic
+ * sparse-sparse GEMM. Its FiberCache is a demand-filled cache with
+ * LRU-style replacement over RHS fibers -- effective, but "not
+ * optimized for the power-law distribution of graphs" (Sec. VII-H):
+ * hub rows can be evicted by one-touch cold rows, unlike GROW's pinned
+ * HDN cache. The RHS is again consumed in compressed form, paying
+ * metadata traffic on dense operands.
+ */
+#pragma once
+
+#include "accel/accelerator.hpp"
+#include "mem/dram.hpp"
+#include "mem/lru_cache.hpp"
+
+namespace grow::accel {
+
+/** GAMMA configuration (capacity-matched to GROW's on-chip SRAM). */
+struct GammaConfig
+{
+    uint32_t numMacs = 16;
+    /** FiberCache capacity (GROW's HDN cache + ID list, Sec. VI). */
+    Bytes fiberCacheBytes = 524 * 1024;
+    /** High-radix merge width. */
+    uint32_t mergeRadix = 32;
+    mem::DramConfig dram;
+};
+
+class GammaSim : public AcceleratorSim
+{
+  public:
+    explicit GammaSim(GammaConfig config);
+
+    std::string name() const override { return "gamma"; }
+
+    PhaseResult run(const SpDeGemmProblem &problem,
+                    const SimOptions &options) override;
+
+  private:
+    GammaConfig config_;
+};
+
+} // namespace grow::accel

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * MatRaptor baseline model (Srivastava et al., MICRO'20).
+ *
+ * MatRaptor is a row-wise-product sparse-*sparse* GEMM accelerator
+ * (Sec. VII-H). Running it on GCN's SpDeGEMM exposes three structural
+ * handicaps the paper calls out:
+ *
+ *  1. no RHS row cache: every LHS non-zero streams the full RHS row
+ *     from DRAM, so GCN's power-law reuse is wasted;
+ *  2. the RHS is consumed in a compressed (CSR-like) format even though
+ *     XW/W are fully dense, paying index+pointer metadata per element;
+ *  3. partial outputs flow through sort-merge queues, an overhead that
+ *     a sparse-dense product does not need at all (the output row is
+ *     dense and directly accumulable).
+ */
+#pragma once
+
+#include "accel/accelerator.hpp"
+#include "mem/dram.hpp"
+
+namespace grow::accel {
+
+/** MatRaptor configuration (throughput-matched to GROW). */
+struct MatRaptorConfig
+{
+    uint32_t numMacs = 16;
+    /** Sorting-queue merge lanes (per the MatRaptor design). */
+    uint32_t mergeLanes = 8;
+    Bytes queueBufBytes = 512 * 1024; ///< sorting-queue SRAM
+    mem::DramConfig dram;
+};
+
+class MatRaptorSim : public AcceleratorSim
+{
+  public:
+    explicit MatRaptorSim(MatRaptorConfig config);
+
+    std::string name() const override { return "matraptor"; }
+
+    PhaseResult run(const SpDeGemmProblem &problem,
+                    const SimOptions &options) override;
+
+  private:
+    MatRaptorConfig config_;
+};
+
+} // namespace grow::accel

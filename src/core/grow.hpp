@@ -1,0 +1,54 @@
+/**
+ * @file
+ * GROW: the row-stationary sparse-dense GEMM accelerator (Sec. V).
+ *
+ * GrowSim glues together the per-PE RowEngines, the shared DRAM channel
+ * (bandwidth scaled with PE count, Sec. VII-F) and the preprocessing
+ * artefacts (cluster layout + per-cluster HDN lists). Clusters are
+ * interleaved across PEs and the engines are co-simulated in lockstep
+ * on a shared memory system, so transient per-PE bandwidth imbalance is
+ * captured.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "core/grow_config.hpp"
+#include "core/row_engine.hpp"
+
+namespace grow::core {
+
+class GrowSim : public accel::AcceleratorSim
+{
+  public:
+    explicit GrowSim(GrowConfig config);
+
+    std::string name() const override { return "grow"; }
+
+    accel::PhaseResult run(const accel::SpDeGemmProblem &problem,
+                           const accel::SimOptions &options) override;
+
+    const GrowConfig &config() const { return config_; }
+
+    /** Detailed per-run engine statistics of the last run() call. */
+    const std::vector<RowEngineStats> &lastEngineStats() const
+    {
+        return lastEngineStats_;
+    }
+
+  private:
+    GrowConfig config_;
+    std::vector<RowEngineStats> lastEngineStats_;
+};
+
+/**
+ * Derive a fallback global HDN list: the top-N most referenced RHS rows
+ * (column frequency of the LHS). Used when the caller supplies no
+ * preprocessing artefacts -- the "GROW (w/o G.P)" configuration.
+ */
+std::vector<NodeId> topReferencedColumns(const sparse::CsrMatrix &lhs,
+                                         uint32_t top_n);
+
+} // namespace grow::core

@@ -1,0 +1,28 @@
+#include "core/mac_scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace grow::core {
+
+void
+MacScheduler::addProduct(Cycle ready, uint64_t row_token, Cycle dur)
+{
+    GROW_ASSERT(dur > 0, "product duration must be positive");
+    pending_.push(Product{ready, nextSeq_++, row_token, dur});
+}
+
+MacCompletion
+MacScheduler::drainOne()
+{
+    GROW_ASSERT(!pending_.empty(), "drainOne() with no pending products");
+    Product p = pending_.top();
+    pending_.pop();
+    Cycle start = std::max(macFree_, p.ready);
+    macFree_ = start + p.dur;
+    busyCycles_ += p.dur;
+    return MacCompletion{p.rowToken, macFree_};
+}
+
+} // namespace grow::core

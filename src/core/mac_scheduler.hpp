@@ -1,0 +1,82 @@
+/**
+ * @file
+ * List scheduler for the MAC vector array.
+ *
+ * Products (one per LHS non-zero: a scalar x RHS-row vector operation,
+ * Fig. 9(b)) become ready when their RHS row is available -- immediately
+ * for HDN cache hits, at DRAM fill time for misses. The MAC array
+ * consumes ready products in ready-order; each occupies the array for
+ * ceil(F / lanes) cycles. The scheduler exposes completions so the
+ * row engine can retire output rows in order (Fig. 15's head/tail
+ * window).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace grow::core {
+
+/** One completed product execution. */
+struct MacCompletion
+{
+    uint64_t rowToken = 0; ///< engine-assigned identifier of the row
+    Cycle finish = 0;
+};
+
+class MacScheduler
+{
+  public:
+    MacScheduler() = default;
+
+    /** Queue a product of @p dur cycles, ready at @p ready. */
+    void addProduct(Cycle ready, uint64_t row_token, Cycle dur);
+
+    /** Whether any products remain unexecuted. */
+    bool idle() const { return pending_.empty(); }
+
+    size_t pendingProducts() const { return pending_.size(); }
+
+    /**
+     * Execute the earliest-ready pending product.
+     * @pre !idle()
+     */
+    MacCompletion drainOne();
+
+    /** Cycle at which the MAC array next becomes free. */
+    Cycle macFree() const { return macFree_; }
+
+    /** Total cycles the array spent executing products. */
+    Cycle busyCycles() const { return busyCycles_; }
+
+  private:
+    struct Product
+    {
+        Cycle ready;
+        uint64_t seq;
+        uint64_t rowToken;
+        Cycle dur;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Product &a, const Product &b) const
+        {
+            if (a.ready != b.ready)
+                return a.ready > b.ready;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Product, std::vector<Product>, Later> pending_;
+    uint64_t nextSeq_ = 0;
+    Cycle macFree_ = 0;
+    Cycle busyCycles_ = 0;
+};
+
+} // namespace grow::core

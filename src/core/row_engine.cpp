@@ -1,0 +1,356 @@
+#include "core/row_engine.hpp"
+
+#include <algorithm>
+
+#include "util/bitutil.hpp"
+#include "util/logging.hpp"
+
+namespace grow::core {
+
+namespace {
+
+/** Widely separated address-space regions, offset per PE. */
+constexpr uint64_t kRegionStride = 1ULL << 40;
+
+mem::HdnCacheConfig
+cacheConfigFor(const GrowConfig &config, const RowEngineProblem &problem)
+{
+    mem::HdnCacheConfig c = config.hdn;
+    c.rowBytes = static_cast<Bytes>(problem.rhsCols) * kValueBytes;
+    return c;
+}
+
+} // namespace
+
+RowEngine::RowEngine(const GrowConfig &config,
+                     const RowEngineProblem &problem, mem::DramModel &dram,
+                     uint32_t pe_id, std::vector<uint32_t> cluster_ids,
+                     sparse::DenseMatrix *out)
+    : config_(config), problem_(problem), dram_(dram), out_(out),
+      rhsBase_(0),
+      streamBase_(kRegionStride * (4 * static_cast<uint64_t>(pe_id) + 1)),
+      outBase_(kRegionStride * (4 * static_cast<uint64_t>(pe_id) + 2)),
+      preloadBase_(kRegionStride * (4 * static_cast<uint64_t>(pe_id) + 3)),
+      clusterIds_(std::move(cluster_ids)),
+      durPerProduct_(std::max<Cycle>(
+          1, ceilDiv(problem.rhsCols, config.numMacs))),
+      hdnCache_(cacheConfigFor(config, problem), problem.lhs->cols()),
+      lruCache_(config.hdn.capacityBytes,
+                std::max<Bytes>(1, static_cast<Bytes>(problem.rhsCols) *
+                                       kValueBytes)),
+      iBufSparse_("iBufSparse", config.iBufSparseBytes),
+      oBufDense_("oBufDense", config.oBufDenseBytes),
+      wBuf_("wBuf", config.hdn.capacityBytes)
+{
+    GROW_ASSERT(problem_.lhs != nullptr, "missing LHS matrix");
+    GROW_ASSERT(problem_.clustering != nullptr, "missing clustering");
+    GROW_ASSERT(config_.runaheadDegree >= 1,
+                "runahead degree must be >= 1");
+    for (uint32_t c : clusterIds_) {
+        for (NodeId r = problem_.clustering->clusterStart[c];
+             r < problem_.clustering->clusterStart[c + 1]; ++r)
+            totalStreamBytes_ += rowCsrBytes(r);
+    }
+    if (clusterIds_.empty()) {
+        finishedIssue_ = true;
+    } else {
+        startNextCluster();
+    }
+    // Combination keeps the whole weight matrix on-chip: preload once.
+    if (problem_.rhsOnChip) {
+        Bytes wBytes = static_cast<Bytes>(problem_.lhs->cols()) *
+                       problem_.rhsCols * kValueBytes;
+        Cycle done = dram_.read(clock_, preloadBase_, wBytes,
+                                mem::TrafficClass::HdnPreload);
+        clock_ = std::max(clock_, done);
+        wBuf_.write(wBytes);
+    }
+}
+
+Bytes
+RowEngine::rowCsrBytes(NodeId row) const
+{
+    return problem_.lhs->rowNnz(row) * (kValueBytes + kIndexBytes) +
+           kPtrBytes;
+}
+
+uint64_t
+RowEngine::rhsRowAddr(NodeId k) const
+{
+    return rhsBase_ +
+           static_cast<uint64_t>(k) * problem_.rhsCols * kValueBytes;
+}
+
+void
+RowEngine::startNextCluster()
+{
+    if (clusterCursor_ >= clusterIds_.size()) {
+        finishedIssue_ = true;
+        return;
+    }
+    uint32_t c = clusterIds_[clusterCursor_++];
+    rowCursor_ = problem_.clustering->clusterStart[c];
+    clusterEndRow_ = problem_.clustering->clusterStart[c + 1];
+    stats_.clustersProcessed += 1;
+
+    // A demand-filled LRU cache does not preload anything.
+    if (config_.hdnPolicy == HdnPolicy::Lru)
+        return;
+
+    if (!problem_.rhsOnChip && config_.hdnCacheEnabled &&
+        problem_.hdnLists != nullptr && c < problem_.hdnLists->size()) {
+        const auto &ids = (*problem_.hdnLists)[c];
+        uint32_t pinned = hdnCache_.loadCluster(ids);
+        stats_.hdnRowsPinned += pinned;
+        Bytes preload = static_cast<Bytes>(ids.size()) * kHdnIdBytes +
+                        static_cast<Bytes>(pinned) *
+                            hdnCache_.config().rowBytes;
+        if (preload > 0) {
+            Cycle done = dram_.read(clock_, preloadBase_, preload,
+                                    mem::TrafficClass::HdnPreload);
+            clock_ = std::max(clock_, done);
+        }
+    }
+}
+
+Cycle
+RowEngine::ensureStreamed(Bytes up_to)
+{
+    // Prefetch one I-BUF_sparse worth of stream beyond the request, but
+    // never past the engine's total demand.
+    Bytes target =
+        std::min(up_to + config_.iBufSparseBytes, totalStreamBytes_);
+    target = std::max(target, up_to);
+    while (streamIssued_ < target) {
+        Bytes chunk = std::min<Bytes>(config_.dmaChunkBytes,
+                                      target - streamIssued_);
+        Cycle done =
+            dram_.read(clock_, streamBase_ + streamIssued_, chunk,
+                       mem::TrafficClass::SparseStream);
+        streamIssued_ += chunk;
+        stats_.fetchedSparseBytes += roundUp(chunk, kDramLineBytes);
+        streamChunks_.emplace_back(streamIssued_, done);
+        iBufSparse_.write(chunk);
+    }
+    // Completion of the chunk containing byte up_to-1.
+    while (streamChunks_.size() > 1 && streamChunks_.front().first < up_to)
+        streamChunks_.pop_front();
+    return streamChunks_.empty() ? clock_ : streamChunks_.front().second;
+}
+
+void
+RowEngine::freeExpiredLdn()
+{
+    while (!ldnHeap_.empty() && ldnHeap_.top().first <= clock_) {
+        auto [when, node] = ldnHeap_.top();
+        ldnHeap_.pop();
+        auto it = ldnMap_.find(node);
+        if (it != ldnMap_.end() && it->second == when) {
+            ldnMap_.erase(it);
+            GROW_ASSERT(ldnLive_ > 0, "LDN occupancy underflow");
+            --ldnLive_;
+        }
+    }
+}
+
+void
+RowEngine::freeExpiredLhs()
+{
+    while (!lhsHeap_.empty() && lhsHeap_.top() <= clock_) {
+        lhsHeap_.pop();
+        GROW_ASSERT(lhsLive_ > 0, "LHS ID occupancy underflow");
+        --lhsLive_;
+    }
+}
+
+Cycle
+RowEngine::missFetch(NodeId k)
+{
+    freeExpiredLdn();
+    freeExpiredLhs();
+
+    // LHS ID table: one entry per parked product.
+    if (lhsLive_ >= config_.lhsIdEntries) {
+        GROW_ASSERT(!lhsHeap_.empty(), "full LHS ID table with no heap");
+        clock_ = std::max(clock_, lhsHeap_.top());
+        stats_.lhsIdStalls += 1;
+        freeExpiredLhs();
+        freeExpiredLdn();
+    }
+
+    Cycle completion;
+    auto it = ldnMap_.find(k);
+    if (it != ldnMap_.end() && it->second > clock_) {
+        // Another product already fetches this row; share the fill.
+        completion = it->second;
+    } else {
+        if (it != ldnMap_.end())
+            ldnMap_.erase(it); // expired entry not yet reaped
+        if (ldnLive_ >= config_.ldnEntries) {
+            stats_.ldnStalls += 1;
+            // Wait for the earliest live entry to return.
+            while (ldnLive_ >= config_.ldnEntries) {
+                GROW_ASSERT(!ldnHeap_.empty(),
+                            "full LDN table with empty heap");
+                auto [when, node] = ldnHeap_.top();
+                ldnHeap_.pop();
+                auto live = ldnMap_.find(node);
+                if (live != ldnMap_.end() && live->second == when) {
+                    clock_ = std::max(clock_, when);
+                    ldnMap_.erase(live);
+                    --ldnLive_;
+                }
+            }
+            freeExpiredLhs();
+        }
+        Bytes rowBytes =
+            static_cast<Bytes>(problem_.rhsCols) * kValueBytes;
+        completion = dram_.read(clock_, rhsRowAddr(k), rowBytes,
+                                mem::TrafficClass::DenseRow);
+        ldnMap_[k] = completion;
+        ldnHeap_.emplace(completion, k);
+        ++ldnLive_;
+    }
+    lhsHeap_.push(completion);
+    ++lhsLive_;
+    return completion;
+}
+
+RowEngine::Slot *
+RowEngine::findSlot(uint64_t token)
+{
+    for (auto &slot : window_)
+        if (slot.token == token)
+            return &slot;
+    panic("MAC completion for unknown row token");
+}
+
+void
+RowEngine::retireFront()
+{
+    GROW_ASSERT(!window_.empty(), "retire with empty window");
+    while (window_.front().pending > 0) {
+        MacCompletion comp = mac_.drainOne();
+        Slot *slot = findSlot(comp.rowToken);
+        GROW_ASSERT(slot->pending > 0, "pending underflow");
+        slot->pending -= 1;
+        slot->lastFinish = std::max(slot->lastFinish, comp.finish);
+    }
+    Slot front = window_.front();
+    window_.pop_front();
+    GROW_ASSERT(front.controlDone, "retiring a row still under control");
+
+    const Bytes outBytes =
+        static_cast<Bytes>(problem_.rhsCols) * kValueBytes;
+    oBufDense_.read(outBytes);
+    Cycle written = dram_.write(
+        front.lastFinish,
+        outBase_ + static_cast<uint64_t>(front.row) * outBytes, outBytes,
+        mem::TrafficClass::OutputWrite);
+    maxCompletion_ = std::max({maxCompletion_, front.lastFinish, written});
+}
+
+void
+RowEngine::processNextRow()
+{
+    if (finishedIssue_)
+        return;
+    while (rowCursor_ >= clusterEndRow_) {
+        startNextCluster();
+        if (finishedIssue_)
+            return;
+    }
+    const NodeId row = rowCursor_++;
+
+    // Window admission (in-order retire, Fig. 15).
+    while (window_.size() >= config_.runaheadDegree) {
+        stats_.windowStalls += 1;
+        retireFront();
+    }
+
+    streamNeeded_ += rowCsrBytes(row);
+    Cycle rowReady = ensureStreamed(streamNeeded_);
+    clock_ = std::max(clock_, rowReady);
+
+    window_.push_back(Slot{row, nextToken_++, 0, clock_, false});
+    const uint64_t token = window_.back().token;
+
+    auto cols = problem_.lhs->rowCols(row);
+    auto vals = problem_.lhs->rowVals(row);
+    const Bytes rhsRowBytes =
+        static_cast<Bytes>(problem_.rhsCols) * kValueBytes;
+    iBufSparse_.read(cols.size() * (kValueBytes + kIndexBytes));
+
+    for (size_t i = 0; i < cols.size(); ++i) {
+        const NodeId k = cols[i];
+        clock_ += 1; // HDN ID list CAM: one lookup per cycle
+        stats_.camLookups += 1;
+
+        Cycle ready;
+        if (problem_.rhsOnChip) {
+            wBuf_.read(rhsRowBytes);
+            ready = clock_;
+        } else if (config_.hdnCacheEnabled &&
+                   config_.hdnPolicy == HdnPolicy::Lru) {
+            // Sec. VIII alternative: demand-filled LRU over the same
+            // capacity. Hubs compete with one-touch cold rows.
+            if (lruCache_.lookup(k)) {
+                ++lruHits_;
+                hdnCache_.dataArray().read(rhsRowBytes);
+                ready = clock_;
+            } else {
+                ++lruMisses_;
+                ready = missFetch(k);
+                lruCache_.insert(k);
+                hdnCache_.dataArray().write(rhsRowBytes);
+            }
+        } else if (config_.hdnCacheEnabled && hdnCache_.lookup(k)) {
+            ready = clock_;
+        } else {
+            ready = missFetch(k);
+        }
+        mac_.addProduct(ready, token, durPerProduct_);
+        window_.back().pending += 1;
+        oBufDense_.write(rhsRowBytes);
+        stats_.products += 1;
+        stats_.macOps += problem_.rhsCols;
+
+        if (out_ != nullptr) {
+            GROW_ASSERT(problem_.rhsValues != nullptr,
+                        "functional mode requires RHS values");
+            double *acc = out_->row(row);
+            const double *rhs = problem_.rhsValues->row(k);
+            const double v = vals[i];
+            for (uint32_t j = 0; j < problem_.rhsCols; ++j)
+                acc[j] += v * rhs[j];
+        }
+    }
+    window_.back().controlDone = true;
+    stats_.rowsProcessed += 1;
+    stats_.effectualSparseBytes += rowCsrBytes(row);
+}
+
+Cycle
+RowEngine::finalize()
+{
+    while (!window_.empty())
+        retireFront();
+    finishedIssue_ = true;
+    return std::max({clock_, maxCompletion_, mac_.macFree()});
+}
+
+uint64_t
+RowEngine::cacheHits() const
+{
+    return config_.hdnPolicy == HdnPolicy::Lru ? lruHits_
+                                               : hdnCache_.hits();
+}
+
+uint64_t
+RowEngine::cacheMisses() const
+{
+    return config_.hdnPolicy == HdnPolicy::Lru ? lruMisses_
+                                               : hdnCache_.misses();
+}
+
+} // namespace grow::core

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The per-PE row-stationary execution engine (Sec. V-B/V-D).
+ *
+ * One RowEngine models one GROW processing engine walking its share of
+ * the LHS matrix rows. For every row it:
+ *
+ *  1. waits for the CSR stream (DMA-prefetched through I-BUF_sparse) to
+ *     deliver the row's non-zeros;
+ *  2. performs one HDN ID list CAM lookup per non-zero (1/cycle);
+ *  3. on a hit, reads the RHS row from the HDN cache and queues the
+ *     scalar-x-vector product on the MAC array;
+ *  4. on a miss, allocates an LDN table entry (or joins an in-flight
+ *     one), allocates an LHS ID table entry, and issues the DRAM fetch;
+ *     the product becomes MAC-ready when the fill returns;
+ *  5. runs ahead to subsequent rows subject to the multi-row window
+ *     (runahead degree), retiring output rows in order through
+ *     O-BUF_dense (Fig. 15's head/tail discipline).
+ *
+ * Control stalls only when a hardware table is exhausted: the LDN table
+ * (outstanding distinct misses), the LHS ID table (outstanding parked
+ * products) or the row window itself -- exactly the structural hazards
+ * of Fig. 16.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/grow_config.hpp"
+#include "core/mac_scheduler.hpp"
+#include "mem/dram.hpp"
+#include "mem/hdn_cache.hpp"
+#include "mem/lru_cache.hpp"
+#include "mem/sram.hpp"
+#include "partition/relabel.hpp"
+#include "sim/types.hpp"
+#include "sparse/csr_matrix.hpp"
+#include "sparse/dense_matrix.hpp"
+
+namespace grow::core {
+
+/** Counters exported by one engine after a phase. */
+struct RowEngineStats
+{
+    uint64_t rowsProcessed = 0;
+    uint64_t products = 0;
+    uint64_t macOps = 0;
+    uint64_t camLookups = 0;
+    uint64_t ldnStalls = 0;
+    uint64_t lhsIdStalls = 0;
+    uint64_t windowStalls = 0;
+    uint64_t clustersProcessed = 0;
+    uint64_t hdnRowsPinned = 0;
+    Bytes effectualSparseBytes = 0;
+    Bytes fetchedSparseBytes = 0;
+};
+
+/** Immutable description of the phase an engine executes. */
+struct RowEngineProblem
+{
+    const sparse::CsrMatrix *lhs = nullptr;
+    uint32_t rhsCols = 0;
+    const sparse::DenseMatrix *rhsValues = nullptr; ///< functional only
+    /** RHS resident on-chip for the whole phase (combination). */
+    bool rhsOnChip = false;
+    const partition::Clustering *clustering = nullptr;
+    const std::vector<std::vector<NodeId>> *hdnLists = nullptr;
+};
+
+class RowEngine
+{
+  public:
+    /**
+     * @param pe_id       engine index (address-space separation)
+     * @param cluster_ids clusters owned by this engine, in order
+     * @param out         functional output (nullable; rows are disjoint
+     *                    across engines)
+     */
+    RowEngine(const GrowConfig &config, const RowEngineProblem &problem,
+              mem::DramModel &dram, uint32_t pe_id,
+              std::vector<uint32_t> cluster_ids,
+              sparse::DenseMatrix *out);
+
+    /** Whether all owned rows have been issued. */
+    bool rowsRemaining() const { return !finishedIssue_; }
+
+    /** Local control-unit clock. */
+    Cycle clock() const { return clock_; }
+
+    /** Process one row (handles cluster transitions and preloads). */
+    void processNextRow();
+
+    /** Retire everything; returns the engine's completion cycle. */
+    Cycle finalize();
+
+    const RowEngineStats &stats() const { return stats_; }
+    const mem::HdnCache &hdnCache() const { return hdnCache_; }
+    mem::HdnCache &hdnCache() { return hdnCache_; }
+    uint64_t cacheHits() const;
+    uint64_t cacheMisses() const;
+    const mem::SramBuffer &iBufSparse() const { return iBufSparse_; }
+    const mem::SramBuffer &oBufDense() const { return oBufDense_; }
+    const mem::SramBuffer &wBuf() const { return wBuf_; }
+
+  private:
+    /** One in-flight output row of the multi-row window. */
+    struct Slot
+    {
+        NodeId row;
+        uint64_t token;
+        uint32_t pending = 0;
+        Cycle lastFinish = 0;
+        bool controlDone = false;
+    };
+
+    void startNextCluster();
+    void retireFront();
+    Cycle ensureStreamed(Bytes up_to);
+    Cycle missFetch(NodeId k);
+    void freeExpiredLdn();
+    void freeExpiredLhs();
+    Slot *findSlot(uint64_t token);
+
+    Bytes rowCsrBytes(NodeId row) const;
+    uint64_t rhsRowAddr(NodeId k) const;
+
+    const GrowConfig &config_;
+    RowEngineProblem problem_;
+    mem::DramModel &dram_;
+    sparse::DenseMatrix *out_;
+
+    // Address-space bases (distinct per PE for the banked DRAM model).
+    uint64_t rhsBase_;
+    uint64_t streamBase_;
+    uint64_t outBase_;
+    uint64_t preloadBase_;
+
+    std::vector<uint32_t> clusterIds_;
+    size_t clusterCursor_ = 0;
+    NodeId rowCursor_ = 0;
+    NodeId clusterEndRow_ = 0;
+    bool finishedIssue_ = false;
+
+    Cycle clock_ = 0;
+    Cycle maxCompletion_ = 0;
+    Cycle durPerProduct_;
+
+    // Multi-row stationary window.
+    std::deque<Slot> window_;
+    uint64_t nextToken_ = 0;
+    MacScheduler mac_;
+
+    // Sparse stream prefetch state.
+    Bytes streamNeeded_ = 0;
+    Bytes streamIssued_ = 0;
+    Bytes totalStreamBytes_ = 0;
+    std::deque<std::pair<Bytes, Cycle>> streamChunks_;
+
+    // LDN table (outstanding distinct RHS-row misses).
+    std::unordered_map<NodeId, Cycle> ldnMap_;
+    std::priority_queue<std::pair<Cycle, NodeId>,
+                        std::vector<std::pair<Cycle, NodeId>>,
+                        std::greater<>> ldnHeap_;
+    uint32_t ldnLive_ = 0;
+
+    // LHS ID table (outstanding parked products).
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>
+        lhsHeap_;
+    uint32_t lhsLive_ = 0;
+
+    mem::HdnCache hdnCache_;
+    mem::LruRowCache lruCache_; ///< used when hdnPolicy == Lru
+    uint64_t lruHits_ = 0;
+    uint64_t lruMisses_ = 0;
+    mem::SramBuffer iBufSparse_;
+    mem::SramBuffer oBufDense_;
+    mem::SramBuffer wBuf_; ///< on-chip W during combination
+
+    RowEngineStats stats_;
+};
+
+} // namespace grow::core

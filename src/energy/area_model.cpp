@@ -1,0 +1,37 @@
+#include "energy/area_model.hpp"
+
+namespace grow::energy {
+
+AreaBreakdown
+estimateGrowArea(const GrowAreaInputs &inputs, ProcessNode node,
+                 const AreaParams &params)
+{
+    auto kb = [](Bytes b) { return static_cast<double>(b) / 1024.0; };
+
+    AreaBreakdown a;
+    a.macArray = params.macMm2 * inputs.numMacs;
+    a.iBufSparse = params.sramDualPortMm2PerKb * kb(inputs.iBufSparseBytes);
+    a.hdnIdList = params.camMm2PerKb * kb(inputs.hdnIdListBytes);
+    a.hdnCache = params.sramSinglePortMm2PerKb * kb(inputs.hdnCacheBytes);
+    a.oBufDense = params.dffBufferMm2PerKb * kb(inputs.oBufDenseBytes);
+    a.others = params.othersMm2;
+
+    if (node == ProcessNode::Nm40) {
+        double s = params.scaleTo40;
+        a.macArray *= s;
+        a.iBufSparse *= s;
+        a.hdnIdList *= s;
+        a.hdnCache *= s;
+        a.oBufDense *= s;
+        a.others *= s;
+    }
+    return a;
+}
+
+double
+gcnaxReportedAreaMm2()
+{
+    return 6.51; // 40 nm, from the GCNAX paper (Table IV)
+}
+
+} // namespace grow::energy

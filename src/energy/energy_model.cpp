@@ -1,0 +1,56 @@
+#include "energy/energy_model.hpp"
+
+#include <cmath>
+
+namespace grow::energy {
+
+double
+EnergyParams::sramAccessPj(Bytes capacity) const
+{
+    double kb = static_cast<double>(capacity) / 1024.0;
+    return sramBasePj + sramSqrtPjPerKb * std::sqrt(kb);
+}
+
+double
+EnergyParams::leakagePjPerCycle(Bytes total_sram_bytes) const
+{
+    double mw = logicLeakageMw +
+                leakageMwPerKb * static_cast<double>(total_sram_bytes) /
+                    1024.0;
+    // mW = pJ/ns; cycles at clockGHz take 1/clockGHz ns.
+    return mw / clockGHz;
+}
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &other)
+{
+    macPj += other.macPj;
+    rfPj += other.rfPj;
+    sramPj += other.sramPj;
+    dramPj += other.dramPj;
+    staticPj += other.staticPj;
+    return *this;
+}
+
+EnergyBreakdown
+computeEnergy(const EnergyParams &params, const ActivityCounts &activity)
+{
+    EnergyBreakdown e;
+    e.macPj = params.macPj * static_cast<double>(activity.macOps);
+    e.rfPj = params.rfAccessPj * params.rfAccessesPerMac *
+             static_cast<double>(activity.macOps);
+    for (const auto &s : activity.sram) {
+        double per = s.isCam
+                         ? params.camSearchPjPerKb *
+                               (static_cast<double>(s.capacity) / 1024.0)
+                         : params.sramAccessPj(s.capacity);
+        e.sramPj += per * static_cast<double>(s.accesses);
+    }
+    e.dramPj =
+        params.dramPjPerByte * static_cast<double>(activity.dramBytes);
+    e.staticPj = params.leakagePjPerCycle(activity.onChipSramBytes) *
+                 static_cast<double>(activity.cycles);
+    return e;
+}
+
+} // namespace grow::energy

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Energy model (Sec. VI "Energy").
+ *
+ * Mirrors the paper's accounting: per-operation energies follow
+ * Horowitz's ISSCC'14 survey for arithmetic and DRAM, CACTI-style
+ * capacity scaling for on-chip SRAM dynamic energy, and CACTI leakage
+ * for static energy. Energy is reported in the five categories of
+ * Fig. 22: MAC (dynamic), register file (dynamic), SRAM (dynamic),
+ * DRAM (dynamic) and leakage (static).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace grow::energy {
+
+/** Per-operation energy constants (45 nm-class, pJ). */
+struct EnergyParams
+{
+    /** One 64-bit multiply-accumulate. */
+    double macPj = 20.0;
+    /** One register-file operand access. */
+    double rfAccessPj = 1.0;
+    /** Operand accesses per MAC (two reads + one write). */
+    double rfAccessesPerMac = 3.0;
+    /** DRAM transfer energy per byte (~25 pJ/bit). */
+    double dramPjPerByte = 200.0 / 8.0 * 1.0; // 25 pJ/bit
+    /** SRAM access energy: base + slope * sqrt(capacity in KB), per 8 B. */
+    double sramBasePj = 0.5;
+    double sramSqrtPjPerKb = 0.8;
+    /** CAM search energy per lookup, per KB of CAM. */
+    double camSearchPjPerKb = 0.15;
+    /** SRAM leakage density (mW per KB). */
+    double leakageMwPerKb = 0.10;
+    /** Fixed logic leakage (mW). */
+    double logicLeakageMw = 10.0;
+    /** Accelerator clock (GHz) for converting cycles to time. */
+    double clockGHz = 1.0;
+
+    /** Energy of one 8-byte access to an SRAM of @p capacity bytes. */
+    double sramAccessPj(Bytes capacity) const;
+
+    /** Static energy burned per cycle given total on-chip SRAM. */
+    double leakagePjPerCycle(Bytes total_sram_bytes) const;
+};
+
+/** Access activity of one SRAM buffer during a phase. */
+struct SramActivity
+{
+    Bytes capacity = 0;
+    uint64_t accesses = 0;
+    bool isCam = false;
+};
+
+/** Operation counts gathered by an engine during one phase. */
+struct ActivityCounts
+{
+    uint64_t macOps = 0;
+    Bytes dramBytes = 0;
+    Cycle cycles = 0;
+    std::vector<SramActivity> sram;
+    /** Total on-chip SRAM capacity for leakage. */
+    Bytes onChipSramBytes = 0;
+};
+
+/** Energy split into the paper's Fig. 22 categories (pJ). */
+struct EnergyBreakdown
+{
+    double macPj = 0;
+    double rfPj = 0;
+    double sramPj = 0;
+    double dramPj = 0;
+    double staticPj = 0;
+
+    double total() const
+    {
+        return macPj + rfPj + sramPj + dramPj + staticPj;
+    }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &other);
+};
+
+/** Convert activity counts into an energy breakdown. */
+EnergyBreakdown computeEnergy(const EnergyParams &params,
+                              const ActivityCounts &activity);
+
+} // namespace grow::energy

@@ -1,0 +1,58 @@
+#include "gcn/aggregators.hpp"
+
+#include "util/logging.hpp"
+
+namespace grow::gcn {
+
+const std::vector<AggregatorSupport> &
+aggregatorSupportMatrix()
+{
+    // Overhead figures from Sec. VIII: the pooling comparator array
+    // synthesises to +1.4% of the 65 nm design; a conservative
+    // table-based softmax (A3-style) adds ~16% of the MAC array,
+    // i.e. ~1.7% chip-wide.
+    static const std::vector<AggregatorSupport> matrix = {
+        {Aggregator::WeightedSum, "gcn-weighted-sum", true, "", 0.0,
+         "The evaluated dataflow: scalar x vector MACs."},
+        {Aggregator::SageMean, "sage-mean", true, "", 0.0,
+         "Sampled-node rows fetched via the row-stationary dataflow; "
+         "mean runs on the MAC array."},
+        {Aggregator::SagePool, "sage-pool", false,
+         "vector comparator array", 0.014,
+         "Max-pool needs element-wise comparators beside the MACs."},
+        {Aggregator::SageLstm, "sage-lstm", true, "", 0.0,
+         "LSTM gates execute as consecutive MAC passes."},
+        {Aggregator::Gin, "gin", true, "", 0.0,
+         "Learnable central-node weight refactors into consecutive W "
+         "matrices (as in GCNAX); supported as-is."},
+        {Aggregator::GatAttention, "gat-attention", false,
+         "softmax unit (table-based)", 0.017,
+         "MLPs run on the MAC array; softmax needs a dedicated unit "
+         "(~16% of the MAC array area)."},
+    };
+    return matrix;
+}
+
+const AggregatorSupport &
+aggregatorSupport(Aggregator a)
+{
+    for (const auto &s : aggregatorSupportMatrix())
+        if (s.aggregator == a)
+            return s;
+    panic("unknown aggregator");
+}
+
+energy::AreaBreakdown
+growAreaWithAggregator(Aggregator a, const energy::GrowAreaInputs &inputs)
+{
+    auto area = energy::estimateGrowArea(inputs,
+                                         energy::ProcessNode::Nm65);
+    const auto &support = aggregatorSupport(a);
+    if (support.areaOverhead > 0.0) {
+        // The extra unit is accounted under "others".
+        area.others += area.total() * support.areaOverhead;
+    }
+    return area;
+}
+
+} // namespace grow::gcn

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Advanced aggregation functions (Sec. VIII, "GROW applicability for
+ * advanced aggregation functions").
+ *
+ * The paper analyses what it would take for GROW to serve GNNs beyond
+ * vanilla GCN aggregation (weighted sum):
+ *
+ *  - SAGEConv: mean / pool / LSTM over sampled neighbours. Mean and
+ *    LSTM map onto the existing MAC array; pooling needs a vector
+ *    comparator array (+1.4% area at 65 nm).
+ *  - GIN: the learnable-epsilon central-node weighting refactors into
+ *    consecutive W matrices; supported as-is.
+ *  - GAT: attention requires MLP (MAC array) plus a softmax unit; a
+ *    table-based softmax costs ~16% of the MAC array, a chip-wide
+ *    ~1.7% overhead.
+ *
+ * This module encodes that feasibility/overhead analysis so the
+ * design-space tooling can report it quantitatively.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "energy/area_model.hpp"
+
+namespace grow::gcn {
+
+/** Aggregation operator families discussed in Sec. VIII. */
+enum class Aggregator {
+    WeightedSum, ///< vanilla GCN (this paper's evaluation)
+    SageMean,    ///< SAGEConv mean over sampled neighbours
+    SagePool,    ///< SAGEConv max-pool (needs comparator array)
+    SageLstm,    ///< SAGEConv LSTM (sequential MACs)
+    Gin,         ///< GIN epsilon-weighted sum (refactored into W)
+    GatAttention ///< GAT attention (MLP + softmax)
+};
+
+/** Feasibility verdict for one aggregator on the GROW pipeline. */
+struct AggregatorSupport
+{
+    Aggregator aggregator;
+    std::string name;
+    /** Runs on the existing MAC array with no new hardware. */
+    bool supportedAsIs = false;
+    /** Extra functional unit required (empty if none). */
+    std::string extraHardware;
+    /** Chip-wide area overhead fraction at 65 nm (0 if none). */
+    double areaOverhead = 0.0;
+    /** Paper's assessment, condensed. */
+    std::string notes;
+};
+
+/** The Sec. VIII support matrix. */
+const std::vector<AggregatorSupport> &aggregatorSupportMatrix();
+
+/** Lookup by enum. */
+const AggregatorSupport &aggregatorSupport(Aggregator a);
+
+/**
+ * GROW area including the extra unit an aggregator needs, at 65 nm.
+ * WeightedSum/GIN/SageMean/SageLstm return the baseline area.
+ */
+energy::AreaBreakdown
+growAreaWithAggregator(Aggregator a,
+                       const energy::GrowAreaInputs &inputs = {});
+
+} // namespace grow::gcn

@@ -1,0 +1,133 @@
+#include "gcn/runner.hpp"
+
+#include "sparse/reference_gemm.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace grow::gcn {
+
+namespace {
+
+/** Element-wise accumulate classified traffic. */
+void
+mergeTraffic(mem::DramTraffic &into, const mem::DramTraffic &from)
+{
+    for (size_t i = 0; i < mem::kNumTrafficClasses; ++i) {
+        into.readBytes[i] += from.readBytes[i];
+        into.writeBytes[i] += from.writeBytes[i];
+    }
+}
+
+/** Verify a functional output against the golden SpMM. */
+void
+checkFunctional(const accel::PhaseResult &result,
+                const sparse::CsrMatrix &lhs,
+                const sparse::DenseMatrix &rhs, const std::string &what)
+{
+    GROW_ASSERT(result.hasOutput, "functional run produced no output");
+    auto golden = sparse::referenceSpMM(lhs, rhs);
+    double diff = sparse::DenseMatrix::maxAbsDiff(golden, result.output);
+    GROW_ASSERT(diff < 1e-9,
+                "functional mismatch in " + what + " (max diff " +
+                    fmtSci(diff) + ")");
+}
+
+} // namespace
+
+double
+InferenceResult::cacheHitRate() const
+{
+    uint64_t total = cacheHits + cacheMisses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cacheHits) /
+                            static_cast<double>(total);
+}
+
+InferenceResult
+runInference(accel::AcceleratorSim &engine, const GcnWorkload &workload,
+             const RunnerOptions &options)
+{
+    const bool part = options.usePartitioning;
+    GROW_ASSERT(!part || workload.hasPartitioning,
+                "workload lacks partitioning artefacts");
+    const bool functional = options.sim.functional;
+    GROW_ASSERT(!functional ||
+                    (workload.w0.has_value() && workload.w1.has_value()),
+                "functional mode requires workload weights");
+
+    InferenceResult res;
+    res.engine = engine.name();
+
+    const sparse::CsrMatrix &A =
+        part ? workload.adjacencyPartitioned : workload.adjacency;
+
+    for (uint32_t layer = 0; layer < 2; ++layer) {
+        const sparse::CsrMatrix &X =
+            layer == 0 ? (part ? workload.x0Partitioned : workload.x0)
+                       : (part ? workload.x1Partitioned : workload.x1);
+        const uint32_t outCols = layer == 0 ? workload.shape.hidden
+                                            : workload.shape.classes;
+        const sparse::DenseMatrix *W =
+            functional
+                ? (layer == 0 ? &workload.w0.value() : &workload.w1.value())
+                : nullptr;
+
+        // ---- Combination: X * W (W resident on-chip) -----------------
+        accel::SpDeGemmProblem comb;
+        comb.lhs = &X;
+        comb.rhsCols = outCols;
+        comb.rhs = W;
+        comb.phase = accel::Phase::Combination;
+        comb.rhsOnChip = true;
+        auto combRes = engine.run(comb, options.sim);
+        if (functional)
+            checkFunctional(combRes, X, *W,
+                            "combination layer " + std::to_string(layer));
+
+        // ---- Aggregation: A * (XW) -----------------------------------
+        accel::SpDeGemmProblem agg;
+        agg.lhs = &A;
+        agg.rhsCols = outCols;
+        sparse::DenseMatrix xw;
+        if (functional) {
+            xw = std::move(combRes.output);
+            combRes.hasOutput = false;
+            agg.rhs = &xw;
+        }
+        agg.phase = accel::Phase::Aggregation;
+        if (part) {
+            agg.clustering = &workload.relabel.clustering;
+            agg.hdnLists = &workload.hdnLists;
+        }
+        auto aggRes = engine.run(agg, options.sim);
+        if (functional)
+            checkFunctional(aggRes, A, xw,
+                            "aggregation layer " + std::to_string(layer));
+
+        // ---- Bookkeeping ---------------------------------------------
+        for (auto *r : {&combRes, &aggRes}) {
+            PhaseMetrics pm;
+            pm.layer = layer;
+            pm.energy = energy::computeEnergy(options.energy, r->activity);
+            res.totalCycles += r->cycles;
+            res.macOps += r->macOps;
+            mergeTraffic(res.traffic, r->traffic);
+            res.energy += pm.energy;
+            if (r->phase == accel::Phase::Aggregation) {
+                res.aggregationCycles += r->cycles;
+                res.cacheHits += r->cacheHits;
+                res.cacheMisses += r->cacheMisses;
+            } else {
+                res.combinationCycles += r->cycles;
+            }
+            // Drop bulky functional outputs before archiving.
+            r->output = sparse::DenseMatrix();
+            r->hasOutput = false;
+            pm.result = std::move(*r);
+            res.phases.push_back(std::move(pm));
+        }
+    }
+    return res;
+}
+
+} // namespace gcn

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * End-to-end GCN inference runner.
+ *
+ * Executes the 2-layer GCN of Table I as four SpDeGEMM phases
+ * (combination then aggregation per layer, the A*(X*W) order of
+ * Sec. II-B) on any AcceleratorSim, and aggregates cycles, classified
+ * DRAM traffic, cache statistics and Fig. 22-style energy.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "energy/energy_model.hpp"
+#include "gcn/workload.hpp"
+
+namespace grow::gcn {
+
+/** Options of one inference run. */
+struct RunnerOptions
+{
+    accel::SimOptions sim;
+    energy::EnergyParams energy;
+    /**
+     * Feed GROW's preprocessing artefacts (relabeled adjacency,
+     * clustering, HDN lists) to the engine. Baselines ignore the
+     * artefacts but still see the original-layout operands.
+     */
+    bool usePartitioning = false;
+};
+
+/** One executed phase with its energy. */
+struct PhaseMetrics
+{
+    uint32_t layer = 0;
+    accel::PhaseResult result;
+    energy::EnergyBreakdown energy;
+};
+
+/** Whole-inference aggregate. */
+struct InferenceResult
+{
+    std::string engine;
+    Cycle totalCycles = 0;
+    Cycle combinationCycles = 0;
+    Cycle aggregationCycles = 0;
+    uint64_t macOps = 0;
+    mem::DramTraffic traffic;
+    energy::EnergyBreakdown energy;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    std::vector<PhaseMetrics> phases;
+
+    /** Total DRAM bytes moved. */
+    Bytes totalTrafficBytes() const { return traffic.total(); }
+
+    /** Aggregate HDN cache hit rate across aggregation phases. */
+    double cacheHitRate() const;
+};
+
+/**
+ * Run 2-layer GCN inference for @p workload on @p engine.
+ *
+ * In functional mode (options.sim.functional) the combination outputs
+ * feed the aggregation inputs and every phase output is checked against
+ * sparse::referenceSpMM; a mismatch panics.
+ */
+InferenceResult runInference(accel::AcceleratorSim &engine,
+                             const GcnWorkload &workload,
+                             const RunnerOptions &options);
+
+} // namespace grow::gcn

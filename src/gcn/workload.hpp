@@ -1,0 +1,87 @@
+/**
+ * @file
+ * GCN inference workload construction.
+ *
+ * A workload bundles everything a bench needs to run one dataset
+ * through a 2-layer GCN (Table I's "Feature length F0-H-C"):
+ *
+ *  - the synthetic graph and its normalized adjacency (Eq. 1);
+ *  - GROW's preprocessing artefacts: METIS-like partition,
+ *    cluster-contiguous relabeling and per-cluster HDN ID lists
+ *    (Sec. V-C), alongside the *original* layout used by the
+ *    baselines (Table II: their preprocessing is "None");
+ *  - feature matrices X(0)/X(1) synthesised at the densities of
+ *    Table I (X(1) stands in for relu(A X(0) W(0)) of a trained
+ *    model -- see DESIGN.md substitutions);
+ *  - optional dense weight matrices for functional verification.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/datasets.hpp"
+#include "graph/graph.hpp"
+#include "partition/hdn_select.hpp"
+#include "partition/relabel.hpp"
+#include "sparse/csr_matrix.hpp"
+#include "sparse/dense_matrix.hpp"
+
+namespace grow::gcn {
+
+/** Knobs of workload construction. */
+struct WorkloadConfig
+{
+    graph::ScaleTier tier = graph::ScaleTier::Mini;
+    /** Build partitioning artefacts (clustering + HDN lists). */
+    bool buildPartitioning = true;
+    /** Target nodes per cluster (0 = library default of 700). */
+    uint32_t targetClusterSize = 0;
+    /** HDN IDs stored per cluster (CAM capacity, Sec. V-C). */
+    uint32_t hdnTopN = 4096;
+    /** Also synthesise dense weights for functional verification. */
+    bool functionalData = false;
+    uint64_t seed = 7;
+};
+
+/** A fully constructed per-dataset workload. */
+struct GcnWorkload
+{
+    const graph::DatasetSpec *spec = nullptr;
+    graph::ScaleTier tier = graph::ScaleTier::Mini;
+    graph::GcnShape shape;
+
+    graph::Graph graph; ///< original labelling
+
+    /** Normalized adjacency in the original labelling (baselines). */
+    sparse::CsrMatrix adjacency;
+
+    /** Partitioning artefacts (empty unless buildPartitioning). */
+    bool hasPartitioning = false;
+    sparse::CsrMatrix adjacencyPartitioned; ///< relabeled
+    partition::RelabelResult relabel;
+    std::vector<std::vector<NodeId>> hdnLists; ///< relabeled IDs
+
+    /** Feature matrices, original labelling. */
+    sparse::CsrMatrix x0;
+    sparse::CsrMatrix x1;
+    /** Row-permuted copies matching adjacencyPartitioned. */
+    sparse::CsrMatrix x0Partitioned;
+    sparse::CsrMatrix x1Partitioned;
+
+    /** Dense weights (only when functionalData). */
+    std::optional<sparse::DenseMatrix> w0;
+    std::optional<sparse::DenseMatrix> w1;
+
+    uint32_t nodes() const { return graph.numNodes(); }
+};
+
+/** Build the workload for @p spec under @p config. */
+GcnWorkload buildWorkload(const graph::DatasetSpec &spec,
+                          const WorkloadConfig &config);
+
+/** Permute the rows of a CSR matrix: row i of result = row map[i]. */
+sparse::CsrMatrix permuteRows(const sparse::CsrMatrix &m,
+                              const std::vector<NodeId> &new_to_old);
+
+} // namespace grow::gcn

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Registry of the paper's eight evaluation datasets (Table I).
+ *
+ * Each DatasetSpec records the published structure (node count, arc
+ * count, feature densities, GCN layer shape) plus the synthesis
+ * parameters used to generate a structurally equivalent DC-SBM graph.
+ *
+ * Scale tiers: because a full-scale Amazon (2.4M nodes, 126M arcs) makes
+ * every sweep bench run for hours, large graphs can be instantiated at
+ * reduced node counts with the average degree preserved:
+ *  - Full: exactly the paper's node counts.
+ *  - Mini: the default for headline benches; large graphs / 16.
+ *  - Tiny: for multi-point sweeps; large graphs / 64 (Reddit also
+ *    reduces degree 4x to keep density plausible).
+ *  - Unit: a few hundred nodes, for unit/integration tests.
+ * The relative ordering of datasets and all qualitative behaviours
+ * (power law, community structure, hypersparse adjacency tiles) are
+ * preserved; EXPERIMENTS.md quantifies the effect of the rescaling.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace grow::graph {
+
+/** Evaluation scale for a dataset instantiation. */
+enum class ScaleTier { Full, Mini, Tiny, Unit };
+
+/** Parse "full"/"mini"/"tiny"/"unit" (case-insensitive). */
+ScaleTier tierFromString(const std::string &s);
+
+/** Human-readable tier name. */
+const char *tierName(ScaleTier tier);
+
+/** GCN layer dimensions from Table I ("Feature length F0-H-C"). */
+struct GcnShape
+{
+    uint32_t inFeatures = 0; ///< F0: input feature length
+    uint32_t hidden = 0;     ///< H: hidden feature length
+    uint32_t classes = 0;    ///< C: output classes
+};
+
+/** One evaluation dataset: published structure + synthesis parameters. */
+struct DatasetSpec
+{
+    std::string name;
+
+    // Published structure (Table I).
+    uint32_t paperNodes = 0;
+    uint64_t paperArcs = 0;      ///< "# of Edges" row (directed arcs)
+    double paperAvgDegree = 0.0;
+    double paperDensityA = 0.0;
+    double x0Density = 0.0;      ///< input feature matrix density
+    double x1Density = 0.0;      ///< post-layer-1 feature density
+    GcnShape gcn;
+
+    // Synthesis parameters.
+    double powerLawAlpha = 2.3;
+    double intraFraction = 0.85;
+    uint64_t seed = 1;
+
+    // Scale-tier node/degree divisors.
+    uint32_t miniNodeDiv = 1;
+    uint32_t tinyNodeDiv = 1;
+    double miniDegreeDiv = 1.0;
+    double tinyDegreeDiv = 1.0;
+
+    /** Whether this is one of the four large-scale datasets. */
+    bool isLargeScale() const { return miniNodeDiv > 1; }
+};
+
+/** The eight datasets of Table I, ordered by node count. */
+const std::vector<DatasetSpec> &allDatasets();
+
+/** Lookup by (case-insensitive) name; fatal() when unknown. */
+const DatasetSpec &datasetByName(const std::string &name);
+
+/** Resolve a list of names ("all" expands to every dataset). */
+std::vector<DatasetSpec> datasetsByNames(const std::vector<std::string> &names);
+
+/** Node count of @p spec at @p tier. */
+uint32_t scaledNodes(const DatasetSpec &spec, ScaleTier tier);
+
+/** Average degree of @p spec at @p tier. */
+double scaledAvgDegree(const DatasetSpec &spec, ScaleTier tier);
+
+/**
+ * Number of planted communities at a given node count (targets the
+ * cluster granularity GROW's partitioning preprocessing aims for).
+ */
+uint32_t plantedCommunities(uint32_t nodes);
+
+/** A generated dataset: graph + provenance. */
+struct DatasetInstance
+{
+    const DatasetSpec *spec = nullptr;
+    ScaleTier tier = ScaleTier::Mini;
+    Graph graph;
+    /** Ground-truth community per node (for generator tests only). */
+    std::vector<uint32_t> plantedCommunity;
+
+    uint32_t nodes() const { return graph.numNodes(); }
+};
+
+/** Synthesise @p spec at @p tier (deterministic per spec.seed). */
+DatasetInstance buildDataset(const DatasetSpec &spec, ScaleTier tier);
+
+} // namespace grow::graph

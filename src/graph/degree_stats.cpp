@@ -1,0 +1,60 @@
+#include "graph/degree_stats.hpp"
+
+#include <algorithm>
+
+namespace grow::graph {
+
+LogHistogram
+degreeHistogram(const Graph &g)
+{
+    LogHistogram h;
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        h.record(g.degree(v));
+    return h;
+}
+
+std::vector<uint32_t>
+sortedDegreesDesc(const Graph &g)
+{
+    std::vector<uint32_t> d(g.numNodes());
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        d[v] = g.degree(v);
+    std::sort(d.begin(), d.end(), std::greater<>());
+    return d;
+}
+
+double
+topKDegreeCoverage(const Graph &g, uint32_t k)
+{
+    if (g.numArcs() == 0)
+        return 0.0;
+    auto degrees = sortedDegreesDesc(g);
+    k = std::min<uint32_t>(k, static_cast<uint32_t>(degrees.size()));
+    uint64_t covered = 0;
+    for (uint32_t i = 0; i < k; ++i)
+        covered += degrees[i];
+    return static_cast<double>(covered) / static_cast<double>(g.numArcs());
+}
+
+double
+degreeGini(const Graph &g)
+{
+    uint32_t n = g.numNodes();
+    if (n == 0)
+        return 0.0;
+    std::vector<uint32_t> d(n);
+    for (NodeId v = 0; v < n; ++v)
+        d[v] = g.degree(v);
+    std::sort(d.begin(), d.end());
+    double cum = 0.0;
+    double weighted = 0.0;
+    for (uint32_t i = 0; i < n; ++i) {
+        cum += d[i];
+        weighted += static_cast<double>(i + 1) * d[i];
+    }
+    if (cum == 0.0)
+        return 0.0;
+    return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+} // namespace grow::graph

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Degree-distribution analysis (Fig. 11 and HDN coverage estimation).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/histogram.hpp"
+
+namespace grow::graph {
+
+/** Power-of-two bucketed degree histogram of @p g. */
+LogHistogram degreeHistogram(const Graph &g);
+
+/** All node degrees sorted descending. */
+std::vector<uint32_t> sortedDegreesDesc(const Graph &g);
+
+/**
+ * Fraction of all adjacency entries whose *target* is one of the top-k
+ * highest-degree nodes. This is the upper bound on the HDN cache hit
+ * rate without graph partitioning (Sec. V-C).
+ */
+double topKDegreeCoverage(const Graph &g, uint32_t k);
+
+/** Gini coefficient of the degree distribution (0 = uniform). */
+double degreeGini(const Graph &g);
+
+} // namespace grow::graph

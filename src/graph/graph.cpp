@@ -1,0 +1,132 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace grow::graph {
+
+Graph
+Graph::fromEdges(uint32_t nodes, std::vector<std::pair<NodeId, NodeId>> edges)
+{
+    // Canonicalize to (min, max), drop self loops, dedupe.
+    for (auto &[u, v] : edges) {
+        GROW_ASSERT(u < nodes && v < nodes, "edge endpoint out of range");
+        if (u > v)
+            std::swap(u, v);
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const auto &e) {
+                                   return e.first == e.second;
+                               }),
+                edges.end());
+
+    Graph g;
+    g.offsets_.assign(static_cast<size_t>(nodes) + 1, 0);
+    for (const auto &[u, v] : edges) {
+        g.offsets_[u + 1] += 1;
+        g.offsets_[v + 1] += 1;
+    }
+    for (uint32_t i = 0; i < nodes; ++i)
+        g.offsets_[i + 1] += g.offsets_[i];
+    g.neighbors_.resize(edges.size() * 2);
+    std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (const auto &[u, v] : edges) {
+        g.neighbors_[cursor[u]++] = v;
+        g.neighbors_[cursor[v]++] = u;
+    }
+    for (uint32_t v = 0; v < nodes; ++v)
+        std::sort(g.neighbors_.begin() + g.offsets_[v],
+                  g.neighbors_.begin() + g.offsets_[v + 1]);
+    return g;
+}
+
+double
+Graph::avgDegree() const
+{
+    uint32_t n = numNodes();
+    return n == 0 ? 0.0
+                  : static_cast<double>(numArcs()) / static_cast<double>(n);
+}
+
+double
+Graph::density() const
+{
+    uint32_t n = numNodes();
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(numArcs()) /
+           (static_cast<double>(n) * static_cast<double>(n));
+}
+
+uint32_t
+Graph::degree(NodeId v) const
+{
+    GROW_ASSERT(v < numNodes(), "node out of range");
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+}
+
+std::span<const NodeId>
+Graph::neighbors(NodeId v) const
+{
+    GROW_ASSERT(v < numNodes(), "node out of range");
+    return {neighbors_.data() + offsets_[v],
+            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+}
+
+bool
+Graph::hasEdge(NodeId u, NodeId v) const
+{
+    auto nb = neighbors(u);
+    return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+Graph
+Graph::relabeled(const std::vector<NodeId> &new_to_old) const
+{
+    uint32_t n = numNodes();
+    GROW_ASSERT(new_to_old.size() == n, "permutation size mismatch");
+    std::vector<NodeId> old_to_new(n, kInvalidNode);
+    for (NodeId i = 0; i < n; ++i) {
+        GROW_ASSERT(new_to_old[i] < n && old_to_new[new_to_old[i]] == kInvalidNode,
+                    "new_to_old is not a permutation");
+        old_to_new[new_to_old[i]] = i;
+    }
+
+    Graph g;
+    g.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+    for (NodeId i = 0; i < n; ++i)
+        g.offsets_[i + 1] = g.offsets_[i] + degree(new_to_old[i]);
+    g.neighbors_.resize(numArcs());
+    for (NodeId i = 0; i < n; ++i) {
+        uint64_t out = g.offsets_[i];
+        for (NodeId nb : neighbors(new_to_old[i]))
+            g.neighbors_[out++] = old_to_new[nb];
+        std::sort(g.neighbors_.begin() + g.offsets_[i],
+                  g.neighbors_.begin() + g.offsets_[i + 1]);
+    }
+    return g;
+}
+
+bool
+Graph::validate() const
+{
+    uint32_t n = numNodes();
+    for (NodeId v = 0; v < n; ++v) {
+        auto nb = neighbors(v);
+        for (size_t i = 0; i < nb.size(); ++i) {
+            if (nb[i] >= n || nb[i] == v)
+                return false;
+            if (i > 0 && nb[i] <= nb[i - 1])
+                return false;
+            // Symmetry.
+            if (!hasEdge(nb[i], v))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace grow::graph

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Undirected graph in adjacency-CSR form.
+ *
+ * The convention throughout matches Table I of the paper: "# of Edges"
+ * counts directed arcs (each undirected edge contributes two adjacency
+ * entries), so average degree = arcs / nodes.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace grow::graph {
+
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /**
+     * Build from undirected edge endpoints. Self-loops and duplicate
+     * edges are removed; both (u,v) and (v,u) adjacency entries are
+     * created.
+     */
+    static Graph fromEdges(uint32_t nodes,
+                           std::vector<std::pair<NodeId, NodeId>> edges);
+
+    uint32_t numNodes() const { return static_cast<uint32_t>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+
+    /** Directed adjacency entries (2x undirected edge count). */
+    uint64_t numArcs() const { return neighbors_.size(); }
+
+    /** Undirected edge count. */
+    uint64_t numEdges() const { return neighbors_.size() / 2; }
+
+    double avgDegree() const;
+
+    /** Density of the (binary) adjacency matrix. */
+    double density() const;
+
+    uint32_t degree(NodeId v) const;
+
+    /** Sorted neighbor list of @p v. */
+    std::span<const NodeId> neighbors(NodeId v) const;
+
+    const std::vector<uint64_t> &offsets() const { return offsets_; }
+    const std::vector<NodeId> &adjacency() const { return neighbors_; }
+
+    /** Whether edge (u,v) exists (binary search). */
+    bool hasEdge(NodeId u, NodeId v) const;
+
+    /**
+     * Relabelled copy: node i of the result is node new_to_old[i] of
+     * this graph.
+     */
+    Graph relabeled(const std::vector<NodeId> &new_to_old) const;
+
+    /** Structural invariants: sortedness, symmetry, no self loops. */
+    bool validate() const;
+
+  private:
+    std::vector<uint64_t> offsets_;  ///< size numNodes+1
+    std::vector<NodeId> neighbors_;  ///< sorted within each node
+};
+
+} // namespace grow::graph

@@ -1,0 +1,44 @@
+#include "graph/normalize.hpp"
+
+#include <cmath>
+
+#include "sparse/coo_matrix.hpp"
+
+namespace grow::graph {
+
+sparse::CsrMatrix
+normalizedAdjacency(const Graph &g, bool self_loops)
+{
+    const uint32_t n = g.numNodes();
+    std::vector<double> invSqrtDeg(n);
+    for (NodeId v = 0; v < n; ++v) {
+        double d = g.degree(v) + (self_loops ? 1.0 : 0.0);
+        invSqrtDeg[v] = d > 0.0 ? 1.0 / std::sqrt(d) : 0.0;
+    }
+
+    sparse::CooMatrix coo(n, n);
+    coo.reserve(g.numArcs() + (self_loops ? n : 0));
+    for (NodeId v = 0; v < n; ++v) {
+        if (self_loops)
+            coo.add(v, v, invSqrtDeg[v] * invSqrtDeg[v]);
+        for (NodeId nb : g.neighbors(v))
+            coo.add(v, nb, invSqrtDeg[v] * invSqrtDeg[nb]);
+    }
+    coo.canonicalize();
+    return sparse::CsrMatrix::fromCoo(coo);
+}
+
+sparse::CsrMatrix
+binaryAdjacency(const Graph &g)
+{
+    const uint32_t n = g.numNodes();
+    sparse::CooMatrix coo(n, n);
+    coo.reserve(g.numArcs());
+    for (NodeId v = 0; v < n; ++v)
+        for (NodeId nb : g.neighbors(v))
+            coo.add(v, nb, 1.0);
+    coo.canonicalize();
+    return sparse::CsrMatrix::fromCoo(coo);
+}
+
+} // namespace grow::graph

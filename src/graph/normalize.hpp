@@ -1,0 +1,30 @@
+/**
+ * @file
+ * GCN adjacency normalization.
+ *
+ * Equation (1) of the paper operates on a normalized adjacency matrix;
+ * normalization happens offline as a one-time preprocessing step
+ * (Sec. II-A). We implement the standard Kipf & Welling symmetric form
+ *     A_hat = D^{-1/2} (A + I) D^{-1/2}
+ * with optional self-loops.
+ */
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace grow::graph {
+
+/**
+ * Build the normalized adjacency CSR of @p g.
+ *
+ * @param g            input graph
+ * @param self_loops   add I before normalizing (GCN convention)
+ */
+sparse::CsrMatrix normalizedAdjacency(const Graph &g,
+                                      bool self_loops = true);
+
+/** Unnormalized binary adjacency CSR (all values 1.0). */
+sparse::CsrMatrix binaryAdjacency(const Graph &g);
+
+} // namespace grow::graph

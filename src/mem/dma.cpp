@@ -1,0 +1,50 @@
+#include "mem/dma.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace grow::mem {
+
+DmaEngine::DmaEngine(DramModel &dram, Bytes chunk_bytes)
+    : dram_(dram), chunkBytes_(chunk_bytes)
+{
+    GROW_ASSERT(chunkBytes_ >= dram.config().lineBytes,
+                "DMA chunk must be at least one DRAM line");
+}
+
+Cycle
+DmaEngine::streamRead(Cycle now, uint64_t addr, Bytes bytes,
+                      TrafficClass cls)
+{
+    Cycle done = now;
+    Bytes remaining = bytes;
+    uint64_t cursor = addr;
+    while (remaining > 0) {
+        Bytes chunk = std::min(remaining, chunkBytes_);
+        done = dram_.read(now, cursor, chunk, cls);
+        cursor += chunk;
+        remaining -= chunk;
+        ++requests_;
+    }
+    return done;
+}
+
+Cycle
+DmaEngine::streamWrite(Cycle now, uint64_t addr, Bytes bytes,
+                       TrafficClass cls)
+{
+    Cycle done = now;
+    Bytes remaining = bytes;
+    uint64_t cursor = addr;
+    while (remaining > 0) {
+        Bytes chunk = std::min(remaining, chunkBytes_);
+        done = dram_.write(now, cursor, chunk, cls);
+        cursor += chunk;
+        remaining -= chunk;
+        ++requests_;
+    }
+    return done;
+}
+
+} // namespace grow::mem

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * DMA engine: chunked streaming transfers between DRAM and the on-chip
+ * buffers (Fig. 8's "DMA unit").
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "mem/dram.hpp"
+#include "sim/types.hpp"
+
+namespace grow::mem {
+
+/**
+ * Streams large transfers through DRAM in fixed-size chunks so a long
+ * preload does not monopolise the channel in one indivisible request.
+ */
+class DmaEngine
+{
+  public:
+    /**
+     * @param dram        shared DRAM device
+     * @param chunk_bytes request granularity (default 256 B)
+     */
+    explicit DmaEngine(DramModel &dram, Bytes chunk_bytes = 256);
+
+    /** Stream-read @p bytes; returns completion of the last chunk. */
+    Cycle streamRead(Cycle now, uint64_t addr, Bytes bytes,
+                     TrafficClass cls);
+
+    /** Stream-write @p bytes; returns completion of the last chunk. */
+    Cycle streamWrite(Cycle now, uint64_t addr, Bytes bytes,
+                      TrafficClass cls);
+
+    uint64_t requestsIssued() const { return requests_; }
+
+  private:
+    DramModel &dram_;
+    Bytes chunkBytes_;
+    uint64_t requests_ = 0;
+};
+
+} // namespace grow::mem

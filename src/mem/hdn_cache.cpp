@@ -1,0 +1,77 @@
+#include "mem/hdn_cache.hpp"
+
+#include "util/logging.hpp"
+
+namespace grow::mem {
+
+HdnCache::HdnCache(HdnCacheConfig config, uint32_t universe)
+    : config_(config), member_(universe, 0),
+      dataArray_("hdnCache", config.capacityBytes),
+      camArray_("hdnIdList",
+                static_cast<Bytes>(config.camEntries) * kHdnIdBytes)
+{
+}
+
+uint32_t
+HdnCache::loadCluster(const std::vector<NodeId> &ids)
+{
+    ++epoch_;
+    GROW_ASSERT(epoch_ != 0, "epoch counter wrapped");
+    const uint32_t limit = config_.maxResidentRows();
+    uint32_t pinned = 0;
+    for (NodeId id : ids) {
+        if (pinned >= limit)
+            break;
+        GROW_ASSERT(id < member_.size(), "HDN id out of universe");
+        if (member_[id] == epoch_)
+            continue;
+        member_[id] = epoch_;
+        ++pinned;
+        dataArray_.write(config_.rowBytes);
+        camArray_.write(kHdnIdBytes);
+    }
+    residentRows_ = pinned;
+    rowsLoaded_ += pinned;
+    return pinned;
+}
+
+bool
+HdnCache::lookup(NodeId id)
+{
+    GROW_ASSERT(id < member_.size(), "HDN id out of universe");
+    camArray_.read(kHdnIdBytes);
+    bool hit = member_[id] == epoch_ && residentRows_ > 0;
+    if (hit) {
+        ++hits_;
+        dataArray_.read(config_.rowBytes);
+    } else {
+        ++misses_;
+    }
+    return hit;
+}
+
+bool
+HdnCache::resident(NodeId id) const
+{
+    GROW_ASSERT(id < member_.size(), "HDN id out of universe");
+    return member_[id] == epoch_ && residentRows_ > 0;
+}
+
+double
+HdnCache::hitRate() const
+{
+    uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+}
+
+void
+HdnCache::clearStats()
+{
+    hits_ = misses_ = rowsLoaded_ = 0;
+    dataArray_.clearStats();
+    camArray_.clearStats();
+}
+
+} // namespace grow::mem

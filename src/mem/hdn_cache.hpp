@@ -1,0 +1,95 @@
+/**
+ * @file
+ * High-degree-node cache + HDN ID list CAM (I-BUF_dense of Fig. 8).
+ *
+ * The HDN cache is a scratchpad, not a demand cache: at the start of a
+ * cluster the control unit pins the RHS rows of that cluster's top-N
+ * high-degree nodes and they stay resident until the next cluster
+ * (Sec. VIII discusses why pinning beats LRU for this workload). The
+ * companion HDN ID list is a fully associative CAM sized at 4096
+ * entries x 3 B = 12 KB (Sec. V-C), supporting one lookup per cycle.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/sram.hpp"
+#include "sim/types.hpp"
+
+namespace grow::mem {
+
+/** Configuration of the paired HDN ID list + HDN cache. */
+struct HdnCacheConfig
+{
+    /** HDN cache data capacity (Table III: 512 KB). */
+    Bytes capacityBytes = 512 * 1024;
+    /** CAM entries in the HDN ID list (Sec. V-C: 4096). */
+    uint32_t camEntries = 4096;
+    /** Bytes of one pinned RHS row (= feature length x 8 B). */
+    Bytes rowBytes = 128;
+
+    /** Rows that can be resident simultaneously. */
+    uint32_t
+    maxResidentRows() const
+    {
+        Bytes per = rowBytes ? rowBytes : 1;
+        uint64_t rows = capacityBytes / per;
+        return static_cast<uint32_t>(
+            rows < camEntries ? rows : camEntries);
+    }
+};
+
+/**
+ * Pinned-content scratchpad keyed by node ID.
+ */
+class HdnCache
+{
+  public:
+    HdnCache(HdnCacheConfig config, uint32_t universe);
+
+    const HdnCacheConfig &config() const { return config_; }
+
+    /**
+     * Replace the pinned set with (a prefix of) @p ids: ids beyond the
+     * capacity/CAM limit are dropped, mirroring the hardware's static
+     * sizing. Returns the number of rows actually pinned.
+     */
+    uint32_t loadCluster(const std::vector<NodeId> &ids);
+
+    /** CAM probe: is @p id pinned? Updates hit/miss counters. */
+    bool lookup(NodeId id);
+
+    /** Non-counting membership test (for assertions/tests). */
+    bool resident(NodeId id) const;
+
+    uint32_t residentRows() const { return residentRows_; }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t lookups() const { return hits_ + misses_; }
+    double hitRate() const;
+
+    /** Cumulative rows pinned across all loadCluster calls. */
+    uint64_t rowsLoaded() const { return rowsLoaded_; }
+
+    /** Underlying SRAM access counters (for the energy model). */
+    SramBuffer &dataArray() { return dataArray_; }
+    SramBuffer &camArray() { return camArray_; }
+
+    void clearStats();
+
+  private:
+    HdnCacheConfig config_;
+    /** Epoch-stamped membership: member_[id] == epoch_ <=> pinned. */
+    std::vector<uint32_t> member_;
+    uint32_t epoch_ = 0;
+    uint32_t residentRows_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t rowsLoaded_ = 0;
+    SramBuffer dataArray_;
+    SramBuffer camArray_;
+};
+
+} // namespace grow::mem

@@ -1,0 +1,34 @@
+#include "mem/sram.hpp"
+
+#include "util/logging.hpp"
+
+namespace grow::mem {
+
+SramBuffer::SramBuffer(std::string name, Bytes capacity)
+    : name_(std::move(name)), capacity_(capacity)
+{
+    GROW_ASSERT(capacity_ > 0, "SRAM capacity must be positive");
+}
+
+void
+SramBuffer::read(Bytes bytes)
+{
+    readAccesses_ += 1;
+    bytesRead_ += bytes;
+}
+
+void
+SramBuffer::write(Bytes bytes)
+{
+    writeAccesses_ += 1;
+    bytesWritten_ += bytes;
+}
+
+void
+SramBuffer::clearStats()
+{
+    readAccesses_ = writeAccesses_ = 0;
+    bytesRead_ = bytesWritten_ = 0;
+}
+
+} // namespace grow::mem

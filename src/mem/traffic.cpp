@@ -1,0 +1,19 @@
+#include "mem/traffic.hpp"
+
+namespace grow::mem {
+
+const char *
+trafficClassName(TrafficClass cls)
+{
+    switch (cls) {
+      case TrafficClass::SparseStream: return "sparseStream";
+      case TrafficClass::DenseRow: return "denseRow";
+      case TrafficClass::OutputWrite: return "outputWrite";
+      case TrafficClass::HdnPreload: return "hdnPreload";
+      case TrafficClass::Metadata: return "metadata";
+      case TrafficClass::NumClasses: break;
+    }
+    return "?";
+}
+
+} // namespace grow::mem

@@ -1,0 +1,22 @@
+#include "partition/degree_reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace grow::partition {
+
+RelabelResult
+degreeSortRelabel(const graph::Graph &g)
+{
+    RelabelResult out;
+    out.newToOld.resize(g.numNodes());
+    std::iota(out.newToOld.begin(), out.newToOld.end(), 0u);
+    std::stable_sort(out.newToOld.begin(), out.newToOld.end(),
+                     [&g](NodeId a, NodeId b) {
+                         return g.degree(a) > g.degree(b);
+                     });
+    out.clustering.clusterStart = {0, g.numNodes()};
+    return out;
+}
+
+} // namespace grow::partition

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Degree-based vertex reordering (Zhang & Li, FPGA'18 style).
+ *
+ * Related-work baseline for GROW's preprocessing (Sec. III): reorder
+ * vertices by descending degree so that hot rows land close together.
+ * Used in the preprocessing ablation benches.
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/relabel.hpp"
+
+namespace grow::partition {
+
+/**
+ * Permutation ordering nodes by descending degree (stable tie-break on
+ * original ID). Returned as a RelabelResult with a single cluster.
+ */
+RelabelResult degreeSortRelabel(const graph::Graph &g);
+
+} // namespace grow::partition

@@ -1,0 +1,67 @@
+#include "partition/hdn_select.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace grow::partition {
+
+std::vector<std::vector<NodeId>>
+selectHdnPerCluster(const graph::Graph &relabeled,
+                    const Clustering &clustering, uint32_t top_n)
+{
+    const uint32_t k = clustering.numClusters();
+    GROW_ASSERT(clustering.clusterStart.back() == relabeled.numNodes(),
+                "clustering does not cover the graph");
+    std::vector<std::vector<NodeId>> lists(k);
+    std::vector<std::pair<uint32_t, NodeId>> ranked;
+    for (uint32_t c = 0; c < k; ++c) {
+        const uint32_t lo = clustering.clusterStart[c];
+        const uint32_t hi = clustering.clusterStart[c + 1];
+        ranked.clear();
+        ranked.reserve(hi - lo);
+        for (NodeId v = lo; v < hi; ++v) {
+            uint32_t intra = 0;
+            for (NodeId nb : relabeled.neighbors(v))
+                if (nb >= lo && nb < hi)
+                    ++intra;
+            ranked.emplace_back(intra, v);
+        }
+        // Sort by descending intra-degree; tie-break on ID for
+        // determinism.
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first > b.first;
+                      return a.second < b.second;
+                  });
+        const size_t n = std::min<size_t>(top_n, ranked.size());
+        lists[c].reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            lists[c].push_back(ranked[i].second);
+    }
+    return lists;
+}
+
+std::vector<NodeId>
+selectGlobalHdn(const graph::Graph &g, uint32_t top_n)
+{
+    std::vector<std::pair<uint32_t, NodeId>> ranked;
+    ranked.reserve(g.numNodes());
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        ranked.emplace_back(g.degree(v), v);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+    const size_t n = std::min<size_t>(top_n, ranked.size());
+    std::vector<NodeId> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(ranked[i].second);
+    return out;
+}
+
+} // namespace grow::partition

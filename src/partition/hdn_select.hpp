@@ -1,0 +1,39 @@
+/**
+ * @file
+ * High-degree-node (HDN) list generation.
+ *
+ * GROW's software stack augments the partitioning pass with "a pass that
+ * generates the top-N high-degree nodes as a HDN ID list per each
+ * cluster" (Sec. V-C). The per-cluster ranking uses *intra-cluster*
+ * degree (Fig. 13 explicitly tabulates "Node degree (Intra-cluster)"),
+ * because only references from within the active cluster can hit the
+ * cache while that cluster is being processed.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/relabel.hpp"
+
+namespace grow::partition {
+
+/**
+ * Top-N nodes per cluster by intra-cluster degree, over a graph that
+ * has already been relabeled cluster-contiguously.
+ *
+ * @return one ID list per cluster (IDs in the relabeled space), each
+ *         sorted by descending intra-cluster degree.
+ */
+std::vector<std::vector<NodeId>>
+selectHdnPerCluster(const graph::Graph &relabeled,
+                    const Clustering &clustering, uint32_t top_n);
+
+/**
+ * Global top-N by total degree: the HDN list GROW uses when graph
+ * partitioning is disabled (Fig. 17's "GROW (w/o G.P)" configuration).
+ */
+std::vector<NodeId> selectGlobalHdn(const graph::Graph &g, uint32_t top_n);
+
+} // namespace grow::partition

@@ -1,0 +1,48 @@
+#include "partition/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace grow::partition {
+
+PartitionQuality
+evaluatePartition(const graph::Graph &g, const PartitionResult &parts)
+{
+    GROW_ASSERT(parts.assignment.size() == g.numNodes(),
+                "assignment size mismatch");
+    PartitionQuality q;
+    uint64_t intraArcs = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        uint32_t pv = parts.assignment[v];
+        for (NodeId nb : g.neighbors(v)) {
+            if (parts.assignment[nb] == pv)
+                ++intraArcs;
+            else if (v < nb)
+                ++q.cutEdges;
+        }
+    }
+    q.intraArcFraction =
+        g.numArcs() == 0
+            ? 1.0
+            : static_cast<double>(intraArcs) /
+                  static_cast<double>(g.numArcs());
+
+    std::vector<uint64_t> sizes(parts.numParts, 0);
+    for (uint32_t p : parts.assignment)
+        sizes[p] += 1;
+    uint64_t maxSize = 0;
+    for (uint64_t s : sizes) {
+        if (s > 0)
+            ++q.nonEmptyParts;
+        maxSize = std::max(maxSize, s);
+    }
+    if (q.nonEmptyParts > 0) {
+        double avg = static_cast<double>(g.numNodes()) /
+                     static_cast<double>(q.nonEmptyParts);
+        q.balance = avg > 0 ? static_cast<double>(maxSize) / avg : 0.0;
+    }
+    return q;
+}
+
+} // namespace grow::partition

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Partition quality metrics (edge cut, balance, intra-cluster locality).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/multilevel.hpp"
+
+namespace grow::partition {
+
+/** Summary statistics of a partition over a graph. */
+struct PartitionQuality
+{
+    uint64_t cutEdges = 0;        ///< undirected edges crossing parts
+    double intraArcFraction = 0;  ///< fraction of arcs staying in-part
+    double balance = 0;           ///< max part size / average part size
+    uint32_t nonEmptyParts = 0;
+};
+
+/** Compute quality metrics of @p parts over @p g. */
+PartitionQuality evaluatePartition(const graph::Graph &g,
+                                   const PartitionResult &parts);
+
+} // namespace grow::partition

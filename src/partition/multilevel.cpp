@@ -1,0 +1,388 @@
+#include "partition/multilevel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace grow::partition {
+
+namespace {
+
+/**
+ * Internal weighted graph used across coarsening levels. Node weights
+ * count contracted fine nodes; edge weights count contracted fine edges.
+ */
+struct WGraph
+{
+    uint32_t n = 0;
+    std::vector<uint64_t> off;
+    std::vector<NodeId> adj;
+    std::vector<uint32_t> ewt;
+    std::vector<uint32_t> nwt;
+
+    uint64_t totalNodeWeight = 0;
+};
+
+WGraph
+fromGraph(const graph::Graph &g)
+{
+    WGraph w;
+    w.n = g.numNodes();
+    w.off = g.offsets();
+    w.adj = g.adjacency();
+    w.ewt.assign(w.adj.size(), 1);
+    w.nwt.assign(w.n, 1);
+    w.totalNodeWeight = w.n;
+    return w;
+}
+
+/** One coarsening level: coarse graph + fine->coarse map. */
+struct Level
+{
+    WGraph graph;
+    std::vector<NodeId> fineToCoarse;
+};
+
+/**
+ * Heavy-edge matching: every unmatched node grabs its unmatched
+ * neighbor with the heaviest connecting edge.
+ */
+std::vector<NodeId>
+heavyEdgeMatching(const WGraph &g, Rng &rng)
+{
+    std::vector<NodeId> order(g.n);
+    std::iota(order.begin(), order.end(), 0u);
+    rng.shuffle(order);
+
+    std::vector<NodeId> match(g.n, kInvalidNode);
+    for (NodeId u : order) {
+        if (match[u] != kInvalidNode)
+            continue;
+        NodeId best = kInvalidNode;
+        uint32_t bestW = 0;
+        for (uint64_t i = g.off[u]; i < g.off[u + 1]; ++i) {
+            NodeId v = g.adj[i];
+            if (v == u || match[v] != kInvalidNode)
+                continue;
+            if (g.ewt[i] > bestW) {
+                bestW = g.ewt[i];
+                best = v;
+            }
+        }
+        if (best == kInvalidNode) {
+            match[u] = u; // matched with itself
+        } else {
+            match[u] = best;
+            match[best] = u;
+        }
+    }
+    return match;
+}
+
+/** Contract matched pairs into a coarse graph. */
+Level
+contract(const WGraph &g, const std::vector<NodeId> &match)
+{
+    Level lvl;
+    lvl.fineToCoarse.assign(g.n, kInvalidNode);
+    uint32_t cn = 0;
+    for (NodeId u = 0; u < g.n; ++u) {
+        if (lvl.fineToCoarse[u] != kInvalidNode)
+            continue;
+        NodeId v = match[u];
+        lvl.fineToCoarse[u] = cn;
+        if (v != u)
+            lvl.fineToCoarse[v] = cn;
+        ++cn;
+    }
+
+    WGraph &c = lvl.graph;
+    c.n = cn;
+    c.nwt.assign(cn, 0);
+    for (NodeId u = 0; u < g.n; ++u)
+        c.nwt[lvl.fineToCoarse[u]] += g.nwt[u];
+    c.totalNodeWeight = g.totalNodeWeight;
+
+    // Accumulate coarse adjacency with a scatter array.
+    std::vector<uint32_t> weightTo(cn, 0);
+    std::vector<NodeId> touched;
+    std::vector<std::pair<NodeId, uint32_t>> coarseEdges; // flattened
+    std::vector<uint64_t> counts(cn + 1, 0);
+
+    // First pass: count coarse degree per coarse node.
+    // We materialize edges per coarse node directly into vectors.
+    std::vector<std::vector<std::pair<NodeId, uint32_t>>> rows(cn);
+    for (NodeId u = 0; u < g.n; ++u) {
+        NodeId cu = lvl.fineToCoarse[u];
+        // Process each coarse node once, via its smallest fine member.
+        NodeId v = match[u];
+        if (v < u)
+            continue;
+        touched.clear();
+        auto scan = [&](NodeId fine) {
+            for (uint64_t i = g.off[fine]; i < g.off[fine + 1]; ++i) {
+                NodeId cv = lvl.fineToCoarse[g.adj[i]];
+                if (cv == cu)
+                    continue; // interior edge disappears
+                if (weightTo[cv] == 0)
+                    touched.push_back(cv);
+                weightTo[cv] += g.ewt[i];
+            }
+        };
+        scan(u);
+        if (v != u)
+            scan(v);
+        auto &row = rows[cu];
+        row.reserve(touched.size());
+        for (NodeId cv : touched) {
+            row.emplace_back(cv, weightTo[cv]);
+            weightTo[cv] = 0;
+        }
+        std::sort(row.begin(), row.end());
+    }
+
+    for (NodeId cu = 0; cu < cn; ++cu)
+        counts[cu + 1] = counts[cu] + rows[cu].size();
+    c.off = std::move(counts);
+    c.adj.resize(c.off[cn]);
+    c.ewt.resize(c.off[cn]);
+    for (NodeId cu = 0; cu < cn; ++cu) {
+        uint64_t out = c.off[cu];
+        for (const auto &[cv, w] : rows[cu]) {
+            c.adj[out] = cv;
+            c.ewt[out] = w;
+            ++out;
+        }
+    }
+    (void)coarseEdges;
+    return lvl;
+}
+
+/**
+ * Balanced greedy-attachment initial partition of the coarsest graph:
+ * nodes are visited in descending weight order and each joins the
+ * adjacent part with the strongest (edge-weight) attachment among the
+ * parts still under the balance bound; unattached nodes seed the
+ * currently lightest part. Heavy nodes therefore spread out first and
+ * act as seeds, and community members follow their hubs.
+ */
+std::vector<uint32_t>
+initialPartition(const WGraph &g, uint32_t k, Rng &rng)
+{
+    std::vector<uint32_t> part(g.n, kInvalidNode);
+    if (k == 1) {
+        std::fill(part.begin(), part.end(), 0u);
+        return part;
+    }
+    const double maxW = 1.05 * static_cast<double>(g.totalNodeWeight) /
+                        static_cast<double>(k);
+
+    std::vector<NodeId> order(g.n);
+    std::iota(order.begin(), order.end(), 0u);
+    rng.shuffle(order); // random tie-break below the weight sort
+    std::stable_sort(order.begin(), order.end(),
+                     [&g](NodeId a, NodeId b) {
+                         return g.nwt[a] > g.nwt[b];
+                     });
+
+    std::vector<double> partW(k, 0.0);
+    std::vector<uint64_t> conn(k, 0);
+    std::vector<uint32_t> touched;
+    for (NodeId u : order) {
+        touched.clear();
+        for (uint64_t i = g.off[u]; i < g.off[u + 1]; ++i) {
+            uint32_t p = part[g.adj[i]];
+            if (p == kInvalidNode)
+                continue;
+            if (conn[p] == 0)
+                touched.push_back(p);
+            conn[p] += g.ewt[i];
+        }
+        uint32_t best = kInvalidNode;
+        uint64_t bestConn = 0;
+        for (uint32_t p : touched) {
+            if (conn[p] > bestConn && partW[p] + g.nwt[u] <= maxW) {
+                best = p;
+                bestConn = conn[p];
+            }
+        }
+        if (best == kInvalidNode) {
+            // Seed (or overflow into) the lightest part.
+            best = 0;
+            for (uint32_t p = 1; p < k; ++p)
+                if (partW[p] < partW[best])
+                    best = p;
+        }
+        part[u] = best;
+        partW[best] += g.nwt[u];
+        for (uint32_t p : touched)
+            conn[p] = 0;
+    }
+    return part;
+}
+
+/**
+ * Boundary FM refinement: greedily move boundary nodes to the adjacent
+ * part with maximal connectivity gain subject to the balance bound.
+ */
+void
+refine(const WGraph &g, std::vector<uint32_t> &part, uint32_t k,
+       double imbalance, uint32_t passes, Rng &rng)
+{
+    if (k <= 1)
+        return;
+    std::vector<uint64_t> partW(k, 0);
+    for (NodeId u = 0; u < g.n; ++u)
+        partW[part[u]] += g.nwt[u];
+    const double maxW = imbalance *
+        static_cast<double>(g.totalNodeWeight) / static_cast<double>(k);
+
+    std::vector<NodeId> order(g.n);
+    std::iota(order.begin(), order.end(), 0u);
+
+    std::vector<uint64_t> conn(k, 0);
+    std::vector<uint32_t> touchedParts;
+
+    for (uint32_t pass = 0; pass < passes; ++pass) {
+        rng.shuffle(order);
+        uint64_t moves = 0;
+        for (NodeId u : order) {
+            uint32_t own = part[u];
+            const bool overweight = partW[own] > maxW;
+            touchedParts.clear();
+            bool boundary = false;
+            for (uint64_t i = g.off[u]; i < g.off[u + 1]; ++i) {
+                uint32_t p = part[g.adj[i]];
+                if (p != own)
+                    boundary = true;
+                if (conn[p] == 0)
+                    touchedParts.push_back(p);
+                conn[p] += g.ewt[i];
+            }
+            if (boundary) {
+                uint32_t best = own;
+                // An overweight part sheds boundary nodes even at a
+                // connectivity loss (explicit rebalancing).
+                uint64_t bestConn = overweight ? 0 : conn[own];
+                for (uint32_t p : touchedParts) {
+                    if (p == own)
+                        continue;
+                    bool better = overweight ? conn[p] >= bestConn
+                                             : conn[p] > bestConn;
+                    if (better && partW[p] + g.nwt[u] <= maxW &&
+                        partW[own] > g.nwt[u]) {
+                        best = p;
+                        bestConn = conn[p];
+                    }
+                }
+                if (best != own) {
+                    partW[own] -= g.nwt[u];
+                    partW[best] += g.nwt[u];
+                    part[u] = best;
+                    ++moves;
+                }
+            }
+            for (uint32_t p : touchedParts)
+                conn[p] = 0;
+        }
+        if (moves == 0)
+            break;
+    }
+}
+
+} // namespace
+
+MultilevelPartitioner::MultilevelPartitioner(PartitionConfig config)
+    : config_(config)
+{
+    GROW_ASSERT(config_.numParts >= 1, "need at least one part");
+}
+
+PartitionResult
+MultilevelPartitioner::partition(const graph::Graph &g) const
+{
+    PartitionResult result;
+    const uint32_t k = std::min(config_.numParts,
+                                std::max(1u, g.numNodes()));
+    result.numParts = k;
+    if (k == 1 || g.numNodes() == 0) {
+        result.assignment.assign(g.numNodes(), 0);
+        return result;
+    }
+
+    Rng rng(config_.seed);
+
+    // Coarsening.
+    std::vector<Level> levels;
+    WGraph current = fromGraph(g);
+    const uint32_t targetNodes =
+        std::max(2u * k, k * config_.coarsenNodesPerPart);
+    while (current.n > targetNodes &&
+           levels.size() < config_.maxLevels) {
+        auto match = heavyEdgeMatching(current, rng);
+        Level lvl = contract(current, match);
+        if (lvl.graph.n >= current.n * 95 / 100)
+            break; // matching stalled (e.g. star graphs)
+        WGraph coarse = lvl.graph;
+        levels.push_back(std::move(lvl));
+        current = std::move(coarse);
+    }
+
+    // Initial partition at the coarsest level.
+    std::vector<uint32_t> part = initialPartition(current, k, rng);
+    refine(current, part, k, config_.imbalance, config_.refinePasses, rng);
+
+    // Uncoarsen with refinement.
+    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+        const auto &map = it->fineToCoarse;
+        std::vector<uint32_t> finePart(map.size());
+        for (size_t u = 0; u < map.size(); ++u)
+            finePart[u] = part[map[u]];
+        part = std::move(finePart);
+        // Rebuild the fine-level weighted view to refine on.
+        const WGraph *fineGraph = nullptr;
+        WGraph base;
+        if (it + 1 != levels.rend()) {
+            fineGraph = &(it + 1)->graph;
+        } else {
+            base = fromGraph(g);
+            fineGraph = &base;
+        }
+        refine(*fineGraph, part, k, config_.imbalance,
+               config_.refinePasses, rng);
+    }
+
+    result.assignment = std::move(part);
+    return result;
+}
+
+PartitionResult
+contiguousPartition(uint32_t nodes, uint32_t parts)
+{
+    GROW_ASSERT(parts >= 1, "need at least one part");
+    PartitionResult r;
+    r.numParts = parts;
+    r.assignment.resize(nodes);
+    uint64_t per = (nodes + parts - 1) / std::max(1u, parts);
+    for (uint32_t i = 0; i < nodes; ++i)
+        r.assignment[i] = static_cast<uint32_t>(
+            std::min<uint64_t>(i / std::max<uint64_t>(per, 1), parts - 1));
+    return r;
+}
+
+PartitionResult
+randomPartition(uint32_t nodes, uint32_t parts, uint64_t seed)
+{
+    GROW_ASSERT(parts >= 1, "need at least one part");
+    PartitionResult r;
+    r.numParts = parts;
+    r.assignment.resize(nodes);
+    Rng rng(seed);
+    for (uint32_t i = 0; i < nodes; ++i)
+        r.assignment[i] = static_cast<uint32_t>(rng.bounded(parts));
+    return r;
+}
+
+} // namespace grow::partition

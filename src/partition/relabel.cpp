@@ -1,0 +1,64 @@
+#include "partition/relabel.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace grow::partition {
+
+uint32_t
+Clustering::clusterOf(NodeId v) const
+{
+    auto it = std::upper_bound(clusterStart.begin(), clusterStart.end(), v);
+    GROW_ASSERT(it != clusterStart.begin() && it != clusterStart.end(),
+                "node outside clustering range");
+    return static_cast<uint32_t>(it - clusterStart.begin() - 1);
+}
+
+RelabelResult
+relabelByPartition(uint32_t nodes, const PartitionResult &parts)
+{
+    GROW_ASSERT(parts.assignment.size() == nodes,
+                "assignment size mismatch");
+    RelabelResult out;
+
+    // Drop empty parts so clusters are dense.
+    std::vector<uint32_t> sizes(parts.numParts, 0);
+    for (uint32_t p : parts.assignment)
+        sizes[p] += 1;
+    std::vector<uint32_t> denseId(parts.numParts, 0);
+    uint32_t k = 0;
+    for (uint32_t p = 0; p < parts.numParts; ++p)
+        if (sizes[p] > 0)
+            denseId[p] = k++;
+
+    out.clustering.clusterStart.assign(k + 1, 0);
+    for (uint32_t p = 0; p < parts.numParts; ++p)
+        if (sizes[p] > 0)
+            out.clustering.clusterStart[denseId[p] + 1] = sizes[p];
+    for (uint32_t c = 0; c < k; ++c)
+        out.clustering.clusterStart[c + 1] +=
+            out.clustering.clusterStart[c];
+
+    out.newToOld.resize(nodes);
+    std::vector<uint32_t> cursor(out.clustering.clusterStart.begin(),
+                                 out.clustering.clusterStart.end() - 1);
+    for (NodeId v = 0; v < nodes; ++v) {
+        uint32_t c = denseId[parts.assignment[v]];
+        out.newToOld[cursor[c]++] = v;
+    }
+    return out;
+}
+
+RelabelResult
+identityRelabel(uint32_t nodes)
+{
+    RelabelResult out;
+    out.newToOld.resize(nodes);
+    for (NodeId v = 0; v < nodes; ++v)
+        out.newToOld[v] = v;
+    out.clustering.clusterStart = {0, nodes};
+    return out;
+}
+
+} // namespace grow::partition

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cluster-contiguous node relabeling.
+ *
+ * Graph partitioning by itself "only changes the way a particular node
+ * is assigned with its node ID" (Sec. V-C, Fig. 13): after partitioning,
+ * GROW renumbers nodes so that each cluster occupies a contiguous ID
+ * range, which groups the cluster's non-zeros into diagonal blocks of
+ * the adjacency matrix (Fig. 14).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/multilevel.hpp"
+
+namespace grow::partition {
+
+/** Cluster layout over a relabeled node space. */
+struct Clustering
+{
+    /** clusterStart[c] .. clusterStart[c+1]-1 are cluster c's node IDs. */
+    std::vector<uint32_t> clusterStart;
+
+    uint32_t numClusters() const
+    {
+        return clusterStart.empty()
+                   ? 0
+                   : static_cast<uint32_t>(clusterStart.size() - 1);
+    }
+
+    /** Cluster of (relabeled) node @p v (linear scan-free lookup). */
+    uint32_t clusterOf(NodeId v) const;
+
+    /** Number of nodes in cluster @p c. */
+    uint32_t clusterSize(uint32_t c) const
+    {
+        return clusterStart[c + 1] - clusterStart[c];
+    }
+};
+
+/** Relabeling outcome: permutation + resulting cluster layout. */
+struct RelabelResult
+{
+    /** new_to_old[i] = original ID of relabeled node i. */
+    std::vector<NodeId> newToOld;
+    Clustering clustering;
+};
+
+/**
+ * Build the cluster-contiguous relabeling for @p parts. Within a
+ * cluster, nodes keep their relative original order.
+ */
+RelabelResult relabelByPartition(uint32_t nodes,
+                                 const PartitionResult &parts);
+
+/** Trivial clustering: all nodes in one cluster, identity labels. */
+RelabelResult identityRelabel(uint32_t nodes);
+
+} // namespace grow::partition

@@ -1,0 +1,37 @@
+#include "sim/event_queue.hpp"
+
+#include "util/logging.hpp"
+
+namespace grow {
+
+void
+EventQueue::schedule(Cycle when, uint64_t tag)
+{
+    heap_.push(Event{when, tag, nextSeq_++});
+}
+
+Cycle
+EventQueue::nextTime() const
+{
+    GROW_ASSERT(!heap_.empty(), "nextTime() on empty event queue");
+    return heap_.top().when;
+}
+
+Event
+EventQueue::pop()
+{
+    GROW_ASSERT(!heap_.empty(), "pop() on empty event queue");
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+    nextSeq_ = 0;
+}
+
+} // namespace grow

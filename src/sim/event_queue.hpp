@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal discrete-event queue used by the cycle-level engines.
+ *
+ * Events carry an opaque 64-bit tag; the owning engine interprets tags
+ * (e.g. "DRAM fill for RHS row k completed"). Ties are broken by
+ * insertion order so simulations are deterministic.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace grow {
+
+/** One scheduled event. */
+struct Event
+{
+    Cycle when = 0;
+    uint64_t tag = 0;
+    uint64_t seq = 0; ///< insertion order, for deterministic tie-break
+};
+
+/**
+ * Priority queue of events ordered by (when, seq).
+ */
+class EventQueue
+{
+  public:
+    /** Schedule @p tag to fire at absolute cycle @p when. */
+    void schedule(Cycle when, uint64_t tag);
+
+    /** Whether any events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    size_t size() const { return heap_.size(); }
+
+    /** Cycle of the earliest pending event (queue must be non-empty). */
+    Cycle nextTime() const;
+
+    /** Remove and return the earliest event (queue must be non-empty). */
+    Event pop();
+
+    /** Drop all events. */
+    void clear();
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    uint64_t nextSeq_ = 0;
+};
+
+} // namespace grow

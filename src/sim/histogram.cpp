@@ -1,0 +1,119 @@
+#include "sim/histogram.hpp"
+
+#include <cmath>
+
+#include "util/bitutil.hpp"
+#include "util/logging.hpp"
+
+namespace grow {
+
+BucketHistogram::BucketHistogram(std::vector<uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds))
+{
+    GROW_ASSERT(!bounds_.empty(), "histogram needs at least one bucket");
+    for (size_t i = 1; i < bounds_.size(); ++i)
+        GROW_ASSERT(bounds_[i] > bounds_[i - 1],
+                    "histogram bounds must be strictly ascending");
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void
+BucketHistogram::record(uint64_t value)
+{
+    record(value, 1);
+}
+
+void
+BucketHistogram::record(uint64_t value, uint64_t count)
+{
+    size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i])
+        ++i;
+    counts_[i] += count;
+    total_ += count;
+}
+
+uint64_t
+BucketHistogram::count(size_t i) const
+{
+    GROW_ASSERT(i < counts_.size(), "bucket index out of range");
+    return counts_[i];
+}
+
+double
+BucketHistogram::fraction(size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(count(i)) / static_cast<double>(total_);
+}
+
+std::string
+BucketHistogram::label(size_t i) const
+{
+    GROW_ASSERT(i < counts_.size(), "bucket index out of range");
+    if (i == bounds_.size())
+        return ">" + std::to_string(bounds_.back());
+    uint64_t lo = i == 0 ? 0 : bounds_[i - 1] + 1;
+    uint64_t hi = bounds_[i];
+    if (lo == hi)
+        return std::to_string(lo);
+    return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+LogHistogram::LogHistogram()
+{
+    counts_.assign(64, 0);
+    logSums_.assign(64, 0.0);
+    sums_.assign(64, 0);
+}
+
+void
+LogHistogram::record(uint64_t value)
+{
+    size_t bucket = value <= 1 ? 0 : log2Floor(value);
+    counts_[bucket] += 1;
+    sums_[bucket] += value;
+    if (value >= 1)
+        logSums_[bucket] += std::log(static_cast<double>(value));
+    total_ += 1;
+    sumValues_ += static_cast<double>(value);
+    if (value > max_)
+        max_ = value;
+}
+
+double
+LogHistogram::mean() const
+{
+    return total_ == 0 ? 0.0 : sumValues_ / static_cast<double>(total_);
+}
+
+uint64_t
+LogHistogram::bucketCount(size_t i) const
+{
+    GROW_ASSERT(i < counts_.size(), "bucket index out of range");
+    return counts_[i];
+}
+
+double
+LogHistogram::powerLawAlpha(uint64_t xmin) const
+{
+    // MLE: alpha = 1 + n / sum(ln(x_i / (xmin - 0.5))) over x_i >= xmin.
+    if (xmin < 1)
+        xmin = 1;
+    double n = 0.0;
+    double logSum = 0.0;
+    double shift = std::log(static_cast<double>(xmin) - 0.5);
+    size_t startBucket = xmin <= 1 ? 0 : log2Floor(xmin);
+    for (size_t b = startBucket; b < counts_.size(); ++b) {
+        // Buckets below xmin's bucket are excluded; the xmin bucket is
+        // included approximately (acceptable for reporting purposes).
+        n += static_cast<double>(counts_[b]);
+        logSum += logSums_[b] - static_cast<double>(counts_[b]) * shift;
+    }
+    if (n < 16 || logSum <= 0.0)
+        return 0.0;
+    return 1.0 + n / logSum;
+}
+
+} // namespace grow

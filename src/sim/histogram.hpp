@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Bucketed histograms for characterisation experiments.
+ *
+ * Figure 5 of the paper buckets "non-zeros per tile" into
+ * {1, 2, 3-8, 9-16, >16} (aggregation) and {1, 2, 3-8, 9-1024, >1024}
+ * (combination); BucketHistogram reproduces exactly that reporting.
+ * Figure 11 plots a degree distribution, served by LogHistogram.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grow {
+
+/**
+ * Histogram over user-defined right-inclusive value buckets.
+ *
+ * Buckets are defined by their upper bounds; an implicit overflow bucket
+ * catches everything above the last bound.
+ */
+class BucketHistogram
+{
+  public:
+    /** @param upper_bounds ascending inclusive upper bounds per bucket. */
+    explicit BucketHistogram(std::vector<uint64_t> upper_bounds);
+
+    /** Record one sample. */
+    void record(uint64_t value);
+
+    /** Record @p count identical samples. */
+    void record(uint64_t value, uint64_t count);
+
+    /** Number of buckets including the overflow bucket. */
+    size_t numBuckets() const { return counts_.size(); }
+
+    /** Raw count in bucket @p i. */
+    uint64_t count(size_t i) const;
+
+    /** Fraction of all samples in bucket @p i (0 if empty). */
+    double fraction(size_t i) const;
+
+    /** Total samples recorded. */
+    uint64_t total() const { return total_; }
+
+    /** Label like "1", "3-8" or ">16" for bucket @p i. */
+    std::string label(size_t i) const;
+
+  private:
+    std::vector<uint64_t> bounds_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Power-of-two bucketed histogram with mean/max tracking, used for degree
+ * distributions and queue depths.
+ */
+class LogHistogram
+{
+  public:
+    LogHistogram();
+
+    void record(uint64_t value);
+
+    uint64_t total() const { return total_; }
+    uint64_t maxValue() const { return max_; }
+    double mean() const;
+
+    /** Count of samples in [2^i, 2^(i+1)) (bucket 0 holds value 0..1). */
+    uint64_t bucketCount(size_t i) const;
+    size_t numBuckets() const { return counts_.size(); }
+
+    /**
+     * Maximum-likelihood power-law exponent estimate (Clauset et al.)
+     * over samples >= @p xmin. Returns 0 when too few samples.
+     */
+    double powerLawAlpha(uint64_t xmin = 2) const;
+
+  private:
+    std::vector<uint64_t> counts_;
+    std::vector<double> logSums_; ///< per-bucket sum of ln(value)
+    std::vector<uint64_t> sums_;  ///< per-bucket sum of values
+    uint64_t total_ = 0;
+    uint64_t max_ = 0;
+    double sumValues_ = 0.0;
+};
+
+} // namespace grow

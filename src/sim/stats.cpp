@@ -1,0 +1,64 @@
+#include "sim/stats.hpp"
+
+#include <sstream>
+
+namespace grow {
+
+void
+StatRegistry::add(const std::string &name, double delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatRegistry::set(const std::string &name, double value)
+{
+    counters_[name] = value;
+}
+
+double
+StatRegistry::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return counters_.count(name) > 0;
+}
+
+StatSnapshot
+StatRegistry::snapshot() const
+{
+    return counters_;
+}
+
+StatSnapshot
+StatRegistry::diff(const StatSnapshot &earlier, const StatSnapshot &later)
+{
+    StatSnapshot out = later;
+    for (const auto &[name, value] : earlier)
+        out[name] -= value;
+    return out;
+}
+
+void
+StatRegistry::clear()
+{
+    counters_.clear();
+}
+
+std::string
+StatRegistry::dump(const std::string &prefix) const
+{
+    std::ostringstream oss;
+    for (const auto &[name, value] : counters_) {
+        if (name.rfind(prefix, 0) == 0)
+            oss << name << " = " << value << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace grow

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Named statistics registry for simulator components.
+ *
+ * Components register scalar counters under hierarchical names
+ * ("dram.bytesRead", "hdnCache.hits", ...). The registry supports
+ * snapshot/diff so a phase (aggregation vs combination) can be measured
+ * in isolation -- this is how the latency/energy breakdown figures are
+ * produced.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace grow {
+
+/** A snapshot of all counters at one point in simulated time. */
+using StatSnapshot = std::map<std::string, double>;
+
+/**
+ * Hierarchically named scalar statistics.
+ */
+class StatRegistry
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void add(const std::string &name, double delta);
+
+    /** Set counter @p name to @p value. */
+    void set(const std::string &name, double value);
+
+    /** Read counter @p name (0 if absent). */
+    double get(const std::string &name) const;
+
+    /** Whether the counter exists. */
+    bool has(const std::string &name) const;
+
+    /** All counters, sorted by name. */
+    StatSnapshot snapshot() const;
+
+    /** Per-counter difference @p later - @p earlier. */
+    static StatSnapshot diff(const StatSnapshot &earlier,
+                             const StatSnapshot &later);
+
+    /** Reset all counters to zero. */
+    void clear();
+
+    /** Render as "name = value" lines (for debugging / examples). */
+    std::string dump(const std::string &prefix = "") const;
+
+  private:
+    std::map<std::string, double> counters_;
+};
+
+} // namespace grow

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental scalar types shared by all cycle-level models.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace grow {
+
+/** Simulated clock cycle count (accelerator runs at 1 GHz, Table III). */
+using Cycle = uint64_t;
+
+/** Byte count for traffic accounting. */
+using Bytes = uint64_t;
+
+/** Node / row / column index into graph-sized structures. */
+using NodeId = uint32_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/** Element sizes used throughout the models (64-bit MACs, Table III). */
+inline constexpr Bytes kValueBytes = 8;  ///< matrix value (fp64)
+inline constexpr Bytes kIndexBytes = 4;  ///< CSR/CSC column or row index
+inline constexpr Bytes kPtrBytes = 8;    ///< CSR/CSC segment pointer
+inline constexpr Bytes kHdnIdBytes = 3;  ///< HDN ID list entry (Sec. V-C)
+
+/** Minimum DRAM access granularity (Sec. IV-B: 64-byte). */
+inline constexpr Bytes kDramLineBytes = 64;
+
+} // namespace grow

@@ -1,0 +1,112 @@
+#include "sparse/convert.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace grow::sparse {
+
+DenseMatrix
+toDense(const CsrMatrix &m)
+{
+    DenseMatrix d(m.rows(), m.cols());
+    for (uint32_t r = 0; r < m.rows(); ++r) {
+        auto cols = m.rowCols(r);
+        auto vals = m.rowVals(r);
+        for (size_t i = 0; i < cols.size(); ++i)
+            d.at(r, cols[i]) = vals[i];
+    }
+    return d;
+}
+
+DenseMatrix
+toDense(const CscMatrix &m)
+{
+    DenseMatrix d(m.rows(), m.cols());
+    for (uint32_t c = 0; c < m.cols(); ++c) {
+        auto rows = m.colRows(c);
+        auto vals = m.colVals(c);
+        for (size_t i = 0; i < rows.size(); ++i)
+            d.at(rows[i], c) = vals[i];
+    }
+    return d;
+}
+
+CsrMatrix
+toCsr(const DenseMatrix &m, double eps)
+{
+    CooMatrix coo(m.rows(), m.cols());
+    for (uint32_t r = 0; r < m.rows(); ++r)
+        for (uint32_t c = 0; c < m.cols(); ++c)
+            if (std::abs(m.at(r, c)) > eps)
+                coo.add(r, c, m.at(r, c));
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+CsrMatrix
+toCsr(const CscMatrix &m)
+{
+    CooMatrix coo(m.rows(), m.cols());
+    coo.reserve(m.nnz());
+    for (uint32_t c = 0; c < m.cols(); ++c) {
+        auto rows = m.colRows(c);
+        auto vals = m.colVals(c);
+        for (size_t i = 0; i < rows.size(); ++i)
+            coo.add(rows[i], c, vals[i]);
+    }
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+CscMatrix
+toCsc(const CsrMatrix &m)
+{
+    return CscMatrix::fromCsr(m);
+}
+
+CsrMatrix
+randomCsr(uint32_t rows, uint32_t cols, double density, Rng &rng)
+{
+    GROW_ASSERT(density >= 0.0 && density <= 1.0,
+                "density must be in [0,1]");
+    CooMatrix coo(rows, cols);
+    coo.reserve(static_cast<size_t>(density * rows * cols * 1.05) + 16);
+    if (density >= 1.0) {
+        for (uint32_t r = 0; r < rows; ++r)
+            for (uint32_t c = 0; c < cols; ++c)
+                coo.add(r, c, rng.uniform(-1.0, 1.0));
+    } else if (density > 0.0) {
+        // Geometric skipping: expected cost O(nnz) not O(rows*cols).
+        double log1mp = std::log1p(-density);
+        uint64_t total = static_cast<uint64_t>(rows) * cols;
+        uint64_t pos = 0;
+        while (true) {
+            double u = 1.0 - rng.uniform();
+            uint64_t skip =
+                static_cast<uint64_t>(std::floor(std::log(u) / log1mp));
+            pos += skip;
+            if (pos >= total)
+                break;
+            coo.add(static_cast<NodeId>(pos / cols),
+                    static_cast<NodeId>(pos % cols), rng.uniform(-1.0, 1.0));
+            pos += 1;
+            if (pos >= total)
+                break;
+        }
+    }
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+DenseMatrix
+randomDense(uint32_t rows, uint32_t cols, Rng &rng)
+{
+    DenseMatrix d(rows, cols);
+    for (uint32_t r = 0; r < rows; ++r)
+        for (uint32_t c = 0; c < cols; ++c)
+            d.at(r, c) = rng.uniform(-1.0, 1.0);
+    return d;
+}
+
+} // namespace grow::sparse

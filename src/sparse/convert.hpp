@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Conversions between sparse/dense matrix representations and random
+ * matrix synthesis helpers.
+ */
+#pragma once
+
+#include "sparse/coo_matrix.hpp"
+#include "sparse/csc_matrix.hpp"
+#include "sparse/csr_matrix.hpp"
+#include "sparse/dense_matrix.hpp"
+#include "util/random.hpp"
+
+namespace grow::sparse {
+
+/** Densify a CSR matrix. */
+DenseMatrix toDense(const CsrMatrix &m);
+
+/** Densify a CSC matrix. */
+DenseMatrix toDense(const CscMatrix &m);
+
+/** Sparsify a dense matrix (entries with |x| > eps become non-zeros). */
+CsrMatrix toCsr(const DenseMatrix &m, double eps = 0.0);
+
+/** CSC <-> CSR through structure transposition. */
+CsrMatrix toCsr(const CscMatrix &m);
+CscMatrix toCsc(const CsrMatrix &m);
+
+/**
+ * Random CSR matrix with i.i.d. Bernoulli(@p density) non-zero pattern
+ * and uniform values in [-1, 1). Used to synthesise GCN feature matrices
+ * X at the densities reported in Table I.
+ */
+CsrMatrix randomCsr(uint32_t rows, uint32_t cols, double density, Rng &rng);
+
+/** Random dense matrix with uniform values in [-1, 1). */
+DenseMatrix randomDense(uint32_t rows, uint32_t cols, Rng &rng);
+
+} // namespace grow::sparse

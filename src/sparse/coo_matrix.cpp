@@ -1,0 +1,46 @@
+#include "sparse/coo_matrix.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace grow::sparse {
+
+CooMatrix::CooMatrix(uint32_t rows, uint32_t cols) : rows_(rows), cols_(cols)
+{
+}
+
+void
+CooMatrix::add(NodeId row, NodeId col, double value)
+{
+    GROW_ASSERT(row < rows_ && col < cols_, "COO entry out of bounds");
+    triples_.push_back(Triple{row, col, value});
+    canonical_ = false;
+}
+
+void
+CooMatrix::canonicalize()
+{
+    std::sort(triples_.begin(), triples_.end(),
+              [](const Triple &a, const Triple &b) {
+                  if (a.row != b.row)
+                      return a.row < b.row;
+                  return a.col < b.col;
+              });
+    size_t out = 0;
+    for (size_t i = 0; i < triples_.size();) {
+        Triple merged = triples_[i];
+        size_t j = i + 1;
+        while (j < triples_.size() && triples_[j].row == merged.row &&
+               triples_[j].col == merged.col) {
+            merged.value += triples_[j].value;
+            ++j;
+        }
+        triples_[out++] = merged;
+        i = j;
+    }
+    triples_.resize(out);
+    canonical_ = true;
+}
+
+} // namespace grow::sparse

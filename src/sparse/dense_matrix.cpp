@@ -1,0 +1,58 @@
+#include "sparse/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace grow::sparse {
+
+DenseMatrix::DenseMatrix(uint32_t rows, uint32_t cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, 0.0)
+{
+}
+
+void
+DenseMatrix::fill(double v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+uint64_t
+DenseMatrix::nonZeroCount(double eps) const
+{
+    uint64_t count = 0;
+    for (double v : data_)
+        if (std::abs(v) > eps)
+            ++count;
+    return count;
+}
+
+double
+DenseMatrix::density(double eps) const
+{
+    if (data_.empty())
+        return 0.0;
+    return static_cast<double>(nonZeroCount(eps)) /
+           static_cast<double>(data_.size());
+}
+
+Bytes
+DenseMatrix::sizeBytes() const
+{
+    return static_cast<Bytes>(rows_) * cols_ * kValueBytes;
+}
+
+double
+DenseMatrix::maxAbsDiff(const DenseMatrix &a, const DenseMatrix &b)
+{
+    GROW_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                "maxAbsDiff on mismatched shapes");
+    double m = 0.0;
+    for (size_t i = 0; i < a.data_.size(); ++i)
+        m = std::max(m, std::abs(a.data_[i] - b.data_[i]));
+    return m;
+}
+
+} // namespace grow::sparse

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Row-major dense matrix of fp64 values.
+ *
+ * Used for the right-hand-side operands of the paper's SpDeGEMMs (the
+ * weight matrices W and the combination outputs XW) and for functional
+ * verification of the cycle-level engines.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace grow::sparse {
+
+class DenseMatrix
+{
+  public:
+    DenseMatrix() = default;
+
+    /** Construct a zero-initialised @p rows x @p cols matrix. */
+    DenseMatrix(uint32_t rows, uint32_t cols);
+
+    uint32_t rows() const { return rows_; }
+    uint32_t cols() const { return cols_; }
+
+    /** Element access. */
+    double at(uint32_t r, uint32_t c) const { return data_[idx(r, c)]; }
+    double &at(uint32_t r, uint32_t c) { return data_[idx(r, c)]; }
+
+    /** Pointer to the start of row @p r (contiguous, cols() wide). */
+    const double *row(uint32_t r) const { return data_.data() + idx(r, 0); }
+    double *row(uint32_t r) { return data_.data() + idx(r, 0); }
+
+    /** Set every element to @p v. */
+    void fill(double v);
+
+    /** Count of elements with |x| > eps. */
+    uint64_t nonZeroCount(double eps = 0.0) const;
+
+    /** Fraction of non-zero elements. */
+    double density(double eps = 0.0) const;
+
+    /** Footprint in DRAM (values only, row-major). */
+    Bytes sizeBytes() const;
+
+    /** Max |a - b| over all elements (matrices must be same shape). */
+    static double maxAbsDiff(const DenseMatrix &a, const DenseMatrix &b);
+
+  private:
+    size_t
+    idx(uint32_t r, uint32_t c) const
+    {
+        return static_cast<size_t>(r) * cols_ + c;
+    }
+
+    uint32_t rows_ = 0;
+    uint32_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace grow::sparse

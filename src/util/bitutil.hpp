@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small integer helpers shared across the simulator.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace grow {
+
+/** Ceiling division for non-negative integers. */
+constexpr uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b. */
+constexpr uint64_t
+roundUp(uint64_t a, uint64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/** Round @p a down to a multiple of @p b. */
+constexpr uint64_t
+roundDown(uint64_t a, uint64_t b)
+{
+    return (a / b) * b;
+}
+
+/** Whether @p x is a power of two (0 is not). */
+constexpr bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Smallest power of two >= @p x (x must be >= 1). */
+constexpr uint64_t
+nextPow2(uint64_t x)
+{
+    uint64_t p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+/** floor(log2(x)) for x >= 1. */
+constexpr unsigned
+log2Floor(uint64_t x)
+{
+    unsigned r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+} // namespace grow

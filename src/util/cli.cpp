@@ -1,0 +1,85 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace grow {
+
+CliArgs::CliArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        // Tolerate google-benchmark style flags so mixed binaries work.
+        if (arg.rfind("--", 0) == 0)
+            continue;
+        auto pos = arg.find('=');
+        if (pos == std::string::npos) {
+            fatal("unrecognized argument '" + arg +
+                  "' (expected key=value)");
+        }
+        kv_[trim(arg.substr(0, pos))] = trim(arg.substr(pos + 1));
+    }
+}
+
+bool
+CliArgs::has(const std::string &key) const
+{
+    return kv_.count(key) > 0;
+}
+
+std::string
+CliArgs::get(const std::string &key, const std::string &def) const
+{
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : it->second;
+}
+
+int64_t
+CliArgs::getInt(const std::string &key, int64_t def) const
+{
+    auto it = kv_.find(key);
+    if (it == kv_.end())
+        return def;
+    return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double
+CliArgs::getDouble(const std::string &key, double def) const
+{
+    auto it = kv_.find(key);
+    if (it == kv_.end())
+        return def;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+CliArgs::getBool(const std::string &key, bool def) const
+{
+    auto it = kv_.find(key);
+    if (it == kv_.end())
+        return def;
+    std::string v = toLower(it->second);
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("invalid boolean value for " + key + ": " + it->second);
+}
+
+std::vector<std::string>
+CliArgs::getList(const std::string &key,
+                 const std::vector<std::string> &def) const
+{
+    auto it = kv_.find(key);
+    if (it == kv_.end())
+        return def;
+    std::vector<std::string> out;
+    for (auto &piece : split(it->second, ','))
+        if (!trim(piece).empty())
+            out.push_back(trim(piece));
+    return out;
+}
+
+} // namespace grow

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal key=value command-line parsing for bench/example binaries.
+ *
+ * Every harness accepts arguments of the form `key=value` (e.g.
+ * `scale=mini datasets=cora,reddit seed=7`) so that the default
+ * `for b in build/bench/*; do $b; done` sweep runs with sensible
+ * defaults while still allowing focused re-runs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace grow {
+
+/** Parsed `key=value` command-line options with typed accessors. */
+class CliArgs
+{
+  public:
+    CliArgs() = default;
+
+    /** Parse argv; unknown positional arguments trigger fatal(). */
+    CliArgs(int argc, char **argv);
+
+    /** Whether @p key was supplied. */
+    bool has(const std::string &key) const;
+
+    /** String option with default. */
+    std::string get(const std::string &key, const std::string &def) const;
+
+    /** Integer option with default. */
+    int64_t getInt(const std::string &key, int64_t def) const;
+
+    /** Double option with default. */
+    double getDouble(const std::string &key, double def) const;
+
+    /** Boolean option with default (accepts 0/1/true/false/yes/no). */
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Comma-separated list option. */
+    std::vector<std::string>
+    getList(const std::string &key, const std::vector<std::string> &def) const;
+
+  private:
+    std::map<std::string, std::string> kv_;
+};
+
+} // namespace grow

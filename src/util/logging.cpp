@@ -1,0 +1,48 @@
+#include "util/logging.hpp"
+
+#include <stdexcept>
+
+namespace grow {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(level_))
+        return;
+    const char *tag = "";
+    switch (level) {
+      case LogLevel::Debug: tag = "[debug] "; break;
+      case LogLevel::Info:  tag = "[info]  "; break;
+      case LogLevel::Warn:  tag = "[warn]  "; break;
+      case LogLevel::Error: tag = "[error] "; break;
+      case LogLevel::Silent: return;
+    }
+    std::cerr << tag << msg << "\n";
+}
+
+void logDebug(const std::string &msg) { Logger::instance().log(LogLevel::Debug, msg); }
+void logInfo(const std::string &msg)  { Logger::instance().log(LogLevel::Info, msg); }
+void logWarn(const std::string &msg)  { Logger::instance().log(LogLevel::Warn, msg); }
+void logError(const std::string &msg) { Logger::instance().log(LogLevel::Error, msg); }
+
+void
+panic(const std::string &msg)
+{
+    // Throwing (rather than abort()) lets unit tests observe panics.
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw std::runtime_error("fatal: " + msg);
+}
+
+} // namespace grow

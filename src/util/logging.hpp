@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Logging and error-reporting facilities.
+ *
+ * Follows the gem5 convention of distinguishing panic() (an internal
+ * invariant was violated -- a simulator bug) from fatal() (the user asked
+ * for something the simulator cannot do -- a configuration error).
+ */
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace grow {
+
+/** Verbosity levels for runtime log output. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/**
+ * Global logging configuration.
+ *
+ * The default level is Warn so that library users (tests, benches) are not
+ * flooded; benches raise it explicitly when tracing a simulation.
+ */
+class Logger
+{
+  public:
+    /** Return the process-wide logger instance. */
+    static Logger &instance();
+
+    LogLevel level() const { return level_; }
+    void setLevel(LogLevel level) { level_ = level; }
+
+    /** Emit one message if @p level passes the current threshold. */
+    void log(LogLevel level, const std::string &msg);
+
+  private:
+    Logger() = default;
+    LogLevel level_ = LogLevel::Warn;
+};
+
+/** Log a debug-level message. */
+void logDebug(const std::string &msg);
+/** Log an info-level message. */
+void logInfo(const std::string &msg);
+/** Log a warning. */
+void logWarn(const std::string &msg);
+/** Log an error (does not terminate). */
+void logError(const std::string &msg);
+
+/**
+ * Abort because an internal invariant was violated (simulator bug).
+ * Mirrors gem5's panic(): never the user's fault.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Exit because of a user-level configuration error (not a simulator bug).
+ * Mirrors gem5's fatal().
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Check a simulator invariant; panic with location info when violated.
+ * Unlike assert() this is active in release builds: cycle-level models
+ * must never silently corrupt state.
+ */
+#define GROW_ASSERT(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream oss_;                                        \
+            oss_ << "assertion failed at " << __FILE__ << ":" << __LINE__   \
+                 << ": " << (msg);                                          \
+            ::grow::panic(oss_.str());                                      \
+        }                                                                   \
+    } while (0)
+
+} // namespace grow

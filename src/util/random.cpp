@@ -1,0 +1,180 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace grow {
+
+namespace {
+
+/** SplitMix64 step, used only for seeding. */
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitMix64(x);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform in [0,1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::bounded(uint64_t n)
+{
+    GROW_ASSERT(n > 0, "bounded(0) is undefined");
+    // Lemire's nearly-divisionless bounded sampling.
+    uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+        uint64_t t = -n % n;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * n;
+            l = static_cast<uint64_t>(m);
+        }
+    }
+    return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t
+Rng::range(int64_t lo, int64_t hi)
+{
+    GROW_ASSERT(lo <= hi, "range with lo > hi");
+    return lo + static_cast<int64_t>(bounded(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::pareto(double alpha, double xm)
+{
+    GROW_ASSERT(alpha > 0 && xm > 0, "pareto requires positive parameters");
+    double u = 1.0 - uniform(); // in (0, 1]
+    return xm / std::pow(u, 1.0 / alpha);
+}
+
+double
+Rng::exponential(double lambda)
+{
+    GROW_ASSERT(lambda > 0, "exponential requires positive rate");
+    double u = 1.0 - uniform();
+    return -std::log(u) / lambda;
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+}
+
+AliasTable::AliasTable(const std::vector<double> &weights)
+{
+    const size_t n = weights.size();
+    GROW_ASSERT(n > 0, "alias table needs at least one weight");
+    double total = 0.0;
+    for (double w : weights) {
+        GROW_ASSERT(w >= 0.0, "alias table weights must be non-negative");
+        total += w;
+    }
+    GROW_ASSERT(total > 0.0, "alias table weights must not all be zero");
+
+    prob_.assign(n, 0.0);
+    alias_.assign(n, 0);
+
+    // Vose's algorithm.
+    std::vector<double> scaled(n);
+    std::vector<uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        scaled[i] = weights[i] * n / total;
+        if (scaled[i] < 1.0)
+            small.push_back(static_cast<uint32_t>(i));
+        else
+            large.push_back(static_cast<uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+        uint32_t s = small.back(); small.pop_back();
+        uint32_t l = large.back(); large.pop_back();
+        prob_[s] = scaled[s];
+        alias_[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if (scaled[l] < 1.0)
+            small.push_back(l);
+        else
+            large.push_back(l);
+    }
+    while (!large.empty()) {
+        prob_[large.back()] = 1.0;
+        large.pop_back();
+    }
+    while (!small.empty()) {
+        prob_[small.back()] = 1.0;
+        small.pop_back();
+    }
+}
+
+uint32_t
+AliasTable::sample(Rng &rng) const
+{
+    GROW_ASSERT(!prob_.empty(), "sampling from empty alias table");
+    uint32_t i = static_cast<uint32_t>(rng.bounded(prob_.size()));
+    return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+} // namespace grow

@@ -1,0 +1,107 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace grow {
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+fmtRatio(double v, int precision)
+{
+    return fmtDouble(v, precision) + "x";
+}
+
+std::string
+fmtPercent(double v, int precision)
+{
+    return fmtDouble(v * 100.0, precision) + "%";
+}
+
+std::string
+fmtBytes(uint64_t bytes)
+{
+    const char *suffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double v = static_cast<double>(bytes);
+    int idx = 0;
+    while (v >= 1024.0 && idx < 4) {
+        v /= 1024.0;
+        ++idx;
+    }
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(idx == 0 ? 0 : 2) << v << " "
+        << suffix[idx];
+    return oss.str();
+}
+
+std::string
+fmtCount(uint64_t n)
+{
+    std::string digits = std::to_string(n);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count > 0 && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    return std::string(out.rbegin(), out.rend());
+}
+
+std::string
+fmtSci(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::scientific << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+} // namespace grow

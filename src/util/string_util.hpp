@@ -1,0 +1,40 @@
+/**
+ * @file
+ * String formatting helpers used by the reporting layer.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grow {
+
+/** Split @p s on @p sep (keeping empty fields). */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Render a double with @p precision significant decimal places. */
+std::string fmtDouble(double v, int precision = 3);
+
+/** Render a ratio like "2.84x". */
+std::string fmtRatio(double v, int precision = 2);
+
+/** Render a fraction in [0,1] as a percentage like "23.4%". */
+std::string fmtPercent(double v, int precision = 1);
+
+/** Render a byte count with binary suffix (KiB/MiB/GiB). */
+std::string fmtBytes(uint64_t bytes);
+
+/** Render a large count with thousands separators. */
+std::string fmtCount(uint64_t n);
+
+/** Render an engineering-notation count like "1.26e8" for big numbers. */
+std::string fmtSci(double v, int precision = 2);
+
+/** Lower-case ASCII copy. */
+std::string toLower(const std::string &s);
+
+} // namespace grow

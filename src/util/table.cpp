@@ -1,0 +1,104 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+namespace grow {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    row.resize(header_.empty() ? row.size() : header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    size_t ncols = header_.size();
+    for (const auto &row : rows_)
+        ncols = std::max(ncols, row.size());
+
+    std::vector<size_t> width(ncols, 0);
+    auto fit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    if (!header_.empty())
+        fit(header_);
+    for (const auto &row : rows_)
+        fit(row);
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::ostringstream oss;
+        for (size_t c = 0; c < ncols; ++c) {
+            std::string cell = c < row.size() ? row[c] : "";
+            oss << "| " << cell << std::string(width[c] - cell.size(), ' ')
+                << " ";
+        }
+        oss << "|";
+        return oss.str();
+    };
+
+    std::ostringstream out;
+    out << "== " << title_ << " ==\n";
+    std::string sep = "+";
+    for (size_t c = 0; c < ncols; ++c)
+        sep += std::string(width[c] + 2, '-') + "+";
+    out << sep << "\n";
+    if (!header_.empty()) {
+        out << renderRow(header_) << "\n" << sep << "\n";
+    }
+    for (const auto &row : rows_)
+        out << renderRow(row) << "\n";
+    out << sep << "\n";
+    return out.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    auto escape = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char c : cell) {
+            if (c == '"')
+                out += '"';
+            out += c;
+        }
+        out += '"';
+        return out;
+    };
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                oss << ',';
+            oss << escape(row[c]);
+        }
+        oss << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return oss.str();
+}
+
+void
+TextTable::print() const
+{
+    std::cout << render() << std::flush;
+}
+
+} // namespace grow

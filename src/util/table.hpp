@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harness.
+ *
+ * Every bench binary regenerates one table or figure from the paper; the
+ * series are printed as aligned text tables so the output can be diffed
+ * against EXPERIMENTS.md.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace grow {
+
+/**
+ * A simple column-aligned text table with a title and a header row.
+ */
+class TextTable
+{
+  public:
+    /** Construct with a caption printed above the table. */
+    explicit TextTable(std::string title);
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one data row (padded/truncated to header width). */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the full table to a string. */
+    std::string render() const;
+
+    /**
+     * Render as RFC-4180-style CSV (quoting cells containing commas or
+     * quotes) for downstream plotting scripts.
+     */
+    std::string renderCsv() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace grow

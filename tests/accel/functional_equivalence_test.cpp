@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Cross-engine functional equivalence: every cycle-level engine must
+ * produce bit-identical SpDeGEMM results (they all accumulate in fp64
+ * in the same row-major order), and all must match the golden model.
+ * This is the keystone test that ties the cycle models to the
+ * mathematics they claim to implement.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "accel/gamma.hpp"
+#include "accel/gcnax.hpp"
+#include "accel/matraptor.hpp"
+#include "core/grow.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/reference_gemm.hpp"
+#include "util/random.hpp"
+
+namespace grow::accel {
+namespace {
+
+std::unique_ptr<AcceleratorSim>
+makeEngine(const std::string &name)
+{
+    if (name == "grow")
+        return std::make_unique<core::GrowSim>(core::GrowConfig{});
+    if (name == "gcnax")
+        return std::make_unique<GcnaxSim>(GcnaxConfig{});
+    if (name == "matraptor")
+        return std::make_unique<MatRaptorSim>(MatRaptorConfig{});
+    if (name == "gamma")
+        return std::make_unique<GammaSim>(GammaConfig{});
+    return nullptr;
+}
+
+struct Case
+{
+    const char *engine;
+    uint32_t rows;
+    uint32_t cols;
+    uint32_t rhsCols;
+    double density;
+    bool rhsOnChip;
+};
+
+class EngineEquivalence : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(EngineEquivalence, MatchesGoldenModel)
+{
+    const Case c = GetParam();
+    Rng rng(c.rows * 7 + c.rhsCols);
+    auto lhs = sparse::randomCsr(c.rows, c.cols, c.density, rng);
+    auto rhs = sparse::randomDense(c.cols, c.rhsCols, rng);
+
+    SpDeGemmProblem p;
+    p.lhs = &lhs;
+    p.rhsCols = c.rhsCols;
+    p.rhs = &rhs;
+    p.rhsOnChip = c.rhsOnChip;
+    p.phase = c.rhsOnChip ? Phase::Combination : Phase::Aggregation;
+
+    SimOptions opt;
+    opt.functional = true;
+
+    auto engine = makeEngine(c.engine);
+    ASSERT_NE(engine, nullptr);
+    auto r = engine->run(p, opt);
+    ASSERT_TRUE(r.hasOutput);
+    auto golden = sparse::referenceSpMM(lhs, rhs);
+    EXPECT_LT(sparse::DenseMatrix::maxAbsDiff(golden, r.output), 1e-12);
+    EXPECT_EQ(r.macOps, lhs.nnz() * c.rhsCols);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineEquivalence,
+    ::testing::Values(
+        // Aggregation-like problems (square sparse LHS, off-chip RHS).
+        Case{"grow", 200, 200, 16, 0.02, false},
+        Case{"grow", 333, 333, 64, 0.05, false},
+        Case{"grow", 128, 128, 7, 0.5, false},
+        Case{"gcnax", 200, 200, 16, 0.02, false},
+        Case{"gcnax", 333, 333, 64, 0.05, false},
+        Case{"gcnax", 128, 128, 7, 0.5, false},
+        Case{"matraptor", 200, 200, 16, 0.02, false},
+        Case{"matraptor", 333, 333, 64, 0.05, false},
+        Case{"gamma", 200, 200, 16, 0.02, false},
+        Case{"gamma", 333, 333, 64, 0.05, false},
+        // Combination-like problems (tall sparse LHS, on-chip RHS).
+        Case{"grow", 300, 128, 16, 0.1, true},
+        Case{"grow", 150, 700, 64, 0.9, true},
+        Case{"gcnax", 300, 128, 16, 0.1, true},
+        Case{"gcnax", 150, 700, 64, 0.9, true}),
+    [](const auto &info) {
+        const Case &c = info.param;
+        return std::string(c.engine) + "_" + std::to_string(c.rows) +
+               "x" + std::to_string(c.cols) + "x" +
+               std::to_string(c.rhsCols) +
+               (c.rhsOnChip ? "_comb" : "_agg");
+    });
+
+TEST(EngineEquivalence, AllEnginesAgreeExactly)
+{
+    // All four engines accumulate the same products in the same row
+    // order, so outputs must agree bit-for-bit with each other.
+    Rng rng(404);
+    auto lhs = sparse::randomCsr(150, 150, 0.05, rng);
+    auto rhs = sparse::randomDense(150, 32, rng);
+    SpDeGemmProblem p;
+    p.lhs = &lhs;
+    p.rhsCols = 32;
+    p.rhs = &rhs;
+    SimOptions opt;
+    opt.functional = true;
+
+    sparse::DenseMatrix first;
+    bool haveFirst = false;
+    for (const char *name : {"grow", "gcnax", "matraptor", "gamma"}) {
+        auto r = makeEngine(name)->run(p, opt);
+        ASSERT_TRUE(r.hasOutput) << name;
+        if (!haveFirst) {
+            first = std::move(r.output);
+            haveFirst = true;
+        } else {
+            EXPECT_DOUBLE_EQ(
+                sparse::DenseMatrix::maxAbsDiff(first, r.output), 0.0)
+                << name;
+        }
+    }
+}
+
+TEST(EngineEquivalence, BankedDramSameFunctionalResult)
+{
+    Rng rng(405);
+    auto lhs = sparse::randomCsr(100, 100, 0.05, rng);
+    auto rhs = sparse::randomDense(100, 16, rng);
+    SpDeGemmProblem p;
+    p.lhs = &lhs;
+    p.rhsCols = 16;
+    p.rhs = &rhs;
+    SimOptions simple;
+    simple.functional = true;
+    SimOptions banked = simple;
+    banked.dramKind = "banked";
+
+    auto e1 = makeEngine("grow")->run(p, simple);
+    auto e2 = makeEngine("grow")->run(p, banked);
+    EXPECT_DOUBLE_EQ(
+        sparse::DenseMatrix::maxAbsDiff(e1.output, e2.output), 0.0);
+    // Cycle counts differ but stay within the same order of magnitude.
+    double ratio = static_cast<double>(e2.cycles) /
+                   static_cast<double>(e1.cycles);
+    EXPECT_GT(ratio, 0.2);
+    EXPECT_LT(ratio, 5.0);
+}
+
+} // namespace
+} // namespace grow::accel

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "accel/gcnax.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/reference_gemm.hpp"
+#include "util/random.hpp"
+
+namespace grow::accel {
+namespace {
+
+sparse::CsrMatrix
+randomMatrix(uint32_t rows, uint32_t cols, double density, uint64_t seed)
+{
+    Rng rng(seed);
+    return sparse::randomCsr(rows, cols, density, rng);
+}
+
+TEST(GcnaxTiling, RespectsBufferConstraints)
+{
+    GcnaxConfig cfg;
+    GcnaxSim sim(cfg);
+    auto lhs = randomMatrix(2000, 2000, 0.001, 1);
+    auto t = sim.chooseTiling(lhs, 64);
+    ASSERT_GT(t.tm, 0u);
+    ASSERT_GT(t.tk, 0u);
+    ASSERT_GT(t.tn, 0u);
+    // Worst-case-dense sparse tile must fit the sparse buffer.
+    EXPECT_LE(static_cast<Bytes>(t.tm) * t.tk * 12, cfg.sparseBufBytes);
+    // Dense tile fits the dense buffer.
+    EXPECT_LE(static_cast<Bytes>(t.tk) * t.tn * 8, cfg.denseBufBytes);
+    // Output tile fits the output buffer.
+    EXPECT_LE(static_cast<Bytes>(t.tm) * t.tn * 8, cfg.outBufBytes);
+    EXPECT_GE(t.tk, cfg.minTileK);
+}
+
+TEST(GcnaxTiling, WideOutputUsesFullTn)
+{
+    GcnaxSim sim((GcnaxConfig()));
+    auto lhs = randomMatrix(500, 500, 0.01, 2);
+    auto t = sim.chooseTiling(lhs, 64);
+    EXPECT_EQ(t.tn, 64u);
+}
+
+TEST(GcnaxTiling, SparserMatrixPrefersSmallerTk)
+{
+    GcnaxSim sim((GcnaxConfig()));
+    auto sparse = randomMatrix(4000, 4000, 0.0005, 3);
+    auto dense = randomMatrix(1000, 1000, 0.5, 4);
+    auto ts = sim.chooseTiling(sparse, 64);
+    auto td = sim.chooseTiling(dense, 64);
+    EXPECT_LE(ts.tk, td.tk);
+}
+
+TEST(GcnaxRun, TrafficAndCyclesPositive)
+{
+    GcnaxSim sim((GcnaxConfig()));
+    SpDeGemmProblem p;
+    auto lhs = randomMatrix(300, 300, 0.01, 5);
+    p.lhs = &lhs;
+    p.rhsCols = 16;
+    auto r = sim.run(p, SimOptions{});
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.macOps, lhs.nnz() * 16);
+    EXPECT_GT(r.totalTrafficBytes(), 0u);
+    EXPECT_GE(r.fetchedSparseBytes, r.effectualSparseBytes);
+}
+
+TEST(GcnaxRun, BandwidthUtilLowForHypersparse)
+{
+    // The Fig. 6 effect: hypersparse adjacency tiles waste most of the
+    // fetched bytes; a dense feature matrix does not.
+    GcnaxSim sim((GcnaxConfig()));
+    SpDeGemmProblem p;
+    auto sparseA = randomMatrix(3000, 3000, 0.0005, 6);
+    p.lhs = &sparseA;
+    p.rhsCols = 64;
+    auto ra = sim.run(p, SimOptions{});
+
+    auto denseX = randomMatrix(3000, 300, 0.9, 7);
+    p.lhs = &denseX;
+    auto rx = sim.run(p, SimOptions{});
+
+    EXPECT_LT(ra.sparseBandwidthUtil(), 0.4);
+    EXPECT_GT(rx.sparseBandwidthUtil(), 0.6);
+}
+
+TEST(GcnaxRun, FunctionalMatchesReference)
+{
+    GcnaxSim sim((GcnaxConfig()));
+    auto lhs = randomMatrix(120, 90, 0.1, 8);
+    Rng rng(9);
+    auto rhs = sparse::randomDense(90, 16, rng);
+    SpDeGemmProblem p;
+    p.lhs = &lhs;
+    p.rhsCols = 16;
+    p.rhs = &rhs;
+    SimOptions opt;
+    opt.functional = true;
+    auto r = sim.run(p, opt);
+    ASSERT_TRUE(r.hasOutput);
+    auto golden = sparse::referenceSpMM(lhs, rhs);
+    EXPECT_LT(sparse::DenseMatrix::maxAbsDiff(golden, r.output), 1e-12);
+}
+
+TEST(GcnaxRun, MoreBandwidthNeverSlower)
+{
+    auto lhs = randomMatrix(2000, 2000, 0.002, 10);
+    SpDeGemmProblem p;
+    p.lhs = &lhs;
+    p.rhsCols = 64;
+    GcnaxConfig slow;
+    slow.dram.bandwidthGBps = 16;
+    GcnaxConfig fast;
+    fast.dram.bandwidthGBps = 256;
+    auto rs = GcnaxSim(slow).run(p, SimOptions{});
+    auto rf = GcnaxSim(fast).run(p, SimOptions{});
+    EXPECT_GE(rs.cycles, rf.cycles);
+}
+
+TEST(GcnaxRun, EmptyMatrixSafe)
+{
+    GcnaxSim sim((GcnaxConfig()));
+    auto lhs = randomMatrix(64, 64, 0.0, 11);
+    SpDeGemmProblem p;
+    p.lhs = &lhs;
+    p.rhsCols = 8;
+    auto r = sim.run(p, SimOptions{});
+    EXPECT_EQ(r.macOps, 0u);
+}
+
+} // namespace
+} // namespace grow::accel

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table III fidelity: the default GrowConfig must match the paper's
+ * published configuration exactly, and derived quantities (on-chip
+ * capacity, HDN row budget) must be self-consistent.
+ */
+#include <gtest/gtest.h>
+
+#include "core/grow_config.hpp"
+
+namespace grow::core {
+namespace {
+
+TEST(GrowConfigDefaults, TableThree)
+{
+    GrowConfig c;
+    EXPECT_EQ(c.numMacs, 16u);                      // # MACs
+    EXPECT_EQ(c.iBufSparseBytes, 12u * 1024);       // I-BUF_sparse
+    EXPECT_EQ(c.hdn.camEntries, 4096u);             // HDN ID list
+    EXPECT_EQ(static_cast<Bytes>(c.hdn.camEntries) * kHdnIdBytes,
+              12u * 1024);                          // = 12 KB CAM
+    EXPECT_EQ(c.hdn.capacityBytes, 512u * 1024);    // HDN cache
+    EXPECT_EQ(c.oBufDenseBytes, 2u * 1024);         // O-BUF_dense
+    EXPECT_EQ(c.runaheadDegree, 16u);               // runahead degree
+    EXPECT_DOUBLE_EQ(c.dram.bandwidthGBps, 128.0);  // memory bandwidth
+    EXPECT_EQ(c.ldnEntries, 16u);                   // LDN table M
+    EXPECT_EQ(c.lhsIdEntries, 64u);                 // LHS ID table N
+}
+
+TEST(GrowConfigDefaults, OnChipSramTotals)
+{
+    GrowConfig c;
+    // 12 KB + 2 KB + 512 KB + 12 KB = 538 KB.
+    EXPECT_EQ(c.onChipSramBytes(), (12u + 2 + 512 + 12) * 1024);
+}
+
+TEST(GrowConfigDefaults, HdnRowBudgetPerFeatureWidth)
+{
+    GrowConfig c;
+    // Hidden width 64 -> 512 B rows -> 1024 resident rows.
+    c.hdn.rowBytes = 64 * 8;
+    EXPECT_EQ(c.hdn.maxResidentRows(), 1024u);
+    // Hidden width 16 -> 128 B rows -> CAM-capped at 4096.
+    c.hdn.rowBytes = 16 * 8;
+    EXPECT_EQ(c.hdn.maxResidentRows(), 4096u);
+}
+
+TEST(GrowConfigDefaults, DramClockMatchesAccelerator)
+{
+    GrowConfig c;
+    // 1 GHz accelerator (Sec. VI): 128 GB/s = 128 B/cycle.
+    EXPECT_DOUBLE_EQ(c.dram.clockGHz, 1.0);
+    EXPECT_DOUBLE_EQ(c.dram.bytesPerCycle(), 128.0);
+}
+
+} // namespace
+} // namespace grow::core

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The worked example of Sec. V-C (Figs. 12 and 13): a six-node graph
+ * where caching the top-3 high-degree nodes yields a modest hit count,
+ * and graph partitioning into two clusters of three raises it to 18 --
+ * every intra-cluster reference hits once each cluster pins all of its
+ * own members.
+ */
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hpp"
+#include "core/grow.hpp"
+#include "sparse/coo_matrix.hpp"
+
+namespace grow::core {
+namespace {
+
+/**
+ * The partitioned adjacency of Fig. 13(b): two clusters {0,1,2} and
+ * {3,4,5}; every node references all members of its own cluster
+ * (including itself, GCNs add self-loops) and a few nodes keep one
+ * inter-cluster edge.
+ */
+sparse::CsrMatrix
+fig13Adjacency()
+{
+    sparse::CooMatrix coo(6, 6);
+    auto addRow = [&coo](NodeId r, std::initializer_list<NodeId> cols) {
+        for (NodeId c : cols)
+            coo.add(r, c, 1.0);
+    };
+    addRow(0, {0, 1, 2, 3});
+    addRow(1, {0, 1, 2, 4});
+    addRow(2, {0, 1, 2});
+    addRow(3, {0, 3, 4, 5});
+    addRow(4, {1, 3, 4, 5});
+    addRow(5, {3, 4, 5});
+    coo.canonicalize();
+    return sparse::CsrMatrix::fromCoo(coo);
+}
+
+GrowConfig
+exampleConfig()
+{
+    GrowConfig cfg;
+    // Tiny HDN cache: exactly 3 rows (the example caches top-3).
+    cfg.hdn.camEntries = 3;
+    cfg.hdn.capacityBytes = 3 * 4 * 8; // 3 rows of 4 features
+    return cfg;
+}
+
+TEST(HdnExample, WithPartitioningGets18Hits)
+{
+    auto A = fig13Adjacency();
+    partition::Clustering clustering;
+    clustering.clusterStart = {0, 3, 6};
+    // Per-cluster HDN lists: each cluster pins its own three nodes.
+    std::vector<std::vector<NodeId>> lists = {{0, 1, 2}, {3, 4, 5}};
+
+    accel::SpDeGemmProblem p;
+    p.lhs = &A;
+    p.rhsCols = 4;
+    p.clustering = &clustering;
+    p.hdnLists = &lists;
+
+    GrowSim sim(exampleConfig());
+    auto r = sim.run(p, accel::SimOptions{});
+    // 18 intra-cluster references hit (Fig. 13's table); the 4
+    // inter-cluster references miss.
+    EXPECT_EQ(r.cacheHits, 18u);
+    EXPECT_EQ(r.cacheMisses, 4u);
+}
+
+TEST(HdnExample, WithoutPartitioningFewerHits)
+{
+    auto A = fig13Adjacency();
+    accel::SpDeGemmProblem p;
+    p.lhs = &A;
+    p.rhsCols = 4;
+    // No clustering/HDN hints: GrowSim falls back to a single cluster
+    // pinning the global top-3 referenced nodes (Fig. 12's policy).
+    GrowSim sim(exampleConfig());
+    auto r = sim.run(p, accel::SimOptions{});
+    // Column reference counts are {4,4,3,4,4,3}: the global top-3 is
+    // {0,1,3} -> 12 hits. Partitioning (18 hits) beats this, matching
+    // the Fig. 12 vs Fig. 13 comparison.
+    EXPECT_EQ(r.cacheHits, 12u);
+    EXPECT_EQ(r.cacheMisses, 10u);
+}
+
+TEST(HdnExample, PartitioningStrictlyImproves)
+{
+    auto A = fig13Adjacency();
+    partition::Clustering clustering;
+    clustering.clusterStart = {0, 3, 6};
+    std::vector<std::vector<NodeId>> lists = {{0, 1, 2}, {3, 4, 5}};
+
+    accel::SpDeGemmProblem with;
+    with.lhs = &A;
+    with.rhsCols = 4;
+    with.clustering = &clustering;
+    with.hdnLists = &lists;
+    accel::SpDeGemmProblem without;
+    without.lhs = &A;
+    without.rhsCols = 4;
+
+    GrowSim sim(exampleConfig());
+    auto rw = sim.run(with, accel::SimOptions{});
+    auto ro = sim.run(without, accel::SimOptions{});
+    EXPECT_GT(rw.cacheHits, ro.cacheHits);
+    EXPECT_LT(rw.cacheMisses, ro.cacheMisses);
+    // Note: raw DRAM bytes are not compared here -- on a six-node toy
+    // graph the LDN table coalesces the no-partitioning case's repeated
+    // misses into a handful of fetches, masking the benefit that
+    // dominates at scale (quantified by bench_fig18_memory_traffic).
+}
+
+} // namespace
+} // namespace grow::core

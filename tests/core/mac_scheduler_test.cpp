@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "core/mac_scheduler.hpp"
+
+namespace grow::core {
+namespace {
+
+TEST(MacScheduler, BackToBackProducts)
+{
+    MacScheduler m;
+    m.addProduct(0, 1, 4);
+    m.addProduct(0, 2, 4);
+    auto a = m.drainOne();
+    auto b = m.drainOne();
+    EXPECT_EQ(a.rowToken, 1u);
+    EXPECT_EQ(a.finish, 4u);
+    EXPECT_EQ(b.rowToken, 2u);
+    EXPECT_EQ(b.finish, 8u);
+    EXPECT_EQ(m.busyCycles(), 8u);
+}
+
+TEST(MacScheduler, ReadyOrderNotInsertionOrder)
+{
+    MacScheduler m;
+    m.addProduct(100, 1, 4); // a late miss product
+    m.addProduct(0, 2, 4);   // an early hit product
+    auto first = m.drainOne();
+    EXPECT_EQ(first.rowToken, 2u); // the hit goes first
+    EXPECT_EQ(first.finish, 4u);
+    auto second = m.drainOne();
+    EXPECT_EQ(second.rowToken, 1u);
+    EXPECT_EQ(second.finish, 104u); // waits for the data
+}
+
+TEST(MacScheduler, IdleGapsNotBilled)
+{
+    MacScheduler m;
+    m.addProduct(0, 1, 2);
+    m.addProduct(50, 2, 2);
+    m.drainOne();
+    auto b = m.drainOne();
+    EXPECT_EQ(b.finish, 52u);
+    EXPECT_EQ(m.busyCycles(), 4u); // idle 2..50 not counted busy
+}
+
+TEST(MacScheduler, TieBreakDeterministic)
+{
+    MacScheduler m;
+    m.addProduct(5, 10, 1);
+    m.addProduct(5, 20, 1);
+    m.addProduct(5, 30, 1);
+    EXPECT_EQ(m.drainOne().rowToken, 10u);
+    EXPECT_EQ(m.drainOne().rowToken, 20u);
+    EXPECT_EQ(m.drainOne().rowToken, 30u);
+}
+
+TEST(MacScheduler, PendingCount)
+{
+    MacScheduler m;
+    EXPECT_TRUE(m.idle());
+    m.addProduct(0, 1, 1);
+    m.addProduct(0, 1, 1);
+    EXPECT_EQ(m.pendingProducts(), 2u);
+    m.drainOne();
+    EXPECT_EQ(m.pendingProducts(), 1u);
+}
+
+TEST(MacScheduler, DrainEmptyThrows)
+{
+    MacScheduler m;
+    EXPECT_ANY_THROW(m.drainOne());
+}
+
+TEST(MacScheduler, ZeroDurationRejected)
+{
+    MacScheduler m;
+    EXPECT_ANY_THROW(m.addProduct(0, 1, 0));
+}
+
+TEST(MacScheduler, MakespanLowerBound)
+{
+    // The MAC array is work-conserving: the makespan is at least the
+    // total work and at least the last ready time.
+    MacScheduler m;
+    Cycle total = 0;
+    for (int i = 0; i < 100; ++i) {
+        m.addProduct(i * 3, 1, 4);
+        total += 4;
+    }
+    Cycle last = 0;
+    while (!m.idle())
+        last = m.drainOne().finish;
+    EXPECT_GE(last, total);
+    EXPECT_GE(last, 99u * 3 + 4);
+}
+
+} // namespace
+} // namespace grow::core

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Byte-level accounting identities of the GROW engine: the CSR stream,
+ * the HDN preloads and the output writes must match closed-form
+ * expectations derived from the problem structure.
+ */
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hpp"
+#include "core/grow.hpp"
+#include "sparse/convert.hpp"
+#include "util/bitutil.hpp"
+#include "util/random.hpp"
+
+namespace grow::core {
+namespace {
+
+sparse::CsrMatrix
+square(uint32_t n, double density, uint64_t seed)
+{
+    Rng rng(seed);
+    return sparse::randomCsr(n, n, density, rng);
+}
+
+TEST(StreamAccounting, SparseStreamCoversCsrExactly)
+{
+    auto lhs = square(350, 0.04, 1);
+    GrowSim sim((GrowConfig()));
+    accel::SpDeGemmProblem p;
+    p.lhs = &lhs;
+    p.rhsCols = 16;
+    auto r = sim.run(p, accel::SimOptions{});
+    // Effectual = nnz * 12 + rows * 8 (values + indices + pointers).
+    Bytes effectual = lhs.nnz() * 12 + Bytes{350} * 8;
+    EXPECT_EQ(r.effectualSparseBytes, effectual);
+    // Fetched is line-rounded but within one line per 256 B chunk.
+    EXPECT_GE(r.fetchedSparseBytes, effectual);
+    EXPECT_LE(r.fetchedSparseBytes, effectual + effectual / 3 + 4096);
+}
+
+TEST(StreamAccounting, PreloadBytesMatchHdnLists)
+{
+    auto lhs = square(600, 0.03, 2);
+    partition::Clustering clustering;
+    clustering.clusterStart = {0, 200, 400, 600};
+    std::vector<std::vector<NodeId>> lists = {
+        {0, 5, 9}, {200, 210}, {599}};
+
+    GrowConfig cfg;
+    cfg.hdn.camEntries = 16;
+    GrowSim sim(cfg);
+    accel::SpDeGemmProblem p;
+    p.lhs = &lhs;
+    p.rhsCols = 16;
+    p.clustering = &clustering;
+    p.hdnLists = &lists;
+    auto r = sim.run(p, accel::SimOptions{});
+
+    // Preload = per cluster: idList entries * 3 B + pinned rows * 128 B,
+    // rounded to one 64 B line per DMA chunk at most.
+    Bytes expect = 0;
+    for (const auto &l : lists)
+        expect += l.size() * 3 + l.size() * 16 * 8;
+    Bytes actual = r.traffic.readBytes[static_cast<size_t>(
+        mem::TrafficClass::HdnPreload)];
+    EXPECT_GE(actual, expect);
+    EXPECT_LE(actual, roundUp(expect, 64) + 64 * lists.size());
+}
+
+TEST(StreamAccounting, OutputBytesExactlyRowsTimesWidth)
+{
+    for (uint32_t width : {8u, 16u, 64u}) {
+        auto lhs = square(100, 0.1, width);
+        GrowSim sim((GrowConfig()));
+        accel::SpDeGemmProblem p;
+        p.lhs = &lhs;
+        p.rhsCols = width;
+        auto r = sim.run(p, accel::SimOptions{});
+        EXPECT_EQ(r.traffic.writeBytes[static_cast<size_t>(
+                      mem::TrafficClass::OutputWrite)],
+                  Bytes{100} * roundUp(width * 8, 64));
+    }
+}
+
+TEST(StreamAccounting, CombinationWeightPreloadOnce)
+{
+    auto lhs = square(200, 0.2, 5);
+    GrowSim sim((GrowConfig()));
+    accel::SpDeGemmProblem p;
+    p.lhs = &lhs;
+    p.rhsCols = 32;
+    p.rhsOnChip = true;
+    auto r = sim.run(p, accel::SimOptions{});
+    // W is K x N = 200 x 32 doubles, streamed once per PE (1 PE here).
+    Bytes w = Bytes{200} * 32 * 8;
+    Bytes actual = r.traffic.readBytes[static_cast<size_t>(
+        mem::TrafficClass::HdnPreload)];
+    EXPECT_GE(actual, w);
+    EXPECT_LE(actual, w + 64 * ceilDiv(w, 256));
+}
+
+TEST(StreamAccounting, EffectualNeverExceedsFetched)
+{
+    for (uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+        auto lhs = square(300, 0.01 * static_cast<double>(seed), seed);
+        GrowSim sim((GrowConfig()));
+        accel::SpDeGemmProblem p;
+        p.lhs = &lhs;
+        p.rhsCols = 64;
+        auto r = sim.run(p, accel::SimOptions{});
+        EXPECT_LE(r.effectualSparseBytes, r.fetchedSparseBytes);
+    }
+}
+
+TEST(StreamAccounting, CamLookupsEqualNnz)
+{
+    auto lhs = square(250, 0.05, 9);
+    GrowSim sim((GrowConfig()));
+    accel::SpDeGemmProblem p;
+    p.lhs = &lhs;
+    p.rhsCols = 16;
+    sim.run(p, accel::SimOptions{});
+    uint64_t lookups = 0;
+    for (const auto &s : sim.lastEngineStats())
+        lookups += s.camLookups;
+    EXPECT_EQ(lookups, lhs.nnz());
+}
+
+TEST(StreamAccounting, RowsProcessedCoverMatrix)
+{
+    auto lhs = square(500, 0.02, 11);
+    GrowConfig cfg;
+    cfg.numPes = 3;
+    GrowSim sim(cfg);
+    accel::SpDeGemmProblem p;
+    p.lhs = &lhs;
+    p.rhsCols = 16;
+    sim.run(p, accel::SimOptions{});
+    uint64_t rows = 0, products = 0;
+    for (const auto &s : sim.lastEngineStats()) {
+        rows += s.rowsProcessed;
+        products += s.products;
+    }
+    EXPECT_EQ(rows, 500u);
+    EXPECT_EQ(products, lhs.nnz());
+}
+
+} // namespace
+} // namespace grow::core

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "energy/area_model.hpp"
+
+namespace grow::energy {
+namespace {
+
+TEST(AreaModel, ReproducesTableFourAt65nm)
+{
+    // The default configuration must reproduce Table IV's measured
+    // 65 nm breakdown (values in mm^2).
+    auto a = estimateGrowArea(GrowAreaInputs{}, ProcessNode::Nm65);
+    EXPECT_NEAR(a.macArray, 0.613, 1e-6);
+    EXPECT_NEAR(a.iBufSparse, 0.319, 1e-6);
+    EXPECT_NEAR(a.hdnIdList, 1.112, 1e-6);
+    EXPECT_NEAR(a.hdnCache, 3.569, 1e-6);
+    EXPECT_NEAR(a.oBufDense, 0.113, 1e-6);
+    EXPECT_NEAR(a.others, 0.059, 1e-6);
+    EXPECT_NEAR(a.total(), 5.785, 1e-3);
+}
+
+TEST(AreaModel, ReproducesTableFourAt40nm)
+{
+    auto a = estimateGrowArea(GrowAreaInputs{}, ProcessNode::Nm40);
+    EXPECT_NEAR(a.total(), 2.191, 1e-3);
+}
+
+TEST(AreaModel, PerformancePerAreaClaim)
+{
+    // Paper: GROW at 40 nm (2.191 mm^2) vs GCNAX (6.51 mm^2) with 2.8x
+    // average speedup gives ~8.2x performance/mm^2.
+    auto a = estimateGrowArea(GrowAreaInputs{}, ProcessNode::Nm40);
+    double perfPerArea = 2.8 * gcnaxReportedAreaMm2() / a.total();
+    EXPECT_NEAR(perfPerArea, 8.2, 0.3);
+}
+
+TEST(AreaModel, ScalesWithMacCount)
+{
+    GrowAreaInputs inputs;
+    inputs.numMacs = 32;
+    auto a = estimateGrowArea(inputs, ProcessNode::Nm65);
+    EXPECT_NEAR(a.macArray, 2 * 0.613, 1e-6);
+}
+
+TEST(AreaModel, ScalesWithCacheCapacity)
+{
+    GrowAreaInputs inputs;
+    inputs.hdnCacheBytes = 256 * 1024;
+    auto a = estimateGrowArea(inputs, ProcessNode::Nm65);
+    EXPECT_NEAR(a.hdnCache, 3.569 / 2, 1e-6);
+}
+
+TEST(AreaModel, SramDominatesArea)
+{
+    // Sec. VII-E: 88% of GROW's area is SRAM buffers.
+    auto a = estimateGrowArea(GrowAreaInputs{}, ProcessNode::Nm65);
+    double sram = a.iBufSparse + a.hdnIdList + a.hdnCache + a.oBufDense;
+    EXPECT_GT(sram / a.total(), 0.85);
+}
+
+TEST(AreaModel, CamDenserThanSram)
+{
+    // Per KB, the D-flipflop CAM costs far more area than single-ported
+    // SRAM -- the reason the HDN ID list is only 12 KB.
+    AreaParams p;
+    EXPECT_GT(p.camMm2PerKb, 10 * p.sramSinglePortMm2PerKb);
+}
+
+} // namespace
+} // namespace grow::energy

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hpp"
+
+namespace grow::energy {
+namespace {
+
+TEST(EnergyModel, SramAccessScalesWithCapacity)
+{
+    EnergyParams p;
+    EXPECT_GT(p.sramAccessPj(512 * 1024), p.sramAccessPj(12 * 1024));
+    EXPECT_GT(p.sramAccessPj(12 * 1024), p.sramAccessPj(2 * 1024));
+}
+
+TEST(EnergyModel, MacEnergyLinear)
+{
+    EnergyParams p;
+    ActivityCounts a;
+    a.macOps = 1000;
+    auto e1 = computeEnergy(p, a);
+    a.macOps = 2000;
+    auto e2 = computeEnergy(p, a);
+    EXPECT_DOUBLE_EQ(e2.macPj, 2 * e1.macPj);
+    EXPECT_DOUBLE_EQ(e2.rfPj, 2 * e1.rfPj);
+}
+
+TEST(EnergyModel, DramDominatesForMemoryBoundPhases)
+{
+    // The paper's Fig. 22 premise: off-chip movement dominates dynamic
+    // energy for SpDeGEMM. One DRAM byte must cost far more than one
+    // MAC's worth of on-chip work per byte.
+    EnergyParams p;
+    ActivityCounts a;
+    a.macOps = 1'000'000;
+    a.dramBytes = 64'000'000; // 64 B per MAC: memory-bound regime
+    a.cycles = 1'000'000;
+    a.onChipSramBytes = 538 * 1024;
+    auto e = computeEnergy(p, a);
+    EXPECT_GT(e.dramPj, e.macPj);
+    EXPECT_GT(e.dramPj, e.sramPj);
+    EXPECT_GT(e.dramPj, 0.5 * e.total());
+}
+
+TEST(EnergyModel, StaticScalesWithTimeAndSram)
+{
+    EnergyParams p;
+    ActivityCounts a;
+    a.cycles = 1000;
+    a.onChipSramBytes = 512 * 1024;
+    auto e1 = computeEnergy(p, a);
+    a.cycles = 2000;
+    auto e2 = computeEnergy(p, a);
+    EXPECT_DOUBLE_EQ(e2.staticPj, 2 * e1.staticPj);
+
+    a.cycles = 1000;
+    a.onChipSramBytes = 2 * 512 * 1024;
+    auto e3 = computeEnergy(p, a);
+    EXPECT_GT(e3.staticPj, e1.staticPj);
+}
+
+TEST(EnergyModel, SramCategoriesAccumulate)
+{
+    EnergyParams p;
+    ActivityCounts a;
+    a.sram.push_back({512 * 1024, 100, false});
+    a.sram.push_back({12 * 1024, 100, false});
+    auto e = computeEnergy(p, a);
+    double expect = 100 * p.sramAccessPj(512 * 1024) +
+                    100 * p.sramAccessPj(12 * 1024);
+    EXPECT_NEAR(e.sramPj, expect, 1e-9);
+}
+
+TEST(EnergyModel, CamUsesSearchEnergy)
+{
+    EnergyParams p;
+    ActivityCounts a;
+    a.sram.push_back({12 * 1024, 1000, true});
+    auto e = computeEnergy(p, a);
+    EXPECT_NEAR(e.sramPj, 1000 * p.camSearchPjPerKb * 12.0, 1e-9);
+}
+
+TEST(EnergyModel, BreakdownAccumulation)
+{
+    EnergyBreakdown a{1, 2, 3, 4, 5};
+    EnergyBreakdown b{10, 20, 30, 40, 50};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.macPj, 11);
+    EXPECT_DOUBLE_EQ(a.staticPj, 55);
+    EXPECT_DOUBLE_EQ(a.total(), 11 + 22 + 33 + 44 + 55);
+}
+
+TEST(EnergyModel, ZeroActivityZeroEnergy)
+{
+    EnergyParams p;
+    auto e = computeEnergy(p, ActivityCounts{});
+    EXPECT_DOUBLE_EQ(e.total(), 0.0);
+}
+
+} // namespace
+} // namespace grow::energy

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "gcn/aggregators.hpp"
+
+namespace grow::gcn {
+namespace {
+
+TEST(Aggregators, MatrixCoversAllSixFamilies)
+{
+    EXPECT_EQ(aggregatorSupportMatrix().size(), 6u);
+}
+
+TEST(Aggregators, GcnAndGinSupportedAsIs)
+{
+    EXPECT_TRUE(aggregatorSupport(Aggregator::WeightedSum).supportedAsIs);
+    EXPECT_TRUE(aggregatorSupport(Aggregator::Gin).supportedAsIs);
+    EXPECT_TRUE(aggregatorSupport(Aggregator::SageMean).supportedAsIs);
+    EXPECT_TRUE(aggregatorSupport(Aggregator::SageLstm).supportedAsIs);
+}
+
+TEST(Aggregators, PoolAndGatNeedHardware)
+{
+    const auto &pool = aggregatorSupport(Aggregator::SagePool);
+    EXPECT_FALSE(pool.supportedAsIs);
+    EXPECT_NEAR(pool.areaOverhead, 0.014, 1e-9); // Sec. VIII: 1.4%
+    const auto &gat = aggregatorSupport(Aggregator::GatAttention);
+    EXPECT_FALSE(gat.supportedAsIs);
+    EXPECT_NEAR(gat.areaOverhead, 0.017, 1e-9); // Sec. VIII: 1.7%
+}
+
+TEST(Aggregators, AreaOverheadAppliedToOthers)
+{
+    auto base = growAreaWithAggregator(Aggregator::WeightedSum);
+    auto gat = growAreaWithAggregator(Aggregator::GatAttention);
+    EXPECT_NEAR(gat.total(), base.total() * 1.017, base.total() * 0.002);
+    // Non-overhead components unchanged.
+    EXPECT_DOUBLE_EQ(gat.hdnCache, base.hdnCache);
+    EXPECT_DOUBLE_EQ(gat.macArray, base.macArray);
+}
+
+TEST(Aggregators, BaselineMatchesTableFour)
+{
+    auto base = growAreaWithAggregator(Aggregator::SageMean);
+    EXPECT_NEAR(base.total(), 5.785, 1e-3);
+}
+
+} // namespace
+} // namespace grow::gcn

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "gcn/workload.hpp"
+#include "sparse/convert.hpp"
+#include "util/random.hpp"
+
+namespace grow::gcn {
+namespace {
+
+WorkloadConfig
+unitConfig(bool functional = false)
+{
+    WorkloadConfig c;
+    c.tier = graph::ScaleTier::Unit;
+    c.functionalData = functional;
+    return c;
+}
+
+TEST(Workload, BuildsAllArtefacts)
+{
+    auto w = buildWorkload(graph::datasetByName("cora"), unitConfig());
+    EXPECT_GT(w.nodes(), 0u);
+    EXPECT_TRUE(w.hasPartitioning);
+    EXPECT_EQ(w.adjacency.rows(), w.nodes());
+    EXPECT_EQ(w.adjacencyPartitioned.rows(), w.nodes());
+    EXPECT_EQ(w.x0.rows(), w.nodes());
+    EXPECT_EQ(w.x0.cols(), w.shape.inFeatures);
+    EXPECT_EQ(w.x1.cols(), w.shape.hidden);
+    EXPECT_EQ(w.hdnLists.size(),
+              w.relabel.clustering.numClusters());
+}
+
+TEST(Workload, FeatureDensitiesMatchTableOne)
+{
+    auto spec = graph::datasetByName("pubmed"); // x0 10%, x1 77.6%
+    auto w = buildWorkload(spec, unitConfig());
+    EXPECT_NEAR(w.x0.density(), spec.x0Density, 0.02);
+    EXPECT_NEAR(w.x1.density(), spec.x1Density, 0.05);
+}
+
+TEST(Workload, PartitionedAdjacencyIsPermutation)
+{
+    auto w = buildWorkload(graph::datasetByName("citeseer"),
+                           unitConfig());
+    EXPECT_EQ(w.adjacencyPartitioned.nnz(), w.adjacency.nnz());
+    // Value multisets agree.
+    auto a = w.adjacency.values();
+    auto b = w.adjacencyPartitioned.values();
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Workload, PermuteRowsConsistentWithRelabel)
+{
+    auto w = buildWorkload(graph::datasetByName("cora"), unitConfig());
+    // Row i of x0Partitioned equals row newToOld[i] of x0.
+    for (NodeId i = 0; i < std::min(w.nodes(), 50u); ++i) {
+        auto pc = w.x0Partitioned.rowCols(i);
+        auto oc = w.x0.rowCols(w.relabel.newToOld[i]);
+        ASSERT_EQ(pc.size(), oc.size());
+        for (size_t j = 0; j < pc.size(); ++j)
+            EXPECT_EQ(pc[j], oc[j]);
+    }
+}
+
+TEST(Workload, FunctionalDataOnlyOnRequest)
+{
+    auto w1 = buildWorkload(graph::datasetByName("cora"), unitConfig());
+    EXPECT_FALSE(w1.w0.has_value());
+    auto w2 =
+        buildWorkload(graph::datasetByName("cora"), unitConfig(true));
+    ASSERT_TRUE(w2.w0.has_value());
+    EXPECT_EQ(w2.w0->rows(), w2.shape.inFeatures);
+    EXPECT_EQ(w2.w0->cols(), w2.shape.hidden);
+    EXPECT_EQ(w2.w1->rows(), w2.shape.hidden);
+    EXPECT_EQ(w2.w1->cols(), w2.shape.classes);
+}
+
+TEST(Workload, DeterministicForSeed)
+{
+    auto a = buildWorkload(graph::datasetByName("cora"), unitConfig());
+    auto b = buildWorkload(graph::datasetByName("cora"), unitConfig());
+    EXPECT_EQ(a.adjacency.colIdx(), b.adjacency.colIdx());
+    EXPECT_EQ(a.x0.colIdx(), b.x0.colIdx());
+    EXPECT_EQ(a.relabel.newToOld, b.relabel.newToOld);
+}
+
+TEST(Workload, NoPartitioningOnRequest)
+{
+    WorkloadConfig c = unitConfig();
+    c.buildPartitioning = false;
+    auto w = buildWorkload(graph::datasetByName("cora"), c);
+    EXPECT_FALSE(w.hasPartitioning);
+    EXPECT_EQ(w.adjacencyPartitioned.rows(), 0u);
+}
+
+TEST(Workload, HdnListsWithinClusterBounds)
+{
+    auto w = buildWorkload(graph::datasetByName("flickr"), unitConfig());
+    const auto &clustering = w.relabel.clustering;
+    for (uint32_t c = 0; c < clustering.numClusters(); ++c) {
+        for (NodeId v : w.hdnLists[c]) {
+            EXPECT_GE(v, clustering.clusterStart[c]);
+            EXPECT_LT(v, clustering.clusterStart[c + 1]);
+        }
+    }
+}
+
+TEST(PermuteRows, SimpleExample)
+{
+    Rng rng(3);
+    auto m = sparse::randomCsr(4, 6, 0.5, rng);
+    auto p = permuteRows(m, {3, 2, 1, 0});
+    EXPECT_EQ(p.nnz(), m.nnz());
+    for (NodeId i = 0; i < 4; ++i) {
+        auto a = p.rowCols(i);
+        auto b = m.rowCols(3 - i);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t j = 0; j < a.size(); ++j)
+            EXPECT_EQ(a[j], b[j]);
+    }
+}
+
+} // namespace
+} // namespace grow::gcn

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Property sweeps of the DC-SBM generator: the planted intra-community
+ * fraction and degree tail must track the requested parameters across
+ * the parameter space the dataset registry uses.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/degree_stats.hpp"
+#include "graph/generators.hpp"
+#include "partition/metrics.hpp"
+
+namespace grow::graph {
+namespace {
+
+class IntraFractionSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(IntraFractionSweep, PlantedLocalityTracksRequest)
+{
+    double requested = GetParam();
+    DcSbmParams p;
+    p.nodes = 4000;
+    p.avgDegree = 14.0;
+    p.communities = 8;
+    p.intraFraction = requested;
+    p.seed = 42;
+    std::vector<uint32_t> comm;
+    auto g = generateDcSbm(p, comm);
+
+    partition::PartitionResult planted;
+    planted.numParts = 8;
+    planted.assignment = comm;
+    double measured =
+        partition::evaluatePartition(g, planted).intraArcFraction;
+    // Chance level is 1/8; dedup within dense communities trims the
+    // intra share, so allow a generous but directional band.
+    double chance = 1.0 / 8.0;
+    double expected = requested + (1.0 - requested) * chance;
+    EXPECT_NEAR(measured, expected, 0.12) << "requested " << requested;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, IntraFractionSweep,
+                         ::testing::Values(0.0, 0.4, 0.6, 0.8, 0.95));
+
+class AlphaSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(AlphaSweep, HeavierTailsForSmallerAlpha)
+{
+    double alpha = GetParam();
+    auto g = generateChungLu(15000, 12.0, alpha, 5);
+    double gini = degreeGini(g);
+    // Heavier tail (smaller alpha) concentrates degree: the Gini
+    // coefficient should decrease as alpha grows.
+    static double prevGini = 1.1;
+    EXPECT_LT(gini, prevGini + 0.05) << "alpha " << alpha;
+    prevGini = gini;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(1.9, 2.2, 2.6, 3.2));
+
+class ScaleSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(ScaleSweep, GeneratorScalesLinearly)
+{
+    uint32_t nodes = GetParam();
+    DcSbmParams p;
+    p.nodes = nodes;
+    p.avgDegree = 10.0;
+    p.communities = std::max(2u, nodes / 700);
+    p.seed = 9;
+    auto g = generateDcSbm(p);
+    EXPECT_EQ(g.numNodes(), nodes);
+    EXPECT_NEAR(g.avgDegree(), 10.0, 3.0);
+    EXPECT_TRUE(g.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScaleSweep,
+                         ::testing::Values(128u, 1024u, 5000u, 20000u));
+
+} // namespace
+} // namespace grow::graph

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "graph/degree_stats.hpp"
+#include "graph/generators.hpp"
+
+namespace grow::graph {
+namespace {
+
+TEST(DegreeStats, HistogramTotals)
+{
+    auto g = generateGrid(4, 4);
+    auto h = degreeHistogram(g);
+    EXPECT_EQ(h.total(), 16u);
+    EXPECT_EQ(h.maxValue(), 4u);
+    EXPECT_NEAR(h.mean(), g.avgDegree(), 1e-9);
+}
+
+TEST(DegreeStats, SortedDegreesDescending)
+{
+    auto g = generateChungLu(1000, 8.0, 2.2, 9);
+    auto d = sortedDegreesDesc(g);
+    ASSERT_EQ(d.size(), 1000u);
+    for (size_t i = 1; i < d.size(); ++i)
+        EXPECT_GE(d[i - 1], d[i]);
+}
+
+TEST(DegreeStats, TopKCoverageMonotone)
+{
+    auto g = generateChungLu(2000, 10.0, 2.1, 13);
+    double c10 = topKDegreeCoverage(g, 10);
+    double c100 = topKDegreeCoverage(g, 100);
+    double cAll = topKDegreeCoverage(g, 2000);
+    EXPECT_LE(c10, c100);
+    EXPECT_LE(c100, cAll);
+    EXPECT_NEAR(cAll, 1.0, 1e-9);
+}
+
+TEST(DegreeStats, PowerLawConcentration)
+{
+    // Fig. 11's premise: a small fraction of nodes covers a large
+    // fraction of edges in power-law graphs, but not in uniform ones.
+    auto pl = generateChungLu(5000, 12.0, 2.0, 17);
+    auto er = generateErdosRenyi(5000, 30000, 17);
+    double plCover = topKDegreeCoverage(pl, 250); // top 5%
+    double erCover = topKDegreeCoverage(er, 250);
+    EXPECT_GT(plCover, erCover * 1.5);
+    EXPECT_GT(plCover, 0.25);
+}
+
+TEST(DegreeStats, GiniZeroForRegularGraph)
+{
+    // A cycle is 2-regular -> perfect equality.
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    const uint32_t n = 100;
+    for (uint32_t i = 0; i < n; ++i)
+        edges.push_back({i, (i + 1) % n});
+    auto g = Graph::fromEdges(n, edges);
+    EXPECT_NEAR(degreeGini(g), 0.0, 1e-9);
+}
+
+TEST(DegreeStats, GiniHigherForPowerLaw)
+{
+    auto pl = generateChungLu(3000, 10.0, 2.0, 19);
+    auto er = generateErdosRenyi(3000, 15000, 19);
+    EXPECT_GT(degreeGini(pl), degreeGini(er) + 0.1);
+}
+
+TEST(DegreeStats, EmptyGraphSafe)
+{
+    auto g = Graph::fromEdges(5, {});
+    EXPECT_DOUBLE_EQ(topKDegreeCoverage(g, 3), 0.0);
+    EXPECT_DOUBLE_EQ(degreeGini(g), 0.0);
+}
+
+} // namespace
+} // namespace grow::graph

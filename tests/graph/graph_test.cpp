@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+
+namespace grow::graph {
+namespace {
+
+Graph
+triangle()
+{
+    return Graph::fromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+}
+
+TEST(Graph, FromEdgesBasics)
+{
+    auto g = triangle();
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.numArcs(), 6u);
+    EXPECT_DOUBLE_EQ(g.avgDegree(), 2.0);
+    EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, DropsSelfLoopsAndDuplicates)
+{
+    auto g = Graph::fromEdges(3, {{0, 1}, {1, 0}, {0, 0}, {0, 1}});
+    EXPECT_EQ(g.numEdges(), 1u);
+    EXPECT_EQ(g.degree(0), 1u);
+    EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Graph, NeighborsSorted)
+{
+    auto g = Graph::fromEdges(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+    auto nb = g.neighbors(2);
+    ASSERT_EQ(nb.size(), 4u);
+    for (size_t i = 1; i < nb.size(); ++i)
+        EXPECT_LT(nb[i - 1], nb[i]);
+}
+
+TEST(Graph, HasEdgeSymmetric)
+{
+    auto g = triangle();
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 0));
+    EXPECT_FALSE(g.hasEdge(0, 0));
+}
+
+TEST(Graph, Density)
+{
+    auto g = triangle();
+    EXPECT_DOUBLE_EQ(g.density(), 6.0 / 9.0);
+}
+
+TEST(Graph, RelabeledPreservesStructure)
+{
+    auto g = Graph::fromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+    // Reverse the labels.
+    auto r = g.relabeled({3, 2, 1, 0});
+    EXPECT_TRUE(r.validate());
+    EXPECT_EQ(r.numEdges(), g.numEdges());
+    // Old edge (0,1) -> new (3,2).
+    EXPECT_TRUE(r.hasEdge(3, 2));
+    EXPECT_TRUE(r.hasEdge(2, 1));
+    EXPECT_TRUE(r.hasEdge(1, 0));
+    EXPECT_FALSE(r.hasEdge(3, 0));
+    // Degrees permute with the labels.
+    EXPECT_EQ(r.degree(3), g.degree(0));
+    EXPECT_EQ(r.degree(2), g.degree(1));
+}
+
+TEST(Graph, RelabelRejectsNonPermutation)
+{
+    auto g = triangle();
+    EXPECT_ANY_THROW(g.relabeled({0, 0, 1}));
+}
+
+TEST(Graph, EmptyGraph)
+{
+    auto g = Graph::fromEdges(4, {});
+    EXPECT_EQ(g.numArcs(), 0u);
+    EXPECT_DOUBLE_EQ(g.avgDegree(), 0.0);
+    EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, EdgeEndpointOutOfRangeRejected)
+{
+    EXPECT_ANY_THROW(Graph::fromEdges(2, {{0, 2}}));
+}
+
+} // namespace
+} // namespace grow::graph

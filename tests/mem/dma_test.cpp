@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "mem/dma.hpp"
+#include "mem/dram.hpp"
+
+namespace grow::mem {
+namespace {
+
+TEST(DmaEngine, ChunksLargeTransfers)
+{
+    DramConfig cfg;
+    SimpleDram dram(cfg);
+    DmaEngine dma(dram, 256);
+    dma.streamRead(0, 0, 1024, TrafficClass::HdnPreload);
+    EXPECT_EQ(dma.requestsIssued(), 4u);
+    EXPECT_EQ(dram.traffic().totalRead(), 1024u);
+}
+
+TEST(DmaEngine, PartialTailChunk)
+{
+    DramConfig cfg;
+    SimpleDram dram(cfg);
+    DmaEngine dma(dram, 256);
+    dma.streamRead(0, 0, 300, TrafficClass::HdnPreload);
+    EXPECT_EQ(dma.requestsIssued(), 2u);
+    // 256 + 64 (44 rounded up to a line).
+    EXPECT_EQ(dram.traffic().totalRead(), 320u);
+}
+
+TEST(DmaEngine, CompletionMonotone)
+{
+    DramConfig cfg;
+    cfg.bandwidthGBps = 32.0;
+    SimpleDram dram(cfg);
+    DmaEngine dma(dram, 256);
+    Cycle small = dma.streamRead(0, 0, 256, TrafficClass::DenseRow);
+    Cycle large = dma.streamRead(0, 1 << 20, 8192, TrafficClass::DenseRow);
+    EXPECT_GT(large, small);
+}
+
+TEST(DmaEngine, WritePath)
+{
+    DramConfig cfg;
+    SimpleDram dram(cfg);
+    DmaEngine dma(dram, 512);
+    dma.streamWrite(0, 0, 2048, TrafficClass::OutputWrite);
+    EXPECT_EQ(dram.traffic().totalWrite(), 2048u);
+}
+
+TEST(DmaEngine, ChunkSmallerThanLineRejected)
+{
+    DramConfig cfg;
+    SimpleDram dram(cfg);
+    EXPECT_ANY_THROW(DmaEngine(dram, 32));
+}
+
+} // namespace
+} // namespace grow::mem

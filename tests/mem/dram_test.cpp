@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "mem/dram.hpp"
+
+namespace grow::mem {
+namespace {
+
+DramConfig
+cfg(double gbps = 128.0, Cycle latency = 100)
+{
+    DramConfig c;
+    c.bandwidthGBps = gbps;
+    c.accessLatency = latency;
+    return c;
+}
+
+TEST(SimpleDram, SingleReadLatency)
+{
+    SimpleDram d(cfg());
+    // 64 B at 128 B/cycle -> 1 cycle of bus + 100 latency.
+    Cycle done = d.read(0, 0, 64, TrafficClass::DenseRow);
+    EXPECT_EQ(done, 101u);
+}
+
+TEST(SimpleDram, LineRounding)
+{
+    SimpleDram d(cfg());
+    d.read(0, 0, 1, TrafficClass::Metadata);
+    EXPECT_EQ(d.traffic().readBytes[static_cast<size_t>(
+                  TrafficClass::Metadata)],
+              64u);
+}
+
+TEST(SimpleDram, BandwidthSerializesRequests)
+{
+    // 32 B/cycle: a 6400 B read occupies the channel for 200 cycles.
+    SimpleDram d(cfg(32.0, 10));
+    Cycle first = d.read(0, 0, 6400, TrafficClass::DenseRow);
+    EXPECT_EQ(first, 210u);
+    // Second request issued at t=0 must wait for the channel.
+    Cycle second = d.read(0, 1 << 20, 64, TrafficClass::DenseRow);
+    EXPECT_EQ(second, 212u);
+}
+
+TEST(SimpleDram, ZeroByteRequestStillOneLine)
+{
+    SimpleDram d(cfg());
+    d.read(0, 0, 0, TrafficClass::DenseRow);
+    EXPECT_EQ(d.traffic().totalRead(), 64u);
+}
+
+TEST(SimpleDram, SustainedBandwidthExact)
+{
+    // Issue 1000 x 256 B back-to-back; channel time must equal
+    // totalBytes / bytesPerCycle within rounding.
+    SimpleDram d(cfg(128.0, 0));
+    Cycle done = 0;
+    for (int i = 0; i < 1000; ++i)
+        done = d.read(0, i * 256, 256, TrafficClass::SparseStream);
+    double expect = 1000.0 * 256.0 / 128.0;
+    EXPECT_NEAR(static_cast<double>(done), expect, expect * 0.01 + 2);
+}
+
+TEST(SimpleDram, WritesArePosted)
+{
+    SimpleDram d(cfg(128.0, 100));
+    // Writes do not pay the access latency (posted).
+    Cycle done = d.write(0, 0, 128, TrafficClass::OutputWrite);
+    EXPECT_EQ(done, 1u);
+    EXPECT_EQ(d.traffic().totalWrite(), 128u);
+}
+
+TEST(SimpleDram, TrafficClassification)
+{
+    SimpleDram d(cfg());
+    d.read(0, 0, 64, TrafficClass::SparseStream);
+    d.read(0, 0, 128, TrafficClass::DenseRow);
+    d.write(0, 0, 64, TrafficClass::OutputWrite);
+    const auto &t = d.traffic();
+    EXPECT_EQ(t.readBytes[static_cast<size_t>(TrafficClass::SparseStream)],
+              64u);
+    EXPECT_EQ(t.readBytes[static_cast<size_t>(TrafficClass::DenseRow)],
+              128u);
+    EXPECT_EQ(t.writeBytes[static_cast<size_t>(TrafficClass::OutputWrite)],
+              64u);
+    EXPECT_EQ(t.total(), 256u);
+}
+
+TEST(SimpleDram, HigherBandwidthIsFaster)
+{
+    SimpleDram slow(cfg(16.0, 50));
+    SimpleDram fast(cfg(256.0, 50));
+    Cycle a = 0, b = 0;
+    for (int i = 0; i < 100; ++i) {
+        a = slow.read(0, 0, 512, TrafficClass::DenseRow);
+        b = fast.read(0, 0, 512, TrafficClass::DenseRow);
+    }
+    EXPECT_GT(a, b * 4);
+}
+
+TEST(BankedDram, SequentialStreamsHitOpenRows)
+{
+    BankedDram d(cfg(), BankTiming{});
+    // Stream 64 KiB sequentially: row-buffer hit rate should be high.
+    for (uint64_t a = 0; a < 64 * 1024; a += 64)
+        d.read(0, a, 64, TrafficClass::SparseStream);
+    EXPECT_GT(d.rowHitRate(), 0.8);
+}
+
+TEST(BankedDram, RandomAccessesMissRows)
+{
+    BankedDram d(cfg(), BankTiming{});
+    // Large-stride accesses land in fresh rows.
+    uint64_t a = 0;
+    for (int i = 0; i < 1000; ++i) {
+        d.read(0, a, 64, TrafficClass::DenseRow);
+        a += 1 << 20;
+    }
+    EXPECT_LT(d.rowHitRate(), 0.2);
+}
+
+TEST(BankedDram, CompletionAfterIssue)
+{
+    BankedDram d(cfg(), BankTiming{});
+    Cycle done = d.read(500, 0, 256, TrafficClass::DenseRow);
+    EXPECT_GT(done, 500u);
+}
+
+TEST(MakeDram, FactoryKinds)
+{
+    EXPECT_NE(makeDram("simple", cfg()), nullptr);
+    EXPECT_NE(makeDram("banked", cfg()), nullptr);
+    EXPECT_ANY_THROW(makeDram("quantum", cfg()));
+}
+
+/** Property: both DRAM models conserve traffic accounting. */
+class DramKindSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(DramKindSweep, TrafficConservation)
+{
+    auto d = makeDram(GetParam(), cfg());
+    Bytes expect = 0;
+    for (int i = 0; i < 200; ++i) {
+        Bytes b = 64 + (i % 5) * 64;
+        d->read(i * 10, i * 4096, b, TrafficClass::DenseRow);
+        expect += b;
+    }
+    EXPECT_EQ(d->traffic().totalRead(), expect);
+    d->clearTraffic();
+    EXPECT_EQ(d->traffic().total(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, DramKindSweep,
+                         ::testing::Values("simple", "banked"));
+
+} // namespace
+} // namespace grow::mem

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "mem/hdn_cache.hpp"
+
+namespace grow::mem {
+namespace {
+
+HdnCacheConfig
+smallConfig(Bytes capacity = 1024, uint32_t cam = 8, Bytes row = 128)
+{
+    HdnCacheConfig c;
+    c.capacityBytes = capacity;
+    c.camEntries = cam;
+    c.rowBytes = row;
+    return c;
+}
+
+TEST(HdnCache, MaxResidentRowsCapacityBound)
+{
+    // 1024 B / 128 B rows = 8 rows, CAM allows 8.
+    EXPECT_EQ(smallConfig().maxResidentRows(), 8u);
+    // CAM-bound: capacity would allow 8 but CAM only 4.
+    EXPECT_EQ(smallConfig(1024, 4).maxResidentRows(), 4u);
+    // Capacity-bound: CAM allows 8 but only 2 rows fit.
+    EXPECT_EQ(smallConfig(256, 8).maxResidentRows(), 2u);
+}
+
+TEST(HdnCache, TableThreeDefaults)
+{
+    // 512 KB / (64 features x 8 B) = 1024 rows; 4096 CAM entries.
+    HdnCacheConfig c;
+    c.rowBytes = 64 * 8;
+    EXPECT_EQ(c.maxResidentRows(), 1024u);
+    // With 16-wide features the CAM becomes the limit: 4096.
+    c.rowBytes = 16 * 8;
+    EXPECT_EQ(c.maxResidentRows(), 4096u);
+}
+
+TEST(HdnCache, PinnedLookupHits)
+{
+    HdnCache cache(smallConfig(), 100);
+    cache.loadCluster({1, 2, 3});
+    EXPECT_TRUE(cache.lookup(1));
+    EXPECT_TRUE(cache.lookup(2));
+    EXPECT_FALSE(cache.lookup(4));
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_NEAR(cache.hitRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(HdnCache, LoadClusterEvictsPrevious)
+{
+    HdnCache cache(smallConfig(), 100);
+    cache.loadCluster({1, 2});
+    EXPECT_TRUE(cache.resident(1));
+    cache.loadCluster({3});
+    EXPECT_FALSE(cache.resident(1));
+    EXPECT_TRUE(cache.resident(3));
+    EXPECT_EQ(cache.residentRows(), 1u);
+}
+
+TEST(HdnCache, CapacityTruncatesList)
+{
+    HdnCache cache(smallConfig(1024, 8, 128), 100); // 8 rows max
+    std::vector<NodeId> ids;
+    for (NodeId i = 0; i < 20; ++i)
+        ids.push_back(i);
+    uint32_t pinned = cache.loadCluster(ids);
+    EXPECT_EQ(pinned, 8u);
+    EXPECT_TRUE(cache.resident(7));
+    EXPECT_FALSE(cache.resident(8));
+}
+
+TEST(HdnCache, DuplicateIdsPinnedOnce)
+{
+    HdnCache cache(smallConfig(), 100);
+    uint32_t pinned = cache.loadCluster({5, 5, 5, 6});
+    EXPECT_EQ(pinned, 2u);
+}
+
+TEST(HdnCache, EmptyCacheNeverHits)
+{
+    HdnCache cache(smallConfig(), 100);
+    EXPECT_FALSE(cache.lookup(0));
+    cache.loadCluster({});
+    EXPECT_FALSE(cache.lookup(0));
+}
+
+TEST(HdnCache, SramCountersTrackActivity)
+{
+    HdnCache cache(smallConfig(), 100);
+    cache.loadCluster({1, 2});
+    EXPECT_EQ(cache.dataArray().writeAccesses(), 2u);
+    cache.lookup(1); // hit: data read + CAM read
+    cache.lookup(9); // miss: CAM read only
+    EXPECT_EQ(cache.dataArray().readAccesses(), 1u);
+    EXPECT_EQ(cache.camArray().readAccesses(), 2u);
+}
+
+TEST(HdnCache, RowsLoadedAccumulates)
+{
+    HdnCache cache(smallConfig(), 100);
+    cache.loadCluster({1, 2});
+    cache.loadCluster({3, 4, 5});
+    EXPECT_EQ(cache.rowsLoaded(), 5u);
+}
+
+TEST(HdnCache, OutOfUniverseRejected)
+{
+    HdnCache cache(smallConfig(), 10);
+    EXPECT_ANY_THROW(cache.lookup(10));
+    EXPECT_ANY_THROW(cache.loadCluster({11}));
+}
+
+TEST(HdnCache, ClearStatsKeepsPins)
+{
+    HdnCache cache(smallConfig(), 100);
+    cache.loadCluster({1});
+    cache.lookup(1);
+    cache.clearStats();
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_TRUE(cache.resident(1));
+}
+
+} // namespace
+} // namespace grow::mem

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "mem/sram.hpp"
+
+namespace grow::mem {
+namespace {
+
+TEST(SramBuffer, CountsAccesses)
+{
+    SramBuffer b("buf", 1024);
+    b.read(8);
+    b.read(16);
+    b.write(64);
+    EXPECT_EQ(b.readAccesses(), 2u);
+    EXPECT_EQ(b.writeAccesses(), 1u);
+    EXPECT_EQ(b.accesses(), 3u);
+    EXPECT_EQ(b.bytesRead(), 24u);
+    EXPECT_EQ(b.bytesWritten(), 64u);
+}
+
+TEST(SramBuffer, ClearStats)
+{
+    SramBuffer b("buf", 1024);
+    b.read(8);
+    b.clearStats();
+    EXPECT_EQ(b.accesses(), 0u);
+    EXPECT_EQ(b.bytesRead(), 0u);
+}
+
+TEST(SramBuffer, NameAndCapacity)
+{
+    SramBuffer b("iBufSparse", 12 * 1024);
+    EXPECT_EQ(b.name(), "iBufSparse");
+    EXPECT_EQ(b.capacity(), 12u * 1024);
+}
+
+TEST(SramBuffer, ZeroCapacityRejected)
+{
+    EXPECT_ANY_THROW(SramBuffer("x", 0));
+}
+
+} // namespace
+} // namespace grow::mem

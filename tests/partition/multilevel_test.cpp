@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/metrics.hpp"
+#include "partition/multilevel.hpp"
+
+namespace grow::partition {
+namespace {
+
+TEST(Multilevel, SinglePartTrivial)
+{
+    auto g = graph::generateGrid(4, 4);
+    PartitionConfig c;
+    c.numParts = 1;
+    auto r = MultilevelPartitioner(c).partition(g);
+    EXPECT_EQ(r.numParts, 1u);
+    for (uint32_t p : r.assignment)
+        EXPECT_EQ(p, 0u);
+}
+
+TEST(Multilevel, GridBisectionIsBalancedAndLowCut)
+{
+    auto g = graph::generateGrid(16, 16);
+    PartitionConfig c;
+    c.numParts = 2;
+    c.seed = 5;
+    auto r = MultilevelPartitioner(c).partition(g);
+    auto q = evaluatePartition(g, r);
+    EXPECT_EQ(q.nonEmptyParts, 2u);
+    EXPECT_LT(q.balance, 1.15);
+    // The optimal bisection of a 16x16 grid cuts 16 edges; we allow a
+    // generous factor but stay far below random (~240 cut edges).
+    EXPECT_LT(q.cutEdges, 64u);
+}
+
+TEST(Multilevel, RecoversPlantedCommunities)
+{
+    graph::DcSbmParams p;
+    p.nodes = 2000;
+    p.avgDegree = 16.0;
+    p.communities = 4;
+    p.intraFraction = 0.9;
+    p.seed = 21;
+    std::vector<uint32_t> planted;
+    auto g = graph::generateDcSbm(p, planted);
+
+    PartitionConfig c;
+    c.numParts = 4;
+    c.seed = 9;
+    auto r = MultilevelPartitioner(c).partition(g);
+    auto q = evaluatePartition(g, r);
+
+    PartitionResult ref;
+    ref.numParts = 4;
+    ref.assignment = planted;
+    auto qp = evaluatePartition(g, ref);
+
+    // Within 85% of the planted locality, and far above random (1/4).
+    EXPECT_GT(q.intraArcFraction, 0.85 * qp.intraArcFraction);
+    EXPECT_GT(q.intraArcFraction, 0.5);
+}
+
+TEST(Multilevel, BeatsRandomPartition)
+{
+    auto g = graph::generateChungLu(3000, 10.0, 2.3, 31);
+    PartitionConfig c;
+    c.numParts = 8;
+    auto smart = evaluatePartition(
+        g, MultilevelPartitioner(c).partition(g));
+    auto random = evaluatePartition(g, randomPartition(3000, 8, 1));
+    EXPECT_GT(smart.intraArcFraction, random.intraArcFraction);
+}
+
+TEST(Multilevel, BalanceBoundRespected)
+{
+    graph::DcSbmParams p;
+    p.nodes = 5000;
+    p.avgDegree = 12.0;
+    p.communities = 10;
+    p.seed = 77;
+    auto g = graph::generateDcSbm(p);
+    PartitionConfig c;
+    c.numParts = 10;
+    c.imbalance = 1.10;
+    auto r = MultilevelPartitioner(c).partition(g);
+    auto q = evaluatePartition(g, r);
+    EXPECT_LE(q.balance, 1.13); // small slack for integer granularity
+    EXPECT_EQ(q.nonEmptyParts, 10u);
+}
+
+TEST(Multilevel, DeterministicForSeed)
+{
+    auto g = graph::generateChungLu(800, 8.0, 2.3, 5);
+    PartitionConfig c;
+    c.numParts = 6;
+    c.seed = 33;
+    auto a = MultilevelPartitioner(c).partition(g);
+    auto b = MultilevelPartitioner(c).partition(g);
+    EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(Multilevel, MorePartsThanNodesClamped)
+{
+    auto g = graph::generateGrid(3, 2);
+    PartitionConfig c;
+    c.numParts = 100;
+    auto r = MultilevelPartitioner(c).partition(g);
+    EXPECT_LE(r.numParts, 6u);
+}
+
+TEST(ContiguousPartition, EqualRanges)
+{
+    auto r = contiguousPartition(10, 2);
+    EXPECT_EQ(r.assignment[0], 0u);
+    EXPECT_EQ(r.assignment[4], 0u);
+    EXPECT_EQ(r.assignment[5], 1u);
+    EXPECT_EQ(r.assignment[9], 1u);
+}
+
+TEST(RandomPartition, CoversAllParts)
+{
+    auto r = randomPartition(1000, 7, 3);
+    std::vector<int> seen(7, 0);
+    for (uint32_t p : r.assignment) {
+        ASSERT_LT(p, 7u);
+        seen[p] = 1;
+    }
+    for (int s : seen)
+        EXPECT_EQ(s, 1);
+}
+
+/** Part-count sweep on a community graph: locality degrades gracefully
+ *  and balance holds for any k. */
+class PartSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(PartSweep, QualityInvariants)
+{
+    uint32_t k = GetParam();
+    graph::DcSbmParams p;
+    p.nodes = 2400;
+    p.avgDegree = 10.0;
+    p.communities = 12;
+    p.seed = 101;
+    auto g = graph::generateDcSbm(p);
+    PartitionConfig c;
+    c.numParts = k;
+    auto r = MultilevelPartitioner(c).partition(g);
+    auto q = evaluatePartition(g, r);
+    EXPECT_EQ(q.nonEmptyParts, k);
+    EXPECT_LE(q.balance, 1.2);
+    auto rq = evaluatePartition(g, randomPartition(2400, k, 1));
+    EXPECT_GT(q.intraArcFraction, rq.intraArcFraction);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, PartSweep,
+                         ::testing::Values(2u, 3u, 6u, 12u, 24u));
+
+} // namespace
+} // namespace grow::partition

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+
+namespace grow {
+namespace {
+
+TEST(EventQueue, OrdersByTime)
+{
+    EventQueue q;
+    q.schedule(30, 3);
+    q.schedule(10, 1);
+    q.schedule(20, 2);
+    EXPECT_EQ(q.pop().tag, 1u);
+    EXPECT_EQ(q.pop().tag, 2u);
+    EXPECT_EQ(q.pop().tag, 3u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TieBreakByInsertionOrder)
+{
+    EventQueue q;
+    q.schedule(5, 100);
+    q.schedule(5, 200);
+    q.schedule(5, 300);
+    EXPECT_EQ(q.pop().tag, 100u);
+    EXPECT_EQ(q.pop().tag, 200u);
+    EXPECT_EQ(q.pop().tag, 300u);
+}
+
+TEST(EventQueue, NextTime)
+{
+    EventQueue q;
+    q.schedule(42, 0);
+    q.schedule(7, 0);
+    EXPECT_EQ(q.nextTime(), 7u);
+}
+
+TEST(EventQueue, SizeTracksContents)
+{
+    EventQueue q;
+    EXPECT_EQ(q.size(), 0u);
+    q.schedule(1, 0);
+    q.schedule(2, 0);
+    EXPECT_EQ(q.size(), 2u);
+    q.pop();
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ClearEmpties)
+{
+    EventQueue q;
+    q.schedule(1, 0);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PopOnEmptyThrows)
+{
+    EventQueue q;
+    EXPECT_ANY_THROW(q.pop());
+    EXPECT_ANY_THROW(q.nextTime());
+}
+
+} // namespace
+} // namespace grow

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "sim/histogram.hpp"
+#include "util/random.hpp"
+
+namespace grow {
+namespace {
+
+TEST(BucketHistogram, PaperFig5Buckets)
+{
+    // Aggregation buckets from Fig. 5(a): {1, 2, 3-8, 9-16, >16}.
+    BucketHistogram h({1, 2, 8, 16});
+    h.record(1);
+    h.record(2);
+    h.record(5);
+    h.record(16);
+    h.record(100);
+    EXPECT_EQ(h.numBuckets(), 5u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(BucketHistogram, Labels)
+{
+    BucketHistogram h({1, 2, 8, 16});
+    EXPECT_EQ(h.label(0), "0-1");
+    EXPECT_EQ(h.label(1), "2");
+    EXPECT_EQ(h.label(2), "3-8");
+    EXPECT_EQ(h.label(3), "9-16");
+    EXPECT_EQ(h.label(4), ">16");
+}
+
+TEST(BucketHistogram, Fractions)
+{
+    BucketHistogram h({10});
+    h.record(1, 3);
+    h.record(100, 1);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(BucketHistogram, EmptyFractionsZero)
+{
+    BucketHistogram h({1});
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(BucketHistogram, BulkRecord)
+{
+    BucketHistogram h({5});
+    h.record(3, 1000);
+    EXPECT_EQ(h.count(0), 1000u);
+}
+
+TEST(BucketHistogram, RejectsUnsortedBounds)
+{
+    EXPECT_ANY_THROW(BucketHistogram({5, 3}));
+}
+
+TEST(LogHistogram, MeanAndMax)
+{
+    LogHistogram h;
+    for (uint64_t v : {1, 2, 3, 4, 10})
+        h.record(v);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.maxValue(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(LogHistogram, BucketsArePowersOfTwo)
+{
+    LogHistogram h;
+    h.record(1); // bucket 0
+    h.record(2); // bucket 1
+    h.record(3); // bucket 1
+    h.record(4); // bucket 2
+    h.record(7); // bucket 2
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 2u);
+}
+
+TEST(LogHistogram, PowerLawAlphaRecovery)
+{
+    // Sample from a discrete power law with alpha ~ 2.5 and check the
+    // MLE recovers it within tolerance.
+    Rng rng(123);
+    LogHistogram h;
+    for (int i = 0; i < 200000; ++i) {
+        double x = rng.pareto(1.5, 1.0); // alpha = shape + 1 = 2.5
+        h.record(static_cast<uint64_t>(x));
+    }
+    double alpha = h.powerLawAlpha(2);
+    EXPECT_GT(alpha, 2.1);
+    EXPECT_LT(alpha, 2.9);
+}
+
+TEST(LogHistogram, AlphaZeroWhenTooFewSamples)
+{
+    LogHistogram h;
+    h.record(5);
+    EXPECT_DOUBLE_EQ(h.powerLawAlpha(), 0.0);
+}
+
+} // namespace
+} // namespace grow

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace grow {
+namespace {
+
+TEST(StatRegistry, AddAndGet)
+{
+    StatRegistry r;
+    EXPECT_EQ(r.get("x"), 0.0);
+    r.add("x", 2.5);
+    r.add("x", 1.5);
+    EXPECT_DOUBLE_EQ(r.get("x"), 4.0);
+}
+
+TEST(StatRegistry, SetOverwrites)
+{
+    StatRegistry r;
+    r.add("x", 10);
+    r.set("x", 3);
+    EXPECT_DOUBLE_EQ(r.get("x"), 3.0);
+}
+
+TEST(StatRegistry, Has)
+{
+    StatRegistry r;
+    EXPECT_FALSE(r.has("a"));
+    r.add("a", 0);
+    EXPECT_TRUE(r.has("a"));
+}
+
+TEST(StatRegistry, SnapshotDiff)
+{
+    StatRegistry r;
+    r.add("dram.bytes", 100);
+    auto before = r.snapshot();
+    r.add("dram.bytes", 50);
+    r.add("cache.hits", 7);
+    auto after = r.snapshot();
+    auto d = StatRegistry::diff(before, after);
+    EXPECT_DOUBLE_EQ(d["dram.bytes"], 50.0);
+    EXPECT_DOUBLE_EQ(d["cache.hits"], 7.0);
+}
+
+TEST(StatRegistry, ClearResets)
+{
+    StatRegistry r;
+    r.add("x", 1);
+    r.clear();
+    EXPECT_FALSE(r.has("x"));
+}
+
+TEST(StatRegistry, DumpFiltersByPrefix)
+{
+    StatRegistry r;
+    r.add("a.one", 1);
+    r.add("b.two", 2);
+    std::string s = r.dump("a.");
+    EXPECT_NE(s.find("a.one"), std::string::npos);
+    EXPECT_EQ(s.find("b.two"), std::string::npos);
+}
+
+} // namespace
+} // namespace grow

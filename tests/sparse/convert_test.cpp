@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "sparse/convert.hpp"
+#include "util/random.hpp"
+
+namespace grow::sparse {
+namespace {
+
+TEST(Convert, ToDenseValuesMatch)
+{
+    CooMatrix coo(2, 3);
+    coo.add(0, 2, 5.5);
+    coo.add(1, 0, -1.25);
+    coo.canonicalize();
+    auto csr = CsrMatrix::fromCoo(coo);
+    auto d = toDense(csr);
+    EXPECT_DOUBLE_EQ(d.at(0, 2), 5.5);
+    EXPECT_DOUBLE_EQ(d.at(1, 0), -1.25);
+    EXPECT_DOUBLE_EQ(d.at(0, 0), 0.0);
+}
+
+TEST(Convert, ToCsrEpsilonFilters)
+{
+    DenseMatrix d(2, 2);
+    d.at(0, 0) = 1e-12;
+    d.at(1, 1) = 1.0;
+    auto m = toCsr(d, 1e-9);
+    EXPECT_EQ(m.nnz(), 1u);
+}
+
+TEST(Convert, RandomDenseInRange)
+{
+    Rng rng(3);
+    auto d = randomDense(20, 20, rng);
+    for (uint32_t r = 0; r < 20; ++r) {
+        for (uint32_t c = 0; c < 20; ++c) {
+            EXPECT_GE(d.at(r, c), -1.0);
+            EXPECT_LT(d.at(r, c), 1.0);
+        }
+    }
+}
+
+TEST(Convert, RandomCsrFullDensityIsDense)
+{
+    Rng rng(4);
+    auto m = randomCsr(10, 10, 1.0, rng);
+    EXPECT_EQ(m.nnz(), 100u);
+}
+
+TEST(Convert, RandomCsrZeroDensityIsEmpty)
+{
+    Rng rng(5);
+    auto m = randomCsr(10, 10, 0.0, rng);
+    EXPECT_EQ(m.nnz(), 0u);
+    EXPECT_TRUE(m.validate());
+}
+
+TEST(Convert, RandomCsrDeterministicPerSeed)
+{
+    Rng a(6), b(6);
+    auto m1 = randomCsr(50, 50, 0.2, a);
+    auto m2 = randomCsr(50, 50, 0.2, b);
+    EXPECT_EQ(m1.colIdx(), m2.colIdx());
+}
+
+} // namespace
+} // namespace grow::sparse

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "sparse/convert.hpp"
+#include "sparse/coo_matrix.hpp"
+#include "sparse/csc_matrix.hpp"
+#include "sparse/csr_matrix.hpp"
+#include "util/random.hpp"
+
+namespace grow::sparse {
+namespace {
+
+CooMatrix
+smallCoo()
+{
+    CooMatrix coo(3, 4);
+    coo.add(0, 1, 1.0);
+    coo.add(0, 3, 2.0);
+    coo.add(2, 0, 3.0);
+    coo.add(2, 2, 4.0);
+    coo.canonicalize();
+    return coo;
+}
+
+TEST(CooMatrix, CanonicalizeSortsAndMerges)
+{
+    CooMatrix coo(2, 2);
+    coo.add(1, 1, 1.0);
+    coo.add(0, 0, 2.0);
+    coo.add(1, 1, 3.0);
+    EXPECT_FALSE(coo.canonical());
+    coo.canonicalize();
+    EXPECT_TRUE(coo.canonical());
+    ASSERT_EQ(coo.nnz(), 2u);
+    EXPECT_EQ(coo.triples()[0].row, 0u);
+    EXPECT_DOUBLE_EQ(coo.triples()[1].value, 4.0);
+}
+
+TEST(CooMatrix, OutOfBoundsRejected)
+{
+    CooMatrix coo(2, 2);
+    EXPECT_ANY_THROW(coo.add(2, 0, 1.0));
+    EXPECT_ANY_THROW(coo.add(0, 2, 1.0));
+}
+
+TEST(CsrMatrix, FromCooStructure)
+{
+    auto m = CsrMatrix::fromCoo(smallCoo());
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.nnz(), 4u);
+    EXPECT_EQ(m.rowNnz(0), 2u);
+    EXPECT_EQ(m.rowNnz(1), 0u);
+    EXPECT_EQ(m.rowNnz(2), 2u);
+    EXPECT_TRUE(m.validate());
+    auto cols = m.rowCols(0);
+    EXPECT_EQ(cols[0], 1u);
+    EXPECT_EQ(cols[1], 3u);
+}
+
+TEST(CsrMatrix, Density)
+{
+    auto m = CsrMatrix::fromCoo(smallCoo());
+    EXPECT_DOUBLE_EQ(m.density(), 4.0 / 12.0);
+}
+
+TEST(CsrMatrix, TransposedTwiceIsIdentity)
+{
+    Rng rng(5);
+    auto m = randomCsr(17, 23, 0.2, rng);
+    auto tt = m.transposed().transposed();
+    ASSERT_EQ(tt.rows(), m.rows());
+    ASSERT_EQ(tt.nnz(), m.nnz());
+    EXPECT_EQ(tt.rowPtr(), m.rowPtr());
+    EXPECT_EQ(tt.colIdx(), m.colIdx());
+    for (size_t i = 0; i < m.values().size(); ++i)
+        EXPECT_DOUBLE_EQ(tt.values()[i], m.values()[i]);
+}
+
+TEST(CsrMatrix, StreamBytes)
+{
+    auto m = CsrMatrix::fromCoo(smallCoo());
+    EXPECT_EQ(m.streamBytes(), 4 * 12 + 3 * 8u);
+}
+
+TEST(CsrMatrix, PermutedSymmetricPreservesStructure)
+{
+    // 3-node path graph 0-1-2 with values.
+    CooMatrix coo(3, 3);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 0, 1.0);
+    coo.add(1, 2, 2.0);
+    coo.add(2, 1, 2.0);
+    coo.canonicalize();
+    auto m = CsrMatrix::fromCoo(coo);
+    // Reverse node order.
+    auto p = m.permutedSymmetric({2, 1, 0});
+    EXPECT_TRUE(p.validate());
+    EXPECT_EQ(p.nnz(), m.nnz());
+    // New node 0 = old node 2: connected to old 1 = new 1 with value 2.
+    auto cols = p.rowCols(0);
+    auto vals = p.rowVals(0);
+    ASSERT_EQ(cols.size(), 1u);
+    EXPECT_EQ(cols[0], 1u);
+    EXPECT_DOUBLE_EQ(vals[0], 2.0);
+}
+
+TEST(CsrMatrix, PermutedSymmetricRejectsBadPermutation)
+{
+    Rng rng(6);
+    auto m = randomCsr(4, 4, 0.5, rng);
+    EXPECT_ANY_THROW(m.permutedSymmetric({0, 0, 1, 2}));
+    EXPECT_ANY_THROW(m.permutedSymmetric({0, 1}));
+}
+
+TEST(CscMatrix, FromCooStructure)
+{
+    auto m = CscMatrix::fromCoo(smallCoo());
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.nnz(), 4u);
+    EXPECT_EQ(m.colNnz(0), 1u);
+    EXPECT_EQ(m.colNnz(1), 1u);
+    EXPECT_EQ(m.colNnz(2), 1u);
+    EXPECT_EQ(m.colNnz(3), 1u);
+    EXPECT_TRUE(m.validate());
+    EXPECT_EQ(m.colRows(0)[0], 2u);
+}
+
+TEST(CscMatrix, FromCsrMatchesFromCoo)
+{
+    Rng rng(7);
+    auto csr = randomCsr(31, 19, 0.15, rng);
+    auto viaCsr = CscMatrix::fromCsr(csr);
+    EXPECT_TRUE(viaCsr.validate());
+    EXPECT_EQ(viaCsr.nnz(), csr.nnz());
+    // Round-trip back to CSR and compare exactly.
+    auto back = toCsr(viaCsr);
+    EXPECT_EQ(back.rowPtr(), csr.rowPtr());
+    EXPECT_EQ(back.colIdx(), csr.colIdx());
+}
+
+TEST(DenseMatrix, FillAndDensity)
+{
+    DenseMatrix d(4, 5);
+    EXPECT_DOUBLE_EQ(d.density(), 0.0);
+    d.fill(2.0);
+    EXPECT_DOUBLE_EQ(d.density(), 1.0);
+    d.at(0, 0) = 0.0;
+    EXPECT_EQ(d.nonZeroCount(), 19u);
+}
+
+TEST(DenseMatrix, MaxAbsDiff)
+{
+    DenseMatrix a(2, 2), b(2, 2);
+    a.at(1, 1) = 3.0;
+    b.at(1, 1) = 3.5;
+    EXPECT_DOUBLE_EQ(DenseMatrix::maxAbsDiff(a, b), 0.5);
+}
+
+TEST(DenseMatrix, SizeBytes)
+{
+    DenseMatrix d(10, 3);
+    EXPECT_EQ(d.sizeBytes(), 10u * 3 * 8);
+}
+
+/** Round-trip sweep: CSR <-> dense <-> CSC across shapes/densities. */
+class RoundTripSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>>
+{
+};
+
+TEST_P(RoundTripSweep, CsrDenseCscRoundTrip)
+{
+    auto [rows, cols, density] = GetParam();
+    Rng rng(rows * 1000 + cols);
+    auto csr = randomCsr(rows, cols, density, rng);
+    EXPECT_TRUE(csr.validate());
+
+    auto dense = toDense(csr);
+    auto back = toCsr(dense);
+    EXPECT_EQ(back.nnz(), csr.nnz());
+    EXPECT_EQ(back.colIdx(), csr.colIdx());
+
+    auto csc = toCsc(csr);
+    EXPECT_TRUE(csc.validate());
+    auto dense2 = toDense(csc);
+    EXPECT_DOUBLE_EQ(DenseMatrix::maxAbsDiff(dense, dense2), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RoundTripSweep,
+    ::testing::Values(std::tuple{1, 1, 1.0}, std::tuple{5, 5, 0.0},
+                      std::tuple{16, 16, 0.1}, std::tuple{64, 8, 0.5},
+                      std::tuple{8, 64, 0.9}, std::tuple{100, 100, 0.01},
+                      std::tuple{37, 53, 0.25}));
+
+/** randomCsr should hit its target density (law of large numbers). */
+class DensitySweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DensitySweep, EmpiricalDensityNearTarget)
+{
+    double target = GetParam();
+    Rng rng(99);
+    auto m = randomCsr(300, 300, target, rng);
+    EXPECT_NEAR(m.density(), target, 0.02 + target * 0.05);
+    EXPECT_TRUE(m.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, DensitySweep,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.39, 0.78,
+                                           0.99, 1.0));
+
+} // namespace
+} // namespace grow::sparse

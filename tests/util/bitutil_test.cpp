@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "util/bitutil.hpp"
+
+namespace grow {
+namespace {
+
+TEST(BitUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(ceilDiv(63, 64), 1u);
+    EXPECT_EQ(ceilDiv(65, 64), 2u);
+}
+
+TEST(BitUtil, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundUp(65, 64), 128u);
+}
+
+TEST(BitUtil, RoundDown)
+{
+    EXPECT_EQ(roundDown(0, 64), 0u);
+    EXPECT_EQ(roundDown(63, 64), 0u);
+    EXPECT_EQ(roundDown(64, 64), 64u);
+    EXPECT_EQ(roundDown(130, 64), 128u);
+}
+
+TEST(BitUtil, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ULL << 40));
+    EXPECT_FALSE(isPow2((1ULL << 40) + 1));
+}
+
+TEST(BitUtil, NextPow2)
+{
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(2), 2u);
+    EXPECT_EQ(nextPow2(3), 4u);
+    EXPECT_EQ(nextPow2(1000), 1024u);
+}
+
+TEST(BitUtil, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(1024), 10u);
+    EXPECT_EQ(log2Floor(1025), 10u);
+}
+
+/** Round-trip property: roundDown <= x <= roundUp, both multiples. */
+class RoundSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RoundSweep, RoundingInvariants)
+{
+    uint64_t b = GetParam();
+    for (uint64_t x : {0ULL, 1ULL, 7ULL, 63ULL, 64ULL, 100ULL, 4095ULL,
+                       1000000ULL}) {
+        EXPECT_LE(roundDown(x, b), x);
+        EXPECT_GE(roundUp(x, b), x);
+        EXPECT_EQ(roundDown(x, b) % b, 0u);
+        EXPECT_EQ(roundUp(x, b) % b, 0u);
+        EXPECT_LT(roundUp(x, b) - roundDown(x, b), 2 * b);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, RoundSweep,
+                         ::testing::Values(1, 3, 8, 64, 4096));
+
+} // namespace
+} // namespace grow

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+
+namespace grow {
+namespace {
+
+CliArgs
+makeArgs(std::vector<std::string> items)
+{
+    std::vector<char *> argv;
+    static std::vector<std::string> storage;
+    storage = std::move(items);
+    argv.push_back(const_cast<char *>("prog"));
+    for (auto &s : storage)
+        argv.push_back(const_cast<char *>(s.c_str()));
+    return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, ParsesKeyValues)
+{
+    auto args = makeArgs({"scale=mini", "seed=42"});
+    EXPECT_TRUE(args.has("scale"));
+    EXPECT_EQ(args.get("scale", "x"), "mini");
+    EXPECT_EQ(args.getInt("seed", 0), 42);
+}
+
+TEST(CliArgs, DefaultsWhenMissing)
+{
+    auto args = makeArgs({});
+    EXPECT_FALSE(args.has("scale"));
+    EXPECT_EQ(args.get("scale", "mini"), "mini");
+    EXPECT_EQ(args.getInt("n", 7), 7);
+    EXPECT_DOUBLE_EQ(args.getDouble("d", 1.5), 1.5);
+    EXPECT_TRUE(args.getBool("b", true));
+}
+
+TEST(CliArgs, ParsesBooleans)
+{
+    auto args = makeArgs({"a=true", "b=0", "c=yes", "d=off"});
+    EXPECT_TRUE(args.getBool("a", false));
+    EXPECT_FALSE(args.getBool("b", true));
+    EXPECT_TRUE(args.getBool("c", false));
+    EXPECT_FALSE(args.getBool("d", true));
+}
+
+TEST(CliArgs, ParsesLists)
+{
+    auto args = makeArgs({"datasets=cora, reddit ,yelp"});
+    auto list = args.getList("datasets", {});
+    ASSERT_EQ(list.size(), 3u);
+    EXPECT_EQ(list[0], "cora");
+    EXPECT_EQ(list[1], "reddit");
+    EXPECT_EQ(list[2], "yelp");
+}
+
+TEST(CliArgs, IgnoresDashDashFlags)
+{
+    auto args = makeArgs({"--benchmark_filter=all", "k=1"});
+    EXPECT_EQ(args.getInt("k", 0), 1);
+}
+
+TEST(CliArgs, RejectsPositionalArguments)
+{
+    EXPECT_ANY_THROW(makeArgs({"justaword"}));
+}
+
+TEST(CliArgs, RejectsBadBoolean)
+{
+    auto args = makeArgs({"b=maybe"});
+    EXPECT_ANY_THROW(args.getBool("b", false));
+}
+
+} // namespace
+} // namespace grow

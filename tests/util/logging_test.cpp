@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace grow {
+namespace {
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("boom"), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("bad config"), std::runtime_error);
+}
+
+TEST(Logging, AssertMacroFiresOnFalse)
+{
+    EXPECT_THROW(GROW_ASSERT(false, "must fire"), std::logic_error);
+}
+
+TEST(Logging, AssertMacroSilentOnTrue)
+{
+    EXPECT_NO_THROW(GROW_ASSERT(1 + 1 == 2, "fine"));
+}
+
+TEST(Logging, AssertMessageContainsLocation)
+{
+    try {
+        GROW_ASSERT(false, "xyz-marker");
+        FAIL() << "should have thrown";
+    } catch (const std::logic_error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("xyz-marker"), std::string::npos);
+        EXPECT_NE(msg.find("logging_test"), std::string::npos);
+    }
+}
+
+TEST(Logging, LevelFiltering)
+{
+    auto &logger = Logger::instance();
+    LogLevel old = logger.level();
+    logger.setLevel(LogLevel::Silent);
+    // Nothing should be emitted (and nothing should crash).
+    logDebug("d");
+    logInfo("i");
+    logWarn("w");
+    logError("e");
+    logger.setLevel(old);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace grow

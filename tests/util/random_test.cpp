@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace grow {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, BoundedIsUniform)
+{
+    Rng rng(11);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        counts[rng.bounded(10)] += 1;
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, BoundedOneAlwaysZero)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(5);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 10000; ++i) {
+        int64_t v = rng.range(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        sawLo |= v == -2;
+        sawHi |= v == 2;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ParetoTailHeavierForSmallerAlpha)
+{
+    Rng rng(19);
+    // With shape a, P(X > x) = x^-a: smaller shape -> heavier tail.
+    auto meanOf = [&](double alpha) {
+        double sum = 0;
+        for (int i = 0; i < 50000; ++i)
+            sum += std::min(rng.pareto(alpha), 1e6);
+        return sum / 50000;
+    };
+    EXPECT_GT(meanOf(1.2), meanOf(3.0));
+}
+
+TEST(Rng, ParetoRespectsMinimum)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.pareto(2.0, 3.5), 3.5);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(29);
+    double sum = 0;
+    for (int i = 0; i < 50000; ++i)
+        sum += rng.exponential(2.0);
+    EXPECT_NEAR(sum / 50000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(31);
+    double sum = 0, sq = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.normal(1.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 1.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(37);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(AliasTable, SingleCategory)
+{
+    Rng rng(41);
+    AliasTable t(std::vector<double>{5.0});
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(t.sample(rng), 0u);
+}
+
+TEST(AliasTable, MatchesWeights)
+{
+    Rng rng(43);
+    std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+    AliasTable t(w);
+    std::vector<int> counts(4, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        counts[t.sample(rng)] += 1;
+    for (int i = 0; i < 4; ++i)
+        EXPECT_NEAR(static_cast<double>(counts[i]) / n, w[i] / 10.0, 0.01)
+            << "category " << i;
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled)
+{
+    Rng rng(47);
+    AliasTable t(std::vector<double>{1.0, 0.0, 1.0});
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_NE(t.sample(rng), 1u);
+}
+
+TEST(AliasTable, RejectsAllZeroWeights)
+{
+    EXPECT_ANY_THROW(AliasTable(std::vector<double>{0.0, 0.0}));
+}
+
+TEST(AliasTable, RejectsNegativeWeights)
+{
+    EXPECT_ANY_THROW(AliasTable(std::vector<double>{1.0, -0.5}));
+}
+
+/** Property sweep: alias sampling matches the weight distribution for
+ *  many distribution shapes. */
+class AliasSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AliasSweep, EmpiricalDistributionMatches)
+{
+    const int k = GetParam();
+    Rng wrng(100 + k);
+    std::vector<double> w(k);
+    double total = 0;
+    for (auto &x : w) {
+        x = wrng.pareto(1.5);
+        total += x;
+    }
+    AliasTable t(w);
+    Rng rng(200 + k);
+    std::vector<int> counts(k, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        counts[t.sample(rng)] += 1;
+    for (int i = 0; i < k; ++i) {
+        double expected = w[i] / total;
+        double actual = static_cast<double>(counts[i]) / n;
+        EXPECT_NEAR(actual, expected, 0.015 + expected * 0.2)
+            << "category " << i << " of " << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AliasSweep,
+                         ::testing::Values(2, 3, 8, 17, 64, 129));
+
+} // namespace
+} // namespace grow

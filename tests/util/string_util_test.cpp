@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "util/string_util.hpp"
+
+namespace grow {
+namespace {
+
+TEST(StringUtil, SplitBasic)
+{
+    auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields)
+{
+    auto parts = split(",x,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[1], "x");
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtil, Trim)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("hi"), "hi");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtil, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(StringUtil, FmtRatio)
+{
+    EXPECT_EQ(fmtRatio(2.84, 2), "2.84x");
+}
+
+TEST(StringUtil, FmtPercent)
+{
+    EXPECT_EQ(fmtPercent(0.234, 1), "23.4%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(StringUtil, FmtBytes)
+{
+    EXPECT_EQ(fmtBytes(512), "512 B");
+    EXPECT_EQ(fmtBytes(2048), "2.00 KiB");
+    EXPECT_EQ(fmtBytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(StringUtil, FmtCount)
+{
+    EXPECT_EQ(fmtCount(0), "0");
+    EXPECT_EQ(fmtCount(999), "999");
+    EXPECT_EQ(fmtCount(1000), "1,000");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+}
+
+TEST(StringUtil, ToLower)
+{
+    EXPECT_EQ(toLower("CoRa"), "cora");
+    EXPECT_EQ(toLower("GROW-123"), "grow-123");
+}
+
+} // namespace
+} // namespace grow

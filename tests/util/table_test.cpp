@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "util/table.hpp"
+
+namespace grow {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"bb", "22"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("== demo =="), std::string::npos);
+    EXPECT_NE(s.find("| name"), std::string::npos);
+    EXPECT_NE(s.find("| alpha"), std::string::npos);
+    EXPECT_NE(s.find("| 22"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows)
+{
+    TextTable t("pad");
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"x"});
+    std::string s = t.render();
+    // The padded row must have all three column separators.
+    size_t lastLine = s.rfind("| x");
+    ASSERT_NE(lastLine, std::string::npos);
+    std::string row = s.substr(lastLine, s.find('\n', lastLine) - lastLine);
+    int pipes = 0;
+    for (char c : row)
+        pipes += c == '|';
+    EXPECT_EQ(pipes, 4);
+}
+
+TEST(TextTable, ColumnsAlign)
+{
+    TextTable t("align");
+    t.setHeader({"col", "v"});
+    t.addRow({"longer-cell", "1"});
+    t.addRow({"s", "2"});
+    std::string s = t.render();
+    // All table lines must be the same length.
+    size_t expected = 0;
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t eol = s.find('\n', pos);
+        std::string line = s.substr(pos, eol - pos);
+        if (!line.empty() && (line[0] == '|' || line[0] == '+')) {
+            if (expected == 0)
+                expected = line.size();
+            EXPECT_EQ(line.size(), expected) << line;
+        }
+        pos = eol + 1;
+    }
+}
+
+
+TEST(TextTable, CsvRendering)
+{
+    TextTable t("csv");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "hello, world"});
+    t.addRow({"quote\"inside", "2"});
+    std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("a,b\n"), std::string::npos);
+    EXPECT_NE(csv.find("1,\"hello, world\"\n"), std::string::npos);
+    EXPECT_NE(csv.find("\"quote\"\"inside\",2"), std::string::npos);
+}
+
+TEST(TextTable, CsvNoQuotingForPlainCells)
+{
+    TextTable t("csv2");
+    t.setHeader({"x"});
+    t.addRow({"plain"});
+    EXPECT_EQ(t.renderCsv(), "x\nplain\n");
+}
+
+} // namespace
+} // namespace grow
