@@ -23,10 +23,10 @@ main(int argc, char **argv)
         const auto &w = ctx.workload(spec.name);
         gcn::RunnerOptions opt;
         opt.usePartitioning = true;
-        core::GrowSim simA(EngineSet::growDefault());
+        core::GrowSim simA(driver::growDefaultConfig());
         auto simple = gcn::runInference(simA, w, opt);
         opt.sim.dramKind = "banked";
-        core::GrowSim simB(EngineSet::growDefault());
+        core::GrowSim simB(driver::growDefaultConfig());
         auto banked = gcn::runInference(simB, w, opt);
         t.addRow({spec.name, fmtCount(simple.totalCycles),
                   fmtCount(banked.totalCycles),

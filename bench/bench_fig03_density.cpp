@@ -21,9 +21,9 @@ main(int argc, char **argv)
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
         double dA = w.adjacency.density();
-        double dX = w.x0.density();
+        double dX = w.x(0).density();
         t.addRow({spec.name, fmtSci(dA), fmtPercent(dX, 2),
-                  fmtPercent(w.x1.density(), 1),
+                  fmtPercent(w.x(1).density(), 1),
                   dA > 0 ? fmtRatio(dX / dA, 0) : "-"});
     }
     t.print();

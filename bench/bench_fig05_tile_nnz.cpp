@@ -27,11 +27,12 @@ printHistogram(BenchContext &ctx, const char *title, bool aggregation,
     }
     t.setHeader(header);
 
-    accel::GcnaxSim gcnax(EngineSet::gcnaxDefault());
+    accel::GcnaxSim gcnax(driver::gcnaxDefaultConfig());
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
-        const sparse::CsrMatrix &m = aggregation ? w.adjacency : w.x0;
-        uint32_t rhsCols = aggregation ? w.shape.hidden : w.shape.hidden;
+        const sparse::CsrMatrix &m = aggregation ? w.adjacency : w.x(0);
+        // Both phases of layer 0 produce hidden-width outputs.
+        uint32_t rhsCols = w.layer(0).outDim;
         auto tiling = gcnax.chooseTiling(m, rhsCols);
         auto stats = sparse::TileGridStats::compute(
             m, sparse::TileShape{tiling.tm, tiling.tk});

@@ -23,7 +23,7 @@ main(int argc, char **argv)
     TextTable t("Figure 6");
     t.setHeader({"dataset", "A util (GCNAX)", "X util (GCNAX)",
                  "A util (GROW stream)"});
-    accel::GcnaxSim gcnax(EngineSet::gcnaxDefault());
+    accel::GcnaxSim gcnax(driver::gcnaxDefaultConfig());
     accel::SimOptions opt;
     std::vector<double> utilA;
     for (const auto &spec : ctx.specs()) {
@@ -35,7 +35,7 @@ main(int argc, char **argv)
         auto ra = gcnax.run(agg, opt);
 
         accel::SpDeGemmProblem comb;
-        comb.lhs = &w.x0;
+        comb.lhs = &w.x(0);
         comb.rhsCols = w.shape.hidden;
         comb.rhsOnChip = true;
         auto rx = gcnax.run(comb, opt);

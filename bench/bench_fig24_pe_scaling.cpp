@@ -25,7 +25,7 @@ main(int argc, char **argv)
         std::vector<std::string> row{spec.name};
         double base = 0;
         for (uint32_t pes : {1u, 2u, 4u, 8u, 16u}) {
-            core::GrowConfig cfg = EngineSet::growDefault();
+            core::GrowConfig cfg = driver::growDefaultConfig();
             cfg.numPes = pes;
             core::GrowSim sim(cfg);
             auto r = gcn::runInference(sim, w, opt);

@@ -26,7 +26,7 @@ main(int argc, char **argv)
         std::vector<std::string> row{spec.name};
         double base = 0;
         for (uint32_t degree : {1u, 2u, 4u, 8u, 16u, 32u}) {
-            core::GrowConfig cfg = EngineSet::growDefault();
+            core::GrowConfig cfg = driver::growDefaultConfig();
             cfg.runaheadDegree = degree;
             core::GrowSim sim(cfg);
             auto r = gcn::runInference(sim, w, opt);

@@ -30,7 +30,7 @@ main(int argc, char **argv)
         {
             std::vector<double> cycles;
             for (double bw : bws) {
-                core::GrowConfig cfg = EngineSet::growDefault();
+                core::GrowConfig cfg = driver::growDefaultConfig();
                 cfg.dram.bandwidthGBps = bw;
                 core::GrowSim sim(cfg);
                 gcn::RunnerOptions opt;
@@ -47,7 +47,7 @@ main(int argc, char **argv)
         {
             std::vector<double> cycles;
             for (double bw : bws) {
-                accel::GcnaxConfig cfg = EngineSet::gcnaxDefault();
+                accel::GcnaxConfig cfg = driver::gcnaxDefaultConfig();
                 cfg.dram.bandwidthGBps = bw;
                 accel::GcnaxSim sim(cfg);
                 gcn::RunnerOptions opt;

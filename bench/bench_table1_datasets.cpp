@@ -37,8 +37,8 @@ main(int argc, char **argv)
                   std::to_string(spec.gcn.inFeatures) + "-" +
                       std::to_string(spec.gcn.hidden) + "-" +
                       std::to_string(spec.gcn.classes),
-                  fmtPercent(w.x0.density(), 2),
-                  fmtPercent(w.x1.density(), 1)});
+                  fmtPercent(w.x(0).density(), 2),
+                  fmtPercent(w.x(1).density(), 1)});
     }
     t.print();
 

@@ -7,51 +7,6 @@
 
 namespace grow::bench {
 
-core::GrowConfig
-EngineSet::growDefault()
-{
-    return core::GrowConfig{};
-}
-
-core::GrowConfig
-EngineSet::growNoRunahead()
-{
-    // "Without runahead" (Fig. 21 baseline) removes the *multi-row*
-    // window: the engine derives one output row at a time and only
-    // admits the next row once the current one retires. Misses within
-    // the single active row may still overlap (the LDN/LHS-ID tables
-    // exist in all configurations).
-    core::GrowConfig c;
-    c.runaheadDegree = 1;
-    return c;
-}
-
-core::GrowConfig
-EngineSet::growNoCache()
-{
-    core::GrowConfig c;
-    c.hdnCacheEnabled = false;
-    return c;
-}
-
-accel::GcnaxConfig
-EngineSet::gcnaxDefault()
-{
-    return accel::GcnaxConfig{};
-}
-
-accel::MatRaptorConfig
-EngineSet::matraptorDefault()
-{
-    return accel::MatRaptorConfig{};
-}
-
-accel::GammaConfig
-EngineSet::gammaDefault()
-{
-    return accel::GammaConfig{};
-}
-
 BenchContext::BenchContext(int argc, char **argv,
                            const std::string &default_scale,
                            const std::string &default_datasets)
@@ -81,55 +36,9 @@ gcn::InferenceResult
 BenchContext::runEngine(const gcn::GcnWorkload &w,
                         const std::string &engine_key)
 {
-    gcn::RunnerOptions opt;
-    if (engine_key == "grow") {
-        opt.usePartitioning = true;
-        core::GrowSim sim(EngineSet::growDefault());
-        return gcn::runInference(sim, w, opt);
-    }
-    if (engine_key == "grow-nogp") {
-        core::GrowSim sim(EngineSet::growDefault());
-        return gcn::runInference(sim, w, opt);
-    }
-    if (engine_key == "grow-norunahead") {
-        core::GrowSim sim(EngineSet::growNoRunahead());
-        return gcn::runInference(sim, w, opt);
-    }
-    if (engine_key == "grow-norunahead-gp") {
-        opt.usePartitioning = true;
-        core::GrowSim sim(EngineSet::growNoRunahead());
-        return gcn::runInference(sim, w, opt);
-    }
-    if (engine_key == "grow-nocache") {
-        core::GrowSim sim(EngineSet::growNoCache());
-        return gcn::runInference(sim, w, opt);
-    }
-    if (engine_key == "grow-lru") {
-        opt.usePartitioning = true;
-        core::GrowConfig c = EngineSet::growDefault();
-        c.hdnPolicy = core::HdnPolicy::Lru;
-        core::GrowSim sim(c);
-        return gcn::runInference(sim, w, opt);
-    }
-    if (engine_key == "grow-lru-nogp") {
-        core::GrowConfig c = EngineSet::growDefault();
-        c.hdnPolicy = core::HdnPolicy::Lru;
-        core::GrowSim sim(c);
-        return gcn::runInference(sim, w, opt);
-    }
-    if (engine_key == "gcnax") {
-        accel::GcnaxSim sim(EngineSet::gcnaxDefault());
-        return gcn::runInference(sim, w, opt);
-    }
-    if (engine_key == "matraptor") {
-        accel::MatRaptorSim sim(EngineSet::matraptorDefault());
-        return gcn::runInference(sim, w, opt);
-    }
-    if (engine_key == "gamma") {
-        accel::GammaSim sim(EngineSet::gammaDefault());
-        return gcn::runInference(sim, w, opt);
-    }
-    fatal("unknown engine key: " + engine_key);
+    auto job = driver::makeEngineJob(engine_key, w);
+    auto engine = job.makeEngine();
+    return gcn::runInference(*engine, w, job.options);
 }
 
 const gcn::InferenceResult &
@@ -143,6 +52,30 @@ BenchContext::inference(const std::string &dataset,
                  .first;
     }
     return it->second;
+}
+
+void
+BenchContext::prefetch(const std::vector<std::string> &engine_keys)
+{
+    // Workload construction mutates the cache map; do it serially up
+    // front so the parallel phase only reads borrowed workloads.
+    std::vector<driver::SweepJob> jobs;
+    for (const auto &spec : specs_) {
+        const auto &w = workload(spec.name);
+        for (const auto &key : engine_keys) {
+            std::string cacheKey = spec.name + "/" + key;
+            if (results_.count(cacheKey))
+                continue;
+            auto job = driver::makeEngineJob(key, w);
+            // Label IS the cache key: inference() must find these.
+            job.label = std::move(cacheKey);
+            jobs.push_back(std::move(job));
+        }
+    }
+    driver::SweepDriver pool;
+    auto outcomes = pool.runAll(jobs);
+    for (auto &o : outcomes)
+        results_.emplace(o.label, std::move(o.inference));
 }
 
 void

@@ -20,6 +20,7 @@
 #include "accel/gcnax.hpp"
 #include "accel/matraptor.hpp"
 #include "core/grow.hpp"
+#include "driver/sweep_driver.hpp"
 #include "gcn/runner.hpp"
 #include "gcn/workload.hpp"
 #include "graph/datasets.hpp"
@@ -28,20 +29,6 @@
 #include "util/table.hpp"
 
 namespace grow::bench {
-
-/** Named GROW/baseline configurations used across benches. */
-struct EngineSet
-{
-    /** Paper-default GROW (Table III). */
-    static core::GrowConfig growDefault();
-    /** GROW with the runahead window disabled (1-way). */
-    static core::GrowConfig growNoRunahead();
-    /** GROW with the HDN cache disabled entirely. */
-    static core::GrowConfig growNoCache();
-    static accel::GcnaxConfig gcnaxDefault();
-    static accel::MatRaptorConfig matraptorDefault();
-    static accel::GammaConfig gammaDefault();
-};
 
 /** Workload cache + argument handling shared by all bench mains. */
 class BenchContext
@@ -58,9 +45,17 @@ class BenchContext
     /** Build (once) and return the workload of @p name. */
     const gcn::GcnWorkload &workload(const std::string &name);
 
-    /** Run 2-layer inference; results are cached per (engine, layout). */
+    /** Run inference; results are cached per (engine, layout). */
     const gcn::InferenceResult &
     inference(const std::string &dataset, const std::string &engine_key);
+
+    /**
+     * Fan the whole dataset x engine-key cross product out over the
+     * sweep driver and populate the inference cache, so subsequent
+     * inference() calls only read. Cuts sweep wall-clock by roughly
+     * the core count; results are identical to serial runs.
+     */
+    void prefetch(const std::vector<std::string> &engine_keys);
 
     /** Pretty header line for the bench. */
     void banner(const std::string &what) const;

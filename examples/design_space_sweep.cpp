@@ -1,23 +1,46 @@
 /**
  * @file
  * Architectural design-space exploration with the GROW model: sweep the
- * HDN cache capacity and the runahead degree for one dataset, and
- * report the latency / area / energy trade-off each point buys. This is
- * the kind of study Table III's chosen configuration came from.
+ * HDN cache capacity, the runahead degree, the MAC array width and the
+ * model depth for one dataset, and report the latency / area / energy
+ * trade-off each point buys. This is the kind of study Table III's
+ * chosen configuration came from.
  *
- * Usage: design_space_sweep [dataset=pokec] [scale=tiny]
+ * All sweep points are independent, so they are dispatched together
+ * through the SweepDriver thread pool and only *printed* in order --
+ * wall-clock shrinks by roughly the core count.
+ *
+ * Usage: design_space_sweep [dataset=pokec] [scale=tiny] [threads=0]
  */
 #include <iostream>
 
 #include "core/grow.hpp"
+#include "driver/sweep_driver.hpp"
 #include "energy/area_model.hpp"
 #include "gcn/runner.hpp"
 #include "gcn/workload.hpp"
 #include "util/cli.hpp"
+#include "util/logging.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
 using namespace grow;
+
+namespace {
+
+driver::SweepJob
+growJob(const std::string &label, const core::GrowConfig &cfg,
+        const gcn::GcnWorkload &w)
+{
+    driver::SweepJob job;
+    job.label = label;
+    job.makeEngine = [cfg] { return std::make_unique<core::GrowSim>(cfg); };
+    job.workload = &w;
+    job.options.usePartitioning = true;
+    return job;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -25,25 +48,88 @@ main(int argc, char **argv)
     CliArgs args(argc, argv);
     const auto &spec = graph::datasetByName(args.get("dataset", "pokec"));
     auto tier = graph::tierFromString(args.get("scale", "tiny"));
+    const int64_t threadsArg = args.getInt("threads", 0);
+    if (threadsArg < 0 || threadsArg > 1024)
+        fatal("threads must be between 0 (= all cores) and 1024, got " +
+              std::to_string(threadsArg));
+    driver::SweepDriver pool(static_cast<uint32_t>(threadsArg));
 
     gcn::WorkloadConfig wc;
     wc.tier = tier;
     auto w = gcn::buildWorkload(spec, wc);
     std::cout << "dataset " << spec.name << " @" << graph::tierName(tier)
-              << ": " << fmtCount(w.nodes()) << " nodes\n";
+              << ": " << fmtCount(w.nodes()) << " nodes ("
+              << pool.numThreads() << " sweep threads)\n";
 
-    gcn::RunnerOptions opt;
-    opt.usePartitioning = true;
+    // Deeper models reuse the same graph artefacts but need their own
+    // per-layer feature matrices. The depth matching wc.numLayers is
+    // exactly `w` -- don't rebuild it.
+    const uint32_t depths[] = {1, 2, 3, 4};
+    std::vector<gcn::GcnWorkload> deepWorkloads;
+    std::vector<const gcn::GcnWorkload *> workloadByDepth;
+    deepWorkloads.reserve(std::size(depths));
+    for (uint32_t depth : depths) {
+        if (depth == wc.numLayers) {
+            workloadByDepth.push_back(&w);
+            continue;
+        }
+        gcn::WorkloadConfig dwc = wc;
+        dwc.numLayers = depth;
+        deepWorkloads.push_back(gcn::buildWorkload(spec, dwc));
+        workloadByDepth.push_back(&deepWorkloads.back());
+    }
+
+    // --- Assemble every sweep point, then run them all at once. -------
+    std::vector<driver::SweepJob> jobs;
+
+    const Bytes capacitiesKb[] = {64, 128, 256, 512, 1024};
+    for (Bytes kb : capacitiesKb) {
+        core::GrowConfig cfg;
+        cfg.hdn.capacityBytes = kb * 1024;
+        jobs.push_back(growJob("cap/" + std::to_string(kb), cfg, w));
+    }
+
+    const std::pair<uint32_t, uint32_t> runaheadPoints[] = {
+        {1, 1}, {4, 4}, {8, 8}, {16, 16}, {32, 32}};
+    for (auto [degree, ldn] : runaheadPoints) {
+        core::GrowConfig cfg;
+        cfg.runaheadDegree = degree;
+        cfg.ldnEntries = ldn;
+        cfg.lhsIdEntries = 4 * ldn;
+        jobs.push_back(growJob("ra/" + std::to_string(degree), cfg, w));
+    }
+
+    const uint32_t macWidths[] = {8, 16, 32, 64};
+    for (uint32_t macs : macWidths) {
+        core::GrowConfig cfg;
+        cfg.numMacs = macs;
+        jobs.push_back(growJob("mac/" + std::to_string(macs), cfg, w));
+    }
+
+    for (size_t i = 0; i < std::size(depths); ++i) {
+        jobs.push_back(growJob("depth/" + std::to_string(depths[i]),
+                               core::GrowConfig{}, *workloadByDepth[i]));
+    }
+
+    auto outcomes = pool.runAll(jobs);
+    // Consume outcomes positionally, but verify the label so a reorder
+    // of the assembly block above cannot silently shift results onto
+    // the wrong table.
+    size_t cursor = 0;
+    auto take = [&](const std::string &prefix)
+        -> const gcn::InferenceResult & {
+        GROW_ASSERT(cursor < outcomes.size() &&
+                        outcomes[cursor].label.rfind(prefix, 0) == 0,
+                    "sweep outcome order mismatch at " + prefix);
+        return outcomes[cursor++].inference;
+    };
 
     // --- Sweep 1: HDN cache capacity. ---------------------------------
     TextTable c("HDN cache capacity sweep (runahead 16)");
     c.setHeader({"capacity", "hit rate", "cycles", "DRAM traffic",
                  "area @65nm (mm^2)", "energy (uJ)"});
-    for (Bytes kb : {64u, 128u, 256u, 512u, 1024u}) {
-        core::GrowConfig cfg;
-        cfg.hdn.capacityBytes = kb * 1024;
-        core::GrowSim sim(cfg);
-        auto r = gcn::runInference(sim, w, opt);
+    for (Bytes kb : capacitiesKb) {
+        const auto &r = take("cap/");
         energy::GrowAreaInputs area;
         area.hdnCacheBytes = kb * 1024;
         auto a = energy::estimateGrowArea(area,
@@ -61,15 +147,8 @@ main(int argc, char **argv)
     ra.setHeader({"runahead", "LDN entries", "cycles",
                   "vs (1,1) baseline"});
     double base = 0;
-    const std::pair<uint32_t, uint32_t> points[] = {
-        {1, 1}, {4, 4}, {8, 8}, {16, 16}, {32, 32}};
-    for (auto [degree, ldn] : points) {
-        core::GrowConfig cfg;
-        cfg.runaheadDegree = degree;
-        cfg.ldnEntries = ldn;
-        cfg.lhsIdEntries = 4 * ldn;
-        core::GrowSim sim(cfg);
-        auto r = gcn::runInference(sim, w, opt);
+    for (auto [degree, ldn] : runaheadPoints) {
+        const auto &r = take("ra/");
         double cycles = static_cast<double>(r.totalCycles);
         if (base == 0)
             base = cycles;
@@ -82,22 +161,37 @@ main(int argc, char **argv)
     TextTable m("MAC array width sweep");
     m.setHeader({"MACs", "cycles", "speedup vs 16", "area @65nm"});
     double ref = 0;
-    for (uint32_t macs : {8u, 16u, 32u, 64u}) {
-        core::GrowConfig cfg;
-        cfg.numMacs = macs;
-        core::GrowSim sim(cfg);
-        auto r = gcn::runInference(sim, w, opt);
-        double cycles = static_cast<double>(r.totalCycles);
+    std::vector<const gcn::InferenceResult *> macResults;
+    for (uint32_t macs : macWidths) {
+        const auto &r = take("mac/");
+        macResults.push_back(&r);
         if (macs == 16)
-            ref = cycles;
+            ref = static_cast<double>(r.totalCycles);
+    }
+    for (size_t i = 0; i < std::size(macWidths); ++i) {
+        const auto &r = *macResults[i];
+        double cycles = static_cast<double>(r.totalCycles);
         energy::GrowAreaInputs area;
-        area.numMacs = macs;
+        area.numMacs = macWidths[i];
         auto a = energy::estimateGrowArea(area,
                                           energy::ProcessNode::Nm65);
-        m.addRow({std::to_string(macs), fmtCount(r.totalCycles),
+        m.addRow({std::to_string(macWidths[i]), fmtCount(r.totalCycles),
                   ref > 0 ? fmtRatio(ref / cycles) : "-",
                   fmtDouble(a.total(), 2)});
     }
     m.print();
+
+    // --- Sweep 4: model depth (N-layer GCN). --------------------------
+    TextTable d("model depth sweep (Table I widths)");
+    d.setHeader({"layers", "phases", "cycles", "DRAM traffic",
+                 "energy (uJ)"});
+    for (uint32_t depth : depths) {
+        const auto &r = take("depth/");
+        d.addRow({std::to_string(depth),
+                  std::to_string(r.phases.size()), fmtCount(r.totalCycles),
+                  fmtBytes(r.totalTrafficBytes()),
+                  fmtDouble(r.energy.total() / 1e6, 1)});
+    }
+    d.print();
     return 0;
 }

@@ -1,9 +1,10 @@
 /**
  * @file
- * Quickstart: build a dataset, preprocess it the GROW way, run 2-layer
+ * Quickstart: build a dataset, preprocess it the GROW way, run N-layer
  * GCN inference on GROW and GCNAX, and print the headline comparison.
  *
  * Usage: quickstart [dataset=cora] [scale=mini] [functional=1]
+ *                   [layers=2]
  */
 #include <iostream>
 
@@ -12,6 +13,7 @@
 #include "accel/gcnax.hpp"
 #include "core/grow.hpp"
 #include "util/cli.hpp"
+#include "util/logging.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -24,11 +26,17 @@ main(int argc, char **argv)
     const auto &spec = graph::datasetByName(args.get("dataset", "cora"));
     auto tier = graph::tierFromString(args.get("scale", "mini"));
     const bool functional = args.getBool("functional", true);
+    const int64_t layersArg = args.getInt("layers", 2);
+    if (layersArg < 1 || layersArg > 64)
+        fatal("layers must be between 1 and 64, got " +
+              std::to_string(layersArg));
+    const uint32_t layers = static_cast<uint32_t>(layersArg);
 
     // 1. Build the workload: synthetic graph matched to Table I,
     //    normalized adjacency, METIS-like partitioning, HDN lists.
     gcn::WorkloadConfig wc;
     wc.tier = tier;
+    wc.numLayers = layers;
     wc.functionalData = functional;
     auto workload = gcn::buildWorkload(spec, wc);
     std::cout << "dataset " << spec.name << " @" << graph::tierName(tier)
@@ -51,8 +59,8 @@ main(int argc, char **argv)
     auto gcnaxRes = gcn::runInference(gcnax, workload, optBase);
 
     // 4. Report.
-    TextTable t("GROW vs GCNAX -- 2-layer GCN inference (" +
-                std::string(spec.name) + ")");
+    TextTable t("GROW vs GCNAX -- " + std::to_string(layers) +
+                "-layer GCN inference (" + std::string(spec.name) + ")");
     t.setHeader({"engine", "cycles", "DRAM traffic", "energy (uJ)",
                  "HDN hit rate"});
     for (const auto *r : {&growRes, &gcnaxRes}) {

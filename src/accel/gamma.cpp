@@ -1,13 +1,14 @@
 #include "accel/gamma.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/bitutil.hpp"
 #include "util/logging.hpp"
 
 namespace grow::accel {
 
-GammaSim::GammaSim(GammaConfig config) : config_(config)
+GammaSim::GammaSim(GammaConfig config) : config_(std::move(config))
 {
     GROW_ASSERT(config_.numMacs > 0, "invalid GAMMA configuration");
 }

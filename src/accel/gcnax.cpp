@@ -1,6 +1,7 @@
 #include "accel/gcnax.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/bitutil.hpp"
 #include "util/logging.hpp"
@@ -21,7 +22,7 @@ pow2Floor(uint32_t x)
 
 } // namespace
 
-GcnaxSim::GcnaxSim(GcnaxConfig config) : config_(config)
+GcnaxSim::GcnaxSim(GcnaxConfig config) : config_(std::move(config))
 {
     GROW_ASSERT(config_.numMacs > 0, "GCNAX needs at least one MAC");
 }

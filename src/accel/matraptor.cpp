@@ -1,13 +1,14 @@
 #include "accel/matraptor.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/bitutil.hpp"
 #include "util/logging.hpp"
 
 namespace grow::accel {
 
-MatRaptorSim::MatRaptorSim(MatRaptorConfig config) : config_(config)
+MatRaptorSim::MatRaptorSim(MatRaptorConfig config) : config_(std::move(config))
 {
     GROW_ASSERT(config_.numMacs > 0 && config_.mergeLanes > 0,
                 "invalid MatRaptor configuration");

@@ -6,7 +6,7 @@
 
 namespace grow::core {
 
-GrowSim::GrowSim(GrowConfig config) : config_(config)
+GrowSim::GrowSim(GrowConfig config) : config_(std::move(config))
 {
     GROW_ASSERT(config_.numPes >= 1, "need at least one PE");
 }
@@ -20,13 +20,21 @@ topReferencedColumns(const sparse::CsrMatrix &lhs, uint32_t top_n)
     std::vector<NodeId> ids(lhs.cols());
     for (NodeId i = 0; i < lhs.cols(); ++i)
         ids[i] = i;
-    std::sort(ids.begin(), ids.end(), [&freq](NodeId a, NodeId b) {
+    // Only the top-N ranks matter; a full sort of every column is
+    // wasted work when top_n << cols (the common case: 4096 CAM
+    // entries vs millions of columns).
+    auto cmp = [&freq](NodeId a, NodeId b) {
         if (freq[a] != freq[b])
             return freq[a] > freq[b];
         return a < b;
-    });
-    if (ids.size() > top_n)
+    };
+    if (ids.size() > top_n) {
+        std::partial_sort(ids.begin(), ids.begin() + top_n, ids.end(),
+                          cmp);
         ids.resize(top_n);
+    } else {
+        std::sort(ids.begin(), ids.end(), cmp);
+    }
     return ids;
 }
 
@@ -54,14 +62,12 @@ GrowSim::run(const accel::SpDeGemmProblem &problem,
         problem.clustering != nullptr ? problem.clustering
                                       : &defaultClustering;
 
-    std::vector<std::vector<NodeId>> fallbackLists;
-    const std::vector<std::vector<NodeId>> *hdnLists = problem.hdnLists;
-    if (hdnLists == nullptr && config_.hdnCacheEnabled &&
-        !problem.rhsOnChip) {
-        auto global = topReferencedColumns(S, config_.hdn.camEntries);
-        fallbackLists.assign(clustering->numClusters(), global);
-        hdnLists = &fallbackLists;
-    }
+    // Fallback global HDN list ("GROW w/o G.P"): ranked once per
+    // problem and shared by every cluster, not copied per cluster.
+    std::vector<NodeId> globalHdnList;
+    if (problem.hdnLists == nullptr && config_.hdnCacheEnabled &&
+        !problem.rhsOnChip)
+        globalHdnList = topReferencedColumns(S, config_.hdn.camEntries);
 
     // Shared DRAM channel; bandwidth scales with PE count (Sec. VII-F).
     mem::DramConfig dramCfg = config_.dram;
@@ -86,7 +92,8 @@ GrowSim::run(const accel::SpDeGemmProblem &problem,
     ep.rhsValues = problem.rhs;
     ep.rhsOnChip = problem.rhsOnChip;
     ep.clustering = clustering;
-    ep.hdnLists = hdnLists;
+    ep.hdnLists = problem.hdnLists;
+    ep.globalHdnList = globalHdnList.empty() ? nullptr : &globalHdnList;
 
     std::vector<std::unique_ptr<RowEngine>> engines;
     engines.reserve(config_.numPes);

@@ -97,9 +97,15 @@ RowEngine::startNextCluster()
     if (config_.hdnPolicy == HdnPolicy::Lru)
         return;
 
+    const std::vector<NodeId> *clusterIdsList = nullptr;
+    if (problem_.hdnLists != nullptr && c < problem_.hdnLists->size())
+        clusterIdsList = &(*problem_.hdnLists)[c];
+    else if (problem_.globalHdnList != nullptr)
+        clusterIdsList = problem_.globalHdnList;
+
     if (!problem_.rhsOnChip && config_.hdnCacheEnabled &&
-        problem_.hdnLists != nullptr && c < problem_.hdnLists->size()) {
-        const auto &ids = (*problem_.hdnLists)[c];
+        clusterIdsList != nullptr) {
+        const auto &ids = *clusterIdsList;
         uint32_t pinned = hdnCache_.loadCluster(ids);
         stats_.hdnRowsPinned += pinned;
         Bytes preload = static_cast<Bytes>(ids.size()) * kHdnIdBytes +

@@ -70,6 +70,12 @@ struct RowEngineProblem
     bool rhsOnChip = false;
     const partition::Clustering *clustering = nullptr;
     const std::vector<std::vector<NodeId>> *hdnLists = nullptr;
+    /**
+     * Shared fallback HDN list preloaded by every cluster that has no
+     * per-cluster entry in hdnLists ("GROW w/o G.P": one global top-N
+     * list, computed once per problem instead of copied per cluster).
+     */
+    const std::vector<NodeId> *globalHdnList = nullptr;
 };
 
 class RowEngine

@@ -1,0 +1,139 @@
+#include "driver/engine_factory.hpp"
+
+#include "core/grow.hpp"
+#include "util/logging.hpp"
+
+namespace grow::driver {
+
+namespace {
+
+template <typename Sim, typename Config>
+EngineFactory
+factoryOf(Config config)
+{
+    return [config]() -> std::unique_ptr<accel::AcceleratorSim> {
+        return std::make_unique<Sim>(config);
+    };
+}
+
+/**
+ * The one registry table: key, layout convention, factory builder.
+ * engineByKey and knownEngineKeys both iterate it, so the key set
+ * cannot drift between the dispatch and the published list.
+ */
+struct RegistryEntry
+{
+    const char *key;
+    bool usePartitioning;
+    EngineFactory (*make)();
+};
+
+const RegistryEntry kRegistry[] = {
+    {"grow", true,
+     [] { return factoryOf<core::GrowSim>(growDefaultConfig()); }},
+    {"grow-nogp", false,
+     [] { return factoryOf<core::GrowSim>(growDefaultConfig()); }},
+    {"grow-norunahead", false,
+     [] { return factoryOf<core::GrowSim>(growNoRunaheadConfig()); }},
+    {"grow-norunahead-gp", true,
+     [] { return factoryOf<core::GrowSim>(growNoRunaheadConfig()); }},
+    {"grow-nocache", false,
+     [] { return factoryOf<core::GrowSim>(growNoCacheConfig()); }},
+    {"grow-lru", true,
+     [] { return factoryOf<core::GrowSim>(growLruConfig()); }},
+    {"grow-lru-nogp", false,
+     [] { return factoryOf<core::GrowSim>(growLruConfig()); }},
+    {"gcnax", false,
+     [] { return factoryOf<accel::GcnaxSim>(gcnaxDefaultConfig()); }},
+    {"matraptor", false,
+     [] {
+         return factoryOf<accel::MatRaptorSim>(matraptorDefaultConfig());
+     }},
+    {"gamma", false,
+     [] { return factoryOf<accel::GammaSim>(gammaDefaultConfig()); }},
+};
+
+} // namespace
+
+core::GrowConfig
+growDefaultConfig()
+{
+    return core::GrowConfig{};
+}
+
+core::GrowConfig
+growNoRunaheadConfig()
+{
+    // "Without runahead" (Fig. 21 baseline) removes the *multi-row*
+    // window: the engine derives one output row at a time and only
+    // admits the next row once the current one retires. Misses within
+    // the single active row may still overlap (the LDN/LHS-ID tables
+    // exist in all configurations).
+    core::GrowConfig c;
+    c.runaheadDegree = 1;
+    return c;
+}
+
+core::GrowConfig
+growLruConfig()
+{
+    core::GrowConfig c;
+    c.hdnPolicy = core::HdnPolicy::Lru;
+    return c;
+}
+
+core::GrowConfig
+growNoCacheConfig()
+{
+    core::GrowConfig c;
+    c.hdnCacheEnabled = false;
+    return c;
+}
+
+accel::GcnaxConfig
+gcnaxDefaultConfig()
+{
+    return accel::GcnaxConfig{};
+}
+
+accel::MatRaptorConfig
+matraptorDefaultConfig()
+{
+    return accel::MatRaptorConfig{};
+}
+
+accel::GammaConfig
+gammaDefaultConfig()
+{
+    return accel::GammaConfig{};
+}
+
+EngineSpec
+engineByKey(const std::string &key)
+{
+    for (const auto &entry : kRegistry) {
+        if (key == entry.key) {
+            EngineSpec spec;
+            spec.key = key;
+            spec.usePartitioning = entry.usePartitioning;
+            spec.make = entry.make();
+            return spec;
+        }
+    }
+    std::string known;
+    for (const auto &entry : kRegistry)
+        known += (known.empty() ? "" : ", ") + std::string(entry.key);
+    fatal("unknown engine key: " + key + " (known: " + known + ")");
+}
+
+std::vector<std::string>
+knownEngineKeys()
+{
+    std::vector<std::string> keys;
+    keys.reserve(std::size(kRegistry));
+    for (const auto &entry : kRegistry)
+        keys.push_back(entry.key);
+    return keys;
+}
+
+} // namespace grow::driver

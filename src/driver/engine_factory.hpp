@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Registry of named engine configurations.
+ *
+ * Benches, examples and the sweep driver all refer to engines by a
+ * string key ("grow", "grow-nogp", "gcnax", ...). Each key maps to a
+ * factory producing a fresh AcceleratorSim plus the runner-layout
+ * convention that configuration is evaluated under (Table II: only
+ * GROW consumes the graph-partitioning preprocessing).
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "accel/gamma.hpp"
+#include "accel/gcnax.hpp"
+#include "accel/matraptor.hpp"
+#include "core/grow_config.hpp"
+
+namespace grow::driver {
+
+/** Factory for fresh engine instances of one named configuration. */
+using EngineFactory =
+    std::function<std::unique_ptr<accel::AcceleratorSim>()>;
+
+/** One named engine configuration. */
+struct EngineSpec
+{
+    std::string key;
+    /** Whether runs of this engine consume the partitioned layout. */
+    bool usePartitioning = false;
+    EngineFactory make;
+};
+
+/** Lookup by key; fatal() (naming the known keys) when unknown. */
+EngineSpec engineByKey(const std::string &key);
+
+/** Every key engineByKey() accepts. */
+std::vector<std::string> knownEngineKeys();
+
+/**
+ * Named configurations shared by the registry and the benches
+ * (single source of truth for what each key means).
+ */
+core::GrowConfig growDefaultConfig();
+/** GROW with the multi-row runahead window disabled (Fig. 21). */
+core::GrowConfig growNoRunaheadConfig();
+/** GROW with the HDN cache disabled entirely (Fig. 19). */
+core::GrowConfig growNoCacheConfig();
+/** GROW with demand-filled LRU replacement (Sec. VIII study). */
+core::GrowConfig growLruConfig();
+/** Baselines provisioned to match GROW (Sec. VI). */
+accel::GcnaxConfig gcnaxDefaultConfig();
+accel::MatRaptorConfig matraptorDefaultConfig();
+accel::GammaConfig gammaDefaultConfig();
+
+} // namespace grow::driver

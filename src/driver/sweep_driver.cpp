@@ -1,0 +1,85 @@
+#include "driver/sweep_driver.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace grow::driver {
+
+SweepJob
+makeEngineJob(const std::string &key, const gcn::GcnWorkload &workload,
+              const gcn::RunnerOptions &base)
+{
+    auto spec = engineByKey(key);
+    SweepJob job;
+    job.label = std::string(workload.spec ? workload.spec->name : "?") +
+                "/" + key;
+    job.makeEngine = std::move(spec.make);
+    job.workload = &workload;
+    job.options = base;
+    job.options.usePartitioning = spec.usePartitioning;
+    return job;
+}
+
+SweepDriver::SweepDriver(uint32_t num_threads)
+{
+    if (num_threads == 0)
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    numThreads_ = num_threads;
+}
+
+std::vector<SweepOutcome>
+SweepDriver::runAll(const std::vector<SweepJob> &jobs) const
+{
+    std::vector<SweepOutcome> outcomes(jobs.size());
+    if (jobs.empty())
+        return outcomes;
+
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::vector<std::exception_ptr> errors(jobs.size());
+
+    auto worker = [&]() {
+        while (true) {
+            const size_t i = next.fetch_add(1);
+            if (i >= jobs.size() || failed.load())
+                return;
+            const SweepJob &job = jobs[i];
+            try {
+                GROW_ASSERT(job.workload != nullptr,
+                            "sweep job without a workload");
+                GROW_ASSERT(static_cast<bool>(job.makeEngine),
+                            "sweep job without an engine factory");
+                auto engine = job.makeEngine();
+                outcomes[i].label = job.label;
+                outcomes[i].inference =
+                    gcn::runInference(*engine, *job.workload, job.options);
+            } catch (...) {
+                errors[i] = std::current_exception();
+                failed.store(true);
+            }
+        }
+    };
+
+    const uint32_t threads = static_cast<uint32_t>(
+        std::min<size_t>(numThreads_, jobs.size()));
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (uint32_t t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    for (auto &err : errors)
+        if (err)
+            std::rethrow_exception(err);
+    return outcomes;
+}
+
+} // namespace grow::driver

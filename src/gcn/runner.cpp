@@ -32,6 +32,32 @@ checkFunctional(const accel::PhaseResult &result,
                     fmtSci(diff) + ")");
 }
 
+/** Fold one executed phase into the inference aggregate. */
+void
+accumulatePhase(InferenceResult &res, uint32_t layer,
+                accel::PhaseResult &&r, const energy::EnergyParams &params)
+{
+    PhaseMetrics pm;
+    pm.layer = layer;
+    pm.energy = energy::computeEnergy(params, r.activity);
+    res.totalCycles += r.cycles;
+    res.macOps += r.macOps;
+    mergeTraffic(res.traffic, r.traffic);
+    res.energy += pm.energy;
+    if (r.phase == accel::Phase::Aggregation) {
+        res.aggregationCycles += r.cycles;
+        res.cacheHits += r.cacheHits;
+        res.cacheMisses += r.cacheMisses;
+    } else {
+        res.combinationCycles += r.cycles;
+    }
+    // Drop bulky functional outputs before archiving.
+    r.output = sparse::DenseMatrix();
+    r.hasOutput = false;
+    pm.result = std::move(r);
+    res.phases.push_back(std::move(pm));
+}
+
 } // namespace
 
 double
@@ -43,91 +69,102 @@ InferenceResult::cacheHitRate() const
                             static_cast<double>(total);
 }
 
-InferenceResult
-runInference(accel::AcceleratorSim &engine, const GcnWorkload &workload,
-             const RunnerOptions &options)
+PhasePlan
+buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
 {
     const bool part = options.usePartitioning;
     GROW_ASSERT(!part || workload.hasPartitioning,
                 "workload lacks partitioning artefacts");
     const bool functional = options.sim.functional;
-    GROW_ASSERT(!functional ||
-                    (workload.w0.has_value() && workload.w1.has_value()),
+    GROW_ASSERT(!functional || workload.hasFunctionalData(),
                 "functional mode requires workload weights");
-
-    InferenceResult res;
-    res.engine = engine.name();
+    GROW_ASSERT(workload.numLayers() >= 1, "workload has no layers");
 
     const sparse::CsrMatrix &A =
         part ? workload.adjacencyPartitioned : workload.adjacency;
 
-    for (uint32_t layer = 0; layer < 2; ++layer) {
-        const sparse::CsrMatrix &X =
-            layer == 0 ? (part ? workload.x0Partitioned : workload.x0)
-                       : (part ? workload.x1Partitioned : workload.x1);
-        const uint32_t outCols = layer == 0 ? workload.shape.hidden
-                                            : workload.shape.classes;
-        const sparse::DenseMatrix *W =
-            functional
-                ? (layer == 0 ? &workload.w0.value() : &workload.w1.value())
-                : nullptr;
+    PhasePlan plan;
+    plan.reserve(2 * workload.numLayers());
+    for (uint32_t layer = 0; layer < workload.numLayers(); ++layer) {
+        const uint32_t outCols = workload.layer(layer).outDim;
 
-        // ---- Combination: X * W (W resident on-chip) -----------------
-        accel::SpDeGemmProblem comb;
-        comb.lhs = &X;
-        comb.rhsCols = outCols;
-        comb.rhs = W;
-        comb.phase = accel::Phase::Combination;
-        comb.rhsOnChip = true;
-        auto combRes = engine.run(comb, options.sim);
-        if (functional)
-            checkFunctional(combRes, X, *W,
-                            "combination layer " + std::to_string(layer));
+        // ---- Combination: X(i) * W(i) (W resident on-chip) -----------
+        PlannedPhase comb;
+        comb.layer = layer;
+        comb.problem.lhs =
+            part ? &workload.xPartitioned(layer) : &workload.x(layer);
+        comb.problem.rhsCols = outCols;
+        comb.problem.rhs = functional ? &workload.weight(layer) : nullptr;
+        comb.problem.phase = accel::Phase::Combination;
+        comb.problem.rhsOnChip = true;
+        plan.push_back(comb);
 
-        // ---- Aggregation: A * (XW) -----------------------------------
-        accel::SpDeGemmProblem agg;
-        agg.lhs = &A;
-        agg.rhsCols = outCols;
-        sparse::DenseMatrix xw;
-        if (functional) {
-            xw = std::move(combRes.output);
-            combRes.hasOutput = false;
-            agg.rhs = &xw;
-        }
-        agg.phase = accel::Phase::Aggregation;
+        // ---- Aggregation: A * (X(i)W(i)) -----------------------------
+        // In functional mode the dense RHS is the preceding combination
+        // output, threaded in by executePlan.
+        PlannedPhase agg;
+        agg.layer = layer;
+        agg.problem.lhs = &A;
+        agg.problem.rhsCols = outCols;
+        agg.problem.phase = accel::Phase::Aggregation;
         if (part) {
-            agg.clustering = &workload.relabel.clustering;
-            agg.hdnLists = &workload.hdnLists;
+            agg.problem.clustering = &workload.relabel.clustering;
+            agg.problem.hdnLists = &workload.hdnLists;
         }
-        auto aggRes = engine.run(agg, options.sim);
-        if (functional)
-            checkFunctional(aggRes, A, xw,
-                            "aggregation layer " + std::to_string(layer));
+        plan.push_back(agg);
+    }
+    return plan;
+}
 
-        // ---- Bookkeeping ---------------------------------------------
-        for (auto *r : {&combRes, &aggRes}) {
-            PhaseMetrics pm;
-            pm.layer = layer;
-            pm.energy = energy::computeEnergy(options.energy, r->activity);
-            res.totalCycles += r->cycles;
-            res.macOps += r->macOps;
-            mergeTraffic(res.traffic, r->traffic);
-            res.energy += pm.energy;
-            if (r->phase == accel::Phase::Aggregation) {
-                res.aggregationCycles += r->cycles;
-                res.cacheHits += r->cacheHits;
-                res.cacheMisses += r->cacheMisses;
-            } else {
-                res.combinationCycles += r->cycles;
-            }
-            // Drop bulky functional outputs before archiving.
-            r->output = sparse::DenseMatrix();
-            r->hasOutput = false;
-            pm.result = std::move(*r);
-            res.phases.push_back(std::move(pm));
+InferenceResult
+executePlan(accel::AcceleratorSim &engine, const PhasePlan &plan,
+            const RunnerOptions &options)
+{
+    const bool functional = options.sim.functional;
+
+    InferenceResult res;
+    res.engine = engine.name();
+
+    // The most recent combination output, pending consumption by the
+    // same layer's aggregation step (functional mode only).
+    sparse::DenseMatrix pending;
+    bool hasPending = false;
+
+    for (const PlannedPhase &step : plan) {
+        accel::SpDeGemmProblem problem = step.problem;
+        const bool isAggregation =
+            problem.phase == accel::Phase::Aggregation;
+        if (functional && isAggregation) {
+            GROW_ASSERT(hasPending,
+                        "aggregation step without a preceding "
+                        "combination output");
+            problem.rhs = &pending;
         }
+
+        auto phaseRes = engine.run(problem, options.sim);
+        if (functional) {
+            checkFunctional(phaseRes, *problem.lhs, *problem.rhs,
+                            std::string(accel::phaseName(problem.phase)) +
+                                " layer " + std::to_string(step.layer));
+            if (isAggregation) {
+                hasPending = false;
+            } else {
+                pending = std::move(phaseRes.output);
+                phaseRes.hasOutput = false;
+                hasPending = true;
+            }
+        }
+        accumulatePhase(res, step.layer, std::move(phaseRes),
+                        options.energy);
     }
     return res;
 }
 
-} // namespace gcn
+InferenceResult
+runInference(accel::AcceleratorSim &engine, const GcnWorkload &workload,
+             const RunnerOptions &options)
+{
+    return executePlan(engine, buildPhasePlan(workload, options), options);
+}
+
+} // namespace grow::gcn

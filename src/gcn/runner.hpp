@@ -2,10 +2,13 @@
  * @file
  * End-to-end GCN inference runner.
  *
- * Executes the 2-layer GCN of Table I as four SpDeGEMM phases
- * (combination then aggregation per layer, the A*(X*W) order of
- * Sec. II-B) on any AcceleratorSim, and aggregates cycles, classified
- * DRAM traffic, cache statistics and Fig. 22-style energy.
+ * An N-layer GCN (Table I generalised) is lowered into a declarative
+ * *phase plan*: an ordered list of SpDeGEMM problems -- combination
+ * then aggregation per layer, the A*(X*W) order of Sec. II-B. A
+ * generic executor runs any plan on any AcceleratorSim, threading
+ * functional combination outputs into the matching aggregation inputs,
+ * and aggregates cycles, classified DRAM traffic, cache statistics and
+ * Fig. 22-style energy. See DESIGN.md for the layer-plan abstraction.
  */
 #pragma once
 
@@ -30,6 +33,25 @@ struct RunnerOptions
      */
     bool usePartitioning = false;
 };
+
+/**
+ * One step of a lowered inference: a fully described SpDeGEMM plus its
+ * provenance in the model. For a functional aggregation step the dense
+ * RHS is produced at execution time by the preceding combination step,
+ * so problem.rhs stays null in the plan.
+ */
+struct PlannedPhase
+{
+    uint32_t layer = 0;
+    accel::SpDeGemmProblem problem;
+};
+
+/**
+ * Ordered lowering of one workload: 2 * depth SpDeGEMM steps. The plan
+ * borrows matrices from the workload it was built from -- the workload
+ * must outlive the plan.
+ */
+using PhasePlan = std::vector<PlannedPhase>;
 
 /** One executed phase with its energy. */
 struct PhaseMetrics
@@ -61,11 +83,28 @@ struct InferenceResult
 };
 
 /**
- * Run 2-layer GCN inference for @p workload on @p engine.
+ * Lower @p workload into its ordered phase plan under @p options:
+ * for each layer i, combination X(i)*W(i) (W on-chip) followed by
+ * aggregation A*(X(i)W(i)), with GROW's preprocessing artefacts
+ * attached to aggregation steps when options.usePartitioning.
+ */
+PhasePlan buildPhasePlan(const GcnWorkload &workload,
+                         const RunnerOptions &options);
+
+/**
+ * Execute @p plan on @p engine and aggregate the per-phase metrics.
  *
- * In functional mode (options.sim.functional) the combination outputs
- * feed the aggregation inputs and every phase output is checked against
- * sparse::referenceSpMM; a mismatch panics.
+ * In functional mode (options.sim.functional) each combination output
+ * feeds the same layer's aggregation input and every phase output is
+ * checked against sparse::referenceSpMM; a mismatch panics.
+ */
+InferenceResult executePlan(accel::AcceleratorSim &engine,
+                            const PhasePlan &plan,
+                            const RunnerOptions &options);
+
+/**
+ * Run N-layer GCN inference for @p workload on @p engine: convenience
+ * wrapper for buildPhasePlan + executePlan.
  */
 InferenceResult runInference(accel::AcceleratorSim &engine,
                              const GcnWorkload &workload,

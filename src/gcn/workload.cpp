@@ -30,6 +30,19 @@ permuteRows(const sparse::CsrMatrix &m,
                                       std::move(values));
 }
 
+std::vector<uint32_t>
+layerDims(const graph::GcnShape &shape, uint32_t numLayers)
+{
+    GROW_ASSERT(numLayers >= 1, "a GCN model needs at least one layer");
+    std::vector<uint32_t> dims;
+    dims.reserve(numLayers + 1);
+    dims.push_back(shape.inFeatures);
+    for (uint32_t i = 1; i < numLayers; ++i)
+        dims.push_back(shape.hidden);
+    dims.push_back(shape.classes);
+    return dims;
+}
+
 GcnWorkload
 buildWorkload(const graph::DatasetSpec &spec, const WorkloadConfig &config)
 {
@@ -45,9 +58,24 @@ buildWorkload(const graph::DatasetSpec &spec, const WorkloadConfig &config)
     const uint32_t n = w.graph.numNodes();
     Rng rng(config.seed * 1000003 + spec.seed);
 
-    // Feature matrices at the published densities (Table I).
-    w.x0 = sparse::randomCsr(n, spec.gcn.inFeatures, spec.x0Density, rng);
-    w.x1 = sparse::randomCsr(n, spec.gcn.hidden, spec.x1Density, rng);
+    // Layer plan: X(0) at Table I's x0 density; every deeper X(i)
+    // stands in for a post-ReLU feature map, for which Table I only
+    // publishes the density after layer 1 -- reuse it for all of them
+    // (see DESIGN.md substitutions).
+    const auto dims = layerDims(spec.gcn, config.numLayers);
+    w.layers.resize(config.numLayers);
+    for (uint32_t i = 0; i < config.numLayers; ++i) {
+        w.layers[i].index = i;
+        w.layers[i].inDim = dims[i];
+        w.layers[i].outDim = dims[i + 1];
+        w.layers[i].xDensity = i == 0 ? spec.x0Density : spec.x1Density;
+    }
+
+    // Synthetic feature matrices at the published densities (Table I).
+    w.features.reserve(config.numLayers);
+    for (const auto &layer : w.layers)
+        w.features.push_back(
+            sparse::randomCsr(n, layer.inDim, layer.xDensity, rng));
 
     if (config.buildPartitioning) {
         // Default cluster granularity tracks the HDN cache: a cluster
@@ -74,15 +102,18 @@ buildWorkload(const graph::DatasetSpec &spec, const WorkloadConfig &config)
             w.adjacency.permutedSymmetric(w.relabel.newToOld);
         w.hdnLists = partition::selectHdnPerCluster(
             relabeledGraph, w.relabel.clustering, config.hdnTopN);
-        w.x0Partitioned = permuteRows(w.x0, w.relabel.newToOld);
-        w.x1Partitioned = permuteRows(w.x1, w.relabel.newToOld);
+        w.featuresPartitioned.reserve(w.features.size());
+        for (const auto &x : w.features)
+            w.featuresPartitioned.push_back(
+                permuteRows(x, w.relabel.newToOld));
         w.hasPartitioning = true;
     }
 
     if (config.functionalData) {
-        w.w0 = sparse::randomDense(spec.gcn.inFeatures, spec.gcn.hidden,
-                                   rng);
-        w.w1 = sparse::randomDense(spec.gcn.hidden, spec.gcn.classes, rng);
+        w.weights.reserve(config.numLayers);
+        for (const auto &layer : w.layers)
+            w.weights.push_back(
+                sparse::randomDense(layer.inDim, layer.outDim, rng));
     }
     return w;
 }

@@ -3,22 +3,24 @@
  * GCN inference workload construction.
  *
  * A workload bundles everything a bench needs to run one dataset
- * through a 2-layer GCN (Table I's "Feature length F0-H-C"):
+ * through an N-layer GCN (Table I's "Feature length F0-H-C" shape,
+ * generalised to arbitrary depth {F0, H1..Hk-1, C}):
  *
  *  - the synthetic graph and its normalized adjacency (Eq. 1);
  *  - GROW's preprocessing artefacts: METIS-like partition,
  *    cluster-contiguous relabeling and per-cluster HDN ID lists
  *    (Sec. V-C), alongside the *original* layout used by the
  *    baselines (Table II: their preprocessing is "None");
- *  - feature matrices X(0)/X(1) synthesised at the densities of
- *    Table I (X(1) stands in for relu(A X(0) W(0)) of a trained
- *    model -- see DESIGN.md substitutions);
- *  - optional dense weight matrices for functional verification.
+ *  - one synthetic feature matrix X(i) per layer at the densities of
+ *    Table I (X(i), i >= 1, stands in for relu(A X(i-1) W(i-1)) of a
+ *    trained model -- see DESIGN.md substitutions);
+ *  - optional dense per-layer weight matrices for functional
+ *    verification.
  */
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <vector>
 
 #include "graph/datasets.hpp"
 #include "graph/graph.hpp"
@@ -33,6 +35,8 @@ namespace grow::gcn {
 struct WorkloadConfig
 {
     graph::ScaleTier tier = graph::ScaleTier::Mini;
+    /** Model depth k >= 1 (number of graph-convolution layers). */
+    uint32_t numLayers = 2;
     /** Build partitioning artefacts (clustering + HDN lists). */
     bool buildPartitioning = true;
     /** Target nodes per cluster (0 = library default of 700). */
@@ -44,12 +48,36 @@ struct WorkloadConfig
     uint64_t seed = 7;
 };
 
+/**
+ * One GCN layer of the model: X(i)[N x inDim] is combined with
+ * W(i)[inDim x outDim] and aggregated over A (the A*(X*W) order of
+ * Sec. II-B).
+ */
+struct LayerSpec
+{
+    uint32_t index = 0;
+    uint32_t inDim = 0;   ///< input feature length of this layer
+    uint32_t outDim = 0;  ///< output feature length of this layer
+    double xDensity = 0.0; ///< density of the synthetic X(i)
+};
+
+/**
+ * Per-layer feature lengths {F0, H, .., H, C} for a depth-k model of
+ * @p shape: a 1-layer model maps F0 directly to C; deeper models place
+ * k-1 hidden layers of width H in between. Size is numLayers + 1.
+ */
+std::vector<uint32_t> layerDims(const graph::GcnShape &shape,
+                                uint32_t numLayers);
+
 /** A fully constructed per-dataset workload. */
 struct GcnWorkload
 {
     const graph::DatasetSpec *spec = nullptr;
     graph::ScaleTier tier = graph::ScaleTier::Mini;
     graph::GcnShape shape;
+
+    /** Per-layer shape/density plan; size is the model depth. */
+    std::vector<LayerSpec> layers;
 
     graph::Graph graph; ///< original labelling
 
@@ -62,18 +90,34 @@ struct GcnWorkload
     partition::RelabelResult relabel;
     std::vector<std::vector<NodeId>> hdnLists; ///< relabeled IDs
 
-    /** Feature matrices, original labelling. */
-    sparse::CsrMatrix x0;
-    sparse::CsrMatrix x1;
+    /** Per-layer feature matrices X(i), original labelling. */
+    std::vector<sparse::CsrMatrix> features;
     /** Row-permuted copies matching adjacencyPartitioned. */
-    sparse::CsrMatrix x0Partitioned;
-    sparse::CsrMatrix x1Partitioned;
+    std::vector<sparse::CsrMatrix> featuresPartitioned;
 
-    /** Dense weights (only when functionalData). */
-    std::optional<sparse::DenseMatrix> w0;
-    std::optional<sparse::DenseMatrix> w1;
+    /** Per-layer dense weights W(i) (empty unless functionalData). */
+    std::vector<sparse::DenseMatrix> weights;
 
     uint32_t nodes() const { return graph.numNodes(); }
+    uint32_t numLayers() const
+    {
+        return static_cast<uint32_t>(layers.size());
+    }
+
+    const LayerSpec &layer(uint32_t i) const { return layers.at(i); }
+    /** Input feature matrix of layer @p i, original labelling. */
+    const sparse::CsrMatrix &x(uint32_t i) const { return features.at(i); }
+    /** Input feature matrix of layer @p i, partitioned labelling. */
+    const sparse::CsrMatrix &xPartitioned(uint32_t i) const
+    {
+        return featuresPartitioned.at(i);
+    }
+    /** Dense weight matrix of layer @p i (functionalData only). */
+    const sparse::DenseMatrix &weight(uint32_t i) const
+    {
+        return weights.at(i);
+    }
+    bool hasFunctionalData() const { return !weights.empty(); }
 };
 
 /** Build the workload for @p spec under @p config. */

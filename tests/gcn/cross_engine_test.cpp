@@ -64,9 +64,9 @@ TEST_P(EngineSweep, MacWorkIdenticalAcrossEngines)
     auto r = runInference(*engine, unitWorkload(), opt);
     const auto &w = unitWorkload();
     uint64_t expect =
-        w.x0.nnz() * w.shape.hidden +
+        w.x(0).nnz() * w.shape.hidden +
         w.adjacency.nnz() * w.shape.hidden +
-        w.x1.nnz() * w.shape.classes +
+        w.x(1).nnz() * w.shape.classes +
         w.adjacency.nnz() * w.shape.classes;
     EXPECT_EQ(r.macOps, expect);
 }

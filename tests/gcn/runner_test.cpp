@@ -125,9 +125,9 @@ TEST(Runner, MacOpsMatchWorkloadStructure)
     opt.usePartitioning = true;
     auto r = runInference(grow, w, opt);
     uint64_t expect =
-        w.x0.nnz() * w.shape.hidden +       // comb layer 0
+        w.x(0).nnz() * w.shape.hidden +       // comb layer 0
         w.adjacency.nnz() * w.shape.hidden + // agg layer 0
-        w.x1.nnz() * w.shape.classes +      // comb layer 1
+        w.x(1).nnz() * w.shape.classes +      // comb layer 1
         w.adjacency.nnz() * w.shape.classes; // agg layer 1
     EXPECT_EQ(r.macOps, expect);
 }

@@ -23,9 +23,10 @@ TEST(Workload, BuildsAllArtefacts)
     EXPECT_TRUE(w.hasPartitioning);
     EXPECT_EQ(w.adjacency.rows(), w.nodes());
     EXPECT_EQ(w.adjacencyPartitioned.rows(), w.nodes());
-    EXPECT_EQ(w.x0.rows(), w.nodes());
-    EXPECT_EQ(w.x0.cols(), w.shape.inFeatures);
-    EXPECT_EQ(w.x1.cols(), w.shape.hidden);
+    ASSERT_EQ(w.numLayers(), 2u);
+    EXPECT_EQ(w.x(0).rows(), w.nodes());
+    EXPECT_EQ(w.x(0).cols(), w.shape.inFeatures);
+    EXPECT_EQ(w.x(1).cols(), w.shape.hidden);
     EXPECT_EQ(w.hdnLists.size(),
               w.relabel.clustering.numClusters());
 }
@@ -34,8 +35,55 @@ TEST(Workload, FeatureDensitiesMatchTableOne)
 {
     auto spec = graph::datasetByName("pubmed"); // x0 10%, x1 77.6%
     auto w = buildWorkload(spec, unitConfig());
-    EXPECT_NEAR(w.x0.density(), spec.x0Density, 0.02);
-    EXPECT_NEAR(w.x1.density(), spec.x1Density, 0.05);
+    EXPECT_NEAR(w.x(0).density(), spec.x0Density, 0.02);
+    EXPECT_NEAR(w.x(1).density(), spec.x1Density, 0.05);
+}
+
+TEST(Workload, LayerDimsChainAcrossDepths)
+{
+    graph::GcnShape shape;
+    shape.inFeatures = 500;
+    shape.hidden = 16;
+    shape.classes = 3;
+    EXPECT_EQ(layerDims(shape, 1), (std::vector<uint32_t>{500, 3}));
+    EXPECT_EQ(layerDims(shape, 2), (std::vector<uint32_t>{500, 16, 3}));
+    EXPECT_EQ(layerDims(shape, 4),
+              (std::vector<uint32_t>{500, 16, 16, 16, 3}));
+}
+
+TEST(Workload, DeepModelBuildsPerLayerArtefacts)
+{
+    WorkloadConfig c = unitConfig(true);
+    c.numLayers = 3;
+    auto w = buildWorkload(graph::datasetByName("cora"), c);
+    ASSERT_EQ(w.numLayers(), 3u);
+    ASSERT_EQ(w.features.size(), 3u);
+    ASSERT_EQ(w.featuresPartitioned.size(), 3u);
+    ASSERT_EQ(w.weights.size(), 3u);
+    for (uint32_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(w.x(i).rows(), w.nodes());
+        EXPECT_EQ(w.x(i).cols(), w.layer(i).inDim);
+        EXPECT_EQ(w.xPartitioned(i).cols(), w.layer(i).inDim);
+        EXPECT_EQ(w.weight(i).rows(), w.layer(i).inDim);
+        EXPECT_EQ(w.weight(i).cols(), w.layer(i).outDim);
+        if (i > 0)
+            EXPECT_EQ(w.layer(i).inDim, w.layer(i - 1).outDim);
+    }
+    EXPECT_EQ(w.layer(0).inDim, w.shape.inFeatures);
+    EXPECT_EQ(w.layer(1).inDim, w.shape.hidden);
+    EXPECT_EQ(w.layer(2).outDim, w.shape.classes);
+    // Deep X(i) substitutes reuse the published post-layer-1 density.
+    EXPECT_DOUBLE_EQ(w.layer(2).xDensity, w.spec->x1Density);
+}
+
+TEST(Workload, SingleLayerModelMapsInputToClasses)
+{
+    WorkloadConfig c = unitConfig();
+    c.numLayers = 1;
+    auto w = buildWorkload(graph::datasetByName("citeseer"), c);
+    ASSERT_EQ(w.numLayers(), 1u);
+    EXPECT_EQ(w.layer(0).inDim, w.shape.inFeatures);
+    EXPECT_EQ(w.layer(0).outDim, w.shape.classes);
 }
 
 TEST(Workload, PartitionedAdjacencyIsPermutation)
@@ -55,10 +103,10 @@ TEST(Workload, PartitionedAdjacencyIsPermutation)
 TEST(Workload, PermuteRowsConsistentWithRelabel)
 {
     auto w = buildWorkload(graph::datasetByName("cora"), unitConfig());
-    // Row i of x0Partitioned equals row newToOld[i] of x0.
+    // Row i of xPartitioned(0) equals row newToOld[i] of x(0).
     for (NodeId i = 0; i < std::min(w.nodes(), 50u); ++i) {
-        auto pc = w.x0Partitioned.rowCols(i);
-        auto oc = w.x0.rowCols(w.relabel.newToOld[i]);
+        auto pc = w.xPartitioned(0).rowCols(i);
+        auto oc = w.x(0).rowCols(w.relabel.newToOld[i]);
         ASSERT_EQ(pc.size(), oc.size());
         for (size_t j = 0; j < pc.size(); ++j)
             EXPECT_EQ(pc[j], oc[j]);
@@ -68,14 +116,15 @@ TEST(Workload, PermuteRowsConsistentWithRelabel)
 TEST(Workload, FunctionalDataOnlyOnRequest)
 {
     auto w1 = buildWorkload(graph::datasetByName("cora"), unitConfig());
-    EXPECT_FALSE(w1.w0.has_value());
+    EXPECT_FALSE(w1.hasFunctionalData());
     auto w2 =
         buildWorkload(graph::datasetByName("cora"), unitConfig(true));
-    ASSERT_TRUE(w2.w0.has_value());
-    EXPECT_EQ(w2.w0->rows(), w2.shape.inFeatures);
-    EXPECT_EQ(w2.w0->cols(), w2.shape.hidden);
-    EXPECT_EQ(w2.w1->rows(), w2.shape.hidden);
-    EXPECT_EQ(w2.w1->cols(), w2.shape.classes);
+    ASSERT_TRUE(w2.hasFunctionalData());
+    ASSERT_EQ(w2.weights.size(), 2u);
+    EXPECT_EQ(w2.weight(0).rows(), w2.shape.inFeatures);
+    EXPECT_EQ(w2.weight(0).cols(), w2.shape.hidden);
+    EXPECT_EQ(w2.weight(1).rows(), w2.shape.hidden);
+    EXPECT_EQ(w2.weight(1).cols(), w2.shape.classes);
 }
 
 TEST(Workload, DeterministicForSeed)
@@ -83,7 +132,7 @@ TEST(Workload, DeterministicForSeed)
     auto a = buildWorkload(graph::datasetByName("cora"), unitConfig());
     auto b = buildWorkload(graph::datasetByName("cora"), unitConfig());
     EXPECT_EQ(a.adjacency.colIdx(), b.adjacency.colIdx());
-    EXPECT_EQ(a.x0.colIdx(), b.x0.colIdx());
+    EXPECT_EQ(a.x(0).colIdx(), b.x(0).colIdx());
     EXPECT_EQ(a.relabel.newToOld, b.relabel.newToOld);
 }
 
