@@ -22,8 +22,8 @@ main(int argc, char **argv)
     t.setHeader({"dataset", "(AX)W MACs", "A(XW) MACs", "A(XW)/(AX)W"});
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
-        auto counts = sparse::countMacsBothOrders(w.adjacency, w.x(0),
-                                                  w.shape.hidden);
+        auto counts = sparse::countMacsBothOrders(w.adjacency(), w.x(0),
+                                                  w.shape().hidden);
         double ratio = static_cast<double>(counts.xwThenA) /
                        static_cast<double>(counts.axThenW);
         t.addRow({spec.name, fmtSci(double(counts.axThenW)),

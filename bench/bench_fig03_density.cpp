@@ -20,7 +20,7 @@ main(int argc, char **argv)
                  "A/X(0) sparsity gap"});
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
-        double dA = w.adjacency.density();
+        double dA = w.adjacency().density();
         double dX = w.x(0).density();
         t.addRow({spec.name, fmtSci(dA), fmtPercent(dX, 2),
                   fmtPercent(w.x(1).density(), 1),

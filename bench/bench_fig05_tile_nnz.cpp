@@ -30,7 +30,7 @@ printHistogram(BenchContext &ctx, const char *title, bool aggregation,
     accel::GcnaxSim gcnax(driver::gcnaxDefaultConfig());
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
-        const sparse::CsrMatrix &m = aggregation ? w.adjacency : w.x(0);
+        const sparse::CsrMatrix &m = aggregation ? w.adjacency() : w.x(0);
         // Both phases of layer 0 produce hidden-width outputs.
         uint32_t rhsCols = w.layer(0).outDim;
         auto tiling = gcnax.chooseTiling(m, rhsCols);

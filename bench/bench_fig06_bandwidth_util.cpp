@@ -30,17 +30,17 @@ main(int argc, char **argv)
         const auto &w = ctx.workload(spec.name);
 
         accel::SpDeGemmProblem agg;
-        agg.lhs = &w.adjacency;
-        agg.rhsCols = w.shape.hidden;
+        agg.lhs = &w.adjacency();
+        agg.rhsCols = w.shape().hidden;
         auto ra = gcnax.run(agg, opt);
 
         accel::SpDeGemmProblem comb;
         comb.lhs = &w.x(0);
-        comb.rhsCols = w.shape.hidden;
+        comb.rhsCols = w.shape().hidden;
         comb.rhsOnChip = true;
         auto rx = gcnax.run(comb, opt);
 
-        auto stream = sparse::rowStreamFetchTotals(w.adjacency);
+        auto stream = sparse::rowStreamFetchTotals(w.adjacency());
         utilA.push_back(ra.sparseBandwidthUtil());
         t.addRow({spec.name, fmtPercent(ra.sparseBandwidthUtil()),
                   fmtPercent(rx.sparseBandwidthUtil()),

@@ -18,7 +18,7 @@ main(int argc, char **argv)
     ctx.banner("Figure 11: power-law degree distribution");
 
     for (const auto &spec : ctx.specs()) {
-        const auto &g = ctx.workload(spec.name).graph;
+        const auto &g = ctx.workload(spec.name).graph();
         auto degrees = graph::sortedDegreesDesc(g);
 
         TextTable t("Figure 11: " + spec.name +

@@ -47,7 +47,7 @@ main(int argc, char **argv)
                  "balance"});
     const uint32_t blocks = 8;
     for (const auto &spec : ctx.specs()) {
-        const auto &g = ctx.workload(spec.name).graph;
+        const auto &g = ctx.workload(spec.name).graph();
         partition::PartitionConfig pc;
         pc.numParts = blocks;
         pc.seed = 5;

@@ -1,12 +1,14 @@
 /**
  * @file
  * Google-benchmark microbenchmarks of the substrate kernels: golden
- * SpMM, format conversions, tile census, graph generation and the
- * multilevel partitioner. These quantify the host-side cost of the
- * simulation substrate itself (not simulated cycles).
+ * SpMM, format conversions, tile census, graph generation, the
+ * multilevel partitioner and the workload-construction split. These
+ * quantify the host-side cost of the simulation substrate itself (not
+ * simulated cycles).
  */
 #include <benchmark/benchmark.h>
 
+#include "gcn/workload.hpp"
 #include "graph/generators.hpp"
 #include "graph/normalize.hpp"
 #include "partition/multilevel.hpp"
@@ -113,6 +115,36 @@ BM_NormalizeAdjacency(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * g.numArcs());
 }
 BENCHMARK(BM_NormalizeAdjacency)->Arg(20000);
+
+void
+BM_BuildGraphArtifacts(benchmark::State &state)
+{
+    // The expensive, shared half of workload construction (what the
+    // WorkloadCache amortises across depths and runs).
+    const auto &spec = graph::datasetByName("cora");
+    for (auto _ : state) {
+        auto a = gcn::buildGraphArtifacts(spec, graph::ScaleTier::Unit);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_BuildGraphArtifacts);
+
+void
+BM_BuildLayerData(benchmark::State &state)
+{
+    // The cheap, per-depth half layered on cached artefacts.
+    const auto &spec = graph::datasetByName("cora");
+    auto artifacts = gcn::buildGraphArtifacts(spec, graph::ScaleTier::Unit);
+    gcn::WorkloadConfig wc;
+    wc.tier = graph::ScaleTier::Unit;
+    wc.numLayers = static_cast<uint32_t>(state.range(0));
+    for (auto _ : state) {
+        wc.seed += 1;
+        auto w = gcn::buildLayerData(artifacts, wc);
+        benchmark::DoNotOptimize(w);
+    }
+}
+BENCHMARK(BM_BuildLayerData)->Arg(2)->Arg(4);
 
 } // namespace
 

@@ -27,7 +27,7 @@ main(int argc, char **argv)
                  "densA(gen)", "features", "x0 dens", "x1 dens"});
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
-        const auto &g = w.graph;
+        const auto &g = w.graph();
         t.addRow({spec.name, fmtCount(spec.paperNodes),
                   fmtCount(g.numNodes()), fmtCount(spec.paperArcs),
                   fmtCount(g.numArcs()),
@@ -46,7 +46,7 @@ main(int argc, char **argv)
     p.setHeader({"dataset", "max degree", "mean degree", "gini",
                  "alpha (MLE)", "top-1% coverage"});
     for (const auto &spec : ctx.specs()) {
-        const auto &g = ctx.workload(spec.name).graph;
+        const auto &g = ctx.workload(spec.name).graph();
         auto h = graph::degreeHistogram(g);
         uint32_t k = std::max(1u, g.numNodes() / 100);
         p.addRow({spec.name, fmtCount(h.maxValue()),

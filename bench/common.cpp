@@ -1,6 +1,5 @@
 #include "common.hpp"
 
-#include <cmath>
 #include <iostream>
 
 #include "util/logging.hpp"
@@ -10,7 +9,7 @@ namespace grow::bench {
 BenchContext::BenchContext(int argc, char **argv,
                            const std::string &default_scale,
                            const std::string &default_datasets)
-    : args_(argc, argv)
+    : args_(argc, argv), cache_(args_.get("cachedir", ""))
 {
     tier_ = graph::tierFromString(args_.get("scale", default_scale));
     specs_ = graph::datasetsByNames(
@@ -25,8 +24,8 @@ BenchContext::workload(const std::string &name)
         gcn::WorkloadConfig wc;
         wc.tier = tier_;
         it = workloads_
-                 .emplace(name, gcn::buildWorkload(
-                                    graph::datasetByName(name), wc))
+                 .emplace(name,
+                          cache_.workload(graph::datasetByName(name), wc))
                  .first;
     }
     return it->second;
@@ -83,17 +82,6 @@ BenchContext::banner(const std::string &what) const
 {
     std::cout << "\n### " << what << " [scale=" << graph::tierName(tier_)
               << "]\n";
-}
-
-double
-geomean(const std::vector<double> &values)
-{
-    if (values.empty())
-        return 0.0;
-    double logSum = 0.0;
-    for (double v : values)
-        logSum += std::log(v);
-    return std::exp(logSum / static_cast<double>(values.size()));
 }
 
 } // namespace grow::bench

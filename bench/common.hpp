@@ -5,6 +5,8 @@
  * Every bench accepts `key=value` arguments:
  *   scale=mini|tiny|full|unit   dataset scale tier (per-bench default)
  *   datasets=cora,...|all       dataset subset
+ *   cachedir=<path>             persist graph artefacts on disk so
+ *                               repeated runs skip synthesis (optional)
  * and prints one or more TextTables that mirror a specific table or
  * figure of the paper. EXPERIMENTS.md records paper-vs-measured per
  * bench.
@@ -21,10 +23,12 @@
 #include "accel/matraptor.hpp"
 #include "core/grow.hpp"
 #include "driver/sweep_driver.hpp"
+#include "driver/workload_cache.hpp"
 #include "gcn/runner.hpp"
 #include "gcn/workload.hpp"
 #include "graph/datasets.hpp"
 #include "util/cli.hpp"
+#include "util/mathutil.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -44,6 +48,13 @@ class BenchContext
 
     /** Build (once) and return the workload of @p name. */
     const gcn::GcnWorkload &workload(const std::string &name);
+
+    /**
+     * The shared construction cache behind workload(): graph-level
+     * artefacts are memoised per (dataset, tier, partition plan), and
+     * persisted on disk when `cachedir=` was given.
+     */
+    driver::WorkloadCache &cache() { return cache_; }
 
     /** Run inference; results are cached per (engine, layout). */
     const gcn::InferenceResult &
@@ -67,11 +78,12 @@ class BenchContext
     CliArgs args_;
     graph::ScaleTier tier_;
     std::vector<graph::DatasetSpec> specs_;
+    driver::WorkloadCache cache_;
     std::map<std::string, gcn::GcnWorkload> workloads_;
     std::map<std::string, gcn::InferenceResult> results_;
 };
 
 /** Geometric mean helper for "average speedup" rows. */
-double geomean(const std::vector<double> &values);
+using ::grow::geomean;
 
 } // namespace grow::bench

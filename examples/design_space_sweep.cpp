@@ -8,14 +8,19 @@
  *
  * All sweep points are independent, so they are dispatched together
  * through the SweepDriver thread pool and only *printed* in order --
- * wall-clock shrinks by roughly the core count.
+ * wall-clock shrinks by roughly the core count. Workloads of all
+ * depths come from one WorkloadCache, so graph synthesis +
+ * partitioning runs exactly once; pass cachedir= to persist the
+ * artefacts and skip synthesis on the next invocation too.
  *
  * Usage: design_space_sweep [dataset=pokec] [scale=tiny] [threads=0]
+ *                           [cachedir=]
  */
 #include <iostream>
 
 #include "core/grow.hpp"
 #include "driver/sweep_driver.hpp"
+#include "driver/workload_cache.hpp"
 #include "energy/area_model.hpp"
 #include "gcn/runner.hpp"
 #include "gcn/workload.hpp"
@@ -54,16 +59,16 @@ main(int argc, char **argv)
               std::to_string(threadsArg));
     driver::SweepDriver pool(static_cast<uint32_t>(threadsArg));
 
+    driver::WorkloadCache cache(args.get("cachedir", ""));
     gcn::WorkloadConfig wc;
     wc.tier = tier;
-    auto w = gcn::buildWorkload(spec, wc);
+    auto w = cache.workload(spec, wc);
     std::cout << "dataset " << spec.name << " @" << graph::tierName(tier)
               << ": " << fmtCount(w.nodes()) << " nodes ("
               << pool.numThreads() << " sweep threads)\n";
 
-    // Deeper models reuse the same graph artefacts but need their own
-    // per-layer feature matrices. The depth matching wc.numLayers is
-    // exactly `w` -- don't rebuild it.
+    // Deeper models share `w`'s graph artefacts through the cache and
+    // only synthesise their own per-layer feature matrices.
     const uint32_t depths[] = {1, 2, 3, 4};
     std::vector<gcn::GcnWorkload> deepWorkloads;
     std::vector<const gcn::GcnWorkload *> workloadByDepth;
@@ -75,9 +80,13 @@ main(int argc, char **argv)
         }
         gcn::WorkloadConfig dwc = wc;
         dwc.numLayers = depth;
-        deepWorkloads.push_back(gcn::buildWorkload(spec, dwc));
+        deepWorkloads.push_back(cache.workload(spec, dwc));
         workloadByDepth.push_back(&deepWorkloads.back());
     }
+    auto cstats = cache.stats();
+    std::cout << "workload cache: " << cstats.builds << " build(s), "
+              << cstats.memoryHits << " shared reuse(s), "
+              << cstats.diskLoads << " disk load(s)\n";
 
     // --- Assemble every sweep point, then run them all at once. -------
     std::vector<driver::SweepJob> jobs;

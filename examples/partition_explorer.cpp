@@ -73,9 +73,9 @@ main(int argc, char **argv)
     wc.tier = tier;
     wc.buildPartitioning = false;
     auto w = gcn::buildWorkload(spec, wc);
-    const auto &g = w.graph;
-    const auto &A = w.adjacency;
-    const uint32_t hidden = w.shape.hidden;
+    const auto &g = w.graph();
+    const auto &A = w.adjacency();
+    const uint32_t hidden = w.shape().hidden;
     std::cout << "dataset " << spec.name << ": " << fmtCount(g.numNodes())
               << " nodes, " << fmtCount(g.numArcs()) << " arcs\n";
 

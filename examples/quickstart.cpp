@@ -41,8 +41,8 @@ main(int argc, char **argv)
     auto workload = gcn::buildWorkload(spec, wc);
     std::cout << "dataset " << spec.name << " @" << graph::tierName(tier)
               << ": " << fmtCount(workload.nodes()) << " nodes, "
-              << fmtCount(workload.graph.numArcs()) << " arcs, "
-              << workload.relabel.clustering.numClusters()
+              << fmtCount(workload.graph().numArcs()) << " arcs, "
+              << workload.relabel().clustering.numClusters()
               << " clusters\n";
 
     // 2. Run GROW (with its graph-partitioning preprocessing).

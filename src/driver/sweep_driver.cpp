@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <exception>
+#include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "util/logging.hpp"
@@ -14,12 +16,23 @@ makeEngineJob(const std::string &key, const gcn::GcnWorkload &workload,
 {
     auto spec = engineByKey(key);
     SweepJob job;
-    job.label = std::string(workload.spec ? workload.spec->name : "?") +
+    job.label = std::string(workload.spec() ? workload.spec()->name : "?") +
                 "/" + key;
     job.makeEngine = std::move(spec.make);
     job.workload = &workload;
     job.options = base;
     job.options.usePartitioning = spec.usePartitioning;
+    return job;
+}
+
+SweepJob
+makeEngineJob(const std::string &key,
+              std::shared_ptr<const gcn::GcnWorkload> workload,
+              const gcn::RunnerOptions &base)
+{
+    GROW_ASSERT(workload != nullptr, "engine job without a workload");
+    SweepJob job = makeEngineJob(key, *workload, base);
+    job.ownedWorkload = std::move(workload);
     return job;
 }
 
@@ -30,16 +43,38 @@ SweepDriver::SweepDriver(uint32_t num_threads)
     numThreads_ = num_threads;
 }
 
+namespace {
+
+/** Best-effort message of a stored exception. */
+std::string
+errorMessage(const std::exception_ptr &err)
+{
+    try {
+        std::rethrow_exception(err);
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "unknown error";
+    }
+}
+
+} // namespace
+
 std::vector<SweepOutcome>
 SweepDriver::runAll(const std::vector<SweepJob> &jobs) const
 {
     std::vector<SweepOutcome> outcomes(jobs.size());
     if (jobs.empty())
         return outcomes;
+    // Labels are assigned up front so even jobs that fail or are
+    // skipped by fail-fast keep their identity in the outcome slots.
+    for (size_t i = 0; i < jobs.size(); ++i)
+        outcomes[i].label = jobs[i].label;
 
     std::atomic<size_t> next{0};
     std::atomic<bool> failed{false};
     std::vector<std::exception_ptr> errors(jobs.size());
+    std::vector<char> ran(jobs.size(), 0);
 
     auto worker = [&]() {
         while (true) {
@@ -47,13 +82,13 @@ SweepDriver::runAll(const std::vector<SweepJob> &jobs) const
             if (i >= jobs.size() || failed.load())
                 return;
             const SweepJob &job = jobs[i];
+            ran[i] = 1;
             try {
                 GROW_ASSERT(job.workload != nullptr,
                             "sweep job without a workload");
                 GROW_ASSERT(static_cast<bool>(job.makeEngine),
                             "sweep job without an engine factory");
                 auto engine = job.makeEngine();
-                outcomes[i].label = job.label;
                 outcomes[i].inference =
                     gcn::runInference(*engine, *job.workload, job.options);
             } catch (...) {
@@ -76,9 +111,30 @@ SweepDriver::runAll(const std::vector<SweepJob> &jobs) const
             t.join();
     }
 
-    for (auto &err : errors)
-        if (err)
-            std::rethrow_exception(err);
+    if (failed.load()) {
+        // One aggregate report: every error in job order, then the
+        // labels fail-fast skipped. A caller that only reads the first
+        // line still sees the first failure first.
+        size_t numErrors = 0;
+        std::ostringstream skipped;
+        size_t numSkipped = 0;
+        std::ostringstream msg;
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            if (errors[i]) {
+                ++numErrors;
+                msg << "\n  " << jobs[i].label << ": "
+                    << errorMessage(errors[i]);
+            } else if (!ran[i]) {
+                skipped << (numSkipped++ ? ", " : "") << jobs[i].label;
+            }
+        }
+        std::ostringstream head;
+        head << "sweep failed: " << numErrors << " of " << jobs.size()
+             << " job(s) threw:" << msg.str();
+        if (numSkipped)
+            head << "\n  skipped by fail-fast: " << skipped.str();
+        throw std::runtime_error(head.str());
+    }
     return outcomes;
 }
 

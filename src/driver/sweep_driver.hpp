@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,12 @@ struct SweepJob
     EngineFactory makeEngine;
     /** Borrowed workload; must outlive runAll(). */
     const gcn::GcnWorkload *workload = nullptr;
+    /**
+     * Optional shared ownership of the workload (batched serving: jobs
+     * assembled from a WorkloadCache outlive the construction scope).
+     * When set, `workload` points into it.
+     */
+    std::shared_ptr<const gcn::GcnWorkload> ownedWorkload;
     gcn::RunnerOptions options;
 };
 
@@ -53,6 +60,11 @@ SweepJob makeEngineJob(const std::string &key,
                        const gcn::GcnWorkload &workload,
                        const gcn::RunnerOptions &base = {});
 
+/** As above, but the job co-owns the workload (see SweepJob). */
+SweepJob makeEngineJob(const std::string &key,
+                       std::shared_ptr<const gcn::GcnWorkload> workload,
+                       const gcn::RunnerOptions &base = {});
+
 /** Fixed-size thread pool running sweep jobs. */
 class SweepDriver
 {
@@ -64,9 +76,10 @@ class SweepDriver
 
     /**
      * Run every job and return the outcomes in job order. A throwing
-     * job cancels the sweep: remaining unclaimed jobs are skipped and
-     * the first error (in job order) is rethrown after all workers
-     * drain.
+     * job cancels the sweep: remaining unclaimed jobs are skipped, all
+     * workers drain, and one aggregate error is thrown that reports
+     * *every* collected failure (in job order) plus the labels of the
+     * jobs skipped by fail-fast -- no job vanishes silently.
      */
     std::vector<SweepOutcome> runAll(const std::vector<SweepJob> &jobs) const;
 

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared workload construction cache.
+ *
+ * Graph synthesis + partitioning dominates sweep start-up, yet every
+ * depth/config of a sweep needs the *same* graph-level artefacts
+ * (gcn::GraphArtifacts). The cache makes that sharing explicit, at two
+ * levels:
+ *
+ *  - In memory: artefact bundles are memoised per (dataset, tier,
+ *    partition plan) key, so a depth-1..k sweep over d datasets runs
+ *    synthesis + partitioning exactly d times, not d*k times.
+ *  - On disk (optional): bundles are persisted as binary files with a
+ *    format-version header and payload checksum, so repeated bench/CI
+ *    invocations skip synthesis entirely. A corrupted, truncated or
+ *    stale-version file is never trusted: load returns null and the
+ *    cache transparently falls back to a rebuild.
+ *
+ * Thread-safety: all public member functions are safe to call
+ * concurrently; the returned bundles are immutable.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "gcn/workload.hpp"
+
+namespace grow::driver {
+
+/** Cache key: one graph-artefact bundle per distinct tuple. */
+struct ArtifactKey
+{
+    std::string dataset;
+    graph::ScaleTier tier = graph::ScaleTier::Mini;
+    gcn::PartitionPlan plan;
+
+    /** Key for @p spec at @p tier under @p plan. */
+    static ArtifactKey of(const graph::DatasetSpec &spec,
+                          graph::ScaleTier tier,
+                          const gcn::PartitionPlan &plan);
+
+    /** Filesystem-safe identity, used as the on-disk file stem. */
+    std::string fingerprint() const;
+
+    bool operator<(const ArtifactKey &o) const;
+};
+
+/**
+ * On-disk artefact format version. Bump whenever the serialized layout
+ * *or the semantics of any serialized artefact* change (e.g. a
+ * partitioning fix): stale files must miss, not poison results.
+ */
+inline constexpr uint32_t kArtifactFormatVersion = 1;
+
+/**
+ * Serialize @p artifacts to @p path (binary; atomic via temp+rename).
+ * Returns false (after logging) when the file cannot be written.
+ */
+bool saveArtifacts(const std::string &path,
+                   const gcn::GraphArtifacts &artifacts);
+
+/**
+ * Deserialize an artefact bundle from @p path. Returns null -- never
+ * throws, never returns partial data -- when the file is missing,
+ * truncated, corrupted (checksum mismatch), from another format
+ * version, or describes a different key than @p expected.
+ */
+std::shared_ptr<const gcn::GraphArtifacts>
+loadArtifacts(const std::string &path, const ArtifactKey &expected);
+
+/**
+ * Memoising construction front-end for workloads and their shared
+ * graph artefacts.
+ */
+class WorkloadCache
+{
+  public:
+    /** Counters exposed for tests and bench banners. */
+    struct Stats
+    {
+        uint64_t builds = 0;       ///< artefact bundles built from scratch
+        uint64_t memoryHits = 0;   ///< served from the in-memory map
+        uint64_t diskLoads = 0;    ///< served from a valid disk file
+        uint64_t diskStores = 0;   ///< files written after a build
+        uint64_t diskFailures = 0; ///< unreadable/corrupt files skipped
+    };
+
+    /** In-memory-only cache. */
+    WorkloadCache() = default;
+
+    /**
+     * Cache backed by @p disk_dir (created on first store). Pass an
+     * empty string for in-memory-only behaviour.
+     */
+    explicit WorkloadCache(std::string disk_dir);
+
+    /** Directory backing the disk layer ("" = memory only). */
+    const std::string &diskDir() const { return dir_; }
+
+    /**
+     * The artefact bundle of (spec, tier, plan): served from memory,
+     * then disk, then built (and stored to both).
+     */
+    std::shared_ptr<const gcn::GraphArtifacts>
+    artifacts(const graph::DatasetSpec &spec, graph::ScaleTier tier,
+              const gcn::PartitionPlan &plan = {});
+
+    /**
+     * Build the workload of @p spec under @p config on top of cached
+     * artefacts. Per-layer features/weights are synthesised fresh (they
+     * are cheap and depth-dependent); the graph-level bundle is shared.
+     */
+    gcn::GcnWorkload workload(const graph::DatasetSpec &spec,
+                              const gcn::WorkloadConfig &config);
+
+    Stats stats() const;
+
+    /** Drop the in-memory map (the disk layer is untouched). */
+    void clearMemory();
+
+  private:
+    std::string pathFor(const ArtifactKey &key) const;
+
+    mutable std::mutex mu_;
+    std::string dir_;
+    std::map<ArtifactKey, std::shared_ptr<const gcn::GraphArtifacts>> mem_;
+    Stats stats_;
+};
+
+} // namespace grow::driver

@@ -73,7 +73,7 @@ PhasePlan
 buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
 {
     const bool part = options.usePartitioning;
-    GROW_ASSERT(!part || workload.hasPartitioning,
+    GROW_ASSERT(!part || workload.hasPartitioning(),
                 "workload lacks partitioning artefacts");
     const bool functional = options.sim.functional;
     GROW_ASSERT(!functional || workload.hasFunctionalData(),
@@ -81,7 +81,7 @@ buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
     GROW_ASSERT(workload.numLayers() >= 1, "workload has no layers");
 
     const sparse::CsrMatrix &A =
-        part ? workload.adjacencyPartitioned : workload.adjacency;
+        part ? workload.adjacencyPartitioned() : workload.adjacency();
 
     PhasePlan plan;
     plan.reserve(2 * workload.numLayers());
@@ -108,8 +108,8 @@ buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
         agg.problem.rhsCols = outCols;
         agg.problem.phase = accel::Phase::Aggregation;
         if (part) {
-            agg.problem.clustering = &workload.relabel.clustering;
-            agg.problem.hdnLists = &workload.hdnLists;
+            agg.problem.clustering = &workload.relabel().clustering;
+            agg.problem.hdnLists = &workload.hdnLists();
         }
         plan.push_back(agg);
     }

@@ -5,6 +5,7 @@
 #include "graph/normalize.hpp"
 #include "partition/multilevel.hpp"
 #include "sparse/convert.hpp"
+#include "util/bitutil.hpp"
 #include "util/logging.hpp"
 
 namespace grow::gcn {
@@ -43,19 +44,80 @@ layerDims(const graph::GcnShape &shape, uint32_t numLayers)
     return dims;
 }
 
-GcnWorkload
-buildWorkload(const graph::DatasetSpec &spec, const WorkloadConfig &config)
+uint32_t
+defaultClusterSize(const graph::GcnShape &shape, uint32_t hdn_top_n)
 {
+    // A cluster whose nodes all fit in the cache turns every
+    // intra-cluster reference into a hit. 512 KB / (hidden x 8 B) rows,
+    // capped by the 4096-entry CAM (Table III). Small graphs that fit
+    // outright stay whole -- the paper partitions only the large graphs
+    // into many clusters (Sec. V-C).
+    uint32_t cacheRows = static_cast<uint32_t>(std::min<uint64_t>(
+        hdn_top_n,
+        (512 * 1024) /
+            (static_cast<uint64_t>(shape.hidden) * kValueBytes)));
+    return std::max(64u, cacheRows);
+}
+
+std::shared_ptr<const GraphArtifacts>
+buildGraphArtifacts(const graph::DatasetSpec &spec, graph::ScaleTier tier,
+                    const PartitionPlan &plan)
+{
+    auto a = std::make_shared<GraphArtifacts>();
+    a->spec = &graph::datasetByName(spec.name);
+    a->tier = tier;
+    a->plan = plan;
+
+    auto inst = graph::buildDataset(spec, tier);
+    a->graph = std::move(inst.graph);
+    a->adjacency = graph::normalizedAdjacency(a->graph, /*self_loops=*/true);
+
+    if (plan.buildPartitioning) {
+        const uint32_t n = a->graph.numNodes();
+        const uint32_t clusterSize =
+            plan.targetClusterSize
+                ? plan.targetClusterSize
+                : defaultClusterSize(spec.gcn, plan.hdnTopN);
+        partition::PartitionConfig pc;
+        // Ceiling division: floor would let a single cluster overshoot
+        // the cache it was sized against (e.g. n=1000 at clusterSize=600
+        // must give 2 clusters, not one 1000-row cluster).
+        pc.numParts = std::max<uint32_t>(
+            1, static_cast<uint32_t>(ceilDiv(n, clusterSize)));
+        pc.seed = spec.seed * 31 + 11;
+        partition::MultilevelPartitioner partitioner(pc);
+        auto parts = partitioner.partition(a->graph);
+        a->relabel = partition::relabelByPartition(n, parts);
+        // The partitioner's balance bound is soft; make it hard so no
+        // cluster exceeds the HDN cache capacity it was sized for.
+        a->relabel.clustering = partition::splitOversizedClusters(
+            a->relabel.clustering, clusterSize);
+        a->maxClusterNodes = clusterSize;
+        auto relabeledGraph = a->graph.relabeled(a->relabel.newToOld);
+        a->adjacencyPartitioned =
+            a->adjacency.permutedSymmetric(a->relabel.newToOld);
+        a->hdnLists = partition::selectHdnPerCluster(
+            relabeledGraph, a->relabel.clustering, plan.hdnTopN);
+        a->hasPartitioning = true;
+    }
+    return a;
+}
+
+GcnWorkload
+buildLayerData(std::shared_ptr<const GraphArtifacts> artifacts,
+               const WorkloadConfig &config)
+{
+    GROW_ASSERT(artifacts != nullptr, "workload needs graph artefacts");
+    GROW_ASSERT(artifacts->tier == config.tier,
+                "workload tier does not match its graph artefacts");
+    GROW_ASSERT(artifacts->hasPartitioning == config.buildPartitioning,
+                "workload partitioning does not match its artefacts");
+
     GcnWorkload w;
-    w.spec = &graph::datasetByName(spec.name);
-    w.tier = config.tier;
-    w.shape = spec.gcn;
+    w.artifacts = std::move(artifacts);
 
-    auto inst = graph::buildDataset(spec, config.tier);
-    w.graph = std::move(inst.graph);
-    w.adjacency = graph::normalizedAdjacency(w.graph, /*self_loops=*/true);
-
-    const uint32_t n = w.graph.numNodes();
+    const graph::DatasetSpec &spec = *w.spec();
+    const uint32_t n = w.nodes();
     Rng rng(config.seed * 1000003 + spec.seed);
 
     // Layer plan: X(0) at Table I's x0 density; every deeper X(i)
@@ -77,36 +139,11 @@ buildWorkload(const graph::DatasetSpec &spec, const WorkloadConfig &config)
         w.features.push_back(
             sparse::randomCsr(n, layer.inDim, layer.xDensity, rng));
 
-    if (config.buildPartitioning) {
-        // Default cluster granularity tracks the HDN cache: a cluster
-        // whose nodes all fit in the cache turns every intra-cluster
-        // reference into a hit. 512 KB / (hidden x 8 B) rows, capped by
-        // the 4096-entry CAM (Table III). Small graphs that fit outright
-        // stay whole -- the paper partitions only the large graphs into
-        // many clusters (Sec. V-C).
-        uint32_t cacheRows = static_cast<uint32_t>(std::min<uint64_t>(
-            config.hdnTopN,
-            (512 * 1024) /
-                (static_cast<uint64_t>(spec.gcn.hidden) * kValueBytes)));
-        const uint32_t clusterSize = config.targetClusterSize
-                                         ? config.targetClusterSize
-                                         : std::max(64u, cacheRows);
-        partition::PartitionConfig pc;
-        pc.numParts = std::max(1u, n / clusterSize);
-        pc.seed = spec.seed * 31 + 11;
-        partition::MultilevelPartitioner partitioner(pc);
-        auto parts = partitioner.partition(w.graph);
-        w.relabel = partition::relabelByPartition(n, parts);
-        auto relabeledGraph = w.graph.relabeled(w.relabel.newToOld);
-        w.adjacencyPartitioned =
-            w.adjacency.permutedSymmetric(w.relabel.newToOld);
-        w.hdnLists = partition::selectHdnPerCluster(
-            relabeledGraph, w.relabel.clustering, config.hdnTopN);
+    if (w.hasPartitioning()) {
         w.featuresPartitioned.reserve(w.features.size());
         for (const auto &x : w.features)
             w.featuresPartitioned.push_back(
-                permuteRows(x, w.relabel.newToOld));
-        w.hasPartitioning = true;
+                permuteRows(x, w.relabel().newToOld));
     }
 
     if (config.functionalData) {
@@ -116,6 +153,14 @@ buildWorkload(const graph::DatasetSpec &spec, const WorkloadConfig &config)
                 sparse::randomDense(layer.inDim, layer.outDim, rng));
     }
     return w;
+}
+
+GcnWorkload
+buildWorkload(const graph::DatasetSpec &spec, const WorkloadConfig &config)
+{
+    return buildLayerData(
+        buildGraphArtifacts(spec, config.tier, config.partitionPlan()),
+        config);
 }
 
 } // namespace grow::gcn

@@ -16,10 +16,22 @@
  *    trained model -- see DESIGN.md substitutions);
  *  - optional dense per-layer weight matrices for functional
  *    verification.
+ *
+ * Construction is split in two so sweeps don't redo graph work per
+ * depth (DESIGN.md "Shared graph artefacts"):
+ *
+ *  - buildGraphArtifacts() produces the depth-independent bundle
+ *    (graph, normalized adjacency, partitioning, relabeling, HDN
+ *    lists), immutable and shared between workloads;
+ *  - buildLayerData() layers the cheap per-depth data (features,
+ *    weights) on top of a shared bundle.
+ *
+ * buildWorkload() remains the one-shot convenience composition.
  */
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/datasets.hpp"
@@ -31,6 +43,22 @@
 
 namespace grow::gcn {
 
+/**
+ * The graph-level slice of workload construction: everything that is
+ * independent of model depth and feature synthesis. Two workloads with
+ * equal partition plans (and dataset + tier) can share one artefact
+ * bundle.
+ */
+struct PartitionPlan
+{
+    /** Build partitioning artefacts (clustering + HDN lists). */
+    bool buildPartitioning = true;
+    /** Target nodes per cluster (0 = derive from the HDN cache). */
+    uint32_t targetClusterSize = 0;
+    /** HDN IDs stored per cluster (CAM capacity, Sec. V-C). */
+    uint32_t hdnTopN = 4096;
+};
+
 /** Knobs of workload construction. */
 struct WorkloadConfig
 {
@@ -39,13 +67,19 @@ struct WorkloadConfig
     uint32_t numLayers = 2;
     /** Build partitioning artefacts (clustering + HDN lists). */
     bool buildPartitioning = true;
-    /** Target nodes per cluster (0 = library default of 700). */
+    /** Target nodes per cluster (0 = library default of the cache size). */
     uint32_t targetClusterSize = 0;
     /** HDN IDs stored per cluster (CAM capacity, Sec. V-C). */
     uint32_t hdnTopN = 4096;
     /** Also synthesise dense weights for functional verification. */
     bool functionalData = false;
     uint64_t seed = 7;
+
+    /** The graph-level slice of this config. */
+    PartitionPlan partitionPlan() const
+    {
+        return {buildPartitioning, targetClusterSize, hdnTopN};
+    }
 };
 
 /**
@@ -69,36 +103,104 @@ struct LayerSpec
 std::vector<uint32_t> layerDims(const graph::GcnShape &shape,
                                 uint32_t numLayers);
 
-/** A fully constructed per-dataset workload. */
-struct GcnWorkload
+/**
+ * Immutable depth-independent artefacts of one (dataset, tier,
+ * partition plan): the synthetic graph, its normalized adjacency, and
+ * GROW's preprocessing outputs. Shared (by shared_ptr) between every
+ * workload built on top of it -- never mutated after construction.
+ */
+struct GraphArtifacts
 {
     const graph::DatasetSpec *spec = nullptr;
     graph::ScaleTier tier = graph::ScaleTier::Mini;
-    graph::GcnShape shape;
-
-    /** Per-layer shape/density plan; size is the model depth. */
-    std::vector<LayerSpec> layers;
+    PartitionPlan plan;
 
     graph::Graph graph; ///< original labelling
 
     /** Normalized adjacency in the original labelling (baselines). */
     sparse::CsrMatrix adjacency;
 
-    /** Partitioning artefacts (empty unless buildPartitioning). */
+    /** Partitioning artefacts (empty unless plan.buildPartitioning). */
     bool hasPartitioning = false;
+    /** Hard per-cluster node bound the clustering honours (0 = none). */
+    uint32_t maxClusterNodes = 0;
     sparse::CsrMatrix adjacencyPartitioned; ///< relabeled
     partition::RelabelResult relabel;
     std::vector<std::vector<NodeId>> hdnLists; ///< relabeled IDs
 
+    uint32_t nodes() const { return graph.numNodes(); }
+};
+
+/**
+ * Default nodes-per-cluster target for @p shape: a cluster whose nodes
+ * all fit in the HDN cache turns every intra-cluster reference into a
+ * hit. 512 KB / (hidden x 8 B) rows, capped by the 4096-entry CAM
+ * (Table III), floored at 64.
+ */
+uint32_t defaultClusterSize(const graph::GcnShape &shape, uint32_t hdn_top_n);
+
+/**
+ * Synthesise the graph of @p spec at @p tier and run the partitioning
+ * preprocessing of @p plan. Deterministic for (spec, tier, plan); the
+ * depth/seed knobs of WorkloadConfig do not affect the result.
+ */
+std::shared_ptr<const GraphArtifacts>
+buildGraphArtifacts(const graph::DatasetSpec &spec, graph::ScaleTier tier,
+                    const PartitionPlan &plan = {});
+
+/** A fully constructed per-dataset workload. */
+struct GcnWorkload
+{
+    /** Shared graph-level artefacts (never null after construction). */
+    std::shared_ptr<const GraphArtifacts> artifacts;
+
+    /** Per-layer shape/density plan; size is the model depth. */
+    std::vector<LayerSpec> layers;
+
     /** Per-layer feature matrices X(i), original labelling. */
     std::vector<sparse::CsrMatrix> features;
-    /** Row-permuted copies matching adjacencyPartitioned. */
+    /** Row-permuted copies matching adjacencyPartitioned(). */
     std::vector<sparse::CsrMatrix> featuresPartitioned;
 
     /** Per-layer dense weights W(i) (empty unless functionalData). */
     std::vector<sparse::DenseMatrix> weights;
 
-    uint32_t nodes() const { return graph.numNodes(); }
+    /** Dataset the workload was built from (null only if default-
+     *  constructed; every built workload has one). */
+    const graph::DatasetSpec *spec() const
+    {
+        return artifacts ? artifacts->spec : nullptr;
+    }
+    graph::ScaleTier tier() const { return artifacts->tier; }
+    /** Table I layer shape {F0, H, C} of the dataset. */
+    const graph::GcnShape &shape() const { return artifacts->spec->gcn; }
+
+    /** The synthetic graph, original labelling. */
+    const graph::Graph &graph() const { return artifacts->graph; }
+    /** Normalized adjacency, original labelling. */
+    const sparse::CsrMatrix &adjacency() const
+    {
+        return artifacts->adjacency;
+    }
+    /** Whether partitioning artefacts were built. */
+    bool hasPartitioning() const { return artifacts->hasPartitioning; }
+    /** Normalized adjacency in the cluster-contiguous labelling. */
+    const sparse::CsrMatrix &adjacencyPartitioned() const
+    {
+        return artifacts->adjacencyPartitioned;
+    }
+    /** Relabeling permutation + cluster layout. */
+    const partition::RelabelResult &relabel() const
+    {
+        return artifacts->relabel;
+    }
+    /** Per-cluster HDN ID lists (relabeled IDs). */
+    const std::vector<std::vector<NodeId>> &hdnLists() const
+    {
+        return artifacts->hdnLists;
+    }
+
+    uint32_t nodes() const { return artifacts->graph.numNodes(); }
     uint32_t numLayers() const
     {
         return static_cast<uint32_t>(layers.size());
@@ -120,7 +222,17 @@ struct GcnWorkload
     bool hasFunctionalData() const { return !weights.empty(); }
 };
 
-/** Build the workload for @p spec under @p config. */
+/**
+ * Layer the per-depth data (synthetic features, optional weights) of
+ * @p config on top of shared @p artifacts. The expensive graph-level
+ * state is borrowed, not rebuilt: any number of depths/seeds can reuse
+ * one bundle. config.tier and the partition knobs must match the ones
+ * the artefacts were built with.
+ */
+GcnWorkload buildLayerData(std::shared_ptr<const GraphArtifacts> artifacts,
+                           const WorkloadConfig &config);
+
+/** Build the workload for @p spec under @p config (one-shot). */
 GcnWorkload buildWorkload(const graph::DatasetSpec &spec,
                           const WorkloadConfig &config);
 

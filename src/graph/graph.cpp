@@ -43,6 +43,20 @@ Graph::fromEdges(uint32_t nodes, std::vector<std::pair<NodeId, NodeId>> edges)
     return g;
 }
 
+Graph
+Graph::fromAdjacency(std::vector<uint64_t> offsets,
+                     std::vector<NodeId> neighbors)
+{
+    GROW_ASSERT(!offsets.empty() && offsets.front() == 0 &&
+                    offsets.back() == neighbors.size(),
+                "malformed adjacency offsets");
+    Graph g;
+    g.offsets_ = std::move(offsets);
+    g.neighbors_ = std::move(neighbors);
+    GROW_ASSERT(g.validate(), "adjacency arrays violate graph invariants");
+    return g;
+}
+
 double
 Graph::avgDegree() const
 {

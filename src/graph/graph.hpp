@@ -31,6 +31,14 @@ class Graph
     static Graph fromEdges(uint32_t nodes,
                            std::vector<std::pair<NodeId, NodeId>> edges);
 
+    /**
+     * Rebuild from raw adjacency-CSR arrays (e.g. a deserialized
+     * graph). The arrays must already satisfy the class invariants:
+     * sorted neighbor lists, symmetric, no self loops -- validated.
+     */
+    static Graph fromAdjacency(std::vector<uint64_t> offsets,
+                               std::vector<NodeId> neighbors);
+
     uint32_t numNodes() const { return static_cast<uint32_t>(offsets_.empty() ? 0 : offsets_.size() - 1); }
 
     /** Directed adjacency entries (2x undirected edge count). */

@@ -44,16 +44,18 @@ SimpleDram::serialize(Cycle now, Bytes line_bytes)
     Cycle start = std::max(now, channelFree_);
     double cycles = static_cast<double>(line_bytes) /
                     config_.bytesPerCycle() + residual_;
+    // Charge whole cycles only and carry the fraction (always in
+    // [0, 1)) into the next transfer: long-run channel occupancy is
+    // exactly totalBytes / bytesPerCycle. A sub-cycle transfer may
+    // occupy the channel for 0 cycles -- its cost is borne by the
+    // transfer that tips the accumulator over -- but its *completion*
+    // is still reported at least one cycle after issue below, so no
+    // transfer ever appears instantaneous to the engine.
     Cycle whole = static_cast<Cycle>(cycles);
     residual_ = cycles - static_cast<double>(whole);
-    if (whole == 0) {
-        // Never let a transfer be free; carry the remainder.
-        whole = 1;
-        residual_ = std::max(0.0, residual_ - 1.0);
-    }
     channelFree_ = start + whole;
     busyCycles_ += whole;
-    return channelFree_;
+    return std::max(channelFree_, start + 1);
 }
 
 Cycle

@@ -126,11 +126,17 @@ class SimpleDram : public DramModel
                 TrafficClass cls) override;
 
   private:
-    /** Serialize @p bytes on the channel starting no earlier than now. */
+    /**
+     * Serialize @p bytes on the channel starting no earlier than now.
+     * Returns the completion cycle (>= 1 cycle after issue); channel
+     * occupancy accounting stays exact via the fractional residual, so
+     * busyCycles() converges to totalBytes / bytesPerCycle even for
+     * streams of sub-cycle transfers.
+     */
     Cycle serialize(Cycle now, Bytes line_bytes);
 
     Cycle channelFree_ = 0;
-    /** Fractional-cycle accumulator so bandwidth is exact over time. */
+    /** Fractional-cycle accumulator (in [0,1)) so bandwidth is exact. */
     double residual_ = 0.0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/bitutil.hpp"
 #include "util/logging.hpp"
 
 namespace grow::partition {
@@ -58,6 +59,31 @@ identityRelabel(uint32_t nodes)
     for (NodeId v = 0; v < nodes; ++v)
         out.newToOld[v] = v;
     out.clustering.clusterStart = {0, nodes};
+    return out;
+}
+
+Clustering
+splitOversizedClusters(const Clustering &c, uint32_t max_nodes)
+{
+    GROW_ASSERT(max_nodes > 0, "cluster bound must be positive");
+    Clustering out;
+    out.clusterStart.reserve(c.clusterStart.size());
+    out.clusterStart.push_back(0);
+    for (uint32_t i = 0; i < c.numClusters(); ++i) {
+        const uint32_t start = c.clusterStart[i];
+        const uint32_t size = c.clusterSize(i);
+        const uint32_t chunks = std::max<uint32_t>(
+            1, static_cast<uint32_t>(ceilDiv(size, max_nodes)));
+        // Even split: the first (size % chunks) chunks get one extra.
+        const uint32_t base = size / chunks;
+        const uint32_t extra = size % chunks;
+        uint32_t offset = start;
+        for (uint32_t j = 0; j < chunks; ++j) {
+            offset += base + (j < extra ? 1 : 0);
+            out.clusterStart.push_back(offset);
+        }
+        GROW_ASSERT(offset == start + size, "cluster split accounting");
+    }
     return out;
 }
 

@@ -59,4 +59,16 @@ RelabelResult relabelByPartition(uint32_t nodes,
 /** Trivial clustering: all nodes in one cluster, identity labels. */
 RelabelResult identityRelabel(uint32_t nodes);
 
+/**
+ * Enforce a hard per-cluster node bound: any cluster of @p c larger
+ * than @p max_nodes is split into evenly sized contiguous chunks (at
+ * most @p max_nodes each, sizes differing by at most one). The node
+ * relabeling is unchanged -- only cluster boundaries are added -- so
+ * this composes with any RelabelResult. The partitioner's balance
+ * constraint is soft (overweight parts can overflow); GROW's
+ * cache-sizing argument (Sec. V-C) needs the bound to be hard, since a
+ * cluster that overshoots the HDN cache defeats the preprocessing.
+ */
+Clustering splitOversizedClusters(const Clustering &c, uint32_t max_nodes);
+
 } // namespace grow::partition

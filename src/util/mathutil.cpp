@@ -1,0 +1,23 @@
+#include "util/mathutil.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace grow {
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        GROW_ASSERT(v > 0.0 && std::isfinite(v),
+                    "geomean requires strictly positive finite values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+} // namespace grow

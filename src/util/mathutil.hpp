@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Small floating-point helpers shared by benches and reports.
+ */
+#pragma once
+
+#include <vector>
+
+namespace grow {
+
+/**
+ * Geometric mean of @p values (the "average speedup" aggregation of
+ * the figure benches). An empty input returns 0. Every value must be
+ * strictly positive: a zero or negative ratio has no geometric mean,
+ * and silently returning NaN (or a garbage exp(log) of a negative)
+ * would corrupt summary rows -- panics instead.
+ */
+double geomean(const std::vector<double> &values);
+
+} // namespace grow

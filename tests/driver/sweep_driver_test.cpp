@@ -137,6 +137,81 @@ TEST(SweepDriver, JobErrorsPropagateToCaller)
     EXPECT_ANY_THROW(pool.runAll(jobs));
 }
 
+TEST(SweepDriver, MidSweepErrorReportsAllFailuresAndSkippedLabels)
+{
+    auto w = unitWorkload("cora");
+    std::vector<SweepJob> jobs;
+    jobs.push_back(makeEngineJob("grow", w)); // runs fine
+    SweepJob bad = makeEngineJob("grow", w);
+    bad.options.sim.functional = true; // workload has no weights
+    bad.label = "cora/grow-BROKEN";
+    jobs.push_back(bad);
+    auto late = makeEngineJob("gcnax", w); // skipped by fail-fast
+    late.label = "cora/gcnax-LATER";
+    jobs.push_back(late);
+
+    // Single-threaded: the failure at index 1 deterministically skips
+    // index 2. The aggregate message must name both the failing job
+    // and the skipped one -- labels never vanish into the pool.
+    SweepDriver pool(1);
+    try {
+        pool.runAll(jobs);
+        FAIL() << "expected the sweep to throw";
+    } catch (const std::runtime_error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("cora/grow-BROKEN"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("cora/gcnax-LATER"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("skipped by fail-fast"), std::string::npos)
+            << msg;
+    }
+}
+
+TEST(SweepDriver, AllErrorsAggregatedInJobOrder)
+{
+    auto w = unitWorkload("cora");
+    std::vector<SweepJob> jobs;
+    for (int i = 0; i < 3; ++i) {
+        SweepJob bad = makeEngineJob("grow", w);
+        bad.options.sim.functional = true;
+        bad.label = "bad" + std::to_string(i);
+        jobs.push_back(bad);
+    }
+    // One worker claims every job before observing the failure flag is
+    // impossible; but serial execution guarantees only job 0 runs.
+    // With one thread the report must still account for all three.
+    SweepDriver pool(1);
+    try {
+        pool.runAll(jobs);
+        FAIL() << "expected the sweep to throw";
+    } catch (const std::runtime_error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("bad0"), std::string::npos) << msg;
+        // bad1/bad2 were never claimed: reported as skipped, not lost.
+        EXPECT_NE(msg.find("bad1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("bad2"), std::string::npos) << msg;
+    }
+}
+
+TEST(SweepDriver, OwnedWorkloadJobKeepsWorkloadAlive)
+{
+    std::vector<SweepJob> jobs;
+    {
+        // The shared_ptr goes out of scope before runAll: the job's
+        // co-ownership must keep the workload alive.
+        auto w = std::make_shared<const gcn::GcnWorkload>(
+            unitWorkload("cora"));
+        jobs.push_back(makeEngineJob("grow", w));
+        jobs.push_back(makeEngineJob("gcnax", std::move(w)));
+    }
+    SweepDriver pool(2);
+    auto outcomes = pool.runAll(jobs);
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_EQ(outcomes[0].label, "cora/grow");
+    EXPECT_EQ(outcomes[1].label, "cora/gcnax");
+    EXPECT_GT(outcomes[0].inference.totalCycles, 0u);
+    EXPECT_GT(outcomes[1].inference.totalCycles, 0u);
+}
+
 TEST(SweepDriver, EmptySweepIsANoOp)
 {
     SweepDriver pool(2);

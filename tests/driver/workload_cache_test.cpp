@@ -1,0 +1,314 @@
+/**
+ * @file
+ * WorkloadCache: graph artefacts must be built exactly once per
+ * (dataset, tier, partition plan) and shared across depths; the
+ * on-disk layer must round-trip bit-identically and *never* trust a
+ * corrupted or stale file.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "driver/workload_cache.hpp"
+
+namespace grow::driver {
+namespace {
+
+namespace fs = std::filesystem;
+
+gcn::WorkloadConfig
+unitConfig(uint32_t layers = 2)
+{
+    gcn::WorkloadConfig c;
+    c.tier = graph::ScaleTier::Unit;
+    c.numLayers = layers;
+    return c;
+}
+
+/** A scratch directory unique to the current test. */
+std::string
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("growcache_" + name);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+void
+expectArtifactsIdentical(const gcn::GraphArtifacts &a,
+                         const gcn::GraphArtifacts &b)
+{
+    ASSERT_NE(a.spec, nullptr);
+    ASSERT_NE(b.spec, nullptr);
+    EXPECT_EQ(a.spec->name, b.spec->name);
+    EXPECT_EQ(a.tier, b.tier);
+    EXPECT_EQ(a.maxClusterNodes, b.maxClusterNodes);
+    EXPECT_EQ(a.graph.offsets(), b.graph.offsets());
+    EXPECT_EQ(a.graph.adjacency(), b.graph.adjacency());
+    EXPECT_EQ(a.adjacency.rowPtr(), b.adjacency.rowPtr());
+    EXPECT_EQ(a.adjacency.colIdx(), b.adjacency.colIdx());
+    EXPECT_EQ(a.adjacency.values(), b.adjacency.values());
+    ASSERT_EQ(a.hasPartitioning, b.hasPartitioning);
+    if (a.hasPartitioning) {
+        EXPECT_EQ(a.relabel.newToOld, b.relabel.newToOld);
+        EXPECT_EQ(a.relabel.clustering.clusterStart,
+                  b.relabel.clustering.clusterStart);
+        EXPECT_EQ(a.hdnLists, b.hdnLists);
+        EXPECT_EQ(a.adjacencyPartitioned.rowPtr(),
+                  b.adjacencyPartitioned.rowPtr());
+        EXPECT_EQ(a.adjacencyPartitioned.colIdx(),
+                  b.adjacencyPartitioned.colIdx());
+        EXPECT_EQ(a.adjacencyPartitioned.values(),
+                  b.adjacencyPartitioned.values());
+    }
+}
+
+TEST(WorkloadCache, DepthSweepBuildsArtifactsOncePerDataset)
+{
+    // The acceptance probe: depths 1-4 over two datasets must run
+    // graph synthesis + partitioning exactly once per dataset.
+    WorkloadCache cache;
+    std::vector<gcn::GcnWorkload> workloads;
+    for (const char *name : {"cora", "citeseer"})
+        for (uint32_t depth = 1; depth <= 4; ++depth)
+            workloads.push_back(cache.workload(
+                graph::datasetByName(name), unitConfig(depth)));
+    EXPECT_EQ(cache.stats().builds, 2u);
+    EXPECT_EQ(cache.stats().memoryHits, 6u);
+    EXPECT_EQ(cache.stats().diskLoads, 0u);
+    // All depths of one dataset share one bundle instance.
+    for (int i = 1; i < 4; ++i) {
+        EXPECT_EQ(workloads[0].artifacts.get(), workloads[i].artifacts.get());
+        EXPECT_EQ(workloads[4].artifacts.get(),
+                  workloads[4 + i].artifacts.get());
+    }
+    EXPECT_NE(workloads[0].artifacts.get(), workloads[4].artifacts.get());
+}
+
+TEST(WorkloadCache, CachedWorkloadMatchesDirectBuild)
+{
+    WorkloadCache cache;
+    auto cached = cache.workload(graph::datasetByName("cora"),
+                                 unitConfig(3));
+    auto direct = gcn::buildWorkload(graph::datasetByName("cora"),
+                                     unitConfig(3));
+    expectArtifactsIdentical(*cached.artifacts, *direct.artifacts);
+    ASSERT_EQ(cached.features.size(), direct.features.size());
+    for (size_t i = 0; i < cached.features.size(); ++i) {
+        EXPECT_EQ(cached.features[i].colIdx(), direct.features[i].colIdx());
+        EXPECT_EQ(cached.features[i].values(), direct.features[i].values());
+    }
+}
+
+TEST(WorkloadCache, DistinctPartitionPlansGetDistinctArtifacts)
+{
+    WorkloadCache cache;
+    const auto &spec = graph::datasetByName("cora");
+    auto a = cache.artifacts(spec, graph::ScaleTier::Unit, {});
+    gcn::PartitionPlan smaller;
+    smaller.targetClusterSize = 128;
+    auto b = cache.artifacts(spec, graph::ScaleTier::Unit, smaller);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(cache.stats().builds, 2u);
+    EXPECT_EQ(b->maxClusterNodes, 128u);
+}
+
+TEST(WorkloadCache, DiskRoundTripIsBitIdentical)
+{
+    const std::string dir = scratchDir("roundtrip");
+    const auto &spec = graph::datasetByName("citeseer");
+    WorkloadCache cold(dir);
+    auto built = cold.artifacts(spec, graph::ScaleTier::Unit, {});
+    EXPECT_EQ(cold.stats().builds, 1u);
+    EXPECT_EQ(cold.stats().diskStores, 1u);
+
+    // A second cache over the same directory loads instead of building.
+    WorkloadCache warm(dir);
+    auto loaded = warm.artifacts(spec, graph::ScaleTier::Unit, {});
+    EXPECT_EQ(warm.stats().builds, 0u);
+    EXPECT_EQ(warm.stats().diskLoads, 1u);
+    expectArtifactsIdentical(*built, *loaded);
+
+    // And the workloads layered on top are bit-identical too.
+    auto a = cold.workload(spec, unitConfig());
+    auto b = warm.workload(spec, unitConfig());
+    EXPECT_EQ(a.x(0).colIdx(), b.x(0).colIdx());
+    EXPECT_EQ(a.x(0).values(), b.x(0).values());
+    fs::remove_all(dir);
+}
+
+TEST(WorkloadCache, SaveLoadFunctionsRoundTrip)
+{
+    const std::string dir = scratchDir("saveload");
+    const auto &spec = graph::datasetByName("cora");
+    auto key = ArtifactKey::of(spec, graph::ScaleTier::Unit, {});
+    auto built = gcn::buildGraphArtifacts(spec, graph::ScaleTier::Unit);
+    const std::string path = dir + "/cora.growart";
+    ASSERT_TRUE(saveArtifacts(path, *built));
+    auto loaded = loadArtifacts(path, key);
+    ASSERT_NE(loaded, nullptr);
+    expectArtifactsIdentical(*built, *loaded);
+    fs::remove_all(dir);
+}
+
+TEST(WorkloadCache, LoadRejectsWrongKey)
+{
+    const std::string dir = scratchDir("wrongkey");
+    const auto &spec = graph::datasetByName("cora");
+    auto built = gcn::buildGraphArtifacts(spec, graph::ScaleTier::Unit);
+    const std::string path = dir + "/cora.growart";
+    ASSERT_TRUE(saveArtifacts(path, *built));
+
+    auto other = ArtifactKey::of(graph::datasetByName("citeseer"),
+                                 graph::ScaleTier::Unit, {});
+    EXPECT_EQ(loadArtifacts(path, other), nullptr);
+    auto wrongTier = ArtifactKey::of(spec, graph::ScaleTier::Tiny, {});
+    EXPECT_EQ(loadArtifacts(path, wrongTier), nullptr);
+    fs::remove_all(dir);
+}
+
+TEST(WorkloadCache, CorruptedFileFallsBackToRebuild)
+{
+    const std::string dir = scratchDir("corrupt");
+    const auto &spec = graph::datasetByName("cora");
+    {
+        WorkloadCache cache(dir);
+        cache.artifacts(spec, graph::ScaleTier::Unit, {});
+    }
+    const auto key = ArtifactKey::of(spec, graph::ScaleTier::Unit, {});
+    const std::string path =
+        (fs::path(dir) / (key.fingerprint() + ".growart")).string();
+    ASSERT_TRUE(fs::exists(path));
+
+    // Flip a payload byte: the checksum must catch it.
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(64);
+        char c = 0;
+        f.seekg(64);
+        f.get(c);
+        f.seekp(64);
+        f.put(static_cast<char>(c ^ 0x5a));
+    }
+    EXPECT_EQ(loadArtifacts(path, key), nullptr);
+
+    // The cache rebuilds (and counts the bad file) instead of crashing.
+    WorkloadCache cache(dir);
+    auto rebuilt = cache.artifacts(spec, graph::ScaleTier::Unit, {});
+    ASSERT_NE(rebuilt, nullptr);
+    EXPECT_EQ(cache.stats().builds, 1u);
+    EXPECT_EQ(cache.stats().diskLoads, 0u);
+    EXPECT_EQ(cache.stats().diskFailures, 1u);
+    fs::remove_all(dir);
+}
+
+TEST(WorkloadCache, TruncatedAndGarbageFilesAreRejected)
+{
+    const std::string dir = scratchDir("truncate");
+    const auto &spec = graph::datasetByName("cora");
+    const auto key = ArtifactKey::of(spec, graph::ScaleTier::Unit, {});
+    auto built = gcn::buildGraphArtifacts(spec, graph::ScaleTier::Unit);
+    const std::string path = dir + "/t.growart";
+    ASSERT_TRUE(saveArtifacts(path, *built));
+
+    // Truncate to half: length checks / checksum must reject it.
+    const auto full = fs::file_size(path);
+    fs::resize_file(path, full / 2);
+    EXPECT_EQ(loadArtifacts(path, key), nullptr);
+
+    // Pure garbage without even the magic.
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f << "this is not an artefact file";
+    }
+    EXPECT_EQ(loadArtifacts(path, key), nullptr);
+
+    // Missing file.
+    EXPECT_EQ(loadArtifacts(dir + "/absent.growart", key), nullptr);
+    fs::remove_all(dir);
+}
+
+TEST(WorkloadCache, StaleFormatVersionIsRejected)
+{
+    const std::string dir = scratchDir("stale");
+    const auto &spec = graph::datasetByName("cora");
+    const auto key = ArtifactKey::of(spec, graph::ScaleTier::Unit, {});
+    auto built = gcn::buildGraphArtifacts(spec, graph::ScaleTier::Unit);
+    const std::string path = dir + "/v.growart";
+    ASSERT_TRUE(saveArtifacts(path, *built));
+
+    // Bump the version field (bytes 8..11, after the 8-byte magic).
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        uint32_t stale = kArtifactFormatVersion + 1;
+        f.seekp(8);
+        f.write(reinterpret_cast<const char *>(&stale), sizeof(stale));
+    }
+    EXPECT_EQ(loadArtifacts(path, key), nullptr);
+    fs::remove_all(dir);
+}
+
+TEST(WorkloadCache, StaleDatasetSpecIsRejected)
+{
+    // The payload stores a fingerprint of the dataset's synthesis
+    // parameters; a file written under an edited registry entry must
+    // miss. Simulate the edit by patching the stored fingerprint and
+    // re-sealing the checksum, so only the fingerprint comparison can
+    // reject the file.
+    const std::string dir = scratchDir("specstale");
+    const auto &spec = graph::datasetByName("cora");
+    const auto key = ArtifactKey::of(spec, graph::ScaleTier::Unit, {});
+    auto built = gcn::buildGraphArtifacts(spec, graph::ScaleTier::Unit);
+    const std::string path = dir + "/s.growart";
+    ASSERT_TRUE(saveArtifacts(path, *built));
+
+    std::string raw;
+    {
+        std::ifstream f(path, std::ios::binary);
+        std::ostringstream oss;
+        oss << f.rdbuf();
+        raw = oss.str();
+    }
+    // Layout: 8B magic + 4B version | payload | 8B FNV-1a checksum.
+    // The payload starts with the name (4B length + bytes) followed by
+    // the 8-byte spec fingerprint.
+    const size_t header = 12;
+    const size_t fpOffset = header + 4 + spec.name.size();
+    raw[fpOffset] ^= 0x5a;
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (size_t i = header; i < raw.size() - 8; ++i) {
+        h ^= static_cast<unsigned char>(raw[i]);
+        h *= 0x100000001b3ULL;
+    }
+    std::memcpy(raw.data() + raw.size() - 8, &h, 8);
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f << raw;
+    }
+    EXPECT_EQ(loadArtifacts(path, key), nullptr);
+    fs::remove_all(dir);
+}
+
+TEST(WorkloadCache, FingerprintDistinguishesKeys)
+{
+    const auto &spec = graph::datasetByName("cora");
+    auto base = ArtifactKey::of(spec, graph::ScaleTier::Unit, {});
+    auto tiny = ArtifactKey::of(spec, graph::ScaleTier::Tiny, {});
+    gcn::PartitionPlan plan;
+    plan.targetClusterSize = 99;
+    auto sized = ArtifactKey::of(spec, graph::ScaleTier::Unit, plan);
+    EXPECT_NE(base.fingerprint(), tiny.fingerprint());
+    EXPECT_NE(base.fingerprint(), sized.fingerprint());
+    EXPECT_FALSE(base < base);
+    EXPECT_TRUE(base < tiny || tiny < base);
+}
+
+} // namespace
+} // namespace grow::driver

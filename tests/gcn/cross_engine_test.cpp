@@ -64,10 +64,10 @@ TEST_P(EngineSweep, MacWorkIdenticalAcrossEngines)
     auto r = runInference(*engine, unitWorkload(), opt);
     const auto &w = unitWorkload();
     uint64_t expect =
-        w.x(0).nnz() * w.shape.hidden +
-        w.adjacency.nnz() * w.shape.hidden +
-        w.x(1).nnz() * w.shape.classes +
-        w.adjacency.nnz() * w.shape.classes;
+        w.x(0).nnz() * w.shape().hidden +
+        w.adjacency().nnz() * w.shape().hidden +
+        w.x(1).nnz() * w.shape().classes +
+        w.adjacency().nnz() * w.shape().classes;
     EXPECT_EQ(r.macOps, expect);
 }
 
@@ -97,31 +97,31 @@ TEST(CrossLayout, PartitionedExecutionIsPermutationEquivalent)
 
     Rng rng(3);
     auto rhsOrig =
-        sparse::randomDense(w.nodes(), w.shape.hidden, rng);
+        sparse::randomDense(w.nodes(), w.shape().hidden, rng);
     // Permute RHS rows to the relabeled space.
-    sparse::DenseMatrix rhsPart(w.nodes(), w.shape.hidden);
+    sparse::DenseMatrix rhsPart(w.nodes(), w.shape().hidden);
     for (NodeId i = 0; i < w.nodes(); ++i)
-        for (uint32_t j = 0; j < w.shape.hidden; ++j)
-            rhsPart.at(i, j) = rhsOrig.at(w.relabel.newToOld[i], j);
+        for (uint32_t j = 0; j < w.shape().hidden; ++j)
+            rhsPart.at(i, j) = rhsOrig.at(w.relabel().newToOld[i], j);
 
     accel::SpDeGemmProblem orig;
-    orig.lhs = &w.adjacency;
-    orig.rhsCols = w.shape.hidden;
+    orig.lhs = &w.adjacency();
+    orig.rhsCols = w.shape().hidden;
     orig.rhs = &rhsOrig;
     auto ro = sim.run(orig, opt);
 
     accel::SpDeGemmProblem part;
-    part.lhs = &w.adjacencyPartitioned;
-    part.rhsCols = w.shape.hidden;
+    part.lhs = &w.adjacencyPartitioned();
+    part.rhsCols = w.shape().hidden;
     part.rhs = &rhsPart;
-    part.clustering = &w.relabel.clustering;
-    part.hdnLists = &w.hdnLists;
+    part.clustering = &w.relabel().clustering;
+    part.hdnLists = &w.hdnLists();
     auto rp = sim.run(part, opt);
 
     for (NodeId i = 0; i < w.nodes(); ++i)
-        for (uint32_t j = 0; j < w.shape.hidden; ++j)
+        for (uint32_t j = 0; j < w.shape().hidden; ++j)
             ASSERT_NEAR(rp.output.at(i, j),
-                        ro.output.at(w.relabel.newToOld[i], j), 1e-9)
+                        ro.output.at(w.relabel().newToOld[i], j), 1e-9)
                 << "row " << i;
 }
 
@@ -130,13 +130,13 @@ TEST(CrossLayout, GraphRelabelAgreesWithCsrPermutation)
     // graph::Graph::relabeled and CsrMatrix::permutedSymmetric must
     // describe the same structure.
     const auto &w = unitWorkload();
-    auto rg = w.graph.relabeled(w.relabel.newToOld);
+    auto rg = w.graph().relabeled(w.relabel().newToOld);
     auto fromGraph = graph::normalizedAdjacency(rg, true);
-    EXPECT_EQ(fromGraph.rowPtr(), w.adjacencyPartitioned.rowPtr());
-    EXPECT_EQ(fromGraph.colIdx(), w.adjacencyPartitioned.colIdx());
+    EXPECT_EQ(fromGraph.rowPtr(), w.adjacencyPartitioned().rowPtr());
+    EXPECT_EQ(fromGraph.colIdx(), w.adjacencyPartitioned().colIdx());
     for (size_t i = 0; i < fromGraph.values().size(); ++i)
         ASSERT_NEAR(fromGraph.values()[i],
-                    w.adjacencyPartitioned.values()[i], 1e-12);
+                    w.adjacencyPartitioned().values()[i], 1e-12);
 }
 
 } // namespace

@@ -62,7 +62,7 @@ TEST_P(DatasetSweep, AggregationLookupsCoverAllNonZeros)
     RunnerOptions opt;
     opt.usePartitioning = true;
     auto r = runInference(grow, w, opt);
-    EXPECT_EQ(r.cacheHits + r.cacheMisses, 2 * w.adjacency.nnz());
+    EXPECT_EQ(r.cacheHits + r.cacheMisses, 2 * w.adjacency().nnz());
 }
 
 TEST_P(DatasetSweep, EnergyBreakdownComplete)

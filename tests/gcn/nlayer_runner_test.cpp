@@ -47,7 +47,7 @@ TEST(NLayerRunner, PlanLowersTwoPhasesPerLayer)
             EXPECT_EQ(plan[2 * layer].problem.lhs,
                       &w.xPartitioned(layer));
             EXPECT_EQ(plan[2 * layer + 1].problem.lhs,
-                      &w.adjacencyPartitioned);
+                      &w.adjacencyPartitioned());
         }
     }
 }
@@ -61,8 +61,8 @@ TEST(NLayerRunner, PlanAttachesArtefactsOnlyToAggregation)
     for (const auto &step : plan) {
         if (step.problem.phase == accel::Phase::Aggregation) {
             EXPECT_EQ(step.problem.clustering,
-                      &w.relabel.clustering);
-            EXPECT_EQ(step.problem.hdnLists, &w.hdnLists);
+                      &w.relabel().clustering);
+            EXPECT_EQ(step.problem.hdnLists, &w.hdnLists());
         } else {
             EXPECT_EQ(step.problem.clustering, nullptr);
             EXPECT_TRUE(step.problem.rhsOnChip);
@@ -116,10 +116,10 @@ TEST(NLayerRunner, MacOpsScaleWithDepth)
     uint64_t expect = 0;
     for (uint32_t i = 0; i < w.numLayers(); ++i) {
         expect += w.x(i).nnz() * w.layer(i).outDim;       // combination
-        expect += w.adjacency.nnz() * w.layer(i).outDim;  // aggregation
+        expect += w.adjacency().nnz() * w.layer(i).outDim;  // aggregation
     }
     EXPECT_EQ(r.macOps, expect);
-    EXPECT_EQ(r.cacheHits + r.cacheMisses, 3 * w.adjacency.nnz());
+    EXPECT_EQ(r.cacheHits + r.cacheMisses, 3 * w.adjacency().nnz());
 }
 
 TEST(NLayerRunner, ExecutePlanRunsCallerBuiltPlans)

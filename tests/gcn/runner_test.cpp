@@ -114,7 +114,7 @@ TEST(Runner, CacheStatsOnlyFromAggregation)
             aggLookups += ph.result.cacheHits + ph.result.cacheMisses;
     EXPECT_EQ(r.cacheHits + r.cacheMisses, aggLookups);
     // Each aggregation phase looks up once per adjacency non-zero.
-    EXPECT_EQ(aggLookups, 2 * w.adjacency.nnz());
+    EXPECT_EQ(aggLookups, 2 * w.adjacency().nnz());
 }
 
 TEST(Runner, MacOpsMatchWorkloadStructure)
@@ -125,10 +125,10 @@ TEST(Runner, MacOpsMatchWorkloadStructure)
     opt.usePartitioning = true;
     auto r = runInference(grow, w, opt);
     uint64_t expect =
-        w.x(0).nnz() * w.shape.hidden +       // comb layer 0
-        w.adjacency.nnz() * w.shape.hidden + // agg layer 0
-        w.x(1).nnz() * w.shape.classes +      // comb layer 1
-        w.adjacency.nnz() * w.shape.classes; // agg layer 1
+        w.x(0).nnz() * w.shape().hidden +       // comb layer 0
+        w.adjacency().nnz() * w.shape().hidden + // agg layer 0
+        w.x(1).nnz() * w.shape().classes +      // comb layer 1
+        w.adjacency().nnz() * w.shape().classes; // agg layer 1
     EXPECT_EQ(r.macOps, expect);
 }
 

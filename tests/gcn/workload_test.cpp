@@ -20,15 +20,15 @@ TEST(Workload, BuildsAllArtefacts)
 {
     auto w = buildWorkload(graph::datasetByName("cora"), unitConfig());
     EXPECT_GT(w.nodes(), 0u);
-    EXPECT_TRUE(w.hasPartitioning);
-    EXPECT_EQ(w.adjacency.rows(), w.nodes());
-    EXPECT_EQ(w.adjacencyPartitioned.rows(), w.nodes());
+    EXPECT_TRUE(w.hasPartitioning());
+    EXPECT_EQ(w.adjacency().rows(), w.nodes());
+    EXPECT_EQ(w.adjacencyPartitioned().rows(), w.nodes());
     ASSERT_EQ(w.numLayers(), 2u);
     EXPECT_EQ(w.x(0).rows(), w.nodes());
-    EXPECT_EQ(w.x(0).cols(), w.shape.inFeatures);
-    EXPECT_EQ(w.x(1).cols(), w.shape.hidden);
-    EXPECT_EQ(w.hdnLists.size(),
-              w.relabel.clustering.numClusters());
+    EXPECT_EQ(w.x(0).cols(), w.shape().inFeatures);
+    EXPECT_EQ(w.x(1).cols(), w.shape().hidden);
+    EXPECT_EQ(w.hdnLists().size(),
+              w.relabel().clustering.numClusters());
 }
 
 TEST(Workload, FeatureDensitiesMatchTableOne)
@@ -69,11 +69,11 @@ TEST(Workload, DeepModelBuildsPerLayerArtefacts)
         if (i > 0)
             EXPECT_EQ(w.layer(i).inDim, w.layer(i - 1).outDim);
     }
-    EXPECT_EQ(w.layer(0).inDim, w.shape.inFeatures);
-    EXPECT_EQ(w.layer(1).inDim, w.shape.hidden);
-    EXPECT_EQ(w.layer(2).outDim, w.shape.classes);
+    EXPECT_EQ(w.layer(0).inDim, w.shape().inFeatures);
+    EXPECT_EQ(w.layer(1).inDim, w.shape().hidden);
+    EXPECT_EQ(w.layer(2).outDim, w.shape().classes);
     // Deep X(i) substitutes reuse the published post-layer-1 density.
-    EXPECT_DOUBLE_EQ(w.layer(2).xDensity, w.spec->x1Density);
+    EXPECT_DOUBLE_EQ(w.layer(2).xDensity, w.spec()->x1Density);
 }
 
 TEST(Workload, SingleLayerModelMapsInputToClasses)
@@ -82,18 +82,18 @@ TEST(Workload, SingleLayerModelMapsInputToClasses)
     c.numLayers = 1;
     auto w = buildWorkload(graph::datasetByName("citeseer"), c);
     ASSERT_EQ(w.numLayers(), 1u);
-    EXPECT_EQ(w.layer(0).inDim, w.shape.inFeatures);
-    EXPECT_EQ(w.layer(0).outDim, w.shape.classes);
+    EXPECT_EQ(w.layer(0).inDim, w.shape().inFeatures);
+    EXPECT_EQ(w.layer(0).outDim, w.shape().classes);
 }
 
 TEST(Workload, PartitionedAdjacencyIsPermutation)
 {
     auto w = buildWorkload(graph::datasetByName("citeseer"),
                            unitConfig());
-    EXPECT_EQ(w.adjacencyPartitioned.nnz(), w.adjacency.nnz());
+    EXPECT_EQ(w.adjacencyPartitioned().nnz(), w.adjacency().nnz());
     // Value multisets agree.
-    auto a = w.adjacency.values();
-    auto b = w.adjacencyPartitioned.values();
+    auto a = w.adjacency().values();
+    auto b = w.adjacencyPartitioned().values();
     std::sort(a.begin(), a.end());
     std::sort(b.begin(), b.end());
     for (size_t i = 0; i < a.size(); ++i)
@@ -106,7 +106,7 @@ TEST(Workload, PermuteRowsConsistentWithRelabel)
     // Row i of xPartitioned(0) equals row newToOld[i] of x(0).
     for (NodeId i = 0; i < std::min(w.nodes(), 50u); ++i) {
         auto pc = w.xPartitioned(0).rowCols(i);
-        auto oc = w.x(0).rowCols(w.relabel.newToOld[i]);
+        auto oc = w.x(0).rowCols(w.relabel().newToOld[i]);
         ASSERT_EQ(pc.size(), oc.size());
         for (size_t j = 0; j < pc.size(); ++j)
             EXPECT_EQ(pc[j], oc[j]);
@@ -121,19 +121,19 @@ TEST(Workload, FunctionalDataOnlyOnRequest)
         buildWorkload(graph::datasetByName("cora"), unitConfig(true));
     ASSERT_TRUE(w2.hasFunctionalData());
     ASSERT_EQ(w2.weights.size(), 2u);
-    EXPECT_EQ(w2.weight(0).rows(), w2.shape.inFeatures);
-    EXPECT_EQ(w2.weight(0).cols(), w2.shape.hidden);
-    EXPECT_EQ(w2.weight(1).rows(), w2.shape.hidden);
-    EXPECT_EQ(w2.weight(1).cols(), w2.shape.classes);
+    EXPECT_EQ(w2.weight(0).rows(), w2.shape().inFeatures);
+    EXPECT_EQ(w2.weight(0).cols(), w2.shape().hidden);
+    EXPECT_EQ(w2.weight(1).rows(), w2.shape().hidden);
+    EXPECT_EQ(w2.weight(1).cols(), w2.shape().classes);
 }
 
 TEST(Workload, DeterministicForSeed)
 {
     auto a = buildWorkload(graph::datasetByName("cora"), unitConfig());
     auto b = buildWorkload(graph::datasetByName("cora"), unitConfig());
-    EXPECT_EQ(a.adjacency.colIdx(), b.adjacency.colIdx());
+    EXPECT_EQ(a.adjacency().colIdx(), b.adjacency().colIdx());
     EXPECT_EQ(a.x(0).colIdx(), b.x(0).colIdx());
-    EXPECT_EQ(a.relabel.newToOld, b.relabel.newToOld);
+    EXPECT_EQ(a.relabel().newToOld, b.relabel().newToOld);
 }
 
 TEST(Workload, NoPartitioningOnRequest)
@@ -141,16 +141,101 @@ TEST(Workload, NoPartitioningOnRequest)
     WorkloadConfig c = unitConfig();
     c.buildPartitioning = false;
     auto w = buildWorkload(graph::datasetByName("cora"), c);
-    EXPECT_FALSE(w.hasPartitioning);
-    EXPECT_EQ(w.adjacencyPartitioned.rows(), 0u);
+    EXPECT_FALSE(w.hasPartitioning());
+    EXPECT_EQ(w.adjacencyPartitioned().rows(), 0u);
+}
+
+TEST(Workload, ClusterSizeNeverExceedsTarget)
+{
+    // Regression: numParts used floor division (n / clusterSize), so
+    // n=800 at target 600 yielded ONE 800-row cluster -- overshooting
+    // the HDN cache the target was sized against by 33%. Ceiling
+    // division plus the hard split bound must cap every cluster.
+    WorkloadConfig c = unitConfig();
+    c.targetClusterSize = 600; // unit-tier cora has 800 nodes
+    auto w = buildWorkload(graph::datasetByName("cora"), c);
+    ASSERT_EQ(w.nodes(), 800u);
+    const auto &clustering = w.relabel().clustering;
+    EXPECT_GE(clustering.numClusters(), 2u);
+    for (uint32_t cl = 0; cl < clustering.numClusters(); ++cl)
+        EXPECT_LE(clustering.clusterSize(cl), 600u)
+            << "cluster " << cl << " overshoots the cache target";
+    EXPECT_EQ(w.artifacts->maxClusterNodes, 600u);
+}
+
+TEST(Workload, ClusterBoundHoldsAcrossTargets)
+{
+    for (uint32_t target : {64u, 100u, 299u, 750u}) {
+        WorkloadConfig c = unitConfig();
+        c.targetClusterSize = target;
+        auto w = buildWorkload(graph::datasetByName("flickr"), c);
+        const auto &clustering = w.relabel().clustering;
+        uint32_t covered = 0;
+        for (uint32_t cl = 0; cl < clustering.numClusters(); ++cl) {
+            EXPECT_LE(clustering.clusterSize(cl), target);
+            covered += clustering.clusterSize(cl);
+        }
+        // The split only adds boundaries: every node stays covered.
+        EXPECT_EQ(covered, w.nodes());
+    }
+}
+
+TEST(Workload, ArtifactsSharedAcrossDepths)
+{
+    auto artifacts = buildGraphArtifacts(graph::datasetByName("cora"),
+                                         graph::ScaleTier::Unit);
+    WorkloadConfig c2 = unitConfig();
+    WorkloadConfig c4 = unitConfig();
+    c4.numLayers = 4;
+    auto w2 = buildLayerData(artifacts, c2);
+    auto w4 = buildLayerData(artifacts, c4);
+    // Same immutable bundle, not copies.
+    EXPECT_EQ(w2.artifacts.get(), artifacts.get());
+    EXPECT_EQ(w4.artifacts.get(), artifacts.get());
+    EXPECT_EQ(&w2.adjacency(), &w4.adjacency());
+    // Depth-dependent data stays per-workload.
+    EXPECT_EQ(w2.features.size(), 2u);
+    EXPECT_EQ(w4.features.size(), 4u);
+}
+
+TEST(Workload, SplitBuildMatchesOneShotBuild)
+{
+    WorkloadConfig c = unitConfig(true);
+    c.numLayers = 3;
+    auto oneShot = buildWorkload(graph::datasetByName("pubmed"), c);
+    auto artifacts = buildGraphArtifacts(graph::datasetByName("pubmed"),
+                                         c.tier, c.partitionPlan());
+    auto split = buildLayerData(artifacts, c);
+    EXPECT_EQ(oneShot.adjacency().colIdx(), split.adjacency().colIdx());
+    EXPECT_EQ(oneShot.relabel().newToOld, split.relabel().newToOld);
+    EXPECT_EQ(oneShot.hdnLists(), split.hdnLists());
+    ASSERT_EQ(oneShot.features.size(), split.features.size());
+    for (size_t i = 0; i < oneShot.features.size(); ++i) {
+        EXPECT_EQ(oneShot.features[i].colIdx(), split.features[i].colIdx());
+        EXPECT_EQ(oneShot.features[i].values(), split.features[i].values());
+    }
+    ASSERT_EQ(oneShot.weights.size(), split.weights.size());
+}
+
+TEST(Workload, LayerDataRejectsMismatchedArtifacts)
+{
+    auto artifacts = buildGraphArtifacts(graph::datasetByName("cora"),
+                                         graph::ScaleTier::Unit);
+    WorkloadConfig wrongTier = unitConfig();
+    wrongTier.tier = graph::ScaleTier::Tiny;
+    EXPECT_ANY_THROW(buildLayerData(artifacts, wrongTier));
+    WorkloadConfig wrongPart = unitConfig();
+    wrongPart.buildPartitioning = false;
+    EXPECT_ANY_THROW(buildLayerData(artifacts, wrongPart));
+    EXPECT_ANY_THROW(buildLayerData(nullptr, unitConfig()));
 }
 
 TEST(Workload, HdnListsWithinClusterBounds)
 {
     auto w = buildWorkload(graph::datasetByName("flickr"), unitConfig());
-    const auto &clustering = w.relabel.clustering;
+    const auto &clustering = w.relabel().clustering;
     for (uint32_t c = 0; c < clustering.numClusters(); ++c) {
-        for (NodeId v : w.hdnLists[c]) {
+        for (NodeId v : w.hdnLists()[c]) {
             EXPECT_GE(v, clustering.clusterStart[c]);
             EXPECT_LT(v, clustering.clusterStart[c + 1]);
         }

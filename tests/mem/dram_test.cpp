@@ -61,6 +61,48 @@ TEST(SimpleDram, SustainedBandwidthExact)
     EXPECT_NEAR(static_cast<double>(done), expect, expect * 0.01 + 2);
 }
 
+TEST(SimpleDram, SubCycleTransfersConserveBandwidth)
+{
+    // 64 B lines at 128 B/cycle are half-cycle transfers: the old
+    // clamped carry charged a full cycle each, doubling busyCycles_.
+    // The exact carry must make long-run channel occupancy converge to
+    // totalBytes / bytesPerCycle.
+    SimpleDram d(cfg(128.0, 0));
+    const int n = 10000;
+    Cycle done = 0;
+    for (int i = 0; i < n; ++i)
+        done = d.read(0, i * 64, 64, TrafficClass::SparseStream);
+    const double exact = n * 64.0 / 128.0; // 5000 cycles
+    EXPECT_NEAR(static_cast<double>(d.busyCycles()), exact, 1.0);
+    EXPECT_NEAR(static_cast<double>(done), exact, 2.0);
+}
+
+TEST(SimpleDram, MixedSizeTransfersConserveBandwidth)
+{
+    // Alternate sub-cycle and multi-cycle transfers; the residual must
+    // carry across both directions without drifting.
+    SimpleDram d(cfg(96.0, 0)); // 96 B/cycle: 64 B lines = 2/3 cycle
+    Bytes total = 0;
+    for (int i = 0; i < 3000; ++i) {
+        Bytes b = (i % 3 == 0) ? 256 : 64;
+        d.read(0, i * 4096, b, TrafficClass::DenseRow);
+        total += b;
+    }
+    const double exact = static_cast<double>(total) / 96.0;
+    EXPECT_NEAR(static_cast<double>(d.busyCycles()), exact, 1.0);
+}
+
+TEST(SimpleDram, TransfersAreNeverInstantaneous)
+{
+    // Even a sub-cycle transfer completes at least one cycle after
+    // issue (the engine must never observe a zero-latency DRAM fetch).
+    SimpleDram d(cfg(1024.0, 0)); // 64 B = 1/16 cycle
+    for (Cycle now = 0; now < 20; ++now) {
+        Cycle done = d.read(now, now * 64, 64, TrafficClass::DenseRow);
+        EXPECT_GE(done, now + 1);
+    }
+}
+
 TEST(SimpleDram, WritesArePosted)
 {
     SimpleDram d(cfg(128.0, 100));

@@ -111,5 +111,42 @@ TEST(Relabel, DiagonalizationEffect)
     EXPECT_GT(blockMass(rg), 0.6);
 }
 
+TEST(SplitOversized, OversizedClustersAreChunkedEvenly)
+{
+    Clustering c;
+    c.clusterStart = {0, 1000, 1400}; // sizes 1000, 400
+    auto s = splitOversizedClusters(c, 600);
+    // 1000 -> two 500-node chunks; 400 stays whole.
+    EXPECT_EQ(s.clusterStart, (std::vector<uint32_t>{0, 500, 1000, 1400}));
+    for (uint32_t i = 0; i < s.numClusters(); ++i)
+        EXPECT_LE(s.clusterSize(i), 600u);
+}
+
+TEST(SplitOversized, BoundaryCases)
+{
+    Clustering c;
+    c.clusterStart = {0, 600, 1201, 1208};
+    auto s = splitOversizedClusters(c, 600);
+    // Exactly at the bound: untouched. One over: split ~evenly.
+    EXPECT_EQ(s.clusterStart[1], 600u);
+    EXPECT_EQ(s.numClusters(), 4u);
+    EXPECT_EQ(s.clusterSize(1), 301u);
+    EXPECT_EQ(s.clusterSize(2), 300u);
+    EXPECT_EQ(s.clusterSize(3), 7u);
+    // Node coverage and ordering are preserved.
+    EXPECT_EQ(s.clusterStart.front(), 0u);
+    EXPECT_EQ(s.clusterStart.back(), c.clusterStart.back());
+    for (size_t i = 1; i < s.clusterStart.size(); ++i)
+        EXPECT_GT(s.clusterStart[i], s.clusterStart[i - 1]);
+}
+
+TEST(SplitOversized, NoOpWhenAllClustersFit)
+{
+    Clustering c;
+    c.clusterStart = {0, 10, 30, 55};
+    auto s = splitOversizedClusters(c, 100);
+    EXPECT_EQ(s.clusterStart, c.clusterStart);
+}
+
 } // namespace
 } // namespace grow::partition

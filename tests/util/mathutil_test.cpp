@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/mathutil.hpp"
+
+namespace grow {
+namespace {
+
+TEST(Geomean, BasicValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-12);
+}
+
+TEST(Geomean, EmptyInputIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, IsScaleInvariant)
+{
+    double g = geomean({0.5, 2.0, 3.0});
+    double scaled = geomean({5.0, 20.0, 30.0});
+    EXPECT_NEAR(scaled, 10.0 * g, 1e-9);
+}
+
+TEST(Geomean, RejectsZeroNegativeAndNonFinite)
+{
+    // A zero speedup would silently produce NaN (log(0) = -inf) and a
+    // negative one garbage; both must panic instead of corrupting
+    // summary rows.
+    EXPECT_ANY_THROW(geomean({1.0, 0.0, 2.0}));
+    EXPECT_ANY_THROW(geomean({-1.0}));
+    EXPECT_ANY_THROW(geomean({1.0, std::numeric_limits<double>::infinity()}));
+    EXPECT_ANY_THROW(
+        geomean({std::numeric_limits<double>::quiet_NaN()}));
+}
+
+TEST(Geomean, NeverReturnsNaNForValidInput)
+{
+    auto g = geomean({1e-300, 1e300});
+    EXPECT_FALSE(std::isnan(g));
+    EXPECT_NEAR(g, 1.0, 1e-6);
+}
+
+} // namespace
+} // namespace grow
