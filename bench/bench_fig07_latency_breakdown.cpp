@@ -16,13 +16,22 @@ main(int argc, char **argv)
     ctx.banner("Figure 7: GCNAX latency breakdown");
 
     TextTable t("Figure 7");
-    t.setHeader({"dataset", "total cycles", "aggregation", "combination"});
+    t.setHeader({"dataset", "total cycles", "aggregation", "combination",
+                 "attention"});
     for (const auto &spec : ctx.specs()) {
         const auto &r = ctx.inference(spec.name, "gcnax");
-        double agg = static_cast<double>(r.aggregationCycles) /
-                     static_cast<double>(r.totalCycles);
-        t.addRow({spec.name, fmtCount(r.totalCycles), fmtPercent(agg),
-                  fmtPercent(1.0 - agg)});
+        // Each share is attributed from its own counter (not derived
+        // as a remainder) so model-zoo runs with an attention phase
+        // (model=gat) report honestly; attention is 0% for the
+        // paper's GCN workloads.
+        const double total = static_cast<double>(r.totalCycles);
+        t.addRow({spec.name, fmtCount(r.totalCycles),
+                  fmtPercent(static_cast<double>(r.aggregationCycles) /
+                             total),
+                  fmtPercent(static_cast<double>(r.combinationCycles) /
+                             total),
+                  fmtPercent(static_cast<double>(r.attentionCycles) /
+                             total)});
     }
     t.print();
     return 0;

@@ -8,9 +8,11 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "gcn/runner.hpp"
 #include "gcn/workload.hpp"
 #include "graph/generators.hpp"
 #include "graph/normalize.hpp"
+#include "graph/sampling.hpp"
 #include "partition/multilevel.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/reference_gemm.hpp"
@@ -145,6 +147,52 @@ BM_BuildLayerData(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BuildLayerData)->Arg(2)->Arg(4);
+
+void
+BM_SampleNeighbors(benchmark::State &state)
+{
+    // SAGEConv's seeded fanout-k sampling pass (the depth-independent
+    // artefact buildGraphArtifacts caches for the sampling models).
+    auto g = graph::generateChungLu(
+        static_cast<uint32_t>(state.range(0)), 16.0, 2.3, 5);
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        seed += 1;
+        auto s = graph::sampleNeighborAdjacency(g, 10, seed);
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(state.iterations() * g.numArcs());
+}
+BENCHMARK(BM_SampleNeighbors)->Arg(10000)->Arg(40000);
+
+void
+BM_BuildPhasePlan(benchmark::State &state)
+{
+    // Per-ModelKind lowering cost: the plan is rebuilt per inference,
+    // so it must stay negligible next to the simulation itself.
+    const auto model = static_cast<gcn::ModelKind>(state.range(0));
+    const auto &spec = graph::datasetByName("cora");
+    gcn::WorkloadConfig wc;
+    wc.tier = graph::ScaleTier::Unit;
+    wc.model = model;
+    auto w = gcn::buildWorkload(spec, wc);
+    gcn::RunnerOptions opt;
+    opt.usePartitioning = true;
+    for (auto _ : state) {
+        auto plan = gcn::buildPhasePlan(w, opt);
+        benchmark::DoNotOptimize(plan);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            gcn::modelPhasesPerLayer(model) *
+                            w.numLayers());
+    state.SetLabel(gcn::modelKindName(model));
+}
+BENCHMARK(BM_BuildPhasePlan)
+    ->Arg(static_cast<int>(gcn::ModelKind::Gcn))
+    ->Arg(static_cast<int>(gcn::ModelKind::SageMean))
+    ->Arg(static_cast<int>(gcn::ModelKind::SagePool))
+    ->Arg(static_cast<int>(gcn::ModelKind::Gin))
+    ->Arg(static_cast<int>(gcn::ModelKind::Gat));
 
 } // namespace
 

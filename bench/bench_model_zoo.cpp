@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Model zoo study (Sec. VIII "GROW applicability for advanced
+ * aggregation functions"): lower every ModelKind -- vanilla GCN,
+ * SAGEConv mean/pool over sampled neighbourhoods, GIN with folded
+ * epsilon, GAT with SDDMM attention scores -- onto the PhasePlan
+ * abstraction and run GROW against the baseline engines on the
+ * Table I datasets. The per-model tables report cycles, DRAM traffic,
+ * HDN-cache behaviour and energy (including the Sec. VIII extra-unit
+ * energy), and the summary table rolls up geomean speedups plus the
+ * area overhead each model's extra hardware costs on GROW.
+ *
+ * Extra arguments beside the common ones (common.hpp):
+ *   engines=grow,gcnax          engine keys to compare (first is the
+ *                               speedup numerator's denominator)
+ *   models=gcn,sage-mean,...    ModelKind subset (default: all)
+ *   fanout=10                   SAGEConv neighbour-sampling fanout
+ */
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "gcn/aggregators.hpp"
+#include "gcn/model.hpp"
+#include "util/logging.hpp"
+
+using namespace grow;
+using namespace grow::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, /*default_scale=*/"tiny");
+    ctx.banner("Model zoo: GNN layer types on the GROW pipeline");
+
+    const auto engineKeys =
+        ctx.args().getList("engines", {"grow", "gcnax"});
+    if (engineKeys.size() < 2)
+        fatal("model zoo needs >= 2 engine keys (engines=grow,gcnax)");
+    std::vector<gcn::ModelKind> models;
+    if (ctx.args().has("models")) {
+        for (const auto &tok : ctx.args().getList("models", {}))
+            models.push_back(gcn::modelKindFromString(tok));
+    } else if (ctx.args().has("model")) {
+        // The common per-bench knob narrows the zoo to one model.
+        models = {ctx.model()};
+    } else {
+        models = gcn::allModelKinds();
+    }
+    const int64_t fanout = ctx.args().getInt("fanout", 10);
+    if (fanout < 1 || fanout > 1024)
+        fatal("fanout must be in [1, 1024], got " +
+              std::to_string(fanout));
+
+    // Build every (model, dataset) workload up front through the shared
+    // cache (map, not vector: jobs borrow stable addresses). Models
+    // that don't sample share one graph-artefact bundle per dataset;
+    // the SAGEConv models add the sampled-adjacency artefact to theirs.
+    std::map<std::string, gcn::GcnWorkload> workloads;
+    std::vector<driver::SweepJob> jobs;
+    for (gcn::ModelKind model : models) {
+        for (const auto &spec : ctx.specs()) {
+            gcn::WorkloadConfig wc;
+            wc.tier = ctx.tier();
+            wc.model = model;
+            wc.sageFanout = static_cast<uint32_t>(fanout);
+            std::string key =
+                std::string(gcn::modelKindName(model)) + "/" + spec.name;
+            const auto &w =
+                workloads.emplace(key, ctx.cache().workload(spec, wc))
+                    .first->second;
+            for (const auto &engine : engineKeys)
+                jobs.push_back(driver::makeEngineJob(engine, w));
+        }
+    }
+    driver::SweepDriver pool;
+    auto outcomes = pool.runAll(jobs);
+
+    // Consume outcomes positionally, verifying the dataset so a
+    // reorder of the assembly loop cannot shift results silently.
+    size_t cursor = 0;
+    auto take = [&](const std::string &dataset)
+        -> const gcn::InferenceResult & {
+        GROW_ASSERT(cursor < outcomes.size() &&
+                        outcomes[cursor].label.rfind(dataset + "/", 0) ==
+                            0,
+                    "sweep outcome order mismatch at " + dataset);
+        return outcomes[cursor++].inference;
+    };
+
+    std::map<std::string, std::vector<double>> speedups;
+    for (gcn::ModelKind model : models) {
+        const auto &support =
+            gcn::aggregatorSupport(gcn::modelAggregator(model));
+        TextTable t(std::string("model ") + gcn::modelKindName(model) +
+                    (support.extraHardware.empty()
+                         ? ""
+                         : " (extra unit: " + support.extraHardware +
+                               ")"));
+        std::vector<std::string> header = {"dataset"};
+        for (const auto &engine : engineKeys)
+            header.push_back(engine + " cycles");
+        header.insert(header.end(),
+                      {"speedup", "hit rate", "DRAM traffic",
+                       "energy (uJ)", "aux energy (uJ)"});
+        t.setHeader(header);
+
+        for (const auto &spec : ctx.specs()) {
+            std::vector<const gcn::InferenceResult *> results;
+            for (size_t e = 0; e < engineKeys.size(); ++e)
+                results.push_back(&take(spec.name));
+            const auto &lead = *results.front();
+            // Speedup of the lead engine over the second key (the
+            // headline baseline).
+            double speedup = static_cast<double>(results[1]->totalCycles) /
+                             static_cast<double>(lead.totalCycles);
+            speedups[gcn::modelKindName(model)].push_back(speedup);
+
+            std::vector<std::string> row = {spec.name};
+            for (const auto *r : results)
+                row.push_back(fmtCount(r->totalCycles));
+            row.insert(row.end(),
+                       {fmtRatio(speedup), fmtPercent(lead.cacheHitRate()),
+                        fmtBytes(lead.totalTrafficBytes()),
+                        fmtDouble(lead.energy.total() / 1e6, 1),
+                        fmtDouble(lead.energy.auxPj / 1e6, 3)});
+            t.addRow(row);
+        }
+        t.print();
+    }
+
+    TextTable s("Sec. VIII summary (" + engineKeys[0] + " vs " +
+                engineKeys[1] + ")");
+    s.setHeader({"model", "phases/layer", "geomean speedup",
+                 "extra hardware", "area @65nm (mm^2)",
+                 "area overhead"});
+    for (gcn::ModelKind model : models) {
+        const auto &support =
+            gcn::aggregatorSupport(gcn::modelAggregator(model));
+        auto area = gcn::growAreaWithAggregator(
+            gcn::modelAggregator(model));
+        s.addRow({gcn::modelKindName(model),
+                  std::to_string(gcn::modelPhasesPerLayer(model)),
+                  fmtRatio(geomean(speedups[gcn::modelKindName(model)])),
+                  support.extraHardware.empty() ? "-"
+                                                : support.extraHardware,
+                  fmtDouble(area.total(), 3),
+                  fmtPercent(support.areaOverhead)});
+    }
+    s.print();
+    return 0;
+}

@@ -12,6 +12,7 @@ BenchContext::BenchContext(int argc, char **argv,
     : args_(argc, argv), cache_(args_.get("cachedir", ""))
 {
     tier_ = graph::tierFromString(args_.get("scale", default_scale));
+    model_ = gcn::modelKindFromString(args_.get("model", "gcn"));
     specs_ = graph::datasetsByNames(
         args_.getList("datasets", split(default_datasets, ',')));
 }
@@ -23,6 +24,7 @@ BenchContext::workload(const std::string &name)
     if (it == workloads_.end()) {
         gcn::WorkloadConfig wc;
         wc.tier = tier_;
+        wc.model = model_;
         it = workloads_
                  .emplace(name,
                           cache_.workload(graph::datasetByName(name), wc))
@@ -80,8 +82,10 @@ BenchContext::prefetch(const std::vector<std::string> &engine_keys)
 void
 BenchContext::banner(const std::string &what) const
 {
-    std::cout << "\n### " << what << " [scale=" << graph::tierName(tier_)
-              << "]\n";
+    std::cout << "\n### " << what << " [scale=" << graph::tierName(tier_);
+    if (model_ != gcn::ModelKind::Gcn)
+        std::cout << " model=" << gcn::modelKindName(model_);
+    std::cout << "]\n";
 }
 
 } // namespace grow::bench

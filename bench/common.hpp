@@ -5,6 +5,9 @@
  * Every bench accepts `key=value` arguments:
  *   scale=mini|tiny|full|unit   dataset scale tier (per-bench default)
  *   datasets=cora,...|all       dataset subset
+ *   model=gcn|sage-mean|sage-pool|gin|gat
+ *                               GNN layer type the workloads lower as
+ *                               (default gcn, the paper's evaluation)
  *   cachedir=<path>             persist graph artefacts on disk so
  *                               repeated runs skip synthesis (optional)
  * and prints one or more TextTables that mirror a specific table or
@@ -44,9 +47,12 @@ class BenchContext
 
     const CliArgs &args() const { return args_; }
     graph::ScaleTier tier() const { return tier_; }
+    /** GNN layer type selected via `model=` (default Gcn). */
+    gcn::ModelKind model() const { return model_; }
     const std::vector<graph::DatasetSpec> &specs() const { return specs_; }
 
-    /** Build (once) and return the workload of @p name. */
+    /** Build (once) and return the workload of @p name, lowered as
+     *  the bench's selected model. */
     const gcn::GcnWorkload &workload(const std::string &name);
 
     /**
@@ -77,6 +83,7 @@ class BenchContext
 
     CliArgs args_;
     graph::ScaleTier tier_;
+    gcn::ModelKind model_ = gcn::ModelKind::Gcn;
     std::vector<graph::DatasetSpec> specs_;
     driver::WorkloadCache cache_;
     std::map<std::string, gcn::GcnWorkload> workloads_;

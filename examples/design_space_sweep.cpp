@@ -14,7 +14,8 @@
  * artefacts and skip synthesis on the next invocation too.
  *
  * Usage: design_space_sweep [dataset=pokec] [scale=tiny] [threads=0]
- *                           [cachedir=]
+ *                           [cachedir=] [model=gcn|sage-mean|sage-pool|
+ *                           gin|gat]
  */
 #include <iostream>
 
@@ -62,10 +63,12 @@ main(int argc, char **argv)
     driver::WorkloadCache cache(args.get("cachedir", ""));
     gcn::WorkloadConfig wc;
     wc.tier = tier;
+    wc.model = gcn::modelKindFromString(args.get("model", "gcn"));
     auto w = cache.workload(spec, wc);
     std::cout << "dataset " << spec.name << " @" << graph::tierName(tier)
-              << ": " << fmtCount(w.nodes()) << " nodes ("
-              << pool.numThreads() << " sweep threads)\n";
+              << " model=" << gcn::modelKindName(wc.model) << ": "
+              << fmtCount(w.nodes()) << " nodes (" << pool.numThreads()
+              << " sweep threads)\n";
 
     // Deeper models share `w`'s graph artefacts through the cache and
     // only synthesise their own per-layer feature matrices.

@@ -54,6 +54,12 @@ struct SpDeGemmProblem
     const sparse::DenseMatrix *rhs = nullptr;
     Phase phase = Phase::Aggregation;
     /**
+     * Model-level provenance of this problem (e.g. "gat/attention-
+     * score/layer1", set by the phase-plan lowering). Engines copy it
+     * into PhaseResult verbatim and never interpret it.
+     */
+    std::string label;
+    /**
      * Whether the RHS fits on-chip for the whole phase (true for the
      * weight matrix W during combination, Sec. V-B).
      */
@@ -73,6 +79,8 @@ struct PhaseResult
 {
     std::string engine;
     Phase phase = Phase::Aggregation;
+    /** Problem provenance, echoed from SpDeGemmProblem::label. */
+    std::string label;
 
     Cycle cycles = 0;
     uint64_t macOps = 0;

@@ -24,6 +24,7 @@ GammaSim::run(const SpDeGemmProblem &problem, const SimOptions &options)
     PhaseResult res;
     res.engine = name();
     res.phase = problem.phase;
+    res.label = problem.label;
 
     const Bytes fiberBytes =
         static_cast<Bytes>(N) * (kValueBytes + kIndexBytes) + kPtrBytes;

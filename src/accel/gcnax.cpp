@@ -121,6 +121,7 @@ GcnaxSim::run(const SpDeGemmProblem &problem, const SimOptions &options)
     PhaseResult res;
     res.engine = name();
     res.phase = problem.phase;
+    res.label = problem.label;
 
     GcnaxTiling t = chooseTiling(S, N);
     auto stats =

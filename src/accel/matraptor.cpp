@@ -25,6 +25,7 @@ MatRaptorSim::run(const SpDeGemmProblem &problem, const SimOptions &options)
     PhaseResult res;
     res.engine = name();
     res.phase = problem.phase;
+    res.label = problem.label;
 
     // CSR fiber of one dense RHS row: N values + N column indices + one
     // segment pointer. This is the format tax of a sparse-sparse engine

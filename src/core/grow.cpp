@@ -126,6 +126,7 @@ GrowSim::run(const accel::SpDeGemmProblem &problem,
     accel::PhaseResult res;
     res.engine = name();
     res.phase = problem.phase;
+    res.label = problem.label;
     res.cycles = end;
     res.traffic = dram->traffic();
 

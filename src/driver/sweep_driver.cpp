@@ -16,8 +16,15 @@ makeEngineJob(const std::string &key, const gcn::GcnWorkload &workload,
 {
     auto spec = engineByKey(key);
     SweepJob job;
+    // Non-default models join the label ("yelp/gat/grow") so mixed
+    // model-zoo sweeps stay distinguishable; plain GCN keeps the
+    // original "yelp/grow" form.
+    std::string model =
+        workload.model == gcn::ModelKind::Gcn
+            ? ""
+            : std::string(gcn::modelKindName(workload.model)) + "/";
     job.label = std::string(workload.spec() ? workload.spec()->name : "?") +
-                "/" + key;
+                "/" + model + key;
     job.makeEngine = std::move(spec.make);
     job.workload = &workload;
     job.options = base;

@@ -212,7 +212,8 @@ ArtifactKey::fingerprint() const
     std::ostringstream oss;
     oss << dataset << '-' << tierToken(tier) << "-p"
         << (plan.buildPartitioning ? 1 : 0) << "-c"
-        << plan.targetClusterSize << "-h" << plan.hdnTopN;
+        << plan.targetClusterSize << "-h" << plan.hdnTopN << "-s"
+        << plan.sampleFanout;
     return oss.str();
 }
 
@@ -222,7 +223,8 @@ ArtifactKey::operator<(const ArtifactKey &o) const
     auto tie = [](const ArtifactKey &k) {
         return std::make_tuple(k.dataset, static_cast<int>(k.tier),
                                k.plan.buildPartitioning,
-                               k.plan.targetClusterSize, k.plan.hdnTopN);
+                               k.plan.targetClusterSize, k.plan.hdnTopN,
+                               k.plan.sampleFanout);
     };
     return tie(*this) < tie(o);
 }
@@ -238,6 +240,7 @@ saveArtifacts(const std::string &path, const gcn::GraphArtifacts &a)
     w.pod(static_cast<uint8_t>(a.plan.buildPartitioning));
     w.pod(a.plan.targetClusterSize);
     w.pod(a.plan.hdnTopN);
+    w.pod(a.plan.sampleFanout);
     w.pod(a.maxClusterNodes);
     w.vec(a.graph.offsets());
     w.vec(a.graph.adjacency());
@@ -250,6 +253,13 @@ saveArtifacts(const std::string &path, const gcn::GraphArtifacts &a)
         w.pod(static_cast<uint64_t>(a.hdnLists.size()));
         for (const auto &list : a.hdnLists)
             w.vec(list);
+    }
+    w.pod(static_cast<uint8_t>(a.hasSampling));
+    if (a.hasSampling) {
+        w.pod(a.sampleSeed);
+        w.csr(a.adjacencySampled);
+        if (a.hasPartitioning)
+            w.csr(a.adjacencySampledPartitioned);
     }
 
     try {
@@ -333,7 +343,7 @@ loadArtifacts(const std::string &path, const ArtifactKey &expected)
         if (!r.str(dataset) || !r.pod(fingerprint) || !r.pod(tier) ||
             !r.pod(buildPartitioning) ||
             !r.pod(a->plan.targetClusterSize) || !r.pod(a->plan.hdnTopN) ||
-            !r.pod(a->maxClusterNodes))
+            !r.pod(a->plan.sampleFanout) || !r.pod(a->maxClusterNodes))
             return nullptr;
         a->plan.buildPartitioning = buildPartitioning != 0;
         a->tier = static_cast<graph::ScaleTier>(tier);
@@ -341,7 +351,8 @@ loadArtifacts(const std::string &path, const ArtifactKey &expected)
             a->plan.buildPartitioning != expected.plan.buildPartitioning ||
             a->plan.targetClusterSize !=
                 expected.plan.targetClusterSize ||
-            a->plan.hdnTopN != expected.plan.hdnTopN)
+            a->plan.hdnTopN != expected.plan.hdnTopN ||
+            a->plan.sampleFanout != expected.plan.sampleFanout)
             return nullptr;
         a->spec = &graph::datasetByName(dataset);
         // The registry's spec may have been edited since the file was
@@ -374,6 +385,21 @@ loadArtifacts(const std::string &path, const ArtifactKey &expected)
             for (auto &list : a->hdnLists)
                 if (!r.vec(list))
                     return nullptr;
+        }
+        uint8_t hasSampling = 0;
+        if (!r.pod(hasSampling))
+            return nullptr;
+        a->hasSampling = hasSampling != 0;
+        if (a->hasSampling != (a->plan.sampleFanout > 0))
+            return nullptr; // flag must agree with the keyed fanout
+        if (a->hasSampling) {
+            if (!r.pod(a->sampleSeed) || !r.csr(a->adjacencySampled))
+                return nullptr;
+            if (a->hasPartitioning &&
+                !r.csr(a->adjacencySampledPartitioned))
+                return nullptr;
+            if (a->adjacencySampled.rows() != a->graph.numNodes())
+                return nullptr;
         }
         if (!r.done())
             return nullptr; // trailing bytes: not a file we wrote
@@ -425,8 +451,20 @@ WorkloadCache::artifacts(const graph::DatasetSpec &spec,
         else if (fs::exists(fs::path(path)))
             diskFailed = true; // present but unusable: rebuild
     }
-    if (!built)
-        built = gcn::buildGraphArtifacts(spec, tier, plan);
+    if (!built) {
+        if (plan.sampleFanout > 0) {
+            // A sampled plan only adds the (cheap, deterministic)
+            // sampled adjacency to the unsampled bundle: serve the
+            // base through the cache so mixed model sweeps never redo
+            // graph synthesis + partitioning per fanout.
+            gcn::PartitionPlan basePlan = plan;
+            basePlan.sampleFanout = 0;
+            built = gcn::extendWithSampling(
+                *artifacts(spec, tier, basePlan), plan.sampleFanout);
+        } else {
+            built = gcn::buildGraphArtifacts(spec, tier, plan);
+        }
+    }
 
     bool stored = false;
     if (!dir_.empty() && !fromDisk)

@@ -53,8 +53,11 @@ struct ArtifactKey
  * On-disk artefact format version. Bump whenever the serialized layout
  * *or the semantics of any serialized artefact* change (e.g. a
  * partitioning fix): stale files must miss, not poison results.
+ *
+ * v2: sampled-adjacency artefacts (SAGEConv fanout-k operand) appended
+ *     to the payload; PartitionPlan::sampleFanout joined the key.
  */
-inline constexpr uint32_t kArtifactFormatVersion = 1;
+inline constexpr uint32_t kArtifactFormatVersion = 2;
 
 /**
  * Serialize @p artifacts to @p path (binary; atomic via temp+rename).

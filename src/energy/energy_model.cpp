@@ -29,7 +29,14 @@ EnergyBreakdown::operator+=(const EnergyBreakdown &other)
     sramPj += other.sramPj;
     dramPj += other.dramPj;
     staticPj += other.staticPj;
+    auxPj += other.auxPj;
     return *this;
+}
+
+double
+auxiliaryUnitPj(const EnergyBreakdown &phase, double mac_area_fraction)
+{
+    return phase.macPj * mac_area_fraction;
 }
 
 EnergyBreakdown

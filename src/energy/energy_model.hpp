@@ -67,7 +67,12 @@ struct ActivityCounts
     Bytes onChipSramBytes = 0;
 };
 
-/** Energy split into the paper's Fig. 22 categories (pJ). */
+/**
+ * Energy split into the paper's Fig. 22 categories (pJ), plus the
+ * auxiliary-unit category of the Sec. VIII model-zoo analysis (softmax
+ * unit, comparator array): zero for every configuration the paper
+ * evaluates, populated only by phases that exercise an extra unit.
+ */
 struct EnergyBreakdown
 {
     double macPj = 0;
@@ -75,10 +80,11 @@ struct EnergyBreakdown
     double sramPj = 0;
     double dramPj = 0;
     double staticPj = 0;
+    double auxPj = 0; ///< extra functional unit (Sec. VIII overheads)
 
     double total() const
     {
-        return macPj + rfPj + sramPj + dramPj + staticPj;
+        return macPj + rfPj + sramPj + dramPj + staticPj + auxPj;
     }
 
     EnergyBreakdown &operator+=(const EnergyBreakdown &other);
@@ -87,5 +93,17 @@ struct EnergyBreakdown
 /** Convert activity counts into an energy breakdown. */
 EnergyBreakdown computeEnergy(const EnergyParams &params,
                               const ActivityCounts &activity);
+
+/**
+ * Dynamic energy of an auxiliary functional unit exercised alongside
+ * the MAC array during one phase: a unit synthesised at
+ * @p mac_area_fraction of the MAC array, switched once per MAC-fed
+ * element, burns that fraction of the phase's MAC energy (dynamic
+ * energy tracks switched capacitance, which tracks area at a fixed
+ * node). This is how the Sec. VIII softmax-unit and comparator-array
+ * overheads reach the per-phase energy accounting.
+ */
+double auxiliaryUnitPj(const EnergyBreakdown &phase,
+                       double mac_area_fraction);
 
 } // namespace grow::energy

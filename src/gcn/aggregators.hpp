@@ -48,6 +48,12 @@ struct AggregatorSupport
     std::string extraHardware;
     /** Chip-wide area overhead fraction at 65 nm (0 if none). */
     double areaOverhead = 0.0;
+    /**
+     * The extra unit's size as a fraction of the MAC array (0 if no
+     * extra unit). Feeds energy::auxiliaryUnitPj for phases that
+     * exercise the unit (model zoo lowering, src/gcn/model.hpp).
+     */
+    double macAreaFraction = 0.0;
     /** Paper's assessment, condensed. */
     std::string notes;
 };

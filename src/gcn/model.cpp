@@ -1,0 +1,104 @@
+#include "gcn/model.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.hpp"
+
+namespace grow::gcn {
+
+const char *
+modelKindName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Gcn: return "gcn";
+      case ModelKind::SageMean: return "sage-mean";
+      case ModelKind::SagePool: return "sage-pool";
+      case ModelKind::Gin: return "gin";
+      case ModelKind::Gat: return "gat";
+    }
+    panic("unknown ModelKind");
+}
+
+const char *
+phaseOpName(PhaseOp op)
+{
+    switch (op) {
+      case PhaseOp::Combination: return "combination";
+      case PhaseOp::Aggregation: return "aggregation";
+      case PhaseOp::AttentionScore: return "attention-score";
+    }
+    panic("unknown PhaseOp");
+}
+
+ModelKind
+modelKindFromString(const std::string &s)
+{
+    std::string lower = s;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    for (ModelKind kind : allModelKinds())
+        if (lower == modelKindName(kind))
+            return kind;
+    std::string known;
+    for (ModelKind kind : allModelKinds())
+        known += (known.empty() ? "" : ", ") +
+                 std::string(modelKindName(kind));
+    fatal("unknown model: " + s + " (known: " + known + ")");
+}
+
+const std::vector<ModelKind> &
+allModelKinds()
+{
+    static const std::vector<ModelKind> kinds = {
+        ModelKind::Gcn, ModelKind::SageMean, ModelKind::SagePool,
+        ModelKind::Gin, ModelKind::Gat};
+    return kinds;
+}
+
+Aggregator
+modelAggregator(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Gcn: return Aggregator::WeightedSum;
+      case ModelKind::SageMean: return Aggregator::SageMean;
+      case ModelKind::SagePool: return Aggregator::SagePool;
+      case ModelKind::Gin: return Aggregator::Gin;
+      case ModelKind::Gat: return Aggregator::GatAttention;
+    }
+    panic("unknown ModelKind");
+}
+
+bool
+modelUsesSampling(ModelKind kind)
+{
+    return kind == ModelKind::SageMean || kind == ModelKind::SagePool;
+}
+
+uint32_t
+modelPhasesPerLayer(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Gcn:
+      case ModelKind::SageMean:
+      case ModelKind::SagePool:
+        return 2;
+      case ModelKind::Gin: // combination, aggregation, MLP combination
+      case ModelKind::Gat: // combination, attention score, aggregation
+        return 3;
+    }
+    panic("unknown ModelKind");
+}
+
+double
+modelAuxUnitMacFraction(ModelKind kind, PhaseOp op)
+{
+    const auto &support = aggregatorSupport(modelAggregator(kind));
+    if (kind == ModelKind::Gat && op == PhaseOp::AttentionScore)
+        return support.macAreaFraction;
+    if (kind == ModelKind::SagePool && op == PhaseOp::Aggregation)
+        return support.macAreaFraction;
+    return 0.0;
+}
+
+} // namespace grow::gcn

@@ -18,6 +18,14 @@ mergeTraffic(mem::DramTraffic &into, const mem::DramTraffic &from)
     }
 }
 
+/** "gat attention-score layer 2": phase identity for diagnostics. */
+std::string
+describePhase(const PlannedPhase &step)
+{
+    return std::string(modelKindName(step.model)) + " " +
+           phaseOpName(step.op) + " layer " + std::to_string(step.layer);
+}
+
 /** Verify a functional output against the golden SpMM. */
 void
 checkFunctional(const accel::PhaseResult &result,
@@ -34,22 +42,38 @@ checkFunctional(const accel::PhaseResult &result,
 
 /** Fold one executed phase into the inference aggregate. */
 void
-accumulatePhase(InferenceResult &res, uint32_t layer,
+accumulatePhase(InferenceResult &res, const PlannedPhase &step,
                 accel::PhaseResult &&r, const energy::EnergyParams &params)
 {
     PhaseMetrics pm;
-    pm.layer = layer;
+    pm.layer = step.layer;
+    pm.op = step.op;
     pm.energy = energy::computeEnergy(params, r.activity);
+    // Sec. VIII extra-unit energy: phases that exercise the softmax
+    // unit (GAT scores) or the comparator array (SagePool reduction)
+    // carry the unit's dynamic energy beside the MAC energy.
+    const double auxFraction = modelAuxUnitMacFraction(step.model,
+                                                       step.op);
+    if (auxFraction > 0.0)
+        pm.energy.auxPj = energy::auxiliaryUnitPj(pm.energy, auxFraction);
     res.totalCycles += r.cycles;
     res.macOps += r.macOps;
     mergeTraffic(res.traffic, r.traffic);
     res.energy += pm.energy;
-    if (r.phase == accel::Phase::Aggregation) {
+    switch (step.op) {
+      case PhaseOp::Combination:
+        res.combinationCycles += r.cycles;
+        break;
+      case PhaseOp::Aggregation:
         res.aggregationCycles += r.cycles;
         res.cacheHits += r.cacheHits;
         res.cacheMisses += r.cacheMisses;
-    } else {
-        res.combinationCycles += r.cycles;
+        break;
+      case PhaseOp::AttentionScore:
+        res.attentionCycles += r.cycles;
+        res.cacheHits += r.cacheHits;
+        res.cacheMisses += r.cacheMisses;
+        break;
     }
     // Drop bulky functional outputs before archiving.
     r.output = sparse::DenseMatrix();
@@ -79,39 +103,108 @@ buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
     GROW_ASSERT(!functional || workload.hasFunctionalData(),
                 "functional mode requires workload weights");
     GROW_ASSERT(workload.numLayers() >= 1, "workload has no layers");
+    const ModelKind model = workload.model;
+    GROW_ASSERT(!modelUsesSampling(model) || workload.hasSampling(),
+                "sampling model lacks the sampled-adjacency artefact");
 
+    // The adjacency every non-combination step streams: SAGEConv
+    // aggregates over the sampled fanout-k operand, GIN over the
+    // epsilon-weighted sum operand A + (1+eps)I, everything else over
+    // the full normalized adjacency.
     const sparse::CsrMatrix &A =
-        part ? workload.adjacencyPartitioned() : workload.adjacency();
+        modelUsesSampling(model)
+            ? (part ? workload.adjacencySampledPartitioned()
+                    : workload.adjacencySampled())
+        : model == ModelKind::Gin
+            ? (part ? workload.adjacencyGinPartitioned
+                    : workload.adjacencyGin)
+            : (part ? workload.adjacencyPartitioned()
+                    : workload.adjacency());
 
     PhasePlan plan;
-    plan.reserve(2 * workload.numLayers());
-    for (uint32_t layer = 0; layer < workload.numLayers(); ++layer) {
-        const uint32_t outCols = workload.layer(layer).outDim;
+    plan.reserve(static_cast<size_t>(modelPhasesPerLayer(model)) *
+                 workload.numLayers());
 
-        // ---- Combination: X(i) * W(i) (W resident on-chip) -----------
-        PlannedPhase comb;
-        comb.layer = layer;
-        comb.problem.lhs =
-            part ? &workload.xPartitioned(layer) : &workload.x(layer);
-        comb.problem.rhsCols = outCols;
-        comb.problem.rhs = functional ? &workload.weight(layer) : nullptr;
-        comb.problem.phase = accel::Phase::Combination;
-        comb.problem.rhsOnChip = true;
-        plan.push_back(comb);
+    // ---- Combination: X * W (W resident on-chip). @p stage
+    // disambiguates same-layer combinations in the provenance label
+    // (GIN's trailing MLP pass). ---------------------------------------
+    auto pushCombination = [&](uint32_t layer, const sparse::CsrMatrix &x,
+                               const sparse::DenseMatrix *wts,
+                               const char *stage = "") {
+        PlannedPhase ph;
+        ph.layer = layer;
+        ph.model = model;
+        ph.op = PhaseOp::Combination;
+        ph.problem.lhs = &x;
+        ph.problem.rhsCols = workload.layer(layer).outDim;
+        ph.problem.rhs = functional ? wts : nullptr;
+        ph.problem.phase = accel::Phase::Combination;
+        ph.problem.rhsOnChip = true;
+        ph.problem.label = describePhase(ph) + stage;
+        plan.push_back(std::move(ph));
+    };
 
-        // ---- Aggregation: A * (X(i)W(i)) -----------------------------
-        // In functional mode the dense RHS is the preceding combination
-        // output, threaded in by executePlan.
-        PlannedPhase agg;
-        agg.layer = layer;
-        agg.problem.lhs = &A;
-        agg.problem.rhsCols = outCols;
-        agg.problem.phase = accel::Phase::Aggregation;
+    // ---- Adjacency-streaming step: aggregation A*(XW), or GAT's
+    // SDDMM-shaped attention-score pass over the same non-zeros. In
+    // functional mode the dense RHS is the preceding combination
+    // output, threaded in by executePlan. GROW's preprocessing
+    // artefacts apply to every step that streams the adjacency.
+    auto pushAdjacencyStep = [&](uint32_t layer, PhaseOp op) {
+        PlannedPhase ph;
+        ph.layer = layer;
+        ph.model = model;
+        ph.op = op;
+        ph.problem.lhs = &A;
+        ph.problem.rhsCols = workload.layer(layer).outDim;
+        ph.problem.phase = accel::Phase::Aggregation;
         if (part) {
-            agg.problem.clustering = &workload.relabel().clustering;
-            agg.problem.hdnLists = &workload.hdnLists();
+            ph.problem.clustering = &workload.relabel().clustering;
+            ph.problem.hdnLists = &workload.hdnLists();
         }
-        plan.push_back(agg);
+        ph.problem.label = describePhase(ph);
+        plan.push_back(std::move(ph));
+    };
+
+    for (uint32_t layer = 0; layer < workload.numLayers(); ++layer) {
+        const sparse::CsrMatrix &x =
+            part ? workload.xPartitioned(layer) : workload.x(layer);
+        const sparse::DenseMatrix *wts =
+            functional ? &workload.weight(layer) : nullptr;
+
+        switch (model) {
+          case ModelKind::Gcn:
+          case ModelKind::SageMean:
+          case ModelKind::SagePool:
+            // X*W then A*(XW) -- the Sec. II-B order; SAGEConv only
+            // swaps A for the sampled operand (Sec. VIII).
+            pushCombination(layer, x, wts);
+            pushAdjacencyStep(layer, PhaseOp::Aggregation);
+            break;
+          case ModelKind::Gat:
+            // Per-edge attention scores lower as an SDDMM-shaped
+            // SpDeGEMM over the adjacency non-zeros, with the
+            // table-based softmax folded into the score phase
+            // (Sec. VIII); the weighted aggregation follows.
+            pushCombination(layer, x, wts);
+            pushAdjacencyStep(layer, PhaseOp::AttentionScore);
+            pushAdjacencyStep(layer, PhaseOp::Aggregation);
+            break;
+          case ModelKind::Gin:
+            // The (1+eps) central-node weight sits on A_gin's
+            // diagonal; the MLP is consecutive W phases (Sec. VIII --
+            // no new hardware), the second stage a trailing
+            // combination over the synthetic stand-in for the
+            // aggregated output.
+            pushCombination(layer, x, wts);
+            pushAdjacencyStep(layer, PhaseOp::Aggregation);
+            pushCombination(layer,
+                            part ? workload.xMlpPartitioned(layer)
+                                 : workload.xMlp(layer),
+                            functional ? &workload.mlpWeight(layer)
+                                       : nullptr,
+                            " (mlp stage 2)");
+            break;
+        }
     }
     return plan;
 }
@@ -124,39 +217,72 @@ executePlan(accel::AcceleratorSim &engine, const PhasePlan &plan,
 
     InferenceResult res;
     res.engine = engine.name();
+    if (!plan.empty()) {
+        res.model = plan.front().model;
+        res.modelAreaOverhead =
+            aggregatorSupport(modelAggregator(res.model)).areaOverhead;
+    }
 
-    // The most recent combination output, pending consumption by the
-    // same layer's aggregation step (functional mode only).
+    // The most recent combination output, pending consumption by a
+    // downstream step of the same layer (functional mode only): an
+    // attention-score step peeks at it, an aggregation step consumes
+    // it, and a combination whose successor is another combination (or
+    // the end of the plan) produces a terminal output instead.
     sparse::DenseMatrix pending;
     bool hasPending = false;
 
-    for (const PlannedPhase &step : plan) {
+    for (size_t i = 0; i < plan.size(); ++i) {
+        const PlannedPhase &step = plan[i];
         accel::SpDeGemmProblem problem = step.problem;
-        const bool isAggregation =
-            problem.phase == accel::Phase::Aggregation;
-        if (functional && isAggregation) {
+        if (functional && step.op != PhaseOp::Combination) {
             GROW_ASSERT(hasPending,
-                        "aggregation step without a preceding "
-                        "combination output");
+                        std::string(phaseOpName(step.op)) +
+                            " step without a preceding combination "
+                            "output (" +
+                            describePhase(step) + ")");
             problem.rhs = &pending;
         }
 
         auto phaseRes = engine.run(problem, options.sim);
         if (functional) {
             checkFunctional(phaseRes, *problem.lhs, *problem.rhs,
-                            std::string(accel::phaseName(problem.phase)) +
-                                " layer " + std::to_string(step.layer));
-            if (isAggregation) {
+                            describePhase(step));
+            switch (step.op) {
+              case PhaseOp::Combination: {
+                const PlannedPhase *next =
+                    i + 1 < plan.size() ? &plan[i + 1] : nullptr;
+                const bool feedsNext =
+                    next != nullptr && next->layer == step.layer &&
+                    next->op != PhaseOp::Combination;
+                if (feedsNext) {
+                    pending = std::move(phaseRes.output);
+                    phaseRes.hasOutput = false;
+                    hasPending = true;
+                }
+                // Otherwise (e.g. GIN's trailing MLP stage) the output
+                // is the layer's terminal result: verified, then
+                // dropped -- the next layer starts from its own
+                // synthetic features (DESIGN.md substitutions).
+                break;
+              }
+              case PhaseOp::AttentionScore:
+                // Scores are consumed on-chip by the softmax unit; the
+                // combination output still feeds the aggregation.
+                break;
+              case PhaseOp::Aggregation:
                 hasPending = false;
-            } else {
-                pending = std::move(phaseRes.output);
-                phaseRes.hasOutput = false;
-                hasPending = true;
+                break;
             }
         }
-        accumulatePhase(res, step.layer, std::move(phaseRes),
-                        options.energy);
+        accumulatePhase(res, step, std::move(phaseRes), options.energy);
     }
+    GROW_ASSERT(!hasPending,
+                "plan left a functional combination output unconsumed "
+                "at end of plan (model " +
+                    std::string(plan.empty()
+                                    ? "?"
+                                    : modelKindName(plan.front().model)) +
+                    ")");
     return res;
 }
 

@@ -1,14 +1,17 @@
 /**
  * @file
- * End-to-end GCN inference runner.
+ * End-to-end GNN inference runner.
  *
- * An N-layer GCN (Table I generalised) is lowered into a declarative
- * *phase plan*: an ordered list of SpDeGEMM problems -- combination
- * then aggregation per layer, the A*(X*W) order of Sec. II-B. A
- * generic executor runs any plan on any AcceleratorSim, threading
- * functional combination outputs into the matching aggregation inputs,
- * and aggregates cycles, classified DRAM traffic, cache statistics and
- * Fig. 22-style energy. See DESIGN.md for the layer-plan abstraction.
+ * An N-layer model (Table I generalised) is lowered into a declarative
+ * *phase plan*: an ordered list of SpDeGEMM problems whose per-layer
+ * op sequence depends on the workload's ModelKind (vanilla GCN is
+ * combination then aggregation, the A*(X*W) order of Sec. II-B; the
+ * Sec. VIII model zoo adds attention-score and MLP steps -- see
+ * src/gcn/model.hpp). A generic executor runs any plan on any
+ * AcceleratorSim, threading functional combination outputs into the
+ * downstream steps that consume them, and aggregates cycles,
+ * classified DRAM traffic, cache statistics and Fig. 22-style energy.
+ * See DESIGN.md for the layer-plan abstraction and model lowering.
  */
 #pragma once
 
@@ -17,6 +20,7 @@
 
 #include "accel/accelerator.hpp"
 #include "energy/energy_model.hpp"
+#include "gcn/model.hpp"
 #include "gcn/workload.hpp"
 
 namespace grow::gcn {
@@ -36,20 +40,23 @@ struct RunnerOptions
 
 /**
  * One step of a lowered inference: a fully described SpDeGEMM plus its
- * provenance in the model. For a functional aggregation step the dense
- * RHS is produced at execution time by the preceding combination step,
- * so problem.rhs stays null in the plan.
+ * provenance in the model (layer index, model kind, model-level op).
+ * For a functional step whose dense RHS is produced at execution time
+ * by the layer's combination step (aggregation, attention score),
+ * problem.rhs stays null in the plan.
  */
 struct PlannedPhase
 {
     uint32_t layer = 0;
+    ModelKind model = ModelKind::Gcn;
+    PhaseOp op = PhaseOp::Combination;
     accel::SpDeGemmProblem problem;
 };
 
 /**
- * Ordered lowering of one workload: 2 * depth SpDeGEMM steps. The plan
- * borrows matrices from the workload it was built from -- the workload
- * must outlive the plan.
+ * Ordered lowering of one workload: modelPhasesPerLayer(model) * depth
+ * SpDeGEMM steps. The plan borrows matrices from the workload it was
+ * built from -- the workload must outlive the plan.
  */
 using PhasePlan = std::vector<PlannedPhase>;
 
@@ -57,6 +64,7 @@ using PhasePlan = std::vector<PlannedPhase>;
 struct PhaseMetrics
 {
     uint32_t layer = 0;
+    PhaseOp op = PhaseOp::Combination;
     accel::PhaseResult result;
     energy::EnergyBreakdown energy;
 };
@@ -65,28 +73,38 @@ struct PhaseMetrics
 struct InferenceResult
 {
     std::string engine;
+    ModelKind model = ModelKind::Gcn;
     Cycle totalCycles = 0;
     Cycle combinationCycles = 0;
     Cycle aggregationCycles = 0;
+    Cycle attentionCycles = 0; ///< GAT attention-score phases
     uint64_t macOps = 0;
     mem::DramTraffic traffic;
     energy::EnergyBreakdown energy;
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
+    /**
+     * Chip-wide area overhead fraction of the extra unit the model
+     * needs on GROW (Sec. VIII aggregatorSupportMatrix; 0 for models
+     * that run on the stock MAC array).
+     */
+    double modelAreaOverhead = 0.0;
     std::vector<PhaseMetrics> phases;
 
     /** Total DRAM bytes moved. */
     Bytes totalTrafficBytes() const { return traffic.total(); }
 
-    /** Aggregate HDN cache hit rate across aggregation phases. */
+    /** Aggregate HDN cache hit rate across the phases that stream RHS
+     *  rows through the cache (aggregation and attention score). */
     double cacheHitRate() const;
 };
 
 /**
- * Lower @p workload into its ordered phase plan under @p options:
- * for each layer i, combination X(i)*W(i) (W on-chip) followed by
- * aggregation A*(X(i)W(i)), with GROW's preprocessing artefacts
- * attached to aggregation steps when options.usePartitioning.
+ * Lower @p workload into its ordered phase plan under @p options: for
+ * each layer, the op sequence of workload.model (src/gcn/model.hpp),
+ * with GROW's preprocessing artefacts attached to the steps that
+ * stream the adjacency when options.usePartitioning. model=Gcn
+ * reproduces the original 2-SpDeGEMM-per-layer lowering exactly.
  */
 PhasePlan buildPhasePlan(const GcnWorkload &workload,
                          const RunnerOptions &options);
@@ -95,15 +113,18 @@ PhasePlan buildPhasePlan(const GcnWorkload &workload,
  * Execute @p plan on @p engine and aggregate the per-phase metrics.
  *
  * In functional mode (options.sim.functional) each combination output
- * feeds the same layer's aggregation input and every phase output is
- * checked against sparse::referenceSpMM; a mismatch panics.
+ * feeds the downstream steps of its layer that consume it (attention
+ * score peeks at it, aggregation consumes it, a trailing MLP
+ * combination's output is terminal) and every phase output is checked
+ * against sparse::referenceSpMM; a mismatch panics, as does a plan
+ * that leaves a combination output unconsumed at the end.
  */
 InferenceResult executePlan(accel::AcceleratorSim &engine,
                             const PhasePlan &plan,
                             const RunnerOptions &options);
 
 /**
- * Run N-layer GCN inference for @p workload on @p engine: convenience
+ * Run N-layer inference for @p workload on @p engine: convenience
  * wrapper for buildPhasePlan + executePlan.
  */
 InferenceResult runInference(accel::AcceleratorSim &engine,

@@ -3,12 +3,54 @@
 #include <algorithm>
 
 #include "graph/normalize.hpp"
+#include "graph/sampling.hpp"
 #include "partition/multilevel.hpp"
 #include "sparse/convert.hpp"
 #include "util/bitutil.hpp"
 #include "util/logging.hpp"
 
 namespace grow::gcn {
+
+namespace {
+
+/**
+ * GIN's sum-aggregation operand A_gin = A + (1+eps)I: binary adjacency
+ * with the learnable central-node weight on the diagonal (h' =
+ * MLP((1+eps)h_v + sum_u h_u)). Built per workload -- eps is a model
+ * knob, not a graph artefact.
+ */
+sparse::CsrMatrix
+ginAdjacency(const graph::Graph &g, double eps)
+{
+    const uint32_t n = g.numNodes();
+    std::vector<uint64_t> rowPtr(n + 1, 0);
+    std::vector<NodeId> colIdx;
+    std::vector<double> values;
+    colIdx.reserve(g.numArcs() + n);
+    values.reserve(g.numArcs() + n);
+    for (NodeId v = 0; v < n; ++v) {
+        bool selfPlaced = false;
+        for (NodeId u : g.neighbors(v)) {
+            if (!selfPlaced && u > v) {
+                colIdx.push_back(v);
+                values.push_back(1.0 + eps);
+                selfPlaced = true;
+            }
+            colIdx.push_back(u);
+            values.push_back(1.0);
+        }
+        if (!selfPlaced) {
+            colIdx.push_back(v);
+            values.push_back(1.0 + eps);
+        }
+        rowPtr[v + 1] = colIdx.size();
+    }
+    return sparse::CsrMatrix::fromRaw(n, n, std::move(rowPtr),
+                                      std::move(colIdx),
+                                      std::move(values));
+}
+
+} // namespace
 
 sparse::CsrMatrix
 permuteRows(const sparse::CsrMatrix &m,
@@ -60,9 +102,39 @@ defaultClusterSize(const graph::GcnShape &shape, uint32_t hdn_top_n)
 }
 
 std::shared_ptr<const GraphArtifacts>
+extendWithSampling(const GraphArtifacts &base, uint32_t fanout)
+{
+    GROW_ASSERT(!base.hasSampling && fanout >= 1,
+                "sampling extension needs an unsampled base and a "
+                "positive fanout");
+    auto a = std::make_shared<GraphArtifacts>(base);
+    a->plan.sampleFanout = fanout;
+    // SAGEConv's fanout-k operand (Sec. VIII): depth-independent,
+    // deterministic per (spec, tier, plan) like every other artefact
+    // -- the seed derives from the dataset spec, not the per-workload
+    // feature seed.
+    a->sampleSeed = a->spec->seed * 131 + 17;
+    a->adjacencySampled =
+        graph::sampleNeighborAdjacency(a->graph, fanout, a->sampleSeed);
+    if (a->hasPartitioning)
+        a->adjacencySampledPartitioned =
+            a->adjacencySampled.permutedSymmetric(a->relabel.newToOld);
+    a->hasSampling = true;
+    return a;
+}
+
+std::shared_ptr<const GraphArtifacts>
 buildGraphArtifacts(const graph::DatasetSpec &spec, graph::ScaleTier tier,
                     const PartitionPlan &plan)
 {
+    if (plan.sampleFanout > 0) {
+        PartitionPlan basePlan = plan;
+        basePlan.sampleFanout = 0;
+        return extendWithSampling(
+            *buildGraphArtifacts(spec, tier, basePlan),
+            plan.sampleFanout);
+    }
+
     auto a = std::make_shared<GraphArtifacts>();
     a->spec = &graph::datasetByName(spec.name);
     a->tier = tier;
@@ -112,9 +184,14 @@ buildLayerData(std::shared_ptr<const GraphArtifacts> artifacts,
                 "workload tier does not match its graph artefacts");
     GROW_ASSERT(artifacts->hasPartitioning == config.buildPartitioning,
                 "workload partitioning does not match its artefacts");
+    GROW_ASSERT(!modelUsesSampling(config.model) ||
+                    (artifacts->hasSampling &&
+                     artifacts->plan.sampleFanout == config.sageFanout),
+                "sampling model needs artefacts built with its fanout");
 
     GcnWorkload w;
     w.artifacts = std::move(artifacts);
+    w.model = config.model;
 
     const graph::DatasetSpec &spec = *w.spec();
     const uint32_t n = w.nodes();
@@ -134,15 +211,39 @@ buildLayerData(std::shared_ptr<const GraphArtifacts> artifacts,
     }
 
     // Synthetic feature matrices at the published densities (Table I).
+    // The draw order below (features, then GIN extras, then weights)
+    // keeps the model=Gcn random stream identical to the pre-model-zoo
+    // builder, so default workloads reproduce bit-for-bit.
     w.features.reserve(config.numLayers);
     for (const auto &layer : w.layers)
         w.features.push_back(
             sparse::randomCsr(n, layer.inDim, layer.xDensity, rng));
 
+    if (config.model == ModelKind::Gin) {
+        // X'(i): sparse stand-in for relu(A_gin X(i) W(i)), the input
+        // of the layer's trailing MLP combination. Post-ReLU maps
+        // carry the published x1Density (DESIGN.md substitutions).
+        w.mlpFeatures.reserve(config.numLayers);
+        for (const auto &layer : w.layers)
+            w.mlpFeatures.push_back(sparse::randomCsr(
+                n, layer.outDim, spec.x1Density, rng));
+        // The epsilon-weighted central node enters the aggregation
+        // operand's diagonal; every layer shares one A_gin (no rng).
+        w.ginEpsilon = config.ginEpsilon;
+        w.adjacencyGin = ginAdjacency(w.graph(), config.ginEpsilon);
+        if (w.hasPartitioning())
+            w.adjacencyGinPartitioned =
+                w.adjacencyGin.permutedSymmetric(w.relabel().newToOld);
+    }
+
     if (w.hasPartitioning()) {
         w.featuresPartitioned.reserve(w.features.size());
         for (const auto &x : w.features)
             w.featuresPartitioned.push_back(
+                permuteRows(x, w.relabel().newToOld));
+        w.mlpFeaturesPartitioned.reserve(w.mlpFeatures.size());
+        for (const auto &x : w.mlpFeatures)
+            w.mlpFeaturesPartitioned.push_back(
                 permuteRows(x, w.relabel().newToOld));
     }
 
@@ -151,6 +252,12 @@ buildLayerData(std::shared_ptr<const GraphArtifacts> artifacts,
         for (const auto &layer : w.layers)
             w.weights.push_back(
                 sparse::randomDense(layer.inDim, layer.outDim, rng));
+        if (config.model == ModelKind::Gin) {
+            w.mlpWeights.reserve(config.numLayers);
+            for (const auto &layer : w.layers)
+                w.mlpWeights.push_back(sparse::randomDense(
+                    layer.outDim, layer.outDim, rng));
+        }
     }
     return w;
 }

@@ -34,6 +34,7 @@
 #include <memory>
 #include <vector>
 
+#include "gcn/model.hpp"
 #include "graph/datasets.hpp"
 #include "graph/graph.hpp"
 #include "partition/hdn_select.hpp"
@@ -57,12 +58,21 @@ struct PartitionPlan
     uint32_t targetClusterSize = 0;
     /** HDN IDs stored per cluster (CAM capacity, Sec. V-C). */
     uint32_t hdnTopN = 4096;
+    /**
+     * Neighbour-sampling fanout (SAGEConv's fanout-k operand,
+     * Sec. VIII); 0 skips the sampled-adjacency artefact. The sampling
+     * seed is derived from the dataset spec, so the artefact stays
+     * deterministic per (dataset, tier, plan).
+     */
+    uint32_t sampleFanout = 0;
 };
 
 /** Knobs of workload construction. */
 struct WorkloadConfig
 {
     graph::ScaleTier tier = graph::ScaleTier::Mini;
+    /** GNN layer type the workload will be lowered as. */
+    ModelKind model = ModelKind::Gcn;
     /** Model depth k >= 1 (number of graph-convolution layers). */
     uint32_t numLayers = 2;
     /** Build partitioning artefacts (clustering + HDN lists). */
@@ -71,6 +81,14 @@ struct WorkloadConfig
     uint32_t targetClusterSize = 0;
     /** HDN IDs stored per cluster (CAM capacity, Sec. V-C). */
     uint32_t hdnTopN = 4096;
+    /** Neighbours sampled per node for the SAGEConv models. */
+    uint32_t sageFanout = 10;
+    /**
+     * GIN's learnable epsilon: the (1+eps) central-node weight on the
+     * diagonal of the GIN sum-aggregation operand (h' = MLP((1+eps)h_v
+     * + sum_u h_u)).
+     */
+    double ginEpsilon = 0.1;
     /** Also synthesise dense weights for functional verification. */
     bool functionalData = false;
     uint64_t seed = 7;
@@ -78,7 +96,8 @@ struct WorkloadConfig
     /** The graph-level slice of this config. */
     PartitionPlan partitionPlan() const
     {
-        return {buildPartitioning, targetClusterSize, hdnTopN};
+        return {buildPartitioning, targetClusterSize, hdnTopN,
+                modelUsesSampling(model) ? sageFanout : 0};
     }
 };
 
@@ -128,6 +147,15 @@ struct GraphArtifacts
     partition::RelabelResult relabel;
     std::vector<std::vector<NodeId>> hdnLists; ///< relabeled IDs
 
+    /** Sampled-adjacency artefacts (empty unless plan.sampleFanout,
+     *  which also records the fanout they were drawn with). */
+    bool hasSampling = false;
+    uint64_t sampleSeed = 0; ///< derived from the dataset spec
+    /** Mean-normalized fanout-k sampled adjacency, original labelling. */
+    sparse::CsrMatrix adjacencySampled;
+    /** Relabeled copy (empty unless also hasPartitioning). */
+    sparse::CsrMatrix adjacencySampledPartitioned;
+
     uint32_t nodes() const { return graph.numNodes(); }
 };
 
@@ -148,11 +176,24 @@ std::shared_ptr<const GraphArtifacts>
 buildGraphArtifacts(const graph::DatasetSpec &spec, graph::ScaleTier tier,
                     const PartitionPlan &plan = {});
 
+/**
+ * Copy @p base (built without sampling) and attach the sampled-
+ * adjacency artefact for @p fanout. Lets a cache that already holds
+ * the unsampled bundle serve a sampled plan without redoing graph
+ * synthesis + partitioning; bit-identical to building the sampled
+ * plan from scratch.
+ */
+std::shared_ptr<const GraphArtifacts>
+extendWithSampling(const GraphArtifacts &base, uint32_t fanout);
+
 /** A fully constructed per-dataset workload. */
 struct GcnWorkload
 {
     /** Shared graph-level artefacts (never null after construction). */
     std::shared_ptr<const GraphArtifacts> artifacts;
+
+    /** GNN layer type this workload is lowered as. */
+    ModelKind model = ModelKind::Gcn;
 
     /** Per-layer shape/density plan; size is the model depth. */
     std::vector<LayerSpec> layers;
@@ -164,6 +205,22 @@ struct GcnWorkload
 
     /** Per-layer dense weights W(i) (empty unless functionalData). */
     std::vector<sparse::DenseMatrix> weights;
+
+    /**
+     * GIN-only operands. The aggregation streams the GIN sum operand
+     * A_gin = A + (1+eps)I (binary adjacency, epsilon-weighted self
+     * loop -- GIN's central-node weighting lives here, not in a
+     * normalized A). X'(i) is the synthetic sparse stand-in for
+     * relu(A_gin X(i) W(i)) that feeds the trailing MLP combination of
+     * layer i (see DESIGN.md substitutions), and mlpWeights holds its
+     * outDim x outDim weight.
+     */
+    double ginEpsilon = 0.0;
+    sparse::CsrMatrix adjacencyGin;
+    sparse::CsrMatrix adjacencyGinPartitioned;
+    std::vector<sparse::CsrMatrix> mlpFeatures;
+    std::vector<sparse::CsrMatrix> mlpFeaturesPartitioned;
+    std::vector<sparse::DenseMatrix> mlpWeights;
 
     /** Dataset the workload was built from (null only if default-
      *  constructed; every built workload has one). */
@@ -200,6 +257,19 @@ struct GcnWorkload
         return artifacts->hdnLists;
     }
 
+    /** Whether the sampled-adjacency artefact was built. */
+    bool hasSampling() const { return artifacts->hasSampling; }
+    /** Sampled adjacency (SAGEConv operand), original labelling. */
+    const sparse::CsrMatrix &adjacencySampled() const
+    {
+        return artifacts->adjacencySampled;
+    }
+    /** Sampled adjacency in the cluster-contiguous labelling. */
+    const sparse::CsrMatrix &adjacencySampledPartitioned() const
+    {
+        return artifacts->adjacencySampledPartitioned;
+    }
+
     uint32_t nodes() const { return artifacts->graph.numNodes(); }
     uint32_t numLayers() const
     {
@@ -218,6 +288,21 @@ struct GcnWorkload
     const sparse::DenseMatrix &weight(uint32_t i) const
     {
         return weights.at(i);
+    }
+    /** GIN second-MLP-stage input of layer @p i, original labelling. */
+    const sparse::CsrMatrix &xMlp(uint32_t i) const
+    {
+        return mlpFeatures.at(i);
+    }
+    /** GIN second-MLP-stage input of layer @p i, partitioned. */
+    const sparse::CsrMatrix &xMlpPartitioned(uint32_t i) const
+    {
+        return mlpFeaturesPartitioned.at(i);
+    }
+    /** GIN second-MLP-stage weight of layer @p i (functionalData). */
+    const sparse::DenseMatrix &mlpWeight(uint32_t i) const
+    {
+        return mlpWeights.at(i);
     }
     bool hasFunctionalData() const { return !weights.empty(); }
 };

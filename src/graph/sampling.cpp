@@ -1,0 +1,63 @@
+#include "graph/sampling.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace grow::graph {
+
+sparse::CsrMatrix
+sampleNeighborAdjacency(const Graph &g, uint32_t fanout, uint64_t seed)
+{
+    GROW_ASSERT(fanout >= 1, "neighbour sampling needs fanout >= 1");
+    const uint32_t n = g.numNodes();
+    Rng rng(seed);
+
+    std::vector<uint64_t> rowPtr(n + 1, 0);
+    std::vector<NodeId> colIdx;
+    std::vector<double> values;
+    // The sample can never exceed self + degree entries per row, so a
+    // huge fanout must not reserve n*(fanout+1) (OOM-sized on large
+    // graphs where the actual result is arc-bounded).
+    const size_t reserve =
+        std::min<size_t>(static_cast<size_t>(n) * (fanout + 1ull),
+                         g.numArcs() + n);
+    colIdx.reserve(reserve);
+    values.reserve(reserve);
+
+    std::vector<NodeId> pool;
+    for (NodeId v = 0; v < n; ++v) {
+        auto nbrs = g.neighbors(v);
+        const uint32_t deg = static_cast<uint32_t>(nbrs.size());
+        const uint32_t k = std::min(fanout, deg);
+
+        // Sampled neighbour set: all of them when the fanout covers the
+        // degree, else a partial Fisher-Yates draw without replacement.
+        pool.assign(nbrs.begin(), nbrs.end());
+        if (k < deg) {
+            for (uint32_t i = 0; i < k; ++i) {
+                uint32_t j =
+                    i + static_cast<uint32_t>(rng.bounded(deg - i));
+                std::swap(pool[i], pool[j]);
+            }
+            pool.resize(k);
+        }
+        // Central node joins its sampled set (SAGEConv mean includes
+        // h_v); re-sort so the CSR row invariant (ascending) holds.
+        pool.push_back(v);
+        std::sort(pool.begin(), pool.end());
+
+        const double weight = 1.0 / static_cast<double>(pool.size());
+        for (NodeId u : pool) {
+            colIdx.push_back(u);
+            values.push_back(weight);
+        }
+        rowPtr[v + 1] = rowPtr[v] + pool.size();
+    }
+    return sparse::CsrMatrix::fromRaw(n, n, std::move(rowPtr),
+                                      std::move(colIdx),
+                                      std::move(values));
+}
+
+} // namespace grow::graph

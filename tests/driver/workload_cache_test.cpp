@@ -66,6 +66,23 @@ expectArtifactsIdentical(const gcn::GraphArtifacts &a,
         EXPECT_EQ(a.adjacencyPartitioned.values(),
                   b.adjacencyPartitioned.values());
     }
+    ASSERT_EQ(a.hasSampling, b.hasSampling);
+    if (a.hasSampling) {
+        EXPECT_EQ(a.plan.sampleFanout, b.plan.sampleFanout);
+        EXPECT_EQ(a.sampleSeed, b.sampleSeed);
+        EXPECT_EQ(a.adjacencySampled.rowPtr(),
+                  b.adjacencySampled.rowPtr());
+        EXPECT_EQ(a.adjacencySampled.colIdx(),
+                  b.adjacencySampled.colIdx());
+        EXPECT_EQ(a.adjacencySampled.values(),
+                  b.adjacencySampled.values());
+        EXPECT_EQ(a.adjacencySampledPartitioned.rowPtr(),
+                  b.adjacencySampledPartitioned.rowPtr());
+        EXPECT_EQ(a.adjacencySampledPartitioned.colIdx(),
+                  b.adjacencySampledPartitioned.colIdx());
+        EXPECT_EQ(a.adjacencySampledPartitioned.values(),
+                  b.adjacencySampledPartitioned.values());
+    }
 }
 
 TEST(WorkloadCache, DepthSweepBuildsArtifactsOncePerDataset)
@@ -294,6 +311,56 @@ TEST(WorkloadCache, StaleDatasetSpecIsRejected)
     }
     EXPECT_EQ(loadArtifacts(path, key), nullptr);
     fs::remove_all(dir);
+}
+
+TEST(WorkloadCache, SampledAdjacencyRoundTripsBitIdentical)
+{
+    // The SAGEConv fanout-k operand is part of the artefact bundle:
+    // seeded sampling must survive the disk cache bit-for-bit.
+    const std::string dir = scratchDir("sampled");
+    const auto &spec = graph::datasetByName("cora");
+    gcn::PartitionPlan plan;
+    plan.sampleFanout = 5;
+
+    WorkloadCache cold(dir);
+    auto built = cold.artifacts(spec, graph::ScaleTier::Unit, plan);
+    ASSERT_TRUE(built->hasSampling);
+    EXPECT_EQ(built->plan.sampleFanout, 5u);
+    // Both the unsampled base and the sampled extension are stored.
+    EXPECT_EQ(cold.stats().diskStores, 2u);
+
+    WorkloadCache warm(dir);
+    auto loaded = warm.artifacts(spec, graph::ScaleTier::Unit, plan);
+    EXPECT_EQ(warm.stats().builds, 0u);
+    EXPECT_EQ(warm.stats().diskLoads, 1u);
+    expectArtifactsIdentical(*built, *loaded);
+
+    // And the sample matches a fresh seeded build: determinism holds
+    // through the cache, not just within one process.
+    auto direct = gcn::buildGraphArtifacts(spec, graph::ScaleTier::Unit,
+                                           plan);
+    expectArtifactsIdentical(*direct, *loaded);
+    fs::remove_all(dir);
+}
+
+TEST(WorkloadCache, SampledAndUnsampledPlansGetDistinctArtifacts)
+{
+    WorkloadCache cache;
+    const auto &spec = graph::datasetByName("cora");
+    auto plain = cache.artifacts(spec, graph::ScaleTier::Unit, {});
+    gcn::PartitionPlan sampled;
+    sampled.sampleFanout = 4;
+    auto withSample =
+        cache.artifacts(spec, graph::ScaleTier::Unit, sampled);
+    EXPECT_NE(plain.get(), withSample.get());
+    EXPECT_FALSE(plain->hasSampling);
+    EXPECT_TRUE(withSample->hasSampling);
+    EXPECT_EQ(cache.stats().builds, 2u);
+
+    auto base = ArtifactKey::of(spec, graph::ScaleTier::Unit, {});
+    auto keyed = ArtifactKey::of(spec, graph::ScaleTier::Unit, sampled);
+    EXPECT_NE(base.fingerprint(), keyed.fingerprint());
+    EXPECT_TRUE(base < keyed || keyed < base);
 }
 
 TEST(WorkloadCache, FingerprintDistinguishesKeys)

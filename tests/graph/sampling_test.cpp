@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Seeded neighbour sampling (SAGEConv fanout-k operand): determinism,
+ * fanout bounds, the mean normalization, and CSR validity.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/datasets.hpp"
+#include "graph/sampling.hpp"
+
+namespace grow::graph {
+namespace {
+
+const Graph &
+unitGraph()
+{
+    static Graph g =
+        buildDataset(datasetByName("cora"), ScaleTier::Unit).graph;
+    return g;
+}
+
+TEST(Sampling, SameSeedIsBitIdentical)
+{
+    const auto &g = unitGraph();
+    auto a = sampleNeighborAdjacency(g, 5, 42);
+    auto b = sampleNeighborAdjacency(g, 5, 42);
+    EXPECT_EQ(a.rowPtr(), b.rowPtr());
+    EXPECT_EQ(a.colIdx(), b.colIdx());
+    EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(Sampling, DifferentSeedDiffers)
+{
+    const auto &g = unitGraph();
+    // Fanout 1 on a connected graph: almost every node truncates its
+    // neighbour list, so two seeds cannot draw identical sets.
+    auto a = sampleNeighborAdjacency(g, 1, 1);
+    auto b = sampleNeighborAdjacency(g, 1, 2);
+    EXPECT_NE(a.colIdx(), b.colIdx());
+}
+
+TEST(Sampling, RowsHoldSelfPlusAtMostFanoutNeighbors)
+{
+    const auto &g = unitGraph();
+    const uint32_t fanout = 4;
+    auto s = sampleNeighborAdjacency(g, fanout, 7);
+    ASSERT_EQ(s.rows(), g.numNodes());
+    ASSERT_EQ(s.cols(), g.numNodes());
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        const uint64_t expect = std::min<uint64_t>(fanout, g.degree(v)) + 1;
+        EXPECT_EQ(s.rowNnz(v), expect) << "node " << v;
+        // Self always included; every sampled column is a neighbour.
+        bool self = false;
+        for (NodeId c : s.rowCols(v)) {
+            if (c == v)
+                self = true;
+            else
+                EXPECT_TRUE(g.hasEdge(v, c)) << v << "->" << c;
+        }
+        EXPECT_TRUE(self) << "node " << v;
+    }
+    EXPECT_TRUE(s.validate());
+}
+
+TEST(Sampling, RowsAreMeanNormalized)
+{
+    const auto &g = unitGraph();
+    auto s = sampleNeighborAdjacency(g, 3, 11);
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        double sum = 0;
+        for (double x : s.rowVals(v)) {
+            EXPECT_DOUBLE_EQ(
+                x, 1.0 / static_cast<double>(s.rowNnz(v)));
+            sum += x;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+}
+
+TEST(Sampling, LargeFanoutKeepsEveryNeighbor)
+{
+    const auto &g = unitGraph();
+    uint32_t maxDeg = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        maxDeg = std::max(maxDeg, g.degree(v));
+    auto s = sampleNeighborAdjacency(g, maxDeg, 3);
+    EXPECT_EQ(s.nnz(), g.numArcs() + g.numNodes());
+}
+
+} // namespace
+} // namespace grow::graph
