@@ -12,15 +12,18 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("ablation_cache_policy")
 {
     BenchContext ctx(argc, argv);
     ctx.banner("Sec. VIII ablation: pinned vs LRU HDN cache");
 
-    TextTable t("Cache replacement policy");
-    t.setHeader({"dataset", "pinned hit", "LRU hit",
-                 "pinned cycles", "LRU cycles", "pinned advantage"});
+    auto t = ctx.table("cache_policy", "Cache replacement policy");
+    t.col("dataset", "dataset")
+        .col("pinned_hit_rate", "pinned hit")
+        .col("lru_hit_rate", "LRU hit")
+        .col("pinned_cycles", "pinned cycles", "cycles")
+        .col("lru_cycles", "LRU cycles", "cycles")
+        .col("pinned_advantage", "pinned advantage");
     std::vector<double> advantage;
     for (const auto &spec : ctx.specs()) {
         const auto &pin = ctx.inference(spec.name, "grow");
@@ -28,17 +31,20 @@ main(int argc, char **argv)
         double adv = static_cast<double>(lru.totalCycles) /
                      static_cast<double>(pin.totalCycles);
         advantage.push_back(adv);
-        t.addRow({spec.name, fmtPercent(pin.cacheHitRate()),
-                  fmtPercent(lru.cacheHitRate()),
-                  fmtCount(pin.totalCycles), fmtCount(lru.totalCycles),
-                  fmtRatio(adv)});
+        t.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::fraction(pin.cacheHitRate()))
+            .add(report::fraction(lru.cacheHitRate()))
+            .add(report::count(pin.totalCycles, "cycles"))
+            .add(report::count(lru.totalCycles, "cycles"))
+            .add(report::ratio(adv));
     }
-    t.print();
-    TextTable avg("Average");
-    avg.setHeader({"metric", "value"});
-    avg.addRow({"geomean pinned-over-LRU speedup (paper: pinning "
-                "'most robust')",
-                fmtRatio(geomean(advantage))});
-    avg.print();
+    auto avg = ctx.table("cache_policy_avg", "Average");
+    avg.col("metric", "metric").col("geomean_pinned_advantage", "value");
+    avg.row()
+        .add(report::textCell(
+            "geomean pinned-over-LRU speedup (paper: pinning "
+            "'most robust')"))
+        .add(report::ratio(geomean(advantage)));
     return 0;
 }

@@ -10,15 +10,17 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("ablation_dram_model")
 {
     BenchContext ctx(argc, argv, "tiny");
     ctx.banner("DRAM model ablation: simple channel vs banked "
                "row-buffer");
 
-    TextTable t("GROW cycles under both DRAM models");
-    t.setHeader({"dataset", "simple", "banked", "banked/simple"});
+    auto t = ctx.table("dram_model", "GROW cycles under both DRAM models");
+    t.col("dataset", "dataset")
+        .col("simple_cycles", "simple", "cycles")
+        .col("banked_cycles", "banked", "cycles")
+        .col("banked_over_simple", "banked/simple");
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
         gcn::RunnerOptions opt;
@@ -28,12 +30,14 @@ main(int argc, char **argv)
         opt.sim.dramKind = "banked";
         core::GrowSim simB(driver::growDefaultConfig());
         auto banked = gcn::runInference(simB, w, opt);
-        t.addRow({spec.name, fmtCount(simple.totalCycles),
-                  fmtCount(banked.totalCycles),
-                  fmtDouble(static_cast<double>(banked.totalCycles) /
-                                static_cast<double>(simple.totalCycles),
-                            2)});
+        t.row({.dataset = spec.name, .engine = "grow"})
+            .add(report::textCell(spec.name))
+            .add(report::count(simple.totalCycles, "cycles"))
+            .add(report::count(banked.totalCycles, "cycles"))
+            .add(report::real(
+                static_cast<double>(banked.totalCycles) /
+                    static_cast<double>(simple.totalCycles),
+                2));
     }
-    t.print();
     return 0;
 }

@@ -11,24 +11,28 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig02_mac_order")
 {
     BenchContext ctx(argc, argv);
     ctx.banner("Figure 2: MACs by execution order, layer 1 "
                "(normalized to (A*X)*W)");
 
-    TextTable t("Figure 2");
-    t.setHeader({"dataset", "(AX)W MACs", "A(XW) MACs", "A(XW)/(AX)W"});
+    auto t = ctx.table("fig02", "Figure 2");
+    t.col("dataset", "dataset")
+        .col("macs_ax_then_w", "(AX)W MACs", "count")
+        .col("macs_xw_then_a", "A(XW) MACs", "count")
+        .col("mac_ratio", "A(XW)/(AX)W");
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
         auto counts = sparse::countMacsBothOrders(w.adjacency(), w.x(0),
                                                   w.shape().hidden);
         double ratio = static_cast<double>(counts.xwThenA) /
                        static_cast<double>(counts.axThenW);
-        t.addRow({spec.name, fmtSci(double(counts.axThenW)),
-                  fmtSci(double(counts.xwThenA)), fmtDouble(ratio, 3)});
+        t.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::sci(double(counts.axThenW), 2, "count"))
+            .add(report::sci(double(counts.xwThenA), 2, "count"))
+            .add(report::real(ratio, 3));
     }
-    t.print();
     return 0;
 }

@@ -9,32 +9,41 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig03_density")
 {
     BenchContext ctx(argc, argv);
     ctx.banner("Figure 3: operand densities");
 
-    TextTable t("Figure 3(a): sparse operands");
-    t.setHeader({"dataset", "density A", "density X(0)", "density X(1)",
-                 "A/X(0) sparsity gap"});
+    auto t = ctx.table("fig03a", "Figure 3(a): sparse operands");
+    t.col("dataset", "dataset")
+        .col("density_a", "density A", "fraction")
+        .col("density_x0", "density X(0)")
+        .col("density_x1", "density X(1)")
+        .col("sparsity_gap", "A/X(0) sparsity gap");
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
         double dA = w.adjacency().density();
         double dX = w.x(0).density();
-        t.addRow({spec.name, fmtSci(dA), fmtPercent(dX, 2),
-                  fmtPercent(w.x(1).density(), 1),
-                  dA > 0 ? fmtRatio(dX / dA, 0) : "-"});
+        t.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::sci(dA, 2, "fraction"))
+            .add(report::fraction(dX, 2))
+            .add(report::fraction(w.x(1).density(), 1))
+            .add(dA > 0 ? report::ratio(dX / dA, 0)
+                        : report::textCell("-"));
     }
-    t.print();
 
-    TextTable d("Figure 3(b): dense operands");
-    d.setHeader({"dataset", "density XW", "density W"});
+    auto d = ctx.table("fig03b", "Figure 3(b): dense operands");
+    d.col("dataset", "dataset")
+        .col("density_xw", "density XW")
+        .col("density_w", "density W");
     for (const auto &spec : ctx.specs()) {
         // XW and W are dense by construction (the paper measures
         // ~100%); the simulator treats them as uncompressed.
-        d.addRow({spec.name, "100%", "100%"});
+        d.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::custom(1.0, "100%", "fraction"))
+            .add(report::custom(1.0, "100%", "fraction"));
     }
-    d.print();
     return 0;
 }

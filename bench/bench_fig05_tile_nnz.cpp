@@ -15,17 +15,16 @@ using namespace grow::bench;
 namespace {
 
 void
-printHistogram(BenchContext &ctx, const char *title, bool aggregation,
-               const std::vector<uint64_t> &bounds)
+addHistogram(BenchContext &ctx, const char *id, const char *title,
+             bool aggregation, const std::vector<uint64_t> &bounds)
 {
-    TextTable t(title);
-    std::vector<std::string> header = {"dataset", "tile (Tm x Tk)"};
+    auto t = ctx.table(id, title);
+    t.col("dataset", "dataset").col("tile", "tile (Tm x Tk)");
     {
         BucketHistogram proto(bounds);
         for (size_t b = 0; b < proto.numBuckets(); ++b)
-            header.push_back(proto.label(b));
+            t.col("bin_" + std::to_string(b), proto.label(b), "fraction");
     }
-    t.setHeader(header);
 
     accel::GcnaxSim gcnax(driver::gcnaxDefaultConfig());
     for (const auto &spec : ctx.specs()) {
@@ -37,26 +36,24 @@ printHistogram(BenchContext &ctx, const char *title, bool aggregation,
         auto stats = sparse::TileGridStats::compute(
             m, sparse::TileShape{tiling.tm, tiling.tk});
         auto h = stats.nnzHistogram(bounds);
-        std::vector<std::string> row = {
-            spec.name, std::to_string(tiling.tm) + " x " +
-                           std::to_string(tiling.tk)};
+        auto row = t.row({.dataset = spec.name});
+        row.add(report::textCell(spec.name))
+            .add(report::textCell(std::to_string(tiling.tm) + " x " +
+                                  std::to_string(tiling.tk)));
         for (size_t b = 0; b < h.numBuckets(); ++b)
-            row.push_back(fmtPercent(h.fraction(b)));
-        t.addRow(row);
+            row.add(report::fraction(h.fraction(b)));
     }
-    t.print();
 }
 
 } // namespace
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig05_tile_nnz")
 {
     BenchContext ctx(argc, argv);
     ctx.banner("Figure 5: non-zeros per fetched GCNAX tile");
-    printHistogram(ctx, "Figure 5(a): matrix A (aggregation)", true,
-                   {1, 2, 8, 16});
-    printHistogram(ctx, "Figure 5(b): matrix X (combination)", false,
-                   {1, 2, 8, 1024});
+    addHistogram(ctx, "fig05a", "Figure 5(a): matrix A (aggregation)",
+                 true, {1, 2, 8, 16});
+    addHistogram(ctx, "fig05b", "Figure 5(b): matrix X (combination)",
+                 false, {1, 2, 8, 1024});
     return 0;
 }

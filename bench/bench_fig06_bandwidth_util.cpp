@@ -13,16 +13,17 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig06_bandwidth_util")
 {
     BenchContext ctx(argc, argv);
     ctx.banner("Figure 6: effective DRAM bandwidth fetching sparse "
                "operands (GCNAX)");
 
-    TextTable t("Figure 6");
-    t.setHeader({"dataset", "A util (GCNAX)", "X util (GCNAX)",
-                 "A util (GROW stream)"});
+    auto t = ctx.table("fig06", "Figure 6");
+    t.col("dataset", "dataset")
+        .col("util_a_gcnax", "A util (GCNAX)")
+        .col("util_x_gcnax", "X util (GCNAX)")
+        .col("util_a_grow_stream", "A util (GROW stream)");
     accel::GcnaxSim gcnax(driver::gcnaxDefaultConfig());
     accel::SimOptions opt;
     std::vector<double> utilA;
@@ -42,15 +43,16 @@ main(int argc, char **argv)
 
         auto stream = sparse::rowStreamFetchTotals(w.adjacency());
         utilA.push_back(ra.sparseBandwidthUtil());
-        t.addRow({spec.name, fmtPercent(ra.sparseBandwidthUtil()),
-                  fmtPercent(rx.sparseBandwidthUtil()),
-                  fmtPercent(stream.utilization())});
+        t.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::fraction(ra.sparseBandwidthUtil()))
+            .add(report::fraction(rx.sparseBandwidthUtil()))
+            .add(report::fraction(stream.utilization()));
     }
-    t.print();
-    TextTable avg("Average");
-    avg.setHeader({"metric", "value"});
-    avg.addRow({"mean A utilization (paper: ~23%)",
-                fmtPercent(geomean(utilA))});
-    avg.print();
+    auto avg = ctx.table("fig06_avg", "Average");
+    avg.col("metric", "metric").col("mean_util_a_gcnax", "value");
+    avg.row()
+        .add(report::textCell("mean A utilization (paper: ~23%)"))
+        .add(report::fraction(geomean(utilA)));
     return 0;
 }

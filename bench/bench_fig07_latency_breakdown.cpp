@@ -9,15 +9,17 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig07_latency_breakdown")
 {
     BenchContext ctx(argc, argv);
     ctx.banner("Figure 7: GCNAX latency breakdown");
 
-    TextTable t("Figure 7");
-    t.setHeader({"dataset", "total cycles", "aggregation", "combination",
-                 "attention"});
+    auto t = ctx.table("fig07", "Figure 7");
+    t.col("dataset", "dataset")
+        .col("total_cycles", "total cycles", "cycles")
+        .col("aggregation_frac", "aggregation")
+        .col("combination_frac", "combination")
+        .col("attention_frac", "attention");
     for (const auto &spec : ctx.specs()) {
         const auto &r = ctx.inference(spec.name, "gcnax");
         // Each share is attributed from its own counter (not derived
@@ -25,14 +27,15 @@ main(int argc, char **argv)
         // (model=gat) report honestly; attention is 0% for the
         // paper's GCN workloads.
         const double total = static_cast<double>(r.totalCycles);
-        t.addRow({spec.name, fmtCount(r.totalCycles),
-                  fmtPercent(static_cast<double>(r.aggregationCycles) /
-                             total),
-                  fmtPercent(static_cast<double>(r.combinationCycles) /
-                             total),
-                  fmtPercent(static_cast<double>(r.attentionCycles) /
-                             total)});
+        t.row({.dataset = spec.name, .engine = "gcnax"})
+            .add(report::textCell(spec.name))
+            .add(report::count(r.totalCycles, "cycles"))
+            .add(report::fraction(
+                static_cast<double>(r.aggregationCycles) / total))
+            .add(report::fraction(
+                static_cast<double>(r.combinationCycles) / total))
+            .add(report::fraction(
+                static_cast<double>(r.attentionCycles) / total));
     }
-    t.print();
     return 0;
 }

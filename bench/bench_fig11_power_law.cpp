@@ -11,8 +11,7 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig11_power_law")
 {
     BenchContext ctx(argc, argv, "mini", "reddit");
     ctx.banner("Figure 11: power-law degree distribution");
@@ -21,34 +20,55 @@ main(int argc, char **argv)
         const auto &g = ctx.workload(spec.name).graph();
         auto degrees = graph::sortedDegreesDesc(g);
 
-        TextTable t("Figure 11: " + spec.name +
-                    " (sorted degree curve)");
-        t.setHeader({"rank", "degree", "cumulative edge coverage"});
+        auto t = ctx.table("fig11_curve",
+                           "Figure 11: " + spec.name +
+                               " (sorted degree curve)");
+        t.col("rank", "rank")
+            .col("degree", "degree", "count")
+            .col("edge_coverage", "cumulative edge coverage");
         uint64_t cum = 0;
         size_t next = 1;
         for (size_t i = 0; i < degrees.size(); ++i) {
             cum += degrees[i];
             if (i + 1 == next || i + 1 == degrees.size()) {
-                t.addRow({fmtCount(i + 1), fmtCount(degrees[i]),
-                          fmtPercent(static_cast<double>(cum) /
-                                     static_cast<double>(g.numArcs()))});
+                t.row({.dataset = spec.name,
+                       .extra = {{"rank", std::to_string(i + 1)}}})
+                    .add(report::count(i + 1))
+                    .add(report::count(degrees[i]))
+                    .add(report::fraction(
+                        static_cast<double>(cum) /
+                        static_cast<double>(g.numArcs())));
                 next *= 4;
             }
         }
-        t.print();
 
         auto h = graph::degreeHistogram(g);
-        TextTable s("HDN-cache relevance");
-        s.setHeader({"metric", "value"});
-        s.addRow({"nodes", fmtCount(g.numNodes())});
-        s.addRow({"max degree", fmtCount(h.maxValue())});
-        s.addRow({"mean degree", fmtDouble(h.mean(), 1)});
-        s.addRow({"power-law alpha (MLE)", fmtDouble(h.powerLawAlpha(4), 2)});
-        s.addRow({"coverage of top-1024 nodes (one HDN cache)",
-                  fmtPercent(graph::topKDegreeCoverage(g, 1024))});
-        s.addRow({"coverage of top-4096 nodes (CAM capacity)",
-                  fmtPercent(graph::topKDegreeCoverage(g, 4096))});
-        s.print();
+        auto s = ctx.table("fig11_hdn_relevance", "HDN-cache relevance");
+        s.col("metric", "metric").col("value", "value");
+        auto statRow = [&](const char *slug) {
+            return s.row({.dataset = spec.name,
+                          .extra = {{"stat", slug}}});
+        };
+        statRow("nodes")
+            .add(report::textCell("nodes"))
+            .add(report::count(g.numNodes()));
+        statRow("max_degree")
+            .add(report::textCell("max degree"))
+            .add(report::count(h.maxValue()));
+        statRow("mean_degree")
+            .add(report::textCell("mean degree"))
+            .add(report::real(h.mean(), 1));
+        statRow("power_law_alpha")
+            .add(report::textCell("power-law alpha (MLE)"))
+            .add(report::real(h.powerLawAlpha(4), 2));
+        statRow("coverage_top1024")
+            .add(report::textCell(
+                "coverage of top-1024 nodes (one HDN cache)"))
+            .add(report::fraction(graph::topKDegreeCoverage(g, 1024)));
+        statRow("coverage_top4096")
+            .add(report::textCell(
+                "coverage of top-4096 nodes (CAM capacity)"))
+            .add(report::fraction(graph::topKDegreeCoverage(g, 4096)));
     }
     return 0;
 }

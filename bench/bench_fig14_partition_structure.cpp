@@ -34,17 +34,19 @@ diagonalBlockMass(const graph::Graph &g, uint32_t blocks)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig14_partition_structure")
 {
     BenchContext ctx(argc, argv, "mini", "reddit,yelp,pokec,amazon");
     ctx.banner("Figure 14: partitioning effect on adjacency structure "
                "(8 partitions)");
 
-    TextTable t("Figure 14");
-    t.setHeader({"dataset", "diag mass (original IDs)",
-                 "diag mass (partitioned+relabeled)", "edge cut",
-                 "balance"});
+    auto t = ctx.table("fig14", "Figure 14");
+    t.col("dataset", "dataset")
+        .col("diag_mass_original", "diag mass (original IDs)")
+        .col("diag_mass_partitioned",
+             "diag mass (partitioned+relabeled)")
+        .col("edge_cut", "edge cut", "count")
+        .col("balance", "balance");
     const uint32_t blocks = 8;
     for (const auto &spec : ctx.specs()) {
         const auto &g = ctx.workload(spec.name).graph();
@@ -57,10 +59,12 @@ main(int argc, char **argv)
         auto relabel =
             partition::relabelByPartition(g.numNodes(), parts);
         auto rg = g.relabeled(relabel.newToOld);
-        t.addRow({spec.name, fmtPercent(diagonalBlockMass(g, blocks)),
-                  fmtPercent(diagonalBlockMass(rg, blocks)),
-                  fmtCount(q.cutEdges), fmtDouble(q.balance, 2)});
+        t.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::fraction(diagonalBlockMass(g, blocks)))
+            .add(report::fraction(diagonalBlockMass(rg, blocks)))
+            .add(report::count(q.cutEdges))
+            .add(report::real(q.balance, 2));
     }
-    t.print();
     return 0;
 }

@@ -10,23 +10,26 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig17_hdn_hit_rate")
 {
     BenchContext ctx(argc, argv);
     ctx.banner("Figure 17: HDN cache hit rate");
 
-    TextTable t("Figure 17");
-    t.setHeader({"dataset", "GROW (w/o G.P)", "GROW (with G.P)",
-                 "improvement"});
+    auto t = ctx.table("fig17", "Figure 17");
+    t.col("dataset", "dataset")
+        .col("hit_rate_nogp", "GROW (w/o G.P)")
+        .col("hit_rate_gp", "GROW (with G.P)")
+        .col("improvement", "improvement");
     for (const auto &spec : ctx.specs()) {
         const auto &noGp = ctx.inference(spec.name, "grow-nogp");
         const auto &gp = ctx.inference(spec.name, "grow");
         double a = noGp.cacheHitRate();
         double b = gp.cacheHitRate();
-        t.addRow({spec.name, fmtPercent(a), fmtPercent(b),
-                  a > 0 ? fmtRatio(b / a) : "-"});
+        t.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::fraction(a))
+            .add(report::fraction(b))
+            .add(a > 0 ? report::ratio(b / a) : report::textCell("-"));
     }
-    t.print();
     return 0;
 }

@@ -10,16 +10,19 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig18_memory_traffic")
 {
     BenchContext ctx(argc, argv);
     ctx.banner("Figure 18: DRAM traffic normalized to GCNAX "
                "(lower is better)");
 
-    TextTable t("Figure 18");
-    t.setHeader({"dataset", "GCNAX (bytes)", "GCNAX", "GROW (w/o G.P)",
-                 "GROW (with G.P)", "reduction (with G.P)"});
+    auto t = ctx.table("fig18", "Figure 18");
+    t.col("dataset", "dataset")
+        .col("gcnax_bytes", "GCNAX (bytes)", "bytes")
+        .col("gcnax_norm", "GCNAX")
+        .col("nogp_norm", "GROW (w/o G.P)")
+        .col("gp_norm", "GROW (with G.P)")
+        .col("traffic_reduction_gp", "reduction (with G.P)");
     std::vector<double> reductions;
     for (const auto &spec : ctx.specs()) {
         double base = static_cast<double>(
@@ -29,16 +32,19 @@ main(int argc, char **argv)
         double gp = static_cast<double>(
             ctx.inference(spec.name, "grow").totalTrafficBytes());
         reductions.push_back(base / gp);
-        t.addRow({spec.name,
-                  fmtBytes(static_cast<Bytes>(base)), "1.00",
-                  fmtDouble(noGp / base, 2), fmtDouble(gp / base, 2),
-                  fmtRatio(base / gp)});
+        t.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::bytesValue(static_cast<Bytes>(base)))
+            .add(report::custom(1.0, "1.00", ""))
+            .add(report::real(noGp / base, 2))
+            .add(report::real(gp / base, 2))
+            .add(report::ratio(base / gp));
     }
-    t.print();
-    TextTable avg("Average");
-    avg.setHeader({"metric", "value"});
-    avg.addRow({"geomean traffic reduction (paper: ~2x, max 4.7x)",
-                fmtRatio(geomean(reductions))});
-    avg.print();
+    auto avg = ctx.table("fig18_avg", "Average");
+    avg.col("metric", "metric").col("geomean_traffic_reduction", "value");
+    avg.row()
+        .add(report::textCell(
+            "geomean traffic reduction (paper: ~2x, max 4.7x)"))
+        .add(report::ratio(geomean(reductions)));
     return 0;
 }

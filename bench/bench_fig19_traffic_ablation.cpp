@@ -10,16 +10,17 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig19_traffic_ablation")
 {
     BenchContext ctx(argc, argv);
     ctx.banner("Figure 19: traffic reduction from HDN caching + G.P "
                "(normalized to GROW w/o HDN caching)");
 
-    TextTable t("Figure 19");
-    t.setHeader({"dataset", "w/o HDN caching", "w/ HDN caching",
-                 "w/ HDN caching + G.P"});
+    auto t = ctx.table("fig19", "Figure 19");
+    t.col("dataset", "dataset")
+        .col("no_cache_norm", "w/o HDN caching")
+        .col("cache_gain", "w/ HDN caching")
+        .col("cache_gp_gain", "w/ HDN caching + G.P");
     std::vector<double> cacheGain, bothGain;
     for (const auto &spec : ctx.specs()) {
         double none = static_cast<double>(
@@ -30,16 +31,20 @@ main(int argc, char **argv)
             ctx.inference(spec.name, "grow").totalTrafficBytes());
         cacheGain.push_back(none / cache);
         bothGain.push_back(none / both);
-        t.addRow({spec.name, "1.00", fmtRatio(none / cache),
-                  fmtRatio(none / both)});
+        t.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::custom(1.0, "1.00", ""))
+            .add(report::ratio(none / cache))
+            .add(report::ratio(none / both));
     }
-    t.print();
-    TextTable avg("Average");
-    avg.setHeader({"metric", "value"});
-    avg.addRow({"geomean w/ HDN caching (paper: ~4.3x)",
-                fmtRatio(geomean(cacheGain))});
-    avg.addRow({"geomean w/ caching + G.P (paper: ~5.8x)",
-                fmtRatio(geomean(bothGain))});
-    avg.print();
+    auto avg = ctx.table("fig19_avg", "Average");
+    avg.col("metric", "metric").col("geomean_gain", "value");
+    avg.row({.extra = {{"config", "hdn_cache"}}})
+        .add(report::textCell("geomean w/ HDN caching (paper: ~4.3x)"))
+        .add(report::ratio(geomean(cacheGain)));
+    avg.row({.extra = {{"config", "hdn_cache_gp"}}})
+        .add(report::textCell(
+            "geomean w/ caching + G.P (paper: ~5.8x)"))
+        .add(report::ratio(geomean(bothGain)));
     return 0;
 }

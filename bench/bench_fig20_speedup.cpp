@@ -10,8 +10,7 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig20_speedup")
 {
     BenchContext ctx(argc, argv);
     ctx.banner("Figure 20(a): speedup vs GCNAX");
@@ -20,9 +19,11 @@ main(int argc, char **argv)
     // concurrently up front, then read the cache below.
     ctx.prefetch({"gcnax", "grow-nogp", "grow"});
 
-    TextTable t("Figure 20(a)");
-    t.setHeader({"dataset", "GCNAX cycles", "GROW (w/o G.P)",
-                 "GROW (with G.P)"});
+    auto t = ctx.table("fig20a", "Figure 20(a)");
+    t.col("dataset", "dataset")
+        .col("gcnax_cycles", "GCNAX cycles", "cycles")
+        .col("speedup_nogp", "GROW (w/o G.P)")
+        .col("speedup_gp", "GROW (with G.P)");
     std::vector<double> speedups;
     for (const auto &spec : ctx.specs()) {
         double base = static_cast<double>(
@@ -32,30 +33,36 @@ main(int argc, char **argv)
         double gp = static_cast<double>(
             ctx.inference(spec.name, "grow").totalCycles);
         speedups.push_back(base / gp);
-        t.addRow({spec.name, fmtCount(static_cast<uint64_t>(base)),
-                  fmtRatio(base / noGp), fmtRatio(base / gp)});
+        t.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::count(static_cast<uint64_t>(base), "cycles"))
+            .add(report::ratio(base / noGp))
+            .add(report::ratio(base / gp));
     }
-    t.print();
-    TextTable avg("Average");
-    avg.setHeader({"metric", "value"});
-    avg.addRow({"geomean speedup with G.P (paper: 2.8x avg, 14.2x max)",
-                fmtRatio(geomean(speedups))});
-    avg.print();
+    auto avg = ctx.table("fig20a_avg", "Average");
+    avg.col("metric", "metric").col("geomean_speedup_gp", "value");
+    avg.row()
+        .add(report::textCell(
+            "geomean speedup with G.P (paper: 2.8x avg, 14.2x max)"))
+        .add(report::ratio(geomean(speedups)));
 
     ctx.banner("Figure 20(b): latency breakdown (fraction aggregation)");
-    TextTable b("Figure 20(b)");
-    b.setHeader({"dataset", "GCNAX agg%", "GROW (w/o G.P) agg%",
-                 "GROW (with G.P) agg%"});
+    auto b = ctx.table("fig20b", "Figure 20(b)");
+    b.col("dataset", "dataset")
+        .col("gcnax_agg_frac", "GCNAX agg%")
+        .col("nogp_agg_frac", "GROW (w/o G.P) agg%")
+        .col("gp_agg_frac", "GROW (with G.P) agg%");
     for (const auto &spec : ctx.specs()) {
         auto aggFrac = [&](const char *key) {
             const auto &r = ctx.inference(spec.name, key);
             return static_cast<double>(r.aggregationCycles) /
                    static_cast<double>(r.totalCycles);
         };
-        b.addRow({spec.name, fmtPercent(aggFrac("gcnax")),
-                  fmtPercent(aggFrac("grow-nogp")),
-                  fmtPercent(aggFrac("grow"))});
+        b.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::fraction(aggFrac("gcnax")))
+            .add(report::fraction(aggFrac("grow-nogp")))
+            .add(report::fraction(aggFrac("grow")));
     }
-    b.print();
     return 0;
 }

@@ -10,15 +10,16 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig21_ablation")
 {
     BenchContext ctx(argc, argv);
     ctx.banner("Figure 21: ablation (speedup vs GCNAX)");
 
-    TextTable t("Figure 21");
-    t.setHeader({"dataset", "HDN cache only", "+ runahead",
-                 "+ graph partition"});
+    auto t = ctx.table("fig21", "Figure 21");
+    t.col("dataset", "dataset")
+        .col("speedup_cache_only", "HDN cache only")
+        .col("speedup_runahead", "+ runahead")
+        .col("speedup_gp", "+ graph partition");
     std::vector<double> s1, s2, s3;
     for (const auto &spec : ctx.specs()) {
         double base = static_cast<double>(
@@ -32,15 +33,23 @@ main(int argc, char **argv)
         s1.push_back(base / cacheOnly);
         s2.push_back(base / runahead);
         s3.push_back(base / full);
-        t.addRow({spec.name, fmtRatio(base / cacheOnly),
-                  fmtRatio(base / runahead), fmtRatio(base / full)});
+        t.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::ratio(base / cacheOnly))
+            .add(report::ratio(base / runahead))
+            .add(report::ratio(base / full));
     }
-    t.print();
-    TextTable avg("Average (paper: ~1.4x -> ~2.5x -> ~2.8x)");
-    avg.setHeader({"config", "geomean speedup"});
-    avg.addRow({"HDN cache only", fmtRatio(geomean(s1))});
-    avg.addRow({"+ runahead", fmtRatio(geomean(s2))});
-    avg.addRow({"+ graph partition", fmtRatio(geomean(s3))});
-    avg.print();
+    auto avg = ctx.table("fig21_avg",
+                         "Average (paper: ~1.4x -> ~2.5x -> ~2.8x)");
+    avg.col("label", "config").col("geomean_speedup", "geomean speedup");
+    avg.row({.extra = {{"config", "cache_only"}}})
+        .add(report::textCell("HDN cache only"))
+        .add(report::ratio(geomean(s1)));
+    avg.row({.extra = {{"config", "runahead"}}})
+        .add(report::textCell("+ runahead"))
+        .add(report::ratio(geomean(s2)));
+    avg.row({.extra = {{"config", "graph_partition"}}})
+        .add(report::textCell("+ graph partition"))
+        .add(report::ratio(geomean(s3)));
     return 0;
 }

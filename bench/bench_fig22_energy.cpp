@@ -11,36 +11,44 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig22_energy")
 {
     BenchContext ctx(argc, argv);
     ctx.banner("Figure 22: energy normalized to GCNAX");
 
-    TextTable t("Figure 22");
-    t.setHeader({"dataset", "engine", "MAC", "RF", "SRAM", "DRAM",
-                 "static", "total"});
+    auto t = ctx.table("fig22", "Figure 22");
+    t.col("dataset", "dataset")
+        .col("engine", "engine")
+        .col("mac_norm", "MAC")
+        .col("rf_norm", "RF")
+        .col("sram_norm", "SRAM")
+        .col("dram_norm", "DRAM")
+        .col("static_norm", "static")
+        .col("total_norm", "total");
     std::vector<double> gains;
     for (const auto &spec : ctx.specs()) {
         double base =
             ctx.inference(spec.name, "gcnax").energy.total();
         for (const char *key : {"gcnax", "grow-nogp", "grow"}) {
             const auto &e = ctx.inference(spec.name, key).energy;
-            t.addRow({spec.name, key, fmtDouble(e.macPj / base, 3),
-                      fmtDouble(e.rfPj / base, 3),
-                      fmtDouble(e.sramPj / base, 3),
-                      fmtDouble(e.dramPj / base, 3),
-                      fmtDouble(e.staticPj / base, 3),
-                      fmtDouble(e.total() / base, 3)});
+            t.row({.dataset = spec.name, .engine = key})
+                .add(report::textCell(spec.name))
+                .add(report::textCell(key))
+                .add(report::real(e.macPj / base, 3))
+                .add(report::real(e.rfPj / base, 3))
+                .add(report::real(e.sramPj / base, 3))
+                .add(report::real(e.dramPj / base, 3))
+                .add(report::real(e.staticPj / base, 3))
+                .add(report::real(e.total() / base, 3));
         }
         gains.push_back(base /
                         ctx.inference(spec.name, "grow").energy.total());
     }
-    t.print();
-    TextTable avg("Average");
-    avg.setHeader({"metric", "value"});
-    avg.addRow({"geomean energy-efficiency gain (paper: ~2.3x)",
-                fmtRatio(geomean(gains))});
-    avg.print();
+    auto avg = ctx.table("fig22_avg", "Average");
+    avg.col("metric", "metric").col("geomean_energy_gain", "value");
+    avg.row()
+        .add(report::textCell(
+            "geomean energy-efficiency gain (paper: ~2.3x)"))
+        .add(report::ratio(geomean(gains)));
     return 0;
 }

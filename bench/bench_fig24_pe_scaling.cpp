@@ -10,19 +10,22 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig24_pe_scaling")
 {
     BenchContext ctx(argc, argv, "tiny");
     ctx.banner("Figure 24: PE scaling (throughput normalized to 1 PE)");
 
-    TextTable t("Figure 24");
-    t.setHeader({"dataset", "1 PE", "2 PE", "4 PE", "8 PE", "16 PE"});
+    auto t = ctx.table("fig24", "Figure 24");
+    t.col("dataset", "dataset");
+    for (uint32_t pes : {1u, 2u, 4u, 8u, 16u})
+        t.col("speedup_pe" + std::to_string(pes),
+              std::to_string(pes) + " PE");
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
         gcn::RunnerOptions opt;
         opt.usePartitioning = true;
-        std::vector<std::string> row{spec.name};
+        auto row = t.row({.dataset = spec.name, .engine = "grow"});
+        row.add(report::textCell(spec.name));
         double base = 0;
         for (uint32_t pes : {1u, 2u, 4u, 8u, 16u}) {
             core::GrowConfig cfg = driver::growDefaultConfig();
@@ -32,10 +35,8 @@ main(int argc, char **argv)
             double cycles = static_cast<double>(r.totalCycles);
             if (pes == 1)
                 base = cycles;
-            row.push_back(fmtDouble(base / cycles, 2));
+            row.add(report::real(base / cycles, 2));
         }
-        t.addRow(row);
     }
-    t.print();
     return 0;
 }

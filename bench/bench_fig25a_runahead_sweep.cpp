@@ -9,21 +9,23 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig25a_runahead_sweep")
 {
     BenchContext ctx(argc, argv, "tiny");
     ctx.banner("Figure 25(a): runahead degree sweep "
                "(throughput normalized to 1-way)");
 
-    TextTable t("Figure 25(a)");
-    t.setHeader({"dataset", "1-way", "2-way", "4-way", "8-way", "16-way",
-                 "32-way"});
+    auto t = ctx.table("fig25a", "Figure 25(a)");
+    t.col("dataset", "dataset");
+    for (uint32_t degree : {1u, 2u, 4u, 8u, 16u, 32u})
+        t.col("speedup_ra" + std::to_string(degree),
+              std::to_string(degree) + "-way");
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
         gcn::RunnerOptions opt;
         opt.usePartitioning = true;
-        std::vector<std::string> row{spec.name};
+        auto row = t.row({.dataset = spec.name, .engine = "grow"});
+        row.add(report::textCell(spec.name));
         double base = 0;
         for (uint32_t degree : {1u, 2u, 4u, 8u, 16u, 32u}) {
             core::GrowConfig cfg = driver::growDefaultConfig();
@@ -33,10 +35,8 @@ main(int argc, char **argv)
             double cycles = static_cast<double>(r.totalCycles);
             if (degree == 1)
                 base = cycles;
-            row.push_back(fmtDouble(base / cycles, 2));
+            row.add(report::real(base / cycles, 2));
         }
-        t.addRow(row);
     }
-    t.print();
     return 0;
 }

@@ -10,19 +10,28 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig25b_bandwidth_sweep")
 {
     BenchContext ctx(argc, argv, "tiny");
     ctx.banner("Figure 25(b): bandwidth sweep (normalized to own "
                "64 GB/s point)");
 
     const std::vector<double> bws = {16, 32, 64, 128, 256};
-    TextTable t("Figure 25(b)");
-    std::vector<std::string> header{"dataset", "engine"};
+    auto t = ctx.table("fig25b", "Figure 25(b)");
+    t.col("dataset", "dataset").col("engine", "engine");
     for (double bw : bws)
-        header.push_back(fmtDouble(bw, 0) + " GB/s");
-    t.setHeader(header);
+        t.col("speedup_bw" + std::to_string(static_cast<int>(bw)),
+              fmtDouble(bw, 0) + " GB/s");
+
+    auto addEngineRow = [&](const graph::DatasetSpec &spec,
+                            const char *engine,
+                            const std::vector<double> &cycles) {
+        auto row = t.row({.dataset = spec.name, .engine = engine});
+        row.add(report::textCell(spec.name))
+            .add(report::textCell(engine));
+        for (double c : cycles)
+            row.add(report::real(cycles[2] / c, 2));
+    };
 
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
@@ -38,10 +47,7 @@ main(int argc, char **argv)
                 cycles.push_back(static_cast<double>(
                     gcn::runInference(sim, w, opt).totalCycles));
             }
-            std::vector<std::string> row{spec.name, "GROW"};
-            for (double c : cycles)
-                row.push_back(fmtDouble(cycles[2] / c, 2));
-            t.addRow(row);
+            addEngineRow(spec, "GROW", cycles);
         }
         // GCNAX.
         {
@@ -54,12 +60,8 @@ main(int argc, char **argv)
                 cycles.push_back(static_cast<double>(
                     gcn::runInference(sim, w, opt).totalCycles));
             }
-            std::vector<std::string> row{spec.name, "GCNAX"};
-            for (double c : cycles)
-                row.push_back(fmtDouble(cycles[2] / c, 2));
-            t.addRow(row);
+            addEngineRow(spec, "GCNAX", cycles);
         }
     }
-    t.print();
     return 0;
 }

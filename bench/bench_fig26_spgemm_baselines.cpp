@@ -10,15 +10,18 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("fig26_spgemm_baselines")
 {
     BenchContext ctx(argc, argv);
     ctx.banner("Figure 26: speedup vs MatRaptor / GAMMA "
                "(normalized to GCNAX)");
 
-    TextTable t("Figure 26");
-    t.setHeader({"dataset", "GCNAX", "MatRaptor", "GAMMA", "GROW"});
+    auto t = ctx.table("fig26", "Figure 26");
+    t.col("dataset", "dataset")
+        .col("gcnax_norm", "GCNAX")
+        .col("matraptor_speedup", "MatRaptor")
+        .col("gamma_speedup", "GAMMA")
+        .col("grow_speedup", "GROW");
     std::vector<double> vsMat, vsGamma;
     for (const auto &spec : ctx.specs()) {
         double base = static_cast<double>(
@@ -31,13 +34,18 @@ main(int argc, char **argv)
             ctx.inference(spec.name, "grow").totalCycles);
         vsMat.push_back(mat / grw);
         vsGamma.push_back(gam / grw);
-        t.addRow({spec.name, "1.00", fmtDouble(base / mat, 2),
-                  fmtDouble(base / gam, 2), fmtDouble(base / grw, 2)});
+        t.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::custom(1.0, "1.00", ""))
+            .add(report::real(base / mat, 2))
+            .add(report::real(base / gam, 2))
+            .add(report::real(base / grw, 2));
     }
-    t.print();
 
-    TextTable m("Traffic comparison");
-    m.setHeader({"dataset", "MatRaptor/GROW bytes", "GAMMA/GROW bytes"});
+    auto m = ctx.table("fig26_traffic", "Traffic comparison");
+    m.col("dataset", "dataset")
+        .col("matraptor_traffic_ratio", "MatRaptor/GROW bytes")
+        .col("gamma_traffic_ratio", "GAMMA/GROW bytes");
     for (const auto &spec : ctx.specs()) {
         double grw = static_cast<double>(
             ctx.inference(spec.name, "grow").totalTrafficBytes());
@@ -45,16 +53,21 @@ main(int argc, char **argv)
             ctx.inference(spec.name, "matraptor").totalTrafficBytes());
         double gam = static_cast<double>(
             ctx.inference(spec.name, "gamma").totalTrafficBytes());
-        m.addRow({spec.name, fmtRatio(mat / grw), fmtRatio(gam / grw)});
+        m.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::ratio(mat / grw))
+            .add(report::ratio(gam / grw));
     }
-    m.print();
 
-    TextTable avg("Average");
-    avg.setHeader({"metric", "value"});
-    avg.addRow({"geomean GROW speedup vs MatRaptor (paper: ~9.3x)",
-                fmtRatio(geomean(vsMat))});
-    avg.addRow({"geomean GROW speedup vs GAMMA (paper: ~1.5x)",
-                fmtRatio(geomean(vsGamma))});
-    avg.print();
+    auto avg = ctx.table("fig26_avg", "Average");
+    avg.col("metric", "metric").col("geomean_speedup", "value");
+    avg.row({.extra = {{"baseline", "matraptor"}}})
+        .add(report::textCell(
+            "geomean GROW speedup vs MatRaptor (paper: ~9.3x)"))
+        .add(report::ratio(geomean(vsMat)));
+    avg.row({.extra = {{"baseline", "gamma"}}})
+        .add(report::textCell(
+            "geomean GROW speedup vs GAMMA (paper: ~1.5x)"))
+        .add(report::ratio(geomean(vsGamma)));
     return 0;
 }

@@ -16,7 +16,6 @@
  *   models=gcn,sage-mean,...    ModelKind subset (default: all)
  *   fanout=10                   SAGEConv neighbour-sampling fanout
  */
-#include <iostream>
 #include <map>
 
 #include "common.hpp"
@@ -27,10 +26,10 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("model_zoo")
 {
-    BenchContext ctx(argc, argv, /*default_scale=*/"tiny");
+    BenchContext ctx(argc, argv, /*default_scale=*/"tiny", "all",
+                     {"engines", "models", "fanout"});
     ctx.banner("Model zoo: GNN layer types on the GROW pipeline");
 
     const auto engineKeys =
@@ -90,20 +89,23 @@ main(int argc, char **argv)
 
     std::map<std::string, std::vector<double>> speedups;
     for (gcn::ModelKind model : models) {
+        const char *modelName = gcn::modelKindName(model);
         const auto &support =
             gcn::aggregatorSupport(gcn::modelAggregator(model));
-        TextTable t(std::string("model ") + gcn::modelKindName(model) +
-                    (support.extraHardware.empty()
-                         ? ""
-                         : " (extra unit: " + support.extraHardware +
-                               ")"));
-        std::vector<std::string> header = {"dataset"};
+        auto t = ctx.table(
+            std::string("model_zoo_") + modelName,
+            std::string("model ") + modelName +
+                (support.extraHardware.empty()
+                     ? ""
+                     : " (extra unit: " + support.extraHardware + ")"));
+        t.col("dataset", "dataset");
         for (const auto &engine : engineKeys)
-            header.push_back(engine + " cycles");
-        header.insert(header.end(),
-                      {"speedup", "hit rate", "DRAM traffic",
-                       "energy (uJ)", "aux energy (uJ)"});
-        t.setHeader(header);
+            t.col(engine + "_cycles", engine + " cycles", "cycles");
+        t.col("speedup", "speedup")
+            .col("hit_rate", "hit rate")
+            .col("dram_traffic", "DRAM traffic", "bytes")
+            .col("energy_uj", "energy (uJ)", "uJ")
+            .col("aux_energy_uj", "aux energy (uJ)", "uJ");
 
         for (const auto &spec : ctx.specs()) {
             std::vector<const gcn::InferenceResult *> results;
@@ -114,39 +116,46 @@ main(int argc, char **argv)
             // headline baseline).
             double speedup = static_cast<double>(results[1]->totalCycles) /
                              static_cast<double>(lead.totalCycles);
-            speedups[gcn::modelKindName(model)].push_back(speedup);
+            speedups[modelName].push_back(speedup);
 
-            std::vector<std::string> row = {spec.name};
+            auto row = t.row({.dataset = spec.name,
+                              .engine = engineKeys.front(),
+                              .model = modelName});
+            row.add(report::textCell(spec.name));
             for (const auto *r : results)
-                row.push_back(fmtCount(r->totalCycles));
-            row.insert(row.end(),
-                       {fmtRatio(speedup), fmtPercent(lead.cacheHitRate()),
-                        fmtBytes(lead.totalTrafficBytes()),
-                        fmtDouble(lead.energy.total() / 1e6, 1),
-                        fmtDouble(lead.energy.auxPj / 1e6, 3)});
-            t.addRow(row);
+                row.add(report::count(r->totalCycles, "cycles"));
+            row.add(report::ratio(speedup))
+                .add(report::fraction(lead.cacheHitRate()))
+                .add(report::bytesValue(lead.totalTrafficBytes()))
+                .add(report::real(lead.energy.total() / 1e6, 1, "uJ"))
+                .add(report::real(lead.energy.auxPj / 1e6, 3, "uJ"));
         }
-        t.print();
     }
 
-    TextTable s("Sec. VIII summary (" + engineKeys[0] + " vs " +
-                engineKeys[1] + ")");
-    s.setHeader({"model", "phases/layer", "geomean speedup",
-                 "extra hardware", "area @65nm (mm^2)",
-                 "area overhead"});
+    auto s = ctx.table("model_zoo_summary",
+                       "Sec. VIII summary (" + engineKeys[0] + " vs " +
+                           engineKeys[1] + ")");
+    s.col("model", "model")
+        .col("phases_per_layer", "phases/layer", "count")
+        .col("geomean_speedup", "geomean speedup")
+        .col("extra_hardware", "extra hardware")
+        .col("area_65nm", "area @65nm (mm^2)", "mm^2")
+        .col("area_overhead", "area overhead");
     for (gcn::ModelKind model : models) {
+        const char *modelName = gcn::modelKindName(model);
         const auto &support =
             gcn::aggregatorSupport(gcn::modelAggregator(model));
         auto area = gcn::growAreaWithAggregator(
             gcn::modelAggregator(model));
-        s.addRow({gcn::modelKindName(model),
-                  std::to_string(gcn::modelPhasesPerLayer(model)),
-                  fmtRatio(geomean(speedups[gcn::modelKindName(model)])),
-                  support.extraHardware.empty() ? "-"
-                                                : support.extraHardware,
-                  fmtDouble(area.total(), 3),
-                  fmtPercent(support.areaOverhead)});
+        s.row({.engine = engineKeys.front(), .model = modelName})
+            .add(report::textCell(modelName))
+            .add(report::count(gcn::modelPhasesPerLayer(model)))
+            .add(report::ratio(geomean(speedups[modelName])))
+            .add(report::textCell(support.extraHardware.empty()
+                                      ? "-"
+                                      : support.extraHardware))
+            .add(report::real(area.total(), 3))
+            .add(report::fraction(support.areaOverhead));
     }
-    s.print();
     return 0;
 }

@@ -5,8 +5,6 @@
  * Table I numbers; "gen" columns are measured on the graphs this
  * repository synthesises at the selected scale tier.
  */
-#include <iostream>
-
 #include "common.hpp"
 #include "graph/degree_stats.hpp"
 #include "sparse/convert.hpp"
@@ -15,46 +13,64 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("table1_datasets")
 {
     BenchContext ctx(argc, argv);
     ctx.banner("Table I: dataset structure (paper vs generated)");
 
-    TextTable t("Table I");
-    t.setHeader({"dataset", "nodes(paper)", "nodes(gen)", "arcs(paper)",
-                 "arcs(gen)", "deg(paper)", "deg(gen)", "densA(paper)",
-                 "densA(gen)", "features", "x0 dens", "x1 dens"});
+    auto t = ctx.table("table1", "Table I");
+    t.col("dataset", "dataset")
+        .col("nodes_paper", "nodes(paper)", "count")
+        .col("nodes_gen", "nodes(gen)", "count")
+        .col("arcs_paper", "arcs(paper)", "count")
+        .col("arcs_gen", "arcs(gen)", "count")
+        .col("degree_paper", "deg(paper)")
+        .col("degree_gen", "deg(gen)")
+        .col("density_a_paper", "densA(paper)", "fraction")
+        .col("density_a_gen", "densA(gen)", "fraction")
+        .col("features", "features")
+        .col("x0_density", "x0 dens")
+        .col("x1_density", "x1 dens");
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
         const auto &g = w.graph();
-        t.addRow({spec.name, fmtCount(spec.paperNodes),
-                  fmtCount(g.numNodes()), fmtCount(spec.paperArcs),
-                  fmtCount(g.numArcs()),
-                  fmtDouble(spec.paperAvgDegree, 1),
-                  fmtDouble(g.avgDegree(), 1), fmtSci(spec.paperDensityA),
-                  fmtSci(g.density()),
-                  std::to_string(spec.gcn.inFeatures) + "-" +
-                      std::to_string(spec.gcn.hidden) + "-" +
-                      std::to_string(spec.gcn.classes),
-                  fmtPercent(w.x(0).density(), 2),
-                  fmtPercent(w.x(1).density(), 1)});
+        t.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::count(spec.paperNodes))
+            .add(report::count(g.numNodes()))
+            .add(report::count(spec.paperArcs))
+            .add(report::count(g.numArcs()))
+            .add(report::real(spec.paperAvgDegree, 1))
+            .add(report::real(g.avgDegree(), 1))
+            .add(report::sci(spec.paperDensityA, 2, "fraction"))
+            .add(report::sci(g.density(), 2, "fraction"))
+            .add(report::textCell(
+                std::to_string(spec.gcn.inFeatures) + "-" +
+                std::to_string(spec.gcn.hidden) + "-" +
+                std::to_string(spec.gcn.classes)))
+            .add(report::fraction(w.x(0).density(), 2))
+            .add(report::fraction(w.x(1).density(), 1));
     }
-    t.print();
 
-    TextTable p("Degree-distribution shape (power-law evidence)");
-    p.setHeader({"dataset", "max degree", "mean degree", "gini",
-                 "alpha (MLE)", "top-1% coverage"});
+    auto p = ctx.table("table1_degrees",
+                       "Degree-distribution shape (power-law evidence)");
+    p.col("dataset", "dataset")
+        .col("max_degree", "max degree", "count")
+        .col("mean_degree", "mean degree")
+        .col("gini", "gini")
+        .col("power_law_alpha", "alpha (MLE)")
+        .col("top1pct_coverage", "top-1% coverage");
     for (const auto &spec : ctx.specs()) {
         const auto &g = ctx.workload(spec.name).graph();
         auto h = graph::degreeHistogram(g);
         uint32_t k = std::max(1u, g.numNodes() / 100);
-        p.addRow({spec.name, fmtCount(h.maxValue()),
-                  fmtDouble(h.mean(), 1),
-                  fmtDouble(graph::degreeGini(g), 2),
-                  fmtDouble(h.powerLawAlpha(4), 2),
-                  fmtPercent(graph::topKDegreeCoverage(g, k))});
+        p.row({.dataset = spec.name})
+            .add(report::textCell(spec.name))
+            .add(report::count(h.maxValue()))
+            .add(report::real(h.mean(), 1))
+            .add(report::real(graph::degreeGini(g), 2))
+            .add(report::real(h.powerLawAlpha(4), 2))
+            .add(report::fraction(graph::topKDegreeCoverage(g, k)));
     }
-    p.print();
     return 0;
 }

@@ -12,8 +12,7 @@
 using namespace grow;
 using namespace grow::bench;
 
-int
-main(int argc, char **argv)
+GROW_BENCH_MAIN("table4_area")
 {
     BenchContext ctx(argc, argv, "tiny");
     ctx.banner("Table IV: area breakdown");
@@ -23,25 +22,29 @@ main(int argc, char **argv)
     auto a40 = energy::estimateGrowArea(energy::GrowAreaInputs{},
                                         energy::ProcessNode::Nm40);
 
-    TextTable t("Table IV (mm^2)");
-    t.setHeader({"component", "40 nm (estimated)", "65 nm (measured)"});
-    t.addRow({"MAC array", fmtDouble(a40.macArray, 3),
-              fmtDouble(a65.macArray, 3)});
-    t.addRow({"I-BUF_sparse", fmtDouble(a40.iBufSparse, 3),
-              fmtDouble(a65.iBufSparse, 3)});
-    t.addRow({"HDN ID list", fmtDouble(a40.hdnIdList, 3),
-              fmtDouble(a65.hdnIdList, 3)});
-    t.addRow({"HDN cache", fmtDouble(a40.hdnCache, 3),
-              fmtDouble(a65.hdnCache, 3)});
-    t.addRow({"O-BUF_dense", fmtDouble(a40.oBufDense, 3),
-              fmtDouble(a65.oBufDense, 3)});
-    t.addRow({"Others", fmtDouble(a40.others, 3),
-              fmtDouble(a65.others, 3)});
-    t.addRow({"Total", fmtDouble(a40.total(), 3),
-              fmtDouble(a65.total(), 3)});
-    t.addRow({"GCNAX (reported, 40 nm)",
-              fmtDouble(energy::gcnaxReportedAreaMm2(), 2), "-"});
-    t.print();
+    auto t = ctx.table("table4", "Table IV (mm^2)");
+    t.col("component", "component")
+        .col("area_40nm", "40 nm (estimated)", "mm^2")
+        .col("area_65nm", "65 nm (measured)", "mm^2");
+    auto component = [&](const char *slug, const char *name, double a40v,
+                         double a65v) {
+        t.row({.extra = {{"component", slug}}})
+            .add(report::textCell(name))
+            .add(report::real(a40v, 3))
+            .add(report::real(a65v, 3));
+    };
+    component("mac_array", "MAC array", a40.macArray, a65.macArray);
+    component("ibuf_sparse", "I-BUF_sparse", a40.iBufSparse,
+              a65.iBufSparse);
+    component("hdn_id_list", "HDN ID list", a40.hdnIdList, a65.hdnIdList);
+    component("hdn_cache", "HDN cache", a40.hdnCache, a65.hdnCache);
+    component("obuf_dense", "O-BUF_dense", a40.oBufDense, a65.oBufDense);
+    component("others", "Others", a40.others, a65.others);
+    component("total", "Total", a40.total(), a65.total());
+    t.row({.extra = {{"component", "gcnax_reported"}}})
+        .add(report::textCell("GCNAX (reported, 40 nm)"))
+        .add(report::real(energy::gcnaxReportedAreaMm2(), 2))
+        .add(report::textCell("-"));
 
     // Measure the average speedup at this bench's scale and fold it
     // into performance/mm^2 (Sec. VII-E).
@@ -57,13 +60,18 @@ main(int argc, char **argv)
     double perfPerArea =
         speedup * energy::gcnaxReportedAreaMm2() / a40.total();
 
-    TextTable s("Performance per area (Sec. VII-E)");
-    s.setHeader({"metric", "value"});
-    s.addRow({"measured geomean speedup", fmtRatio(speedup)});
-    s.addRow({"area ratio GCNAX/GROW @40nm",
-              fmtRatio(energy::gcnaxReportedAreaMm2() / a40.total())});
-    s.addRow({"performance/mm^2 vs GCNAX (paper: 8.2x @2.8x speedup)",
-              fmtRatio(perfPerArea)});
-    s.print();
+    auto s = ctx.table("table4_perf_area",
+                       "Performance per area (Sec. VII-E)");
+    s.col("metric", "metric").col("value", "value");
+    s.row({.extra = {{"stat", "geomean_speedup"}}})
+        .add(report::textCell("measured geomean speedup"))
+        .add(report::ratio(speedup));
+    s.row({.extra = {{"stat", "area_ratio_gcnax_grow"}}})
+        .add(report::textCell("area ratio GCNAX/GROW @40nm"))
+        .add(report::ratio(energy::gcnaxReportedAreaMm2() / a40.total()));
+    s.row({.extra = {{"stat", "perf_per_area_vs_gcnax"}}})
+        .add(report::textCell(
+            "performance/mm^2 vs GCNAX (paper: 8.2x @2.8x speedup)"))
+        .add(report::ratio(perfPerArea));
     return 0;
 }

@@ -6,15 +6,105 @@
 
 namespace grow::bench {
 
+namespace {
+
+std::map<std::string, BenchFn> &
+mutableRegistry()
+{
+    static std::map<std::string, BenchFn> registry;
+    return registry;
+}
+
+std::string &
+mutableCurrentBench()
+{
+    static std::string name;
+    return name;
+}
+
+} // namespace
+
+const std::map<std::string, BenchFn> &
+benchRegistry()
+{
+    return mutableRegistry();
+}
+
+BenchRegistrar::BenchRegistrar(const char *name, BenchFn fn)
+{
+    auto [it, inserted] = mutableRegistry().emplace(name, fn);
+    GROW_ASSERT(inserted,
+                std::string("duplicate bench registration: ") + name);
+}
+
+const std::string &
+currentBenchName()
+{
+    return mutableCurrentBench();
+}
+
+int
+runBench(const std::string &name, BenchFn fn, int argc, char **argv)
+{
+    mutableCurrentBench() = name;
+    int rc = 1;
+    try {
+        rc = fn(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << "bench " << name << " failed: " << e.what() << "\n";
+    }
+    mutableCurrentBench().clear();
+    return rc;
+}
+
 BenchContext::BenchContext(int argc, char **argv,
                            const std::string &default_scale,
-                           const std::string &default_datasets)
+                           const std::string &default_datasets,
+                           const std::vector<std::string> &extra_keys)
     : args_(argc, argv), cache_(args_.get("cachedir", ""))
 {
+    std::vector<std::string> known = {"scale",    "datasets", "model",
+                                      "cachedir", "format",   "out"};
+    known.insert(known.end(), extra_keys.begin(), extra_keys.end());
+    args_.requireKnown(known);
+
     tier_ = graph::tierFromString(args_.get("scale", default_scale));
     model_ = gcn::modelKindFromString(args_.get("model", "gcn"));
     specs_ = graph::datasetsByNames(
         args_.getList("datasets", split(default_datasets, ',')));
+
+    format_ = args_.get("format", "table");
+    report::makeSink(format_); // reject bad formats before simulating
+    out_ = args_.get("out", "");
+
+    auto &meta = report_.meta();
+    meta.bench = currentBenchName().empty() ? "bench" : currentBenchName();
+    meta.revision = report::buildRevision();
+    meta.scale = graph::tierName(tier_);
+    meta.model = gcn::modelKindName(model_);
+}
+
+BenchContext::~BenchContext()
+{
+    try {
+        if (auto *collector = report::activeCollector())
+            collector->add(std::move(report_));
+        else
+            report::emitReport(report_, format_, out_);
+    } catch (const std::exception &e) {
+        logError(std::string("report emission failed: ") + e.what());
+    }
+}
+
+void
+BenchContext::banner(const std::string &what)
+{
+    std::string line = "\n### " + what +
+                       " [scale=" + graph::tierName(tier_);
+    if (model_ != gcn::ModelKind::Gcn)
+        line += std::string(" model=") + gcn::modelKindName(model_);
+    line += "]";
+    report_.note(std::move(line));
 }
 
 const gcn::GcnWorkload &
@@ -77,15 +167,6 @@ BenchContext::prefetch(const std::vector<std::string> &engine_keys)
     auto outcomes = pool.runAll(jobs);
     for (auto &o : outcomes)
         results_.emplace(o.label, std::move(o.inference));
-}
-
-void
-BenchContext::banner(const std::string &what) const
-{
-    std::cout << "\n### " << what << " [scale=" << graph::tierName(tier_);
-    if (model_ != gcn::ModelKind::Gcn)
-        std::cout << " model=" << gcn::modelKindName(model_);
-    std::cout << "]\n";
 }
 
 } // namespace grow::bench

@@ -2,7 +2,8 @@
  * @file
  * Shared scaffolding for the paper-reproduction bench binaries.
  *
- * Every bench accepts `key=value` arguments:
+ * Every bench accepts `key=value` arguments (unknown keys abort with
+ * the accepted list):
  *   scale=mini|tiny|full|unit   dataset scale tier (per-bench default)
  *   datasets=cora,...|all       dataset subset
  *   model=gcn|sage-mean|sage-pool|gin|gat
@@ -10,9 +11,22 @@
  *                               (default gcn, the paper's evaluation)
  *   cachedir=<path>             persist graph artefacts on disk so
  *                               repeated runs skip synthesis (optional)
- * and prints one or more TextTables that mirror a specific table or
- * figure of the paper. EXPERIMENTS.md records paper-vs-measured per
- * bench.
+ *   format=table|json|csv       report rendering (default table, the
+ *                               historical human-readable output)
+ *   out=<path>                  write the report to a file instead of
+ *                               stdout
+ *
+ * A bench does not print: it *declares* its banner lines and tables
+ * through the structured results API (src/report/) and the selected
+ * ReportSink renders everything once at exit. `format=table` output is
+ * byte-identical to the historical hand-formatted tables;
+ * `format=json` emits the schema-versioned record stream that
+ * bench_suite merges into the BENCH_GROW.json perf trajectory.
+ *
+ * Bench bodies are defined with GROW_BENCH_MAIN("name"), which both
+ * emits a standalone main() and registers the body in benchRegistry()
+ * so bench_suite (built with GROW_BENCH_NO_MAIN) can run any subset
+ * in one process. EXPERIMENTS.md records paper-vs-measured per bench.
  */
 #pragma once
 
@@ -30,26 +44,78 @@
 #include "gcn/runner.hpp"
 #include "gcn/workload.hpp"
 #include "graph/datasets.hpp"
+#include "report/report.hpp"
+#include "report/sinks.hpp"
 #include "util/cli.hpp"
 #include "util/mathutil.hpp"
 #include "util/string_util.hpp"
-#include "util/table.hpp"
 
 namespace grow::bench {
 
-/** Workload cache + argument handling shared by all bench mains. */
+/** Signature of one registered bench body. */
+using BenchFn = int (*)(int argc, char **argv);
+
+/** Name -> body of every bench linked into this binary. */
+const std::map<std::string, BenchFn> &benchRegistry();
+
+/** Registers a bench body under its name at static-init time. */
+struct BenchRegistrar
+{
+    BenchRegistrar(const char *name, BenchFn fn);
+};
+
+/** Name of the bench currently executing ("" outside runBench()). */
+const std::string &currentBenchName();
+
+/**
+ * Run @p fn as bench @p name: sets currentBenchName() (BenchContext
+ * stamps it into the report meta) and maps uncaught exceptions to a
+ * non-zero exit instead of a terminate(), so one failing bench cannot
+ * take a whole suite run down.
+ */
+int runBench(const std::string &name, BenchFn fn, int argc, char **argv);
+
+/** Workload cache + argument handling + report shared by all benches. */
 class BenchContext
 {
   public:
+    /**
+     * Parse argv and reject unknown keys: the universal set above
+     * plus @p extra_keys (bench-specific knobs like model_zoo's
+     * `engines=`).
+     */
     BenchContext(int argc, char **argv,
                  const std::string &default_scale = "mini",
-                 const std::string &default_datasets = "all");
+                 const std::string &default_datasets = "all",
+                 const std::vector<std::string> &extra_keys = {});
+
+    /** Emits the report through the `format=`/`out=` sink -- or hands
+     *  it to the active ReportCollector (suite runs). */
+    ~BenchContext();
+
+    BenchContext(const BenchContext &) = delete;
+    BenchContext &operator=(const BenchContext &) = delete;
 
     const CliArgs &args() const { return args_; }
     graph::ScaleTier tier() const { return tier_; }
     /** GNN layer type selected via `model=` (default Gcn). */
     gcn::ModelKind model() const { return model_; }
     const std::vector<graph::DatasetSpec> &specs() const { return specs_; }
+
+    /** The report this bench declares its results into. */
+    report::Report &report() { return report_; }
+
+    /** Declare a new table (shorthand for report().table()). */
+    report::TableBuilder table(std::string id, std::string title)
+    {
+        return report_.table(std::move(id), std::move(title));
+    }
+
+    /** Append a verbatim output line to the report. */
+    void note(std::string text) { report_.note(std::move(text)); }
+
+    /** Declare the standard bench banner line. */
+    void banner(const std::string &what);
 
     /** Build (once) and return the workload of @p name, lowered as
      *  the bench's selected model. */
@@ -74,9 +140,6 @@ class BenchContext
      */
     void prefetch(const std::vector<std::string> &engine_keys);
 
-    /** Pretty header line for the bench. */
-    void banner(const std::string &what) const;
-
   private:
     gcn::InferenceResult runEngine(const gcn::GcnWorkload &w,
                                    const std::string &engine_key);
@@ -88,9 +151,36 @@ class BenchContext
     driver::WorkloadCache cache_;
     std::map<std::string, gcn::GcnWorkload> workloads_;
     std::map<std::string, gcn::InferenceResult> results_;
+    report::Report report_;
+    std::string format_;
+    std::string out_;
 };
 
 /** Geometric mean helper for "average speedup" rows. */
 using ::grow::geomean;
 
 } // namespace grow::bench
+
+#ifdef GROW_BENCH_NO_MAIN
+// Suite build: every bench body is linked into one binary; only the
+// registry entry is emitted, bench_suite provides main().
+#define GROW_BENCH_EMIT_MAIN(name)
+#else
+#define GROW_BENCH_EMIT_MAIN(name)                                         \
+    int main(int argc, char **argv)                                        \
+    {                                                                      \
+        return ::grow::bench::runBench(name, &growBenchBody, argc, argv);  \
+    }
+#endif
+
+/**
+ * Define one bench body: `GROW_BENCH_MAIN("fig20_speedup") { ... }`.
+ * Emits the standalone main() (unless GROW_BENCH_NO_MAIN) and the
+ * registry entry bench_suite dispatches through.
+ */
+#define GROW_BENCH_MAIN(name)                                              \
+    static int growBenchBody(int argc, char **argv);                       \
+    static const ::grow::bench::BenchRegistrar growBenchRegistrar(         \
+        name, &growBenchBody);                                             \
+    GROW_BENCH_EMIT_MAIN(name)                                             \
+    static int growBenchBody(int argc, char **argv)

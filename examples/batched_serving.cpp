@@ -15,23 +15,25 @@
  *
  * Requests are independent, so the batch is dispatched through the
  * SweepDriver thread pool (one simulated engine instance per request,
- * results in deterministic batch order).
+ * results in deterministic batch order). Results go through the
+ * structured results API: format=json gives serving consumers the
+ * per-graph latency/traffic records programmatically.
  *
  * Usage: batched_serving [datasets=cora,citeseer,pubmed] [scale=unit]
  *                        [engine=grow] [requests=4] [threads=0]
- *                        [cachedir=]
+ *                        [cachedir=] [format=table|json|csv] [out=path]
  */
-#include <iostream>
 #include <memory>
 
 #include "driver/sweep_driver.hpp"
 #include "driver/workload_cache.hpp"
 #include "gcn/runner.hpp"
 #include "gcn/workload.hpp"
+#include "report/report.hpp"
+#include "report/sinks.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
-#include "util/table.hpp"
 
 using namespace grow;
 
@@ -39,6 +41,8 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    args.requireKnown({"datasets", "scale", "engine", "requests",
+                       "threads", "cachedir", "format", "out"});
     auto specs = graph::datasetsByNames(
         args.getList("datasets", {"cora", "citeseer", "pubmed"}));
     auto tier = graph::tierFromString(args.get("scale", "unit"));
@@ -51,6 +55,8 @@ main(int argc, char **argv)
     if (threadsArg < 0 || threadsArg > 1024)
         fatal("threads must be between 0 (= all cores) and 1024, got " +
               std::to_string(threadsArg));
+    const std::string format = args.get("format", "table");
+    report::makeSink(format); // reject bad formats before simulating
 
     driver::WorkloadCache cache(args.get("cachedir", ""));
     driver::SweepDriver pool(static_cast<uint32_t>(threadsArg));
@@ -75,26 +81,38 @@ main(int argc, char **argv)
         }
     }
 
+    report::Report rep;
+    rep.meta().bench = "batched_serving";
+    rep.meta().generator = "grow-example";
+    rep.meta().revision = report::buildRevision();
+    rep.meta().scale = graph::tierName(tier);
+
     auto cstats = cache.stats();
-    std::cout << "batch: " << jobs.size() << " request(s) over "
-              << specs.size() << " graph(s) on '" << engineKey << "' ("
-              << pool.numThreads() << " engines)\n"
-              << "preprocessing: " << cstats.builds << " build(s), "
-              << cstats.memoryHits << " in-memory reuse(s), "
-              << cstats.diskLoads << " disk load(s)"
-              << (cache.diskDir().empty()
-                      ? ""
-                      : " [disk cache: " + cache.diskDir() + "]")
-              << "\n";
+    rep.note("batch: " + std::to_string(jobs.size()) +
+             " request(s) over " + std::to_string(specs.size()) +
+             " graph(s) on '" + engineKey + "' (" +
+             std::to_string(pool.numThreads()) + " engines)");
+    rep.note("preprocessing: " + std::to_string(cstats.builds) +
+             " build(s), " + std::to_string(cstats.memoryHits) +
+             " in-memory reuse(s), " + std::to_string(cstats.diskLoads) +
+             " disk load(s)" +
+             (cache.diskDir().empty()
+                  ? ""
+                  : " [disk cache: " + cache.diskDir() + "]"));
 
     auto outcomes = pool.runAll(jobs);
 
     // ---- Per-graph serving report. -----------------------------------
-    TextTable t("batched serving (" + std::string(graph::tierName(tier)) +
-                " scale, " + std::to_string(requests) +
-                " request(s)/graph)");
-    t.setHeader({"graph", "nodes", "mean cycles", "mean DRAM traffic",
-                 "HDN hit rate", "mean latency @1GHz"});
+    auto t = rep.table(
+        "batched_serving",
+        "batched serving (" + std::string(graph::tierName(tier)) +
+            " scale, " + std::to_string(requests) + " request(s)/graph)");
+    t.col("dataset", "graph")
+        .col("nodes", "nodes", "count")
+        .col("mean_cycles", "mean cycles", "cycles")
+        .col("mean_dram_traffic", "mean DRAM traffic", "bytes")
+        .col("hdn_hit_rate", "HDN hit rate")
+        .col("mean_latency_ms", "mean latency @1GHz", "ms");
     size_t cursor = 0;
     Cycle engineCycles = 0;
     for (size_t s = 0; s < specs.size(); ++s) {
@@ -114,19 +132,33 @@ main(int argc, char **argv)
             engineCycles += o.inference.totalCycles;
         }
         const double n = static_cast<double>(requests);
-        t.addRow({spec.name, fmtCount(nodesPerSpec.at(s)),
-                  fmtCount(static_cast<uint64_t>(cycles / n)),
-                  fmtBytes(static_cast<Bytes>(traffic / n)),
-                  lookups > 0 ? fmtPercent(hits / lookups) : "-",
-                  fmtDouble(cycles / n / 1e6, 2) + " ms"});
+        t.row({.dataset = spec.name, .engine = engineKey})
+            .add(report::textCell(spec.name))
+            .add(report::count(nodesPerSpec.at(s)))
+            .add(report::count(static_cast<uint64_t>(cycles / n),
+                               "cycles"))
+            .add(report::bytesValue(static_cast<Bytes>(traffic / n)))
+            .add(lookups > 0 ? report::fraction(hits / lookups)
+                             : report::textCell("-"))
+            .add(report::custom(cycles / n / 1e6,
+                                fmtDouble(cycles / n / 1e6, 2) + " ms",
+                                "ms"));
     }
-    t.print();
 
     // One engine serving the whole batch serially vs the fleet.
     const double serialMs = static_cast<double>(engineCycles) / 1e6;
-    std::cout << "aggregate simulated engine time: "
-              << fmtDouble(serialMs, 2) << " ms ("
-              << fmtDouble(serialMs / static_cast<double>(jobs.size()), 2)
-              << " ms/request)\n";
+    rep.note("aggregate simulated engine time: " +
+             fmtDouble(serialMs, 2) + " ms (" +
+             fmtDouble(serialMs / static_cast<double>(jobs.size()), 2) +
+             " ms/request)");
+    rep.addRecord({.bench = "batched_serving",
+                   .table = "batched_serving_totals",
+                   .dims = {.engine = engineKey},
+                   .metric = "aggregate_engine_ms",
+                   .unit = "ms",
+                   .hasValue = true,
+                   .value = serialMs});
+
+    report::emitReport(rep, format, args.get("out", ""));
     return 0;
 }

@@ -7,28 +7,31 @@
  * chosen configuration came from.
  *
  * All sweep points are independent, so they are dispatched together
- * through the SweepDriver thread pool and only *printed* in order --
+ * through the SweepDriver thread pool and only *reported* in order --
  * wall-clock shrinks by roughly the core count. Workloads of all
  * depths come from one WorkloadCache, so graph synthesis +
  * partitioning runs exactly once; pass cachedir= to persist the
  * artefacts and skip synthesis on the next invocation too.
  *
+ * Results go through the structured results API (src/report/):
+ * format=json emits the same sweep as schema-versioned MetricRecords
+ * keyed by the SweepJob labels ("cap/512", "ra/8", ...).
+ *
  * Usage: design_space_sweep [dataset=pokec] [scale=tiny] [threads=0]
  *                           [cachedir=] [model=gcn|sage-mean|sage-pool|
- *                           gin|gat]
+ *                           gin|gat] [format=table|json|csv] [out=path]
  */
-#include <iostream>
-
 #include "core/grow.hpp"
 #include "driver/sweep_driver.hpp"
 #include "driver/workload_cache.hpp"
 #include "energy/area_model.hpp"
 #include "gcn/runner.hpp"
 #include "gcn/workload.hpp"
+#include "report/report.hpp"
+#include "report/sinks.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
-#include "util/table.hpp"
 
 using namespace grow;
 
@@ -52,12 +55,16 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    args.requireKnown({"dataset", "scale", "threads", "cachedir", "model",
+                       "format", "out"});
     const auto &spec = graph::datasetByName(args.get("dataset", "pokec"));
     auto tier = graph::tierFromString(args.get("scale", "tiny"));
     const int64_t threadsArg = args.getInt("threads", 0);
     if (threadsArg < 0 || threadsArg > 1024)
         fatal("threads must be between 0 (= all cores) and 1024, got " +
               std::to_string(threadsArg));
+    const std::string format = args.get("format", "table");
+    report::makeSink(format); // reject bad formats before simulating
     driver::SweepDriver pool(static_cast<uint32_t>(threadsArg));
 
     driver::WorkloadCache cache(args.get("cachedir", ""));
@@ -65,10 +72,17 @@ main(int argc, char **argv)
     wc.tier = tier;
     wc.model = gcn::modelKindFromString(args.get("model", "gcn"));
     auto w = cache.workload(spec, wc);
-    std::cout << "dataset " << spec.name << " @" << graph::tierName(tier)
-              << " model=" << gcn::modelKindName(wc.model) << ": "
-              << fmtCount(w.nodes()) << " nodes (" << pool.numThreads()
-              << " sweep threads)\n";
+
+    report::Report rep;
+    rep.meta().bench = "design_space_sweep";
+    rep.meta().generator = "grow-example";
+    rep.meta().revision = report::buildRevision();
+    rep.meta().scale = graph::tierName(tier);
+    rep.meta().model = gcn::modelKindName(wc.model);
+    rep.note("dataset " + spec.name + " @" + graph::tierName(tier) +
+             " model=" + gcn::modelKindName(wc.model) + ": " +
+             fmtCount(w.nodes()) + " nodes (" +
+             std::to_string(pool.numThreads()) + " sweep threads)");
 
     // Deeper models share `w`'s graph artefacts through the cache and
     // only synthesise their own per-layer feature matrices.
@@ -87,9 +101,10 @@ main(int argc, char **argv)
         workloadByDepth.push_back(&deepWorkloads.back());
     }
     auto cstats = cache.stats();
-    std::cout << "workload cache: " << cstats.builds << " build(s), "
-              << cstats.memoryHits << " shared reuse(s), "
-              << cstats.diskLoads << " disk load(s)\n";
+    rep.note("workload cache: " + std::to_string(cstats.builds) +
+             " build(s), " + std::to_string(cstats.memoryHits) +
+             " shared reuse(s), " + std::to_string(cstats.diskLoads) +
+             " disk load(s)");
 
     // --- Assemble every sweep point, then run them all at once. -------
     std::vector<driver::SweepJob> jobs;
@@ -126,84 +141,124 @@ main(int argc, char **argv)
     auto outcomes = pool.runAll(jobs);
     // Consume outcomes positionally, but verify the label so a reorder
     // of the assembly block above cannot silently shift results onto
-    // the wrong table.
+    // the wrong table. The labels double as the record row keys.
     size_t cursor = 0;
     auto take = [&](const std::string &prefix)
-        -> const gcn::InferenceResult & {
+        -> const driver::SweepOutcome & {
         GROW_ASSERT(cursor < outcomes.size() &&
                         outcomes[cursor].label.rfind(prefix, 0) == 0,
                     "sweep outcome order mismatch at " + prefix);
-        return outcomes[cursor++].inference;
+        return outcomes[cursor++];
     };
+    const std::string engineName = "grow";
 
     // --- Sweep 1: HDN cache capacity. ---------------------------------
-    TextTable c("HDN cache capacity sweep (runahead 16)");
-    c.setHeader({"capacity", "hit rate", "cycles", "DRAM traffic",
-                 "area @65nm (mm^2)", "energy (uJ)"});
+    auto c = rep.table("hdn_capacity",
+                       "HDN cache capacity sweep (runahead 16)");
+    c.col("capacity_kib", "capacity")
+        .col("hit_rate", "hit rate")
+        .col("cycles", "cycles", "cycles")
+        .col("dram_traffic", "DRAM traffic", "bytes")
+        .col("area_65nm", "area @65nm (mm^2)", "mm^2")
+        .col("energy_uj", "energy (uJ)", "uJ");
     for (Bytes kb : capacitiesKb) {
-        const auto &r = take("cap/");
+        const auto &o = take("cap/");
+        const auto &r = o.inference;
         energy::GrowAreaInputs area;
         area.hdnCacheBytes = kb * 1024;
         auto a = energy::estimateGrowArea(area,
                                           energy::ProcessNode::Nm65);
-        c.addRow({std::to_string(kb) + " KiB",
-                  fmtPercent(r.cacheHitRate()), fmtCount(r.totalCycles),
-                  fmtBytes(r.totalTrafficBytes()),
-                  fmtDouble(a.total(), 2),
-                  fmtDouble(r.energy.total() / 1e6, 1)});
+        c.row({.dataset = spec.name,
+               .engine = engineName,
+               .extra = {{"label", o.label},
+                         {"capacity_kib", std::to_string(kb)}}})
+            .add(report::textCell(std::to_string(kb) + " KiB"))
+            .add(report::fraction(r.cacheHitRate()))
+            .add(report::count(r.totalCycles, "cycles"))
+            .add(report::bytesValue(r.totalTrafficBytes()))
+            .add(report::real(a.total(), 2))
+            .add(report::real(r.energy.total() / 1e6, 1, "uJ"));
     }
-    c.print();
 
     // --- Sweep 2: runahead degree x LDN entries. -----------------------
-    TextTable ra("runahead degree x LDN table sweep (512 KiB cache)");
-    ra.setHeader({"runahead", "LDN entries", "cycles",
-                  "vs (1,1) baseline"});
+    auto ra = rep.table("runahead",
+                        "runahead degree x LDN table sweep (512 KiB "
+                        "cache)");
+    ra.col("runahead", "runahead")
+        .col("ldn_entries", "LDN entries", "count")
+        .col("cycles", "cycles", "cycles")
+        .col("speedup_vs_1way", "vs (1,1) baseline");
     double base = 0;
     for (auto [degree, ldn] : runaheadPoints) {
-        const auto &r = take("ra/");
+        const auto &o = take("ra/");
+        const auto &r = o.inference;
         double cycles = static_cast<double>(r.totalCycles);
         if (base == 0)
             base = cycles;
-        ra.addRow({std::to_string(degree), std::to_string(ldn),
-                   fmtCount(r.totalCycles), fmtRatio(base / cycles)});
+        ra.row({.dataset = spec.name,
+                .engine = engineName,
+                .extra = {{"label", o.label},
+                          {"runahead", std::to_string(degree)}}})
+            .add(report::textCell(std::to_string(degree)))
+            .add(report::count(ldn))
+            .add(report::count(r.totalCycles, "cycles"))
+            .add(report::ratio(base / cycles));
     }
-    ra.print();
 
     // --- Sweep 3: MAC width (compute vs memory balance). --------------
-    TextTable m("MAC array width sweep");
-    m.setHeader({"MACs", "cycles", "speedup vs 16", "area @65nm"});
+    auto m = rep.table("mac_width", "MAC array width sweep");
+    m.col("macs", "MACs")
+        .col("cycles", "cycles", "cycles")
+        .col("speedup_vs_16", "speedup vs 16")
+        .col("area_65nm", "area @65nm", "mm^2");
     double ref = 0;
-    std::vector<const gcn::InferenceResult *> macResults;
+    std::vector<const driver::SweepOutcome *> macOutcomes;
     for (uint32_t macs : macWidths) {
-        const auto &r = take("mac/");
-        macResults.push_back(&r);
+        const auto &o = take("mac/");
+        macOutcomes.push_back(&o);
         if (macs == 16)
-            ref = static_cast<double>(r.totalCycles);
+            ref = static_cast<double>(o.inference.totalCycles);
     }
     for (size_t i = 0; i < std::size(macWidths); ++i) {
-        const auto &r = *macResults[i];
+        const auto &o = *macOutcomes[i];
+        const auto &r = o.inference;
         double cycles = static_cast<double>(r.totalCycles);
         energy::GrowAreaInputs area;
         area.numMacs = macWidths[i];
         auto a = energy::estimateGrowArea(area,
                                           energy::ProcessNode::Nm65);
-        m.addRow({std::to_string(macWidths[i]), fmtCount(r.totalCycles),
-                  ref > 0 ? fmtRatio(ref / cycles) : "-",
-                  fmtDouble(a.total(), 2)});
+        m.row({.dataset = spec.name,
+               .engine = engineName,
+               .extra = {{"label", o.label},
+                         {"macs", std::to_string(macWidths[i])}}})
+            .add(report::textCell(std::to_string(macWidths[i])))
+            .add(report::count(r.totalCycles, "cycles"))
+            .add(ref > 0 ? report::ratio(ref / cycles)
+                         : report::textCell("-"))
+            .add(report::real(a.total(), 2));
     }
-    m.print();
 
     // --- Sweep 4: model depth (N-layer GCN). --------------------------
-    TextTable d("model depth sweep (Table I widths)");
-    d.setHeader({"layers", "phases", "cycles", "DRAM traffic",
-                 "energy (uJ)"});
+    auto d = rep.table("model_depth", "model depth sweep (Table I widths)");
+    d.col("layers", "layers", "count")
+        .col("phases", "phases", "count")
+        .col("cycles", "cycles", "cycles")
+        .col("dram_traffic", "DRAM traffic", "bytes")
+        .col("energy_uj", "energy (uJ)", "uJ");
     for (uint32_t depth : depths) {
-        const auto &r = take("depth/");
-        d.addRow({std::to_string(depth),
-                  std::to_string(r.phases.size()), fmtCount(r.totalCycles),
-                  fmtBytes(r.totalTrafficBytes()),
-                  fmtDouble(r.energy.total() / 1e6, 1)});
+        const auto &o = take("depth/");
+        const auto &r = o.inference;
+        d.row({.dataset = spec.name,
+               .engine = engineName,
+               .depth = depth,
+               .extra = {{"label", o.label}}})
+            .add(report::count(depth))
+            .add(report::count(r.phases.size()))
+            .add(report::count(r.totalCycles, "cycles"))
+            .add(report::bytesValue(r.totalTrafficBytes()))
+            .add(report::real(r.energy.total() / 1e6, 1, "uJ"));
     }
-    d.print();
+
+    report::emitReport(rep, format, args.get("out", ""));
     return 0;
 }

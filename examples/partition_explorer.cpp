@@ -66,6 +66,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    args.requireKnown({"dataset", "scale"});
     const auto &spec = graph::datasetByName(args.get("dataset", "yelp"));
     auto tier = graph::tierFromString(args.get("scale", "mini"));
 

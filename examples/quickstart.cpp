@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    args.requireKnown({"dataset", "scale", "functional", "layers"});
     const auto &spec = graph::datasetByName(args.get("dataset", "cora"));
     auto tier = graph::tierFromString(args.get("scale", "mini"));
     const bool functional = args.getBool("functional", true);

@@ -33,6 +33,8 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    args.requireKnown({"users", "avgdeg", "circles", "features", "hidden",
+                       "classes", "pes"});
     const uint32_t users = static_cast<uint32_t>(args.getInt("users", 60000));
     const double avgdeg = args.getDouble("avgdeg", 24.0);
     const uint32_t circles = static_cast<uint32_t>(args.getInt("circles", 80));

@@ -233,6 +233,8 @@ bool
 saveArtifacts(const std::string &path, const gcn::GraphArtifacts &a)
 {
     GROW_ASSERT(a.spec != nullptr, "artefacts without a dataset spec");
+    GROW_ASSERT(a.hasSampling == (a.plan.sampleFanout > 0),
+                "sampling flag disagrees with the plan fanout");
     Writer w;
     w.str(a.spec->name);
     w.pod(specFingerprint(*a.spec));
@@ -242,24 +244,26 @@ saveArtifacts(const std::string &path, const gcn::GraphArtifacts &a)
     w.pod(a.plan.hdnTopN);
     w.pod(a.plan.sampleFanout);
     w.pod(a.maxClusterNodes);
-    w.vec(a.graph.offsets());
-    w.vec(a.graph.adjacency());
-    w.csr(a.adjacency);
     w.pod(static_cast<uint8_t>(a.hasPartitioning));
-    if (a.hasPartitioning) {
-        w.csr(a.adjacencyPartitioned);
-        w.vec(a.relabel.newToOld);
-        w.vec(a.relabel.clustering.clusterStart);
-        w.pod(static_cast<uint64_t>(a.hdnLists.size()));
-        for (const auto &list : a.hdnLists)
-            w.vec(list);
-    }
-    w.pod(static_cast<uint8_t>(a.hasSampling));
     if (a.hasSampling) {
+        // v3 extension file: only the sampled operand. The graph-level
+        // payload is owned by (and serialized under) the base bundle.
         w.pod(a.sampleSeed);
         w.csr(a.adjacencySampled);
         if (a.hasPartitioning)
             w.csr(a.adjacencySampledPartitioned);
+    } else {
+        w.vec(a.own.graph.offsets());
+        w.vec(a.own.graph.adjacency());
+        w.csr(a.own.adjacency);
+        if (a.hasPartitioning) {
+            w.csr(a.own.adjacencyPartitioned);
+            w.vec(a.own.relabel.newToOld);
+            w.vec(a.own.relabel.clustering.clusterStart);
+            w.pod(static_cast<uint64_t>(a.own.hdnLists.size()));
+            for (const auto &list : a.own.hdnLists)
+                w.vec(list);
+        }
     }
 
     try {
@@ -296,7 +300,8 @@ saveArtifacts(const std::string &path, const gcn::GraphArtifacts &a)
 }
 
 std::shared_ptr<const gcn::GraphArtifacts>
-loadArtifacts(const std::string &path, const ArtifactKey &expected)
+loadArtifacts(const std::string &path, const ArtifactKey &expected,
+              std::shared_ptr<const gcn::GraphArtifacts> base)
 {
     // One sized read into one buffer; the checksum and the Reader both
     // work on it in place (artefact files can be large, and tripling
@@ -360,50 +365,62 @@ loadArtifacts(const std::string &path, const ArtifactKey &expected)
         if (fingerprint != specFingerprint(*a->spec))
             return nullptr;
 
-        std::vector<uint64_t> offsets;
-        std::vector<NodeId> neighbors;
-        if (!r.vec(offsets) || !r.vec(neighbors))
-            return nullptr;
-        a->graph =
-            graph::Graph::fromAdjacency(std::move(offsets),
-                                        std::move(neighbors));
-        if (!r.csr(a->adjacency))
-            return nullptr;
-
         uint8_t hasPartitioning = 0;
         if (!r.pod(hasPartitioning))
             return nullptr;
         a->hasPartitioning = hasPartitioning != 0;
-        if (a->hasPartitioning) {
-            uint64_t numLists = 0;
-            if (!r.csr(a->adjacencyPartitioned) ||
-                !r.vec(a->relabel.newToOld) ||
-                !r.vec(a->relabel.clustering.clusterStart) ||
-                !r.pod(numLists))
-                return nullptr;
-            a->hdnLists.resize(numLists);
-            for (auto &list : a->hdnLists)
-                if (!r.vec(list))
-                    return nullptr;
-        }
-        uint8_t hasSampling = 0;
-        if (!r.pod(hasSampling))
+        if (a->hasPartitioning != a->plan.buildPartitioning)
             return nullptr;
-        a->hasSampling = hasSampling != 0;
-        if (a->hasSampling != (a->plan.sampleFanout > 0))
-            return nullptr; // flag must agree with the keyed fanout
-        if (a->hasSampling) {
+
+        if (a->plan.sampleFanout > 0) {
+            // Extension file: the graph-level payload is shared with
+            // the caller-supplied base, which must describe the same
+            // (dataset, tier, base plan).
+            if (base == nullptr || base->hasSampling ||
+                base->spec != a->spec || base->tier != a->tier ||
+                base->hasPartitioning != a->hasPartitioning ||
+                base->plan.targetClusterSize !=
+                    a->plan.targetClusterSize ||
+                base->plan.hdnTopN != a->plan.hdnTopN)
+                return nullptr;
             if (!r.pod(a->sampleSeed) || !r.csr(a->adjacencySampled))
                 return nullptr;
             if (a->hasPartitioning &&
                 !r.csr(a->adjacencySampledPartitioned))
                 return nullptr;
-            if (a->adjacencySampled.rows() != a->graph.numNodes())
+            if (a->adjacencySampled.rows() != base->nodes())
                 return nullptr;
+            a->base = std::move(base);
+            a->hasSampling = true;
+            if (!r.done())
+                return nullptr; // trailing bytes: not a file we wrote
+            return a;
+        }
+
+        std::vector<uint64_t> offsets;
+        std::vector<NodeId> neighbors;
+        if (!r.vec(offsets) || !r.vec(neighbors))
+            return nullptr;
+        a->own.graph =
+            graph::Graph::fromAdjacency(std::move(offsets),
+                                        std::move(neighbors));
+        if (!r.csr(a->own.adjacency))
+            return nullptr;
+        if (a->hasPartitioning) {
+            uint64_t numLists = 0;
+            if (!r.csr(a->own.adjacencyPartitioned) ||
+                !r.vec(a->own.relabel.newToOld) ||
+                !r.vec(a->own.relabel.clustering.clusterStart) ||
+                !r.pod(numLists))
+                return nullptr;
+            a->own.hdnLists.resize(numLists);
+            for (auto &list : a->own.hdnLists)
+                if (!r.vec(list))
+                    return nullptr;
         }
         if (!r.done())
             return nullptr; // trailing bytes: not a file we wrote
-        if (a->adjacency.rows() != a->graph.numNodes())
+        if (a->own.adjacency.rows() != a->own.graph.numNodes())
             return nullptr;
         return a;
     } catch (const std::exception &e) {
@@ -440,30 +457,33 @@ WorkloadCache::artifacts(const graph::DatasetSpec &spec,
 
     // Build / load outside the lock: synthesis can take seconds and
     // independent keys should not serialize on each other.
+    //
+    // A sampled plan only adds the (cheap, deterministic) sampled
+    // adjacency to the unsampled bundle: serve the base through the
+    // cache first -- both the in-memory extension and the on-disk
+    // extension file share it, so mixed model sweeps never hold (or
+    // persist) the expensive graph-level payload twice.
+    std::shared_ptr<const gcn::GraphArtifacts> baseBundle;
+    if (plan.sampleFanout > 0) {
+        gcn::PartitionPlan basePlan = plan;
+        basePlan.sampleFanout = 0;
+        baseBundle = artifacts(spec, tier, basePlan);
+    }
     std::shared_ptr<const gcn::GraphArtifacts> built;
     bool fromDisk = false;
     bool diskFailed = false;
     if (!dir_.empty()) {
         const std::string path = pathFor(key);
-        built = loadArtifacts(path, key);
+        built = loadArtifacts(path, key, baseBundle);
         if (built)
             fromDisk = true;
         else if (fs::exists(fs::path(path)))
             diskFailed = true; // present but unusable: rebuild
     }
     if (!built) {
-        if (plan.sampleFanout > 0) {
-            // A sampled plan only adds the (cheap, deterministic)
-            // sampled adjacency to the unsampled bundle: serve the
-            // base through the cache so mixed model sweeps never redo
-            // graph synthesis + partitioning per fanout.
-            gcn::PartitionPlan basePlan = plan;
-            basePlan.sampleFanout = 0;
-            built = gcn::extendWithSampling(
-                *artifacts(spec, tier, basePlan), plan.sampleFanout);
-        } else {
-            built = gcn::buildGraphArtifacts(spec, tier, plan);
-        }
+        built = baseBundle ? gcn::extendWithSampling(baseBundle,
+                                                     plan.sampleFanout)
+                           : gcn::buildGraphArtifacts(spec, tier, plan);
     }
 
     bool stored = false;

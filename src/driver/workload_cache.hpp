@@ -56,12 +56,18 @@ struct ArtifactKey
  *
  * v2: sampled-adjacency artefacts (SAGEConv fanout-k operand) appended
  *     to the payload; PartitionPlan::sampleFanout joined the key.
+ * v3: a sampled bundle holds its unsampled base by shared_ptr and its
+ *     file carries only the sampled *extension* (seed + sampled
+ *     adjacencies); the graph-level payload lives solely in the base
+ *     bundle's file and is re-attached at load time.
  */
-inline constexpr uint32_t kArtifactFormatVersion = 2;
+inline constexpr uint32_t kArtifactFormatVersion = 3;
 
 /**
  * Serialize @p artifacts to @p path (binary; atomic via temp+rename).
- * Returns false (after logging) when the file cannot be written.
+ * A sampled bundle writes only its extension payload (see
+ * kArtifactFormatVersion v3); the base bundle is saved under its own
+ * key. Returns false (after logging) when the file cannot be written.
  */
 bool saveArtifacts(const std::string &path,
                    const gcn::GraphArtifacts &artifacts);
@@ -71,9 +77,15 @@ bool saveArtifacts(const std::string &path,
  * throws, never returns partial data -- when the file is missing,
  * truncated, corrupted (checksum mismatch), from another format
  * version, or describes a different key than @p expected.
+ *
+ * When @p expected names a sampled plan the file holds only the
+ * extension, so the unsampled @p base bundle (same dataset, tier and
+ * base plan) must be supplied; the loaded bundle shares it. Loading a
+ * base plan ignores @p base.
  */
 std::shared_ptr<const gcn::GraphArtifacts>
-loadArtifacts(const std::string &path, const ArtifactKey &expected);
+loadArtifacts(const std::string &path, const ArtifactKey &expected,
+              std::shared_ptr<const gcn::GraphArtifacts> base = nullptr);
 
 /**
  * Memoising construction front-end for workloads and their shared

@@ -102,23 +102,32 @@ defaultClusterSize(const graph::GcnShape &shape, uint32_t hdn_top_n)
 }
 
 std::shared_ptr<const GraphArtifacts>
-extendWithSampling(const GraphArtifacts &base, uint32_t fanout)
+extendWithSampling(std::shared_ptr<const GraphArtifacts> base,
+                   uint32_t fanout)
 {
-    GROW_ASSERT(!base.hasSampling && fanout >= 1,
+    GROW_ASSERT(base != nullptr && !base->hasSampling && fanout >= 1,
                 "sampling extension needs an unsampled base and a "
                 "positive fanout");
-    auto a = std::make_shared<GraphArtifacts>(base);
+    auto a = std::make_shared<GraphArtifacts>();
+    // Cheap identity fields are mirrored; the expensive graph-level
+    // payload stays in the base and is reached through the accessors.
+    a->spec = base->spec;
+    a->tier = base->tier;
+    a->plan = base->plan;
     a->plan.sampleFanout = fanout;
+    a->hasPartitioning = base->hasPartitioning;
+    a->maxClusterNodes = base->maxClusterNodes;
+    a->base = std::move(base);
     // SAGEConv's fanout-k operand (Sec. VIII): depth-independent,
     // deterministic per (spec, tier, plan) like every other artefact
     // -- the seed derives from the dataset spec, not the per-workload
     // feature seed.
     a->sampleSeed = a->spec->seed * 131 + 17;
     a->adjacencySampled =
-        graph::sampleNeighborAdjacency(a->graph, fanout, a->sampleSeed);
+        graph::sampleNeighborAdjacency(a->graph(), fanout, a->sampleSeed);
     if (a->hasPartitioning)
         a->adjacencySampledPartitioned =
-            a->adjacencySampled.permutedSymmetric(a->relabel.newToOld);
+            a->adjacencySampled.permutedSymmetric(a->relabel().newToOld);
     a->hasSampling = true;
     return a;
 }
@@ -131,7 +140,7 @@ buildGraphArtifacts(const graph::DatasetSpec &spec, graph::ScaleTier tier,
         PartitionPlan basePlan = plan;
         basePlan.sampleFanout = 0;
         return extendWithSampling(
-            *buildGraphArtifacts(spec, tier, basePlan),
+            buildGraphArtifacts(spec, tier, basePlan),
             plan.sampleFanout);
     }
 
@@ -141,11 +150,12 @@ buildGraphArtifacts(const graph::DatasetSpec &spec, graph::ScaleTier tier,
     a->plan = plan;
 
     auto inst = graph::buildDataset(spec, tier);
-    a->graph = std::move(inst.graph);
-    a->adjacency = graph::normalizedAdjacency(a->graph, /*self_loops=*/true);
+    a->own.graph = std::move(inst.graph);
+    a->own.adjacency =
+        graph::normalizedAdjacency(a->own.graph, /*self_loops=*/true);
 
     if (plan.buildPartitioning) {
-        const uint32_t n = a->graph.numNodes();
+        const uint32_t n = a->own.graph.numNodes();
         const uint32_t clusterSize =
             plan.targetClusterSize
                 ? plan.targetClusterSize
@@ -158,18 +168,19 @@ buildGraphArtifacts(const graph::DatasetSpec &spec, graph::ScaleTier tier,
             1, static_cast<uint32_t>(ceilDiv(n, clusterSize)));
         pc.seed = spec.seed * 31 + 11;
         partition::MultilevelPartitioner partitioner(pc);
-        auto parts = partitioner.partition(a->graph);
-        a->relabel = partition::relabelByPartition(n, parts);
+        auto parts = partitioner.partition(a->own.graph);
+        a->own.relabel = partition::relabelByPartition(n, parts);
         // The partitioner's balance bound is soft; make it hard so no
         // cluster exceeds the HDN cache capacity it was sized for.
-        a->relabel.clustering = partition::splitOversizedClusters(
-            a->relabel.clustering, clusterSize);
+        a->own.relabel.clustering = partition::splitOversizedClusters(
+            a->own.relabel.clustering, clusterSize);
         a->maxClusterNodes = clusterSize;
-        auto relabeledGraph = a->graph.relabeled(a->relabel.newToOld);
-        a->adjacencyPartitioned =
-            a->adjacency.permutedSymmetric(a->relabel.newToOld);
-        a->hdnLists = partition::selectHdnPerCluster(
-            relabeledGraph, a->relabel.clustering, plan.hdnTopN);
+        auto relabeledGraph =
+            a->own.graph.relabeled(a->own.relabel.newToOld);
+        a->own.adjacencyPartitioned =
+            a->own.adjacency.permutedSymmetric(a->own.relabel.newToOld);
+        a->own.hdnLists = partition::selectHdnPerCluster(
+            relabeledGraph, a->own.relabel.clustering, plan.hdnTopN);
         a->hasPartitioning = true;
     }
     return a;

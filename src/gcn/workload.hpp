@@ -127,6 +127,13 @@ std::vector<uint32_t> layerDims(const graph::GcnShape &shape,
  * partition plan): the synthetic graph, its normalized adjacency, and
  * GROW's preprocessing outputs. Shared (by shared_ptr) between every
  * workload built on top of it -- never mutated after construction.
+ *
+ * A *sampled* bundle (plan.sampleFanout > 0) owns only the cheap
+ * sampled-adjacency extension and holds its unsampled base bundle by
+ * shared_ptr: the expensive graph-level payload exists once in memory
+ * no matter how many fanouts extend it, and the disk cache serializes
+ * only the extension (see driver::saveArtifacts). Consumers go through
+ * the accessor methods, which forward to the base transparently.
  */
 struct GraphArtifacts
 {
@@ -134,18 +141,28 @@ struct GraphArtifacts
     graph::ScaleTier tier = graph::ScaleTier::Mini;
     PartitionPlan plan;
 
-    graph::Graph graph; ///< original labelling
-
-    /** Normalized adjacency in the original labelling (baselines). */
-    sparse::CsrMatrix adjacency;
-
-    /** Partitioning artefacts (empty unless plan.buildPartitioning). */
+    /** Partitioning artefacts built (mirrors the base for extensions). */
     bool hasPartitioning = false;
     /** Hard per-cluster node bound the clustering honours (0 = none). */
     uint32_t maxClusterNodes = 0;
-    sparse::CsrMatrix adjacencyPartitioned; ///< relabeled
-    partition::RelabelResult relabel;
-    std::vector<std::vector<NodeId>> hdnLists; ///< relabeled IDs
+
+    /**
+     * The expensive graph-level payload. Populated on base bundles
+     * only; a sampled extension leaves it empty and forwards to
+     * *base. Use the accessors below, not the members.
+     */
+    struct Payload
+    {
+        graph::Graph graph; ///< original labelling
+        /** Normalized adjacency, original labelling (baselines). */
+        sparse::CsrMatrix adjacency;
+        sparse::CsrMatrix adjacencyPartitioned; ///< relabeled
+        partition::RelabelResult relabel;
+        std::vector<std::vector<NodeId>> hdnLists; ///< relabeled IDs
+    } own;
+
+    /** Unsampled base this bundle extends (null on base bundles). */
+    std::shared_ptr<const GraphArtifacts> base;
 
     /** Sampled-adjacency artefacts (empty unless plan.sampleFanout,
      *  which also records the fanout they were drawn with). */
@@ -156,7 +173,28 @@ struct GraphArtifacts
     /** Relabeled copy (empty unless also hasPartitioning). */
     sparse::CsrMatrix adjacencySampledPartitioned;
 
-    uint32_t nodes() const { return graph.numNodes(); }
+    /** Graph-level payload (the base's for a sampled extension). */
+    const Payload &payload() const { return base ? base->own : own; }
+
+    const graph::Graph &graph() const { return payload().graph; }
+    const sparse::CsrMatrix &adjacency() const
+    {
+        return payload().adjacency;
+    }
+    const sparse::CsrMatrix &adjacencyPartitioned() const
+    {
+        return payload().adjacencyPartitioned;
+    }
+    const partition::RelabelResult &relabel() const
+    {
+        return payload().relabel;
+    }
+    const std::vector<std::vector<NodeId>> &hdnLists() const
+    {
+        return payload().hdnLists;
+    }
+
+    uint32_t nodes() const { return graph().numNodes(); }
 };
 
 /**
@@ -177,14 +215,15 @@ buildGraphArtifacts(const graph::DatasetSpec &spec, graph::ScaleTier tier,
                     const PartitionPlan &plan = {});
 
 /**
- * Copy @p base (built without sampling) and attach the sampled-
- * adjacency artefact for @p fanout. Lets a cache that already holds
- * the unsampled bundle serve a sampled plan without redoing graph
- * synthesis + partitioning; bit-identical to building the sampled
- * plan from scratch.
+ * Extend @p base (built without sampling) with the sampled-adjacency
+ * artefact for @p fanout. The returned bundle *shares* the base by
+ * shared_ptr -- no graph-level payload is copied or rebuilt -- and is
+ * bit-identical (through the accessors) to building the sampled plan
+ * from scratch.
  */
 std::shared_ptr<const GraphArtifacts>
-extendWithSampling(const GraphArtifacts &base, uint32_t fanout);
+extendWithSampling(std::shared_ptr<const GraphArtifacts> base,
+                   uint32_t fanout);
 
 /** A fully constructed per-dataset workload. */
 struct GcnWorkload
@@ -233,28 +272,28 @@ struct GcnWorkload
     const graph::GcnShape &shape() const { return artifacts->spec->gcn; }
 
     /** The synthetic graph, original labelling. */
-    const graph::Graph &graph() const { return artifacts->graph; }
+    const graph::Graph &graph() const { return artifacts->graph(); }
     /** Normalized adjacency, original labelling. */
     const sparse::CsrMatrix &adjacency() const
     {
-        return artifacts->adjacency;
+        return artifacts->adjacency();
     }
     /** Whether partitioning artefacts were built. */
     bool hasPartitioning() const { return artifacts->hasPartitioning; }
     /** Normalized adjacency in the cluster-contiguous labelling. */
     const sparse::CsrMatrix &adjacencyPartitioned() const
     {
-        return artifacts->adjacencyPartitioned;
+        return artifacts->adjacencyPartitioned();
     }
     /** Relabeling permutation + cluster layout. */
     const partition::RelabelResult &relabel() const
     {
-        return artifacts->relabel;
+        return artifacts->relabel();
     }
     /** Per-cluster HDN ID lists (relabeled IDs). */
     const std::vector<std::vector<NodeId>> &hdnLists() const
     {
-        return artifacts->hdnLists;
+        return artifacts->hdnLists();
     }
 
     /** Whether the sampled-adjacency artefact was built. */
@@ -270,7 +309,7 @@ struct GcnWorkload
         return artifacts->adjacencySampledPartitioned;
     }
 
-    uint32_t nodes() const { return artifacts->graph.numNodes(); }
+    uint32_t nodes() const { return artifacts->nodes(); }
     uint32_t numLayers() const
     {
         return static_cast<uint32_t>(layers.size());

@@ -1,0 +1,424 @@
+#include "report/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+#include "report/report.hpp"
+
+namespace grow::report {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    // Non-finite values are not representable in JSON; callers
+    // sanitize upstream (record.cpp), this is a final backstop.
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+namespace {
+
+/** Recursive-descent parser over a borrowed buffer. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing content after top-level value");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (error_ && error_->empty())
+            *error_ = msg + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, JsonValue &out, JsonValue::Kind kind,
+            bool boolean)
+    {
+        size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("invalid literal");
+        pos_ += len;
+        out.kind = kind;
+        out.boolean = boolean;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // We only ever emit \u00xx for control characters;
+                // encode the code point as UTF-8 for generality.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected number");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        out.number = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("malformed number '" + token + "'");
+        out.kind = JsonValue::Kind::Number;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        if (depth_ > 64)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            ++depth_;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!string(key))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_++] != ':')
+                    return fail("expected ':'");
+                JsonValue member;
+                if (!value(member))
+                    return false;
+                out.obj.emplace_back(std::move(key), std::move(member));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    --depth_;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            ++depth_;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            while (true) {
+                JsonValue element;
+                if (!value(element))
+                    return false;
+                out.arr.push_back(std::move(element));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    --depth_;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return string(out.str);
+        }
+        if (c == 't')
+            return literal("true", out, JsonValue::Kind::Bool, true);
+        if (c == 'f')
+            return literal("false", out, JsonValue::Kind::Bool, false);
+        if (c == 'n')
+            return literal("null", out, JsonValue::Kind::Null, false);
+        return number(out);
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+std::string
+stringOr(const JsonValue &obj, const char *key, const std::string &def = "")
+{
+    const JsonValue *v = obj.find(key);
+    return v && v->isString() ? v->str : def;
+}
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *error)
+{
+    if (error)
+        error->clear();
+    Parser p(text, error);
+    return p.parse(out);
+}
+
+bool
+validateReportJson(const JsonValue &root, std::vector<std::string> &errors)
+{
+    const size_t before = errors.size();
+    if (!root.isObject()) {
+        errors.push_back("top level is not an object");
+        return false;
+    }
+
+    const JsonValue *schema = root.find("schema");
+    if (!schema || !schema->isNumber()) {
+        errors.push_back("missing numeric 'schema'");
+    } else if (schema->number !=
+               static_cast<double>(kReportSchemaVersion)) {
+        errors.push_back("schema version " + jsonNumber(schema->number) +
+                         " does not match this build's version " +
+                         std::to_string(kReportSchemaVersion) +
+                         " (regenerate the report or upgrade the tool)");
+    }
+
+    const JsonValue *bench = root.find("bench");
+    if (!bench || !bench->isString() || bench->str.empty())
+        errors.push_back("missing non-empty string 'bench'");
+
+    const JsonValue *records = root.find("records");
+    if (!records || !records->isArray()) {
+        errors.push_back("missing array 'records'");
+        return errors.size() == before;
+    }
+
+    for (size_t i = 0; i < records->arr.size(); ++i) {
+        const JsonValue &r = records->arr[i];
+        const std::string where = "records[" + std::to_string(i) + "]";
+        if (!r.isObject()) {
+            errors.push_back(where + " is not an object");
+            continue;
+        }
+        for (const char *key : {"bench", "table", "metric"}) {
+            const JsonValue *v = r.find(key);
+            if (!v || !v->isString() || v->str.empty())
+                errors.push_back(where + " missing non-empty string '" +
+                                 key + "'");
+        }
+        const JsonValue *value = r.find("value");
+        const JsonValue *text = r.find("text");
+        if (value && !value->isNumber())
+            errors.push_back(where + " 'value' is not a number");
+        if (text && !text->isString())
+            errors.push_back(where + " 'text' is not a string");
+        if (!value && !text)
+            errors.push_back(where + " has neither 'value' nor 'text'");
+        const JsonValue *dims = r.find("dims");
+        if (dims && !dims->isObject())
+            errors.push_back(where + " 'dims' is not an object");
+        const JsonValue *depth = r.find("depth");
+        if (depth && !depth->isNumber())
+            errors.push_back(where + " 'depth' is not a number");
+    }
+    return errors.size() == before;
+}
+
+bool
+reportFromJson(const JsonValue &root, Report &out, std::string *error)
+{
+    std::vector<std::string> errors;
+    if (!validateReportJson(root, errors)) {
+        if (error)
+            *error = errors.front();
+        return false;
+    }
+
+    ReportMeta meta;
+    meta.generator = stringOr(root, "generator", meta.generator);
+    meta.bench = stringOr(root, "bench");
+    meta.revision = stringOr(root, "revision");
+    meta.scale = stringOr(root, "scale");
+    meta.model = stringOr(root, "model");
+    meta.suite = stringOr(root, "suite");
+    if (const JsonValue *benches = root.find("benches"))
+        for (const auto &b : benches->arr)
+            meta.benches.push_back(b.str);
+    Report rep(meta);
+    if (const JsonValue *notes = root.find("notes"))
+        for (const auto &n : notes->arr)
+            rep.note(n.str);
+
+    for (const JsonValue &r : root.find("records")->arr) {
+        MetricRecord rec;
+        rec.bench = stringOr(r, "bench");
+        rec.table = stringOr(r, "table");
+        rec.dims.dataset = stringOr(r, "dataset");
+        rec.dims.engine = stringOr(r, "engine");
+        rec.dims.model = stringOr(r, "model");
+        if (const JsonValue *depth = r.find("depth"))
+            rec.dims.depth = static_cast<uint32_t>(depth->number);
+        if (const JsonValue *dims = r.find("dims"))
+            for (const auto &[k, v] : dims->obj)
+                rec.dims.extra.emplace_back(k, v.str);
+        rec.metric = stringOr(r, "metric");
+        rec.unit = stringOr(r, "unit");
+        if (const JsonValue *value = r.find("value")) {
+            rec.hasValue = true;
+            rec.value = value->number;
+        }
+        rec.text = stringOr(r, "text");
+        rep.addRecord(std::move(rec));
+    }
+    out = std::move(rep);
+    return true;
+}
+
+} // namespace grow::report

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal JSON support for the structured results API.
+ *
+ * The writer side (escape/number helpers, used by JsonSink) and a
+ * small strict recursive-descent parser sized for our own report
+ * files: objects, arrays, strings with escapes, numbers, booleans and
+ * null. Numbers are emitted with std::to_chars (shortest round-trip
+ * form), so emit -> parse -> re-emit is bit-identical -- the property
+ * the trajectory tooling and the round-trip tests rely on.
+ *
+ * This is deliberately not a general JSON library: no third-party
+ * dependency is available in the build image, and the report schema
+ * only needs this subset. validateReportJson() is the single source
+ * of truth for "is this a well-formed report file" shared by
+ * tools/report_check and CI.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace grow::report {
+
+class Report;
+
+/** Parsed JSON value (object keys keep their file order). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str; ///< String payload (unescaped)
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    /** Member lookup (objects only); null when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+};
+
+/**
+ * Parse @p text into @p out. Returns false (with a position-annotated
+ * message in @p error when non-null) on malformed input; trailing
+ * non-whitespace after the top-level value is an error.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string *error = nullptr);
+
+/** JSON string escaping (quotes not included). */
+std::string jsonEscape(const std::string &s);
+
+/** Shortest round-trip decimal form of @p v (std::to_chars). */
+std::string jsonNumber(double v);
+
+/**
+ * Validate @p root against the report schema (record.hpp): top-level
+ * schema/bench/records, per-record required keys (bench, table,
+ * metric, and value or text), field types. Appends one message per
+ * problem to @p errors; returns true when none were found. A schema
+ * number different from kReportSchemaVersion is an error -- bump
+ * detection, not silent acceptance.
+ */
+bool validateReportJson(const JsonValue &root,
+                        std::vector<std::string> &errors);
+
+/**
+ * Rebuild a Report (meta + loose records; tables are not serialized)
+ * from parsed report JSON. Returns false with @p error set when the
+ * document does not validate.
+ */
+bool reportFromJson(const JsonValue &root, Report &out,
+                    std::string *error = nullptr);
+
+} // namespace grow::report

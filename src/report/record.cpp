@@ -1,0 +1,79 @@
+#include "report/record.hpp"
+
+#include <cmath>
+
+#include "util/string_util.hpp"
+
+namespace grow::report {
+
+namespace {
+
+/**
+ * Non-finite values must never reach the JSON sink (nan/inf are not
+ * valid JSON numbers): degrade to a text-only cell carrying whatever
+ * display string the caller's formatter produced.
+ */
+Value
+numeric(double v, std::string text, std::string unit)
+{
+    Value out;
+    out.hasValue = std::isfinite(v);
+    out.value = out.hasValue ? v : 0.0;
+    out.unit = std::move(unit);
+    out.text = std::move(text);
+    return out;
+}
+
+} // namespace
+
+Value
+textCell(std::string text)
+{
+    Value out;
+    out.text = std::move(text);
+    return out;
+}
+
+Value
+count(uint64_t v, std::string unit)
+{
+    return numeric(static_cast<double>(v), fmtCount(v), std::move(unit));
+}
+
+Value
+real(double v, int precision, std::string unit)
+{
+    return numeric(v, fmtDouble(v, precision), std::move(unit));
+}
+
+Value
+ratio(double v, int precision)
+{
+    return numeric(v, fmtRatio(v, precision), "x");
+}
+
+Value
+fraction(double v, int precision)
+{
+    return numeric(v, fmtPercent(v, precision), "fraction");
+}
+
+Value
+bytesValue(uint64_t bytes)
+{
+    return numeric(static_cast<double>(bytes), fmtBytes(bytes), "bytes");
+}
+
+Value
+sci(double v, int precision, std::string unit)
+{
+    return numeric(v, fmtSci(v, precision), std::move(unit));
+}
+
+Value
+custom(double v, std::string text, std::string unit)
+{
+    return numeric(v, std::move(text), std::move(unit));
+}
+
+} // namespace grow::report

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Typed metric records: the unit of the structured results API.
+ *
+ * Every number a bench or example emits is declared as a MetricRecord
+ * rather than formatted by hand: the row's identity (dataset, engine,
+ * model, depth, free-form extra dimensions) is kept separate from the
+ * metric itself (name, unit, raw value) and from its human-readable
+ * rendering (the display text the table sink prints). Sinks
+ * (src/report/sinks.hpp) then render the same records as aligned text
+ * tables, schema-versioned JSON, or CSV -- the bench never formats
+ * output itself.
+ *
+ * Schema evolution: kReportSchemaVersion is stamped into every JSON
+ * report; consumers (tools/report_check, CI jq assertions, trajectory
+ * plots) must reject files from a different schema instead of guessing
+ * field semantics.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace grow::report {
+
+/**
+ * Version of the machine-readable report schema. Bump whenever a
+ * record/report field is added, removed, renamed or changes meaning,
+ * so downstream trajectory tooling never mixes incompatible runs.
+ *
+ * v1: initial schema -- {schema, generator, bench, revision, scale,
+ *     model, suite?, benches?, notes?, records:[{bench, table,
+ *     dataset?, engine?, model?, depth?, dims?, metric, unit?, value?,
+ *     text?}]}.
+ */
+inline constexpr uint32_t kReportSchemaVersion = 1;
+
+/**
+ * One cell payload: the raw numeric value (when the metric is
+ * numeric), the unit it is measured in, and the exact display string
+ * the table sink prints. Factory helpers below apply the repository's
+ * canonical formatting (util/string_util.hpp) so table output matches
+ * the historical hand-formatted benches bit for bit.
+ */
+struct Value
+{
+    bool hasValue = false; ///< false for text-only cells
+    double value = 0.0;    ///< raw value (finite iff hasValue)
+    std::string unit;      ///< "cycles", "bytes", "x", "fraction", ...
+    std::string text;      ///< display string for the table sink
+};
+
+/** Text-only cell (row keys, "-" placeholders, descriptions). */
+Value textCell(std::string text);
+
+/** Integer count rendered with thousands separators (fmtCount). */
+Value count(uint64_t v, std::string unit = "count");
+
+/** Plain real number at @p precision decimals (fmtDouble). */
+Value real(double v, int precision = 3, std::string unit = "");
+
+/** Speedup-style ratio rendered as "2.84x" (fmtRatio). */
+Value ratio(double v, int precision = 2);
+
+/** Fraction in [0,1] rendered as a percentage (fmtPercent). The raw
+ *  value stays the fraction, not the percentage. */
+Value fraction(double v, int precision = 1);
+
+/** Byte count rendered with a binary suffix (fmtBytes). */
+Value bytesValue(uint64_t bytes);
+
+/** Engineering notation like "1.26e8" (fmtSci). */
+Value sci(double v, int precision = 2, std::string unit = "");
+
+/** Raw value with a caller-chosen display string. */
+Value custom(double v, std::string text, std::string unit);
+
+/**
+ * Identity of one report row. The named dimensions cover the common
+ * sweep axes; anything else (cache capacity, runahead degree, rank in
+ * a distribution curve, request id) goes into `extra` as ordered
+ * key/value pairs. Rows of one table must be uniquely identified by
+ * their dims, or downstream joins collide.
+ */
+struct RowDims
+{
+    std::string dataset;
+    std::string engine;
+    std::string model;
+    uint32_t depth = 0; ///< model depth (0 = not applicable)
+    std::vector<std::pair<std::string, std::string>> extra;
+};
+
+/**
+ * One flattened metric observation: what the JSON/CSV sinks emit and
+ * what BENCH_GROW.json accumulates across runs. `bench` + `table` +
+ * dims + `metric` identify the observation; `value` (numeric) or
+ * `text` (categorical) carry it.
+ */
+struct MetricRecord
+{
+    std::string bench;
+    std::string table;
+    RowDims dims;
+    std::string metric;
+    std::string unit;
+    bool hasValue = false;
+    double value = 0.0;
+    std::string text;
+};
+
+} // namespace grow::report

@@ -1,0 +1,150 @@
+#include "report/report.hpp"
+
+#include "util/logging.hpp"
+
+#ifndef GROW_GIT_REVISION
+#define GROW_GIT_REVISION "unknown"
+#endif
+
+namespace grow::report {
+
+std::string
+buildRevision()
+{
+    return GROW_GIT_REVISION;
+}
+
+RowBuilder &
+RowBuilder::add(Value v)
+{
+    data_->rows.at(row_).cells.push_back(std::move(v));
+    return *this;
+}
+
+TableBuilder &
+TableBuilder::col(std::string key, std::string header, std::string unit)
+{
+    GROW_ASSERT(data_->rows.empty(),
+                "declare every column before the first row of table " +
+                    data_->id);
+    data_->columns.push_back(
+        {std::move(key), std::move(header), std::move(unit)});
+    return *this;
+}
+
+RowBuilder
+TableBuilder::row(RowDims dims)
+{
+    data_->rows.push_back({std::move(dims), {}});
+    return RowBuilder(data_, data_->rows.size() - 1);
+}
+
+void
+Report::note(std::string text)
+{
+    auto item = std::make_unique<ReportItem>();
+    item->kind = ReportItem::Kind::Note;
+    item->text = std::move(text);
+    items_.push_back(std::move(item));
+}
+
+TableBuilder
+Report::table(std::string id, std::string title)
+{
+    auto item = std::make_unique<ReportItem>();
+    item->kind = ReportItem::Kind::Table;
+    item->table.id = std::move(id);
+    item->table.title = std::move(title);
+    items_.push_back(std::move(item));
+    return TableBuilder(&items_.back()->table);
+}
+
+void
+Report::addRecord(MetricRecord r)
+{
+    loose_.push_back(std::move(r));
+}
+
+namespace {
+
+/** Whether a cell only echoes its row's identity (see records()). */
+bool
+isDimEcho(const Column &col, const Value &cell, const RowDims &dims)
+{
+    // Text cells in the conventional identity/label columns repeat the
+    // row dims or caption the row ("metric"/"label" columns of the
+    // summary tables) -- identity, not data.
+    if (!cell.hasValue &&
+        (col.key == "dataset" || col.key == "engine" ||
+         col.key == "model" || col.key == "metric" || col.key == "label"))
+        return true;
+    for (const auto &[key, value] : dims.extra)
+        if (col.key == key)
+            return true;
+    return false;
+}
+
+} // namespace
+
+std::vector<MetricRecord>
+Report::records() const
+{
+    std::vector<MetricRecord> out;
+    for (const auto &item : items_) {
+        if (item->kind != ReportItem::Kind::Table)
+            continue;
+        const TableData &t = item->table;
+        for (const auto &row : t.rows) {
+            GROW_ASSERT(row.cells.size() <= t.columns.size(),
+                        "table " + t.id + " row has more cells than "
+                        "declared columns");
+            for (size_t c = 0; c < row.cells.size(); ++c) {
+                const Column &col = t.columns[c];
+                const Value &cell = row.cells[c];
+                if (isDimEcho(col, cell, row.dims))
+                    continue;
+                if (!cell.hasValue && cell.text.empty())
+                    continue; // nothing to report
+                MetricRecord r;
+                r.bench = meta_.bench;
+                r.table = t.id;
+                r.dims = row.dims;
+                r.metric = col.key;
+                r.unit = cell.unit.empty() ? col.unit : cell.unit;
+                r.hasValue = cell.hasValue;
+                r.value = cell.value;
+                r.text = cell.text;
+                out.push_back(std::move(r));
+            }
+        }
+    }
+    out.insert(out.end(), loose_.begin(), loose_.end());
+    return out;
+}
+
+void
+Report::merge(const Report &other)
+{
+    for (auto &r : other.records())
+        loose_.push_back(std::move(r));
+    if (!other.meta().bench.empty())
+        meta_.benches.push_back(other.meta().bench);
+}
+
+namespace {
+ReportCollector *g_collector = nullptr;
+} // namespace
+
+ReportCollector *
+activeCollector()
+{
+    return g_collector;
+}
+
+void
+setActiveCollector(ReportCollector *collector)
+{
+    g_collector = collector;
+}
+
+} // namespace grow::report

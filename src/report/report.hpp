@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The Report object: everything one bench/example run wants to say.
+ *
+ * A report is an ordered sequence of items -- free-text notes (banner
+ * lines, cache statistics) and declared tables -- plus run-level
+ * provenance (bench name, scale tier, model, git revision, schema
+ * version). Benches build it through TableBuilder instead of printing:
+ *
+ *   auto t = rep.table("fig20a", "Figure 20(a)");
+ *   t.col("dataset", "dataset")
+ *    .col("gcnax_cycles", "GCNAX cycles", "cycles");
+ *   t.row({.dataset = spec.name})
+ *    .add(report::textCell(spec.name))
+ *    .add(report::count(cycles, "cycles"));
+ *
+ * The chosen ReportSink (src/report/sinks.hpp) then renders the whole
+ * report once: the table sink reproduces the historical hand-formatted
+ * stdout, the JSON/CSV sinks flatten every table into MetricRecords.
+ *
+ * A process-wide ReportCollector can intercept finished reports
+ * (bench_suite does this) so many benches can run in one process and
+ * merge their records into a single trajectory file.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "report/record.hpp"
+
+namespace grow::report {
+
+/** Run-level provenance stamped into every emitted report. */
+struct ReportMeta
+{
+    std::string generator = "grow-bench";
+    std::string bench;    ///< emitting binary ("fig20_speedup", ...)
+    std::string revision; ///< git describe of the build (buildRevision())
+    std::string scale;    ///< dataset scale tier ("mini", ...)
+    std::string model;    ///< GNN model kind ("gcn", ...)
+    std::string suite;    ///< suite name (bench_suite merges only)
+    std::vector<std::string> benches; ///< merged benches (suite only)
+};
+
+/** `git describe` of the tree this binary was built from. */
+std::string buildRevision();
+
+/** One declared table column: stable record key + display header. */
+struct Column
+{
+    std::string key;    ///< metric name in records ("gcnax_cycles")
+    std::string header; ///< display header ("GCNAX cycles")
+    std::string unit;   ///< default unit for cells without one
+};
+
+/** Declared table payload (id + columns + dimensioned rows). */
+struct TableData
+{
+    struct Row
+    {
+        RowDims dims;
+        std::vector<Value> cells; ///< positional, matching columns
+    };
+
+    std::string id;    ///< stable table key in records ("fig20a")
+    std::string title; ///< display caption ("Figure 20(a)")
+    std::vector<Column> columns;
+    std::vector<Row> rows;
+};
+
+/** One ordered piece of a report. */
+struct ReportItem
+{
+    enum class Kind { Note, Table };
+    Kind kind = Kind::Note;
+    std::string text; ///< Note: verbatim line (no trailing newline)
+    TableData table;  ///< Table payload
+};
+
+class Report;
+
+/** Chaining helper appending cells to one declared row. Indexes into
+ *  the table rather than holding a Row pointer, so it stays valid
+ *  even if further row() calls reallocate the row vector. */
+class RowBuilder
+{
+  public:
+    RowBuilder(TableData *data, size_t row) : data_(data), row_(row) {}
+
+    /** Append the next positional cell. */
+    RowBuilder &add(Value v);
+
+  private:
+    TableData *data_;
+    size_t row_;
+};
+
+/** Chaining helper declaring columns / rows of one table. */
+class TableBuilder
+{
+  public:
+    explicit TableBuilder(TableData *data) : data_(data) {}
+
+    /** Declare the next column. Must precede the first row. */
+    TableBuilder &col(std::string key, std::string header,
+                      std::string unit = "");
+
+    /** Start a row identified by @p dims; add() cells positionally. */
+    RowBuilder row(RowDims dims = {});
+
+  private:
+    TableData *data_;
+};
+
+/** Everything one run reports; see the file comment. */
+class Report
+{
+  public:
+    Report() = default;
+    explicit Report(ReportMeta meta) : meta_(std::move(meta)) {}
+
+    ReportMeta &meta() { return meta_; }
+    const ReportMeta &meta() const { return meta_; }
+
+    /** Append a free-text line (printed verbatim by the table sink,
+     *  kept as "notes" in JSON). */
+    void note(std::string text);
+
+    /** Declare a new table; fill it through the returned builder. */
+    TableBuilder table(std::string id, std::string title);
+
+    /** Append an already-flattened record (suite merge, JSON parse). */
+    void addRecord(MetricRecord r);
+
+    const std::vector<std::unique_ptr<ReportItem>> &items() const
+    {
+        return items_;
+    }
+    const std::vector<MetricRecord> &looseRecords() const
+    {
+        return loose_;
+    }
+
+    /**
+     * Flatten every table into MetricRecords (plus the loose records,
+     * in order). Cells that merely echo a row's identity -- a text
+     * cell in a "dataset"/"engine"/"model"/"metric"/"label" column, or
+     * any cell whose column key names an extra dim of its row -- are
+     * skipped: they are identity, not metrics.
+     */
+    std::vector<MetricRecord> records() const;
+
+    /**
+     * Append every record of @p other (tables flattened) to this
+     * report's loose records, and remember other's bench name in
+     * meta().benches. The records keep their own bench field -- this
+     * is how bench_suite builds the merged BENCH_GROW.json.
+     */
+    void merge(const Report &other);
+
+  private:
+    ReportMeta meta_;
+    std::vector<std::unique_ptr<ReportItem>> items_;
+    std::vector<MetricRecord> loose_;
+};
+
+/**
+ * Process-wide interception point for finished reports: while a
+ * collector is active (setActiveCollector), BenchContext hands its
+ * report here instead of emitting it, so bench_suite can run many
+ * benches in-process and merge their records.
+ */
+class ReportCollector
+{
+  public:
+    void add(Report r) { reports_.push_back(std::move(r)); }
+    std::vector<Report> &reports() { return reports_; }
+
+  private:
+    std::vector<Report> reports_;
+};
+
+/** The active collector, or null when reports emit directly. */
+ReportCollector *activeCollector();
+
+/** Install (or, with null, remove) the active collector. */
+void setActiveCollector(ReportCollector *collector);
+
+} // namespace grow::report

@@ -1,0 +1,209 @@
+#include "report/sinks.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "report/json.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace grow::report {
+
+void
+TableSink::emit(const Report &report, std::ostream &os) const
+{
+    for (const auto &item : report.items()) {
+        if (item->kind == ReportItem::Kind::Note) {
+            os << item->text << "\n";
+            continue;
+        }
+        const TableData &data = item->table;
+        TextTable t(data.title);
+        std::vector<std::string> header;
+        header.reserve(data.columns.size());
+        for (const auto &col : data.columns)
+            header.push_back(col.header);
+        t.setHeader(std::move(header));
+        for (const auto &row : data.rows) {
+            std::vector<std::string> cells;
+            cells.reserve(row.cells.size());
+            for (const auto &cell : row.cells)
+                cells.push_back(cell.text);
+            t.addRow(std::move(cells));
+        }
+        os << t.render();
+        os.flush();
+    }
+}
+
+namespace {
+
+void
+jsonStringField(std::ostream &os, bool &first, const char *key,
+                const std::string &value)
+{
+    if (value.empty())
+        return;
+    os << (first ? "" : ",") << '"' << key << "\":\"" << jsonEscape(value)
+       << '"';
+    first = false;
+}
+
+void
+writeRecord(std::ostream &os, const MetricRecord &r)
+{
+    os << "    {";
+    bool first = true;
+    jsonStringField(os, first, "bench", r.bench);
+    jsonStringField(os, first, "table", r.table);
+    jsonStringField(os, first, "dataset", r.dims.dataset);
+    jsonStringField(os, first, "engine", r.dims.engine);
+    jsonStringField(os, first, "model", r.dims.model);
+    if (r.dims.depth > 0) {
+        os << (first ? "" : ",") << "\"depth\":" << r.dims.depth;
+        first = false;
+    }
+    if (!r.dims.extra.empty()) {
+        os << (first ? "" : ",") << "\"dims\":{";
+        first = false;
+        bool firstDim = true;
+        for (const auto &[key, value] : r.dims.extra) {
+            os << (firstDim ? "" : ",") << '"' << jsonEscape(key)
+               << "\":\"" << jsonEscape(value) << '"';
+            firstDim = false;
+        }
+        os << "}";
+    }
+    jsonStringField(os, first, "metric", r.metric);
+    jsonStringField(os, first, "unit", r.unit);
+    if (r.hasValue) {
+        os << (first ? "" : ",") << "\"value\":" << jsonNumber(r.value);
+        first = false;
+    }
+    jsonStringField(os, first, "text", r.text);
+    os << "}";
+}
+
+void
+jsonStringList(std::ostream &os, const char *key,
+               const std::vector<std::string> &values)
+{
+    if (values.empty())
+        return;
+    os << "  \"" << key << "\": [";
+    for (size_t i = 0; i < values.size(); ++i)
+        os << (i ? "," : "") << '"' << jsonEscape(values[i]) << '"';
+    os << "],\n";
+}
+
+} // namespace
+
+void
+JsonSink::emit(const Report &report, std::ostream &os) const
+{
+    const ReportMeta &meta = report.meta();
+    os << "{\n";
+    os << "  \"schema\": " << kReportSchemaVersion << ",\n";
+    os << "  \"generator\": \"" << jsonEscape(meta.generator) << "\",\n";
+    os << "  \"bench\": \"" << jsonEscape(meta.bench) << "\",\n";
+    if (!meta.revision.empty())
+        os << "  \"revision\": \"" << jsonEscape(meta.revision) << "\",\n";
+    if (!meta.scale.empty())
+        os << "  \"scale\": \"" << jsonEscape(meta.scale) << "\",\n";
+    if (!meta.model.empty())
+        os << "  \"model\": \"" << jsonEscape(meta.model) << "\",\n";
+    if (!meta.suite.empty())
+        os << "  \"suite\": \"" << jsonEscape(meta.suite) << "\",\n";
+    jsonStringList(os, "benches", meta.benches);
+    std::vector<std::string> notes;
+    for (const auto &item : report.items())
+        if (item->kind == ReportItem::Kind::Note)
+            notes.push_back(item->text);
+    jsonStringList(os, "notes", notes);
+
+    auto records = report.records();
+    os << "  \"records\": [";
+    for (size_t i = 0; i < records.size(); ++i) {
+        os << (i ? ",\n" : "\n");
+        writeRecord(os, records[i]);
+    }
+    os << (records.empty() ? "]" : "\n  ]") << "\n}\n";
+    os.flush();
+}
+
+namespace {
+
+/** RFC-4180 escaping: quote cells containing separators or quotes. */
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+CsvSink::emit(const Report &report, std::ostream &os) const
+{
+    os << "bench,table,dataset,engine,model,depth,dims,metric,unit,"
+          "value,text\n";
+    for (const auto &r : report.records()) {
+        std::string dims;
+        for (const auto &[key, value] : r.dims.extra) {
+            if (!dims.empty())
+                dims += ';';
+            dims += key + "=" + value;
+        }
+        os << csvEscape(r.bench) << ',' << csvEscape(r.table) << ','
+           << csvEscape(r.dims.dataset) << ',' << csvEscape(r.dims.engine)
+           << ',' << csvEscape(r.dims.model) << ','
+           << (r.dims.depth > 0 ? std::to_string(r.dims.depth) : "")
+           << ',' << csvEscape(dims) << ',' << csvEscape(r.metric) << ','
+           << csvEscape(r.unit) << ','
+           << (r.hasValue ? jsonNumber(r.value) : "") << ','
+           << csvEscape(r.text) << "\n";
+    }
+    os.flush();
+}
+
+std::unique_ptr<ReportSink>
+makeSink(const std::string &format)
+{
+    if (format == "table")
+        return std::make_unique<TableSink>();
+    if (format == "json")
+        return std::make_unique<JsonSink>();
+    if (format == "csv")
+        return std::make_unique<CsvSink>();
+    fatal("unknown report format '" + format +
+          "' (expected table, json or csv)");
+}
+
+void
+emitReport(const Report &report, const std::string &format,
+           const std::string &out_path)
+{
+    auto sink = makeSink(format);
+    if (out_path.empty()) {
+        sink->emit(report, std::cout);
+        return;
+    }
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out)
+        fatal("cannot open report output file '" + out_path + "'");
+    sink->emit(report, out);
+    if (!out)
+        fatal("failed writing report output file '" + out_path + "'");
+}
+
+} // namespace grow::report

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Pluggable renderers of one Report.
+ *
+ * - TableSink renders the historical human-readable output: notes
+ *   verbatim, tables through util/table.hpp TextTable -- byte-for-byte
+ *   what the hand-formatted benches used to print.
+ * - JsonSink emits the schema-versioned machine-readable document
+ *   ({"schema": N, "bench": ..., "records": [...]}) the perf
+ *   trajectory (BENCH_GROW.json) is built from.
+ * - CsvSink flattens the records into one RFC-4180 CSV table for
+ *   spreadsheet/plotting consumers.
+ *
+ * Every bench accepts `format=table|json|csv` and `out=<path>`;
+ * emitReport() is the shared "pick sink, open stream, render" helper
+ * behind that contract.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "report/report.hpp"
+
+namespace grow::report {
+
+/** Renders one finished Report onto a stream. */
+class ReportSink
+{
+  public:
+    virtual ~ReportSink() = default;
+    virtual void emit(const Report &report, std::ostream &os) const = 0;
+};
+
+/** Human-readable notes + aligned text tables (the default). */
+class TableSink : public ReportSink
+{
+  public:
+    void emit(const Report &report, std::ostream &os) const override;
+};
+
+/** Schema-versioned JSON document (one record object per line). */
+class JsonSink : public ReportSink
+{
+  public:
+    void emit(const Report &report, std::ostream &os) const override;
+};
+
+/** Flat RFC-4180 CSV over the flattened records. */
+class CsvSink : public ReportSink
+{
+  public:
+    void emit(const Report &report, std::ostream &os) const override;
+};
+
+/** Sink for @p format ("table", "json", "csv"); fatal() otherwise. */
+std::unique_ptr<ReportSink> makeSink(const std::string &format);
+
+/**
+ * Render @p report with the @p format sink onto @p out_path (stdout
+ * when empty). fatal() on an unknown format or unwritable path.
+ */
+void emitReport(const Report &report, const std::string &format,
+                const std::string &out_path);
+
+} // namespace grow::report

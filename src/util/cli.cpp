@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "util/logging.hpp"
@@ -66,6 +67,31 @@ CliArgs::getBool(const std::string &key, bool def) const
     if (v == "0" || v == "false" || v == "no" || v == "off")
         return false;
     fatal("invalid boolean value for " + key + ": " + it->second);
+}
+
+void
+CliArgs::requireKnown(const std::vector<std::string> &known) const
+{
+    std::vector<std::string> sorted = known;
+    std::sort(sorted.begin(), sorted.end());
+    std::string unknown;
+    for (const auto &[key, value] : kv_) {
+        if (std::find(sorted.begin(), sorted.end(), key) != sorted.end())
+            continue;
+        if (!unknown.empty())
+            unknown += ", ";
+        unknown += key;
+    }
+    if (unknown.empty())
+        return;
+    std::string accepted;
+    for (const auto &key : sorted) {
+        if (!accepted.empty())
+            accepted += ", ";
+        accepted += key;
+    }
+    fatal("unknown argument(s): " + unknown + " (accepted keys: " +
+          accepted + ")");
 }
 
 std::vector<std::string>

@@ -44,6 +44,13 @@ class CliArgs
     std::vector<std::string>
     getList(const std::string &key, const std::vector<std::string> &def) const;
 
+    /**
+     * fatal() unless every supplied key is in @p known. A typo like
+     * `cachdir=` must abort with the accepted-key list instead of
+     * silently running with the option dropped.
+     */
+    void requireKnown(const std::vector<std::string> &known) const;
+
   private:
     std::map<std::string, std::string> kv_;
 };

@@ -48,23 +48,23 @@ expectArtifactsIdentical(const gcn::GraphArtifacts &a,
     EXPECT_EQ(a.spec->name, b.spec->name);
     EXPECT_EQ(a.tier, b.tier);
     EXPECT_EQ(a.maxClusterNodes, b.maxClusterNodes);
-    EXPECT_EQ(a.graph.offsets(), b.graph.offsets());
-    EXPECT_EQ(a.graph.adjacency(), b.graph.adjacency());
-    EXPECT_EQ(a.adjacency.rowPtr(), b.adjacency.rowPtr());
-    EXPECT_EQ(a.adjacency.colIdx(), b.adjacency.colIdx());
-    EXPECT_EQ(a.adjacency.values(), b.adjacency.values());
+    EXPECT_EQ(a.graph().offsets(), b.graph().offsets());
+    EXPECT_EQ(a.graph().adjacency(), b.graph().adjacency());
+    EXPECT_EQ(a.adjacency().rowPtr(), b.adjacency().rowPtr());
+    EXPECT_EQ(a.adjacency().colIdx(), b.adjacency().colIdx());
+    EXPECT_EQ(a.adjacency().values(), b.adjacency().values());
     ASSERT_EQ(a.hasPartitioning, b.hasPartitioning);
     if (a.hasPartitioning) {
-        EXPECT_EQ(a.relabel.newToOld, b.relabel.newToOld);
-        EXPECT_EQ(a.relabel.clustering.clusterStart,
-                  b.relabel.clustering.clusterStart);
-        EXPECT_EQ(a.hdnLists, b.hdnLists);
-        EXPECT_EQ(a.adjacencyPartitioned.rowPtr(),
-                  b.adjacencyPartitioned.rowPtr());
-        EXPECT_EQ(a.adjacencyPartitioned.colIdx(),
-                  b.adjacencyPartitioned.colIdx());
-        EXPECT_EQ(a.adjacencyPartitioned.values(),
-                  b.adjacencyPartitioned.values());
+        EXPECT_EQ(a.relabel().newToOld, b.relabel().newToOld);
+        EXPECT_EQ(a.relabel().clustering.clusterStart,
+                  b.relabel().clustering.clusterStart);
+        EXPECT_EQ(a.hdnLists(), b.hdnLists());
+        EXPECT_EQ(a.adjacencyPartitioned().rowPtr(),
+                  b.adjacencyPartitioned().rowPtr());
+        EXPECT_EQ(a.adjacencyPartitioned().colIdx(),
+                  b.adjacencyPartitioned().colIdx());
+        EXPECT_EQ(a.adjacencyPartitioned().values(),
+                  b.adjacencyPartitioned().values());
     }
     ASSERT_EQ(a.hasSampling, b.hasSampling);
     if (a.hasSampling) {
@@ -332,7 +332,8 @@ TEST(WorkloadCache, SampledAdjacencyRoundTripsBitIdentical)
     WorkloadCache warm(dir);
     auto loaded = warm.artifacts(spec, graph::ScaleTier::Unit, plan);
     EXPECT_EQ(warm.stats().builds, 0u);
-    EXPECT_EQ(warm.stats().diskLoads, 1u);
+    // The base bundle and the sampled extension load separately.
+    EXPECT_EQ(warm.stats().diskLoads, 2u);
     expectArtifactsIdentical(*built, *loaded);
 
     // And the sample matches a fresh seeded build: determinism holds
@@ -340,6 +341,75 @@ TEST(WorkloadCache, SampledAdjacencyRoundTripsBitIdentical)
     auto direct = gcn::buildGraphArtifacts(spec, graph::ScaleTier::Unit,
                                            plan);
     expectArtifactsIdentical(*direct, *loaded);
+    fs::remove_all(dir);
+}
+
+TEST(WorkloadCache, SampledBundleSharesItsBaseInMemoryAndOnDisk)
+{
+    // The sampled bundle must HOLD the unsampled base, not copy it:
+    // one graph-level payload in memory regardless of fanouts, and an
+    // extension file that carries only the sampled operand.
+    const std::string dir = scratchDir("sharedbase");
+    const auto &spec = graph::datasetByName("cora");
+    gcn::PartitionPlan sampled;
+    // A small fanout keeps the sampled operand tiny relative to the
+    // full graph payload, making the size assertion below meaningful.
+    sampled.sampleFanout = 2;
+
+    WorkloadCache cache(dir);
+    auto base = cache.artifacts(spec, graph::ScaleTier::Unit, {});
+    auto ext = cache.artifacts(spec, graph::ScaleTier::Unit, sampled);
+    ASSERT_TRUE(ext->hasSampling);
+    // Same instance, not an equal copy.
+    EXPECT_EQ(ext->base.get(), base.get());
+    EXPECT_EQ(&ext->graph(), &base->graph());
+    EXPECT_EQ(&ext->adjacency(), &base->adjacency());
+    // The extension's own payload stays empty.
+    EXPECT_EQ(ext->own.graph.numNodes(), 0u);
+    EXPECT_EQ(ext->own.adjacency.rows(), 0u);
+
+    // On disk the extension is a small file: the graph-level payload
+    // is serialized exactly once, under the base key.
+    auto fileSize = [&](const gcn::PartitionPlan &plan) {
+        auto key = ArtifactKey::of(spec, graph::ScaleTier::Unit, plan);
+        return fs::file_size(fs::path(dir) /
+                             (key.fingerprint() + ".growart"));
+    };
+    EXPECT_LT(fileSize(sampled), fileSize({}) / 2);
+
+    // A warm cache re-attaches the loaded extension to the (loaded)
+    // base bundle instance.
+    WorkloadCache warm(dir);
+    auto warmExt = warm.artifacts(spec, graph::ScaleTier::Unit, sampled);
+    auto warmBase = warm.artifacts(spec, graph::ScaleTier::Unit, {});
+    EXPECT_EQ(warm.stats().builds, 0u);
+    EXPECT_EQ(warmExt->base.get(), warmBase.get());
+    fs::remove_all(dir);
+}
+
+TEST(WorkloadCache, SampledExtensionFileNeedsItsBase)
+{
+    // Loading an extension file without (or with the wrong) base must
+    // fail cleanly instead of fabricating a bundle.
+    const std::string dir = scratchDir("extbase");
+    const auto &spec = graph::datasetByName("cora");
+    gcn::PartitionPlan sampled;
+    sampled.sampleFanout = 3;
+    WorkloadCache cache(dir);
+    auto ext = cache.artifacts(spec, graph::ScaleTier::Unit, sampled);
+    const auto key = ArtifactKey::of(spec, graph::ScaleTier::Unit, sampled);
+    const std::string path =
+        (fs::path(dir) / (key.fingerprint() + ".growart")).string();
+    ASSERT_TRUE(fs::exists(path));
+
+    EXPECT_EQ(loadArtifacts(path, key, nullptr), nullptr);
+    // A base of another dataset is rejected.
+    auto otherBase = cache.artifacts(graph::datasetByName("citeseer"),
+                                     graph::ScaleTier::Unit, {});
+    EXPECT_EQ(loadArtifacts(path, key, otherBase), nullptr);
+    // The right base loads.
+    auto base = cache.artifacts(spec, graph::ScaleTier::Unit, {});
+    EXPECT_NE(loadArtifacts(path, key, base), nullptr);
     fs::remove_all(dir);
 }
 

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * JSON layer of the structured results API: emit -> parse -> re-emit
+ * bit-identity (the property the perf trajectory relies on), schema
+ * validation with version-bump detection, and parser robustness.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/json.hpp"
+#include "report/report.hpp"
+#include "report/sinks.hpp"
+
+namespace grow::report {
+namespace {
+
+Report
+sampleReport()
+{
+    ReportMeta meta;
+    meta.bench = "fig20_speedup";
+    meta.revision = "abc1234";
+    meta.scale = "unit";
+    meta.model = "gcn";
+    Report rep(meta);
+    rep.note("banner \"quoted\" line");
+    auto t = rep.table("fig20a", "Figure 20(a)");
+    t.col("dataset", "dataset")
+        .col("gcnax_cycles", "GCNAX cycles", "cycles")
+        .col("speedup_gp", "GROW (with G.P)");
+    t.row({.dataset = "cora", .extra = {{"rank", "1"}}})
+        .add(textCell("cora"))
+        .add(count(37881, "cycles"))
+        .add(ratio(1.000264054289562));
+    t.row({.dataset = "yelp", .depth = 3})
+        .add(textCell("yelp"))
+        .add(count(1388403, "cycles"))
+        .add(ratio(0.99451));
+    return rep;
+}
+
+std::string
+emitJson(const Report &rep)
+{
+    std::ostringstream os;
+    JsonSink().emit(rep, os);
+    return os.str();
+}
+
+TEST(ReportJson, EmitParseReEmitIsBitIdentical)
+{
+    const std::string first = emitJson(sampleReport());
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(parseJson(first, root, &error)) << error;
+    Report parsed;
+    ASSERT_TRUE(reportFromJson(root, parsed, &error)) << error;
+    const std::string second = emitJson(parsed);
+    EXPECT_EQ(first, second);
+
+    // And once more, through the parsed-of-the-parsed document.
+    JsonValue root2;
+    ASSERT_TRUE(parseJson(second, root2, &error)) << error;
+    Report parsed2;
+    ASSERT_TRUE(reportFromJson(root2, parsed2, &error)) << error;
+    EXPECT_EQ(emitJson(parsed2), second);
+}
+
+TEST(ReportJson, ParsedRecordsCarryAllFields)
+{
+    JsonValue root;
+    ASSERT_TRUE(parseJson(emitJson(sampleReport()), root, nullptr));
+    Report parsed;
+    ASSERT_TRUE(reportFromJson(root, parsed, nullptr));
+    const auto &records = parsed.looseRecords();
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_EQ(records[0].bench, "fig20_speedup");
+    EXPECT_EQ(records[0].table, "fig20a");
+    EXPECT_EQ(records[0].dims.dataset, "cora");
+    ASSERT_EQ(records[0].dims.extra.size(), 1u);
+    EXPECT_EQ(records[0].dims.extra[0].first, "rank");
+    EXPECT_TRUE(records[0].hasValue);
+    EXPECT_DOUBLE_EQ(records[0].value, 37881.0);
+    EXPECT_EQ(records[0].text, "37,881");
+    EXPECT_EQ(records[2].dims.depth, 3u);
+    EXPECT_DOUBLE_EQ(records[3].value, 0.99451);
+    EXPECT_EQ(parsed.meta().bench, "fig20_speedup");
+    EXPECT_EQ(parsed.meta().revision, "abc1234");
+}
+
+TEST(ReportJson, ValidateAcceptsWellFormedReport)
+{
+    JsonValue root;
+    ASSERT_TRUE(parseJson(emitJson(sampleReport()), root, nullptr));
+    std::vector<std::string> errors;
+    EXPECT_TRUE(validateReportJson(root, errors));
+    EXPECT_TRUE(errors.empty());
+}
+
+TEST(ReportJson, ValidateDetectsSchemaVersionBump)
+{
+    // A report written by a build with a bumped schema must be
+    // rejected by this build's tooling, with both versions named.
+    std::string doc = emitJson(sampleReport());
+    const std::string needle =
+        "\"schema\": " + std::to_string(kReportSchemaVersion);
+    const std::string bumped =
+        "\"schema\": " + std::to_string(kReportSchemaVersion + 1);
+    auto pos = doc.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    doc.replace(pos, needle.size(), bumped);
+
+    JsonValue root;
+    ASSERT_TRUE(parseJson(doc, root, nullptr));
+    std::vector<std::string> errors;
+    EXPECT_FALSE(validateReportJson(root, errors));
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("schema version"), std::string::npos);
+    EXPECT_NE(errors[0].find(std::to_string(kReportSchemaVersion + 1)),
+              std::string::npos);
+}
+
+TEST(ReportJson, ValidateReportsMissingRequiredRecordKeys)
+{
+    const std::string doc = R"({
+      "schema": )" + std::to_string(kReportSchemaVersion) + R"(,
+      "bench": "x",
+      "records": [
+        {"bench":"x","table":"t","metric":"m","value":1},
+        {"bench":"x","table":"t","metric":"m"},
+        {"bench":"x","metric":"m","value":1},
+        {"table":"t","metric":"m","text":"ok"}
+      ]
+    })";
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(parseJson(doc, root, &error)) << error;
+    std::vector<std::string> errors;
+    EXPECT_FALSE(validateReportJson(root, errors));
+    // record 1: no value/text; record 2: no table; record 3: no bench.
+    ASSERT_EQ(errors.size(), 3u);
+    EXPECT_NE(errors[0].find("records[1]"), std::string::npos);
+    EXPECT_NE(errors[1].find("'table'"), std::string::npos);
+    EXPECT_NE(errors[2].find("'bench'"), std::string::npos);
+}
+
+TEST(ReportJson, ValidateRejectsMalformedTopLevel)
+{
+    for (const char *doc :
+         {"[]", "{\"schema\": 1}", "{\"bench\": \"x\", \"records\": []}",
+          "{\"schema\": 1, \"bench\": \"x\", \"records\": 3}"}) {
+        JsonValue root;
+        ASSERT_TRUE(parseJson(doc, root, nullptr)) << doc;
+        std::vector<std::string> errors;
+        EXPECT_FALSE(validateReportJson(root, errors)) << doc;
+        EXPECT_FALSE(errors.empty()) << doc;
+    }
+}
+
+TEST(ReportJson, ParserHandlesEscapesAndRejectsGarbage)
+{
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(parseJson(R"({"a":"q\"\\\nA","b":[1,-2.5e3,true,
+                             null]})",
+                          v, &error))
+        << error;
+    EXPECT_EQ(v.find("a")->str, "q\"\\\nA");
+    ASSERT_EQ(v.find("b")->arr.size(), 4u);
+    EXPECT_DOUBLE_EQ(v.find("b")->arr[1].number, -2500.0);
+    EXPECT_TRUE(v.find("b")->arr[2].boolean);
+
+    for (const char *bad :
+         {"", "{", "{\"a\":}", "[1,]", "{\"a\":1} trailing", "nul",
+          "\"unterminated", "{\"a\":1e}", "{'a':1}"}) {
+        JsonValue out;
+        EXPECT_FALSE(parseJson(bad, out, &error)) << bad;
+    }
+}
+
+TEST(ReportJson, NumbersUseShortestRoundTripForm)
+{
+    EXPECT_EQ(jsonNumber(37881.0), "37881");
+    EXPECT_EQ(jsonNumber(0.1), "0.1");
+    EXPECT_EQ(jsonNumber(1.000264054289562), "1.000264054289562");
+    // The backstop for non-finite values (factories already strip
+    // them): never emit a bare nan/inf token.
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+              "null");
+}
+
+} // namespace
+} // namespace grow::report

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Zero-denominator guards feeding the report layer: an all-on-chip
+ * phase (no sparse fetches) and a cache-less inference must yield
+ * finite metrics, so format=json output can never contain nan.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/accelerator.hpp"
+#include "gcn/runner.hpp"
+#include "report/record.hpp"
+
+namespace grow {
+namespace {
+
+TEST(MetricGuards, SparseBandwidthUtilWithNoFetchesIsFinite)
+{
+    accel::PhaseResult r;
+    ASSERT_EQ(r.fetchedSparseBytes, 0u);
+    EXPECT_TRUE(std::isfinite(r.sparseBandwidthUtil()));
+    EXPECT_DOUBLE_EQ(r.sparseBandwidthUtil(), 1.0);
+    // And the report cell built from it is numeric, not text-only.
+    EXPECT_TRUE(report::fraction(r.sparseBandwidthUtil()).hasValue);
+}
+
+TEST(MetricGuards, CacheHitRateWithoutLookupsIsFinite)
+{
+    gcn::InferenceResult r;
+    ASSERT_EQ(r.cacheHits + r.cacheMisses, 0u);
+    EXPECT_TRUE(std::isfinite(r.cacheHitRate()));
+    EXPECT_DOUBLE_EQ(r.cacheHitRate(), 0.0);
+    EXPECT_TRUE(report::fraction(r.cacheHitRate()).hasValue);
+}
+
+} // namespace
+} // namespace grow

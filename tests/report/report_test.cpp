@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The structured results API: Value factories (canonical formatting +
+ * non-finite sanitization), record flattening semantics, and the
+ * table-sink golden lock against the pre-redesign hand-formatted
+ * bench output.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "report/report.hpp"
+#include "report/sinks.hpp"
+#include "util/table.hpp"
+
+namespace grow::report {
+namespace {
+
+TEST(Value, FactoriesApplyCanonicalFormatting)
+{
+    EXPECT_EQ(count(2110358).text, "2,110,358");
+    EXPECT_EQ(count(2110358).unit, "count");
+    EXPECT_EQ(count(37881, "cycles").unit, "cycles");
+    EXPECT_EQ(ratio(2.8437).text, "2.84x");
+    EXPECT_EQ(ratio(2.8437).unit, "x");
+    EXPECT_EQ(fraction(0.305).text, "30.5%");
+    EXPECT_DOUBLE_EQ(fraction(0.305).value, 0.305);
+    EXPECT_EQ(real(1.2345, 2).text, "1.23");
+    EXPECT_EQ(textCell("-").hasValue, false);
+    EXPECT_EQ(custom(3.5, "3.50 ms", "ms").text, "3.50 ms");
+    EXPECT_DOUBLE_EQ(custom(3.5, "3.50 ms", "ms").value, 3.5);
+}
+
+TEST(Value, NonFiniteValuesDegradeToTextOnly)
+{
+    // nan/inf are not valid JSON numbers; the factories must strip
+    // the numeric payload so no sink can ever emit them.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(ratio(nan).hasValue);
+    EXPECT_FALSE(ratio(inf).hasValue);
+    EXPECT_FALSE(fraction(-inf).hasValue);
+    EXPECT_FALSE(real(nan, 2).hasValue);
+    EXPECT_TRUE(ratio(1.0).hasValue);
+}
+
+Report
+makeSmallReport()
+{
+    ReportMeta meta;
+    meta.bench = "fig20_speedup";
+    meta.revision = "test-rev";
+    meta.scale = "unit";
+    meta.model = "gcn";
+    Report rep(meta);
+    rep.note("\n### Figure 20(a): speedup vs GCNAX [scale=unit]");
+    auto t = rep.table("fig20a", "Figure 20(a)");
+    t.col("dataset", "dataset")
+        .col("gcnax_cycles", "GCNAX cycles", "cycles")
+        .col("speedup_nogp", "GROW (w/o G.P)")
+        .col("speedup_gp", "GROW (with G.P)");
+    t.row({.dataset = "cora"})
+        .add(textCell("cora"))
+        .add(count(37881, "cycles"))
+        .add(ratio(1.0003))
+        .add(ratio(1.0003));
+    t.row({.dataset = "citeseer"})
+        .add(textCell("citeseer"))
+        .add(count(50184, "cycles"))
+        .add(ratio(1.0013))
+        .add(ratio(1.0013));
+    return rep;
+}
+
+TEST(Report, TableSinkMatchesPreRedesignFig20Golden)
+{
+    // Byte-for-byte lock against the output main's hand-formatted
+    // bench_fig20_speedup printed before the report redesign (banner
+    // via std::cout, table via TextTable::print()).
+    auto rep = makeSmallReport();
+    std::ostringstream os;
+    TableSink().emit(rep, os);
+    const std::string golden =
+        "\n### Figure 20(a): speedup vs GCNAX [scale=unit]\n"
+        "== Figure 20(a) ==\n"
+        "+----------+--------------+----------------+-----------------+\n"
+        "| dataset  | GCNAX cycles | GROW (w/o G.P) | GROW (with G.P) |\n"
+        "+----------+--------------+----------------+-----------------+\n"
+        "| cora     | 37,881       | 1.00x          | 1.00x           |\n"
+        "| citeseer | 50,184       | 1.00x          | 1.00x           |\n"
+        "+----------+--------------+----------------+-----------------+\n";
+    EXPECT_EQ(os.str(), golden);
+}
+
+TEST(Report, TableSinkMatchesPreRedesignModelZooSummaryGolden)
+{
+    // The bench_model_zoo summary table shape (text + numeric mix).
+    Report rep;
+    auto s = rep.table("model_zoo_summary",
+                       "Sec. VIII summary (grow vs gcnax)");
+    s.col("model", "model")
+        .col("phases_per_layer", "phases/layer", "count")
+        .col("geomean_speedup", "geomean speedup")
+        .col("extra_hardware", "extra hardware")
+        .col("area_65nm", "area @65nm (mm^2)", "mm^2")
+        .col("area_overhead", "area overhead");
+    s.row({.model = "gcn"})
+        .add(textCell("gcn"))
+        .add(count(2))
+        .add(ratio(1.0))
+        .add(textCell("-"))
+        .add(real(5.785, 3))
+        .add(fraction(0.0));
+    s.row({.model = "gat"})
+        .add(textCell("gat"))
+        .add(count(3))
+        .add(ratio(1.0))
+        .add(textCell("softmax unit (table-based)"))
+        .add(real(5.8831, 3))
+        .add(fraction(0.0166));
+    std::ostringstream os;
+    TableSink().emit(rep, os);
+    const std::string golden =
+        "== Sec. VIII summary (grow vs gcnax) ==\n"
+        "+-------+--------------+-----------------+"
+        "----------------------------+-------------------+"
+        "---------------+\n"
+        "| model | phases/layer | geomean speedup | "
+        "extra hardware             | area @65nm (mm^2) | "
+        "area overhead |\n"
+        "+-------+--------------+-----------------+"
+        "----------------------------+-------------------+"
+        "---------------+\n"
+        "| gcn   | 2            | 1.00x           | "
+        "-                          | 5.785             | "
+        "0.0%          |\n"
+        "| gat   | 3            | 1.00x           | "
+        "softmax unit (table-based) | 5.883             | "
+        "1.7%          |\n"
+        "+-------+--------------+-----------------+"
+        "----------------------------+-------------------+"
+        "---------------+\n";
+    EXPECT_EQ(os.str(), golden);
+}
+
+TEST(Report, RecordsFlattenWithDimEchoSkips)
+{
+    auto rep = makeSmallReport();
+    auto records = rep.records();
+    // 2 rows x 3 metric columns; the "dataset" text cells are dims.
+    ASSERT_EQ(records.size(), 6u);
+    EXPECT_EQ(records[0].bench, "fig20_speedup");
+    EXPECT_EQ(records[0].table, "fig20a");
+    EXPECT_EQ(records[0].dims.dataset, "cora");
+    EXPECT_EQ(records[0].metric, "gcnax_cycles");
+    EXPECT_EQ(records[0].unit, "cycles");
+    EXPECT_TRUE(records[0].hasValue);
+    EXPECT_DOUBLE_EQ(records[0].value, 37881.0);
+    EXPECT_EQ(records[1].metric, "speedup_nogp");
+    EXPECT_EQ(records[1].unit, "x"); // cell unit wins over column unit
+    EXPECT_EQ(records[3].dims.dataset, "citeseer");
+}
+
+TEST(Report, RecordsSkipExtraDimKeyedColumnsAndLabelColumns)
+{
+    Report rep;
+    auto t = rep.table("sweep", "sweep");
+    t.col("capacity_kib", "capacity").col("cycles", "cycles", "cycles");
+    t.row({.extra = {{"capacity_kib", "512"}}})
+        .add(textCell("512 KiB"))
+        .add(count(1234, "cycles"));
+    auto s = rep.table("avg", "Average");
+    s.col("metric", "metric").col("geomean", "value");
+    s.row().add(textCell("geomean speedup")).add(ratio(2.0));
+
+    auto records = rep.records();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].metric, "cycles");
+    ASSERT_EQ(records[0].dims.extra.size(), 1u);
+    EXPECT_EQ(records[0].dims.extra[0].first, "capacity_kib");
+    EXPECT_EQ(records[0].dims.extra[0].second, "512");
+    EXPECT_EQ(records[1].metric, "geomean");
+}
+
+TEST(Report, RowBuildersSurviveRowVectorReallocation)
+{
+    // RowBuilder indexes into the table instead of holding a Row
+    // pointer: interleaving add() calls on earlier rows with new row()
+    // declarations (which can reallocate the row vector) must work.
+    Report rep;
+    auto t = rep.table("t", "t");
+    t.col("dataset", "dataset").col("b", "b", "count");
+    std::vector<RowBuilder> rows;
+    for (int i = 0; i < 64; ++i)
+        rows.push_back(t.row({.dataset = "d" + std::to_string(i)}));
+    for (int i = 0; i < 64; ++i)
+        rows[i].add(textCell("d" + std::to_string(i)))
+            .add(count(static_cast<uint64_t>(i)));
+    auto records = rep.records();
+    ASSERT_EQ(records.size(), 64u);
+    EXPECT_EQ(records[63].dims.dataset, "d63");
+    EXPECT_DOUBLE_EQ(records[63].value, 63.0);
+}
+
+TEST(Report, MergeStampsBenchesAndKeepsRecordProvenance)
+{
+    auto child = makeSmallReport();
+    Report merged;
+    merged.meta().bench = "bench_suite";
+    merged.merge(child);
+    EXPECT_EQ(merged.meta().benches,
+              std::vector<std::string>{"fig20_speedup"});
+    auto records = merged.records();
+    ASSERT_EQ(records.size(), 6u);
+    // Records keep the child's bench name, not the suite's.
+    EXPECT_EQ(records[0].bench, "fig20_speedup");
+}
+
+TEST(Report, CsvSinkEscapesAndFlattens)
+{
+    auto rep = makeSmallReport();
+    std::ostringstream os;
+    CsvSink().emit(rep, os);
+    std::istringstream lines(os.str());
+    std::string header, first;
+    std::getline(lines, header);
+    std::getline(lines, first);
+    EXPECT_EQ(header,
+              "bench,table,dataset,engine,model,depth,dims,metric,unit,"
+              "value,text");
+    // The display text "37,881" contains a comma and must be quoted.
+    EXPECT_EQ(first,
+              "fig20_speedup,fig20a,cora,,,,,gcnax_cycles,cycles,37881,"
+              "\"37,881\"");
+}
+
+} // namespace
+} // namespace grow::report

@@ -71,5 +71,32 @@ TEST(CliArgs, RejectsBadBoolean)
     EXPECT_ANY_THROW(args.getBool("b", false));
 }
 
+TEST(CliArgs, RequireKnownRejectsTyposWithAcceptedKeyList)
+{
+    // A typo like `cachdir=` must abort instead of silently dropping
+    // the option (it used to just disable the disk cache).
+    auto args = makeArgs({"cachdir=/tmp/x", "scale=mini"});
+    try {
+        args.requireKnown({"scale", "cachedir", "datasets"});
+        FAIL() << "expected fatal()";
+    } catch (const std::exception &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("cachdir"), std::string::npos);
+        // The accepted keys are listed, sorted.
+        EXPECT_NE(msg.find("cachedir, datasets, scale"),
+                  std::string::npos);
+        // The known key is not reported as unknown.
+        EXPECT_EQ(msg.find("unknown argument(s): cachdir,"),
+                  std::string::npos);
+    }
+}
+
+TEST(CliArgs, RequireKnownAcceptsKnownKeysAndIgnoresDashFlags)
+{
+    auto args = makeArgs({"scale=mini", "--benchmark_filter=x"});
+    EXPECT_NO_THROW(args.requireKnown({"scale"}));
+    EXPECT_NO_THROW(makeArgs({}).requireKnown({}));
+}
+
 } // namespace
 } // namespace grow
