@@ -69,10 +69,11 @@ GROW_BENCH_MAIN("model_zoo")
                 workloads.emplace(key, ctx.cache().workload(spec, wc))
                     .first->second;
             for (const auto &engine : engineKeys)
-                jobs.push_back(driver::makeEngineJob(engine, w));
+                jobs.push_back(driver::makeEngineJob(
+                    engine, w, ctx.runnerOptions()));
         }
     }
-    driver::SweepDriver pool;
+    driver::SweepDriver pool(ctx.threads());
     auto outcomes = pool.runAll(jobs);
 
     // Consume outcomes positionally, verifying the dataset so a

@@ -19,10 +19,11 @@
  *                    [list=1]
  *                    [scale=...] [datasets=...] [model=...]
  *                    [cachedir=...] [format=table|json|csv] [out=path]
+ *                    [threads=N] [epoch=cycles]
  *
- * `benches=` overrides `suite=`; scale/datasets/model/cachedir are
- * forwarded verbatim to every bench (per-bench defaults apply when
- * omitted). `format=table` renders every report in sequence exactly as
+ * `benches=` overrides `suite=`; scale/datasets/model/cachedir/
+ * threads/epoch are forwarded verbatim to every bench (per-bench
+ * defaults apply when omitted). `format=table` renders every report in sequence exactly as
  * the standalone binaries would; json/csv emit the merged records.
  */
 #include <fstream>
@@ -30,6 +31,7 @@
 
 #include "common.hpp"
 #include "util/logging.hpp"
+#include "util/work_pool.hpp"
 
 using namespace grow;
 using namespace grow::bench;
@@ -87,7 +89,10 @@ suiteMain(int argc, char **argv)
 {
     CliArgs args(argc, argv);
     args.requireKnown({"suite", "benches", "list", "scale", "datasets",
-                       "model", "cachedir", "format", "out"});
+                       "model", "cachedir", "format", "out", "threads",
+                       "epoch"});
+    if (args.has("threads")) // reject bad values before any bench runs
+        util::checkedThreadCount(args.getInt("threads", 1));
     if (args.getBool("list", false)) {
         for (const auto &[name, fn] : benchRegistry())
             std::cout << name << "\n";

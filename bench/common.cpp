@@ -1,8 +1,10 @@
 #include "common.hpp"
 
 #include <iostream>
+#include <thread>
 
 #include "util/logging.hpp"
+#include "util/work_pool.hpp"
 
 namespace grow::bench {
 
@@ -63,13 +65,25 @@ BenchContext::BenchContext(int argc, char **argv,
                            const std::vector<std::string> &extra_keys)
     : args_(argc, argv), cache_(args_.get("cachedir", ""))
 {
-    std::vector<std::string> known = {"scale",    "datasets", "model",
-                                      "cachedir", "format",   "out"};
+    std::vector<std::string> known = {"scale",  "datasets", "model",
+                                      "cachedir", "format", "out",
+                                      "threads",  "epoch"};
     known.insert(known.end(), extra_keys.begin(), extra_keys.end());
     args_.requireKnown(known);
 
     tier_ = graph::tierFromString(args_.get("scale", default_scale));
     model_ = gcn::modelKindFromString(args_.get("model", "gcn"));
+    // Default: one worker per core, like the sweeps always ran. An
+    // explicit threads= bounds *every* level (sweep prefetch, phase
+    // fan-out, epoch rounds); results are bit-identical either way.
+    threads_ = args_.has("threads")
+                   ? util::checkedThreadCount(args_.getInt("threads", 1))
+                   : std::max(1u, std::thread::hardware_concurrency());
+    const int64_t epoch = args_.getInt("epoch", 0);
+    if (epoch < 0)
+        fatal("epoch must be >= 0 cycles (0 = exact serial schedule), "
+              "got " + std::to_string(epoch));
+    epochCycles_ = static_cast<Cycle>(epoch);
     specs_ = graph::datasetsByNames(
         args_.getList("datasets", split(default_datasets, ',')));
 
@@ -123,11 +137,20 @@ BenchContext::workload(const std::string &name)
     return it->second;
 }
 
+gcn::RunnerOptions
+BenchContext::runnerOptions() const
+{
+    gcn::RunnerOptions base;
+    base.sim.threads = threads_;
+    base.sim.epochCycles = epochCycles_;
+    return base;
+}
+
 gcn::InferenceResult
 BenchContext::runEngine(const gcn::GcnWorkload &w,
                         const std::string &engine_key)
 {
-    auto job = driver::makeEngineJob(engine_key, w);
+    auto job = driver::makeEngineJob(engine_key, w, runnerOptions());
     auto engine = job.makeEngine();
     return gcn::runInference(*engine, w, job.options);
 }
@@ -157,13 +180,13 @@ BenchContext::prefetch(const std::vector<std::string> &engine_keys)
             std::string cacheKey = spec.name + "/" + key;
             if (results_.count(cacheKey))
                 continue;
-            auto job = driver::makeEngineJob(key, w);
+            auto job = driver::makeEngineJob(key, w, runnerOptions());
             // Label IS the cache key: inference() must find these.
             job.label = std::move(cacheKey);
             jobs.push_back(std::move(job));
         }
     }
-    driver::SweepDriver pool;
+    driver::SweepDriver pool(threads_);
     auto outcomes = pool.runAll(jobs);
     for (auto &o : outcomes)
         results_.emplace(o.label, std::move(o.inference));

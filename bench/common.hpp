@@ -15,6 +15,16 @@
  *                               historical human-readable output)
  *   out=<path>                  write the report to a file instead of
  *                               stdout
+ *   threads=<n>                 worker parallelism (default: one per
+ *                               core): bounds sweep prefetch, phase
+ *                               fan-out inside each inference and
+ *                               epoch-mode cluster rounds, all on one
+ *                               shared pool; results are bit-identical
+ *                               for every value. Rejects 0 and > 4x
+ *                               hardware concurrency.
+ *   epoch=<cycles>              GROW cluster-parallel co-simulation
+ *                               window (default 0 = exact serial
+ *                               schedule; see DESIGN.md)
  *
  * A bench does not print: it *declares* its banner lines and tables
  * through the structured results API (src/report/) and the selected
@@ -102,6 +112,16 @@ class BenchContext
     gcn::ModelKind model() const { return model_; }
     const std::vector<graph::DatasetSpec> &specs() const { return specs_; }
 
+    /** Validated `threads=` worker parallelism (default: one per
+     *  core). Bounds every level: sweep prefetch, phase fan-out and
+     *  epoch-mode rounds. */
+    uint32_t threads() const { return threads_; }
+
+    /** Base runner options every inference of this bench runs under
+     *  (threads= and epoch= applied; engine-specific layout still
+     *  comes from makeEngineJob). */
+    gcn::RunnerOptions runnerOptions() const;
+
     /** The report this bench declares its results into. */
     report::Report &report() { return report_; }
 
@@ -147,6 +167,8 @@ class BenchContext
     CliArgs args_;
     graph::ScaleTier tier_;
     gcn::ModelKind model_ = gcn::ModelKind::Gcn;
+    uint32_t threads_ = 1;
+    Cycle epochCycles_ = 0;
     std::vector<graph::DatasetSpec> specs_;
     driver::WorkloadCache cache_;
     std::map<std::string, gcn::GcnWorkload> workloads_;

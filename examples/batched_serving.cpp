@@ -100,6 +100,10 @@ main(int argc, char **argv)
                   ? ""
                   : " [disk cache: " + cache.diskDir() + "]"));
 
+    // Phase-level fan-out inside each request shares the sweep pool.
+    for (auto &job : jobs)
+        job.options.sim.threads = pool.numThreads();
+
     auto outcomes = pool.runAll(jobs);
 
     // ---- Per-graph serving report. -----------------------------------

@@ -18,6 +18,7 @@
  * keyed by the SweepJob labels ("cap/512", "ra/8", ...).
  *
  * Usage: design_space_sweep [dataset=pokec] [scale=tiny] [threads=0]
+ *                           [epoch=0]
  *                           [cachedir=] [model=gcn|sage-mean|sage-pool|
  *                           gin|gat] [format=table|json|csv] [out=path]
  */
@@ -56,13 +57,17 @@ main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
     args.requireKnown({"dataset", "scale", "threads", "cachedir", "model",
-                       "format", "out"});
+                       "format", "out", "epoch"});
     const auto &spec = graph::datasetByName(args.get("dataset", "pokec"));
     auto tier = graph::tierFromString(args.get("scale", "tiny"));
     const int64_t threadsArg = args.getInt("threads", 0);
     if (threadsArg < 0 || threadsArg > 1024)
         fatal("threads must be between 0 (= all cores) and 1024, got " +
               std::to_string(threadsArg));
+    const int64_t epochArg = args.getInt("epoch", 0);
+    if (epochArg < 0)
+        fatal("epoch must be >= 0 cycles, got " +
+              std::to_string(epochArg));
     const std::string format = args.get("format", "table");
     report::makeSink(format); // reject bad formats before simulating
     driver::SweepDriver pool(static_cast<uint32_t>(threadsArg));
@@ -136,6 +141,14 @@ main(int argc, char **argv)
     for (size_t i = 0; i < std::size(depths); ++i) {
         jobs.push_back(growJob("depth/" + std::to_string(depths[i]),
                                core::GrowConfig{}, *workloadByDepth[i]));
+    }
+
+    // Within-inference parallelism rides the same shared pool as the
+    // sweep (phase fan-out always; epoch-mode cluster rounds when
+    // epoch= is set), so one `threads=` knob governs both levels.
+    for (auto &job : jobs) {
+        job.options.sim.threads = pool.numThreads();
+        job.options.sim.epochCycles = static_cast<Cycle>(epochArg);
     }
 
     auto outcomes = pool.runAll(jobs);

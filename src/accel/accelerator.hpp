@@ -39,6 +39,24 @@ struct SimOptions
     bool functional = false;
     /** DRAM model flavour: "simple" or "banked". */
     std::string dramKind = "simple";
+    /**
+     * Worker-pool parallelism available to one inference: phase-level
+     * fan-out in gcn::executePlan and lane-level co-simulation rounds
+     * in GROW's epoch mode both draw at most this many workers from
+     * the shared util::WorkPool. Results are bit-identical for every
+     * value (see DESIGN.md "Parallel co-simulation").
+     */
+    uint32_t threads = 1;
+    /**
+     * Epoch window (in cycles) of the deterministic cluster-parallel
+     * co-simulation inside GrowSim. 0 (default) keeps the exact
+     * serial engine interleaving -- byte-identical to the historical
+     * tables; > 0 resolves cross-lane DRAM contention at epoch
+     * boundaries (accel::EpochDramArbiter), which changes cycle
+     * results slightly but deterministically: for a fixed window the
+     * outcome is bit-identical regardless of `threads`.
+     */
+    Cycle epochCycles = 0;
 };
 
 /**
@@ -124,6 +142,15 @@ class AcceleratorSim
     /** Simulate one SpDeGEMM phase. */
     virtual PhaseResult run(const SpDeGemmProblem &problem,
                             const SimOptions &options) = 0;
+
+    /**
+     * A fresh engine of the identical configuration, carrying no
+     * state from past run() calls. The phase-parallel executor clones
+     * one engine per concurrent phase so run() never races on engine
+     * members; run() is a pure function of (config, problem, options),
+     * so a clone's results are bit-identical to the original's.
+     */
+    virtual std::unique_ptr<AcceleratorSim> clone() const = 0;
 };
 
 } // namespace grow::accel

@@ -1,0 +1,114 @@
+#include "accel/dram_arbiter.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/logging.hpp"
+
+namespace grow::accel {
+
+LaneDramPort::LaneDramPort(EpochDramArbiter &arbiter, uint32_t lane_id)
+    : mem::DramModel(arbiter.canonical_.config()), arbiter_(arbiter),
+      lane_(lane_id), cluster_(lane_id)
+{
+}
+
+Cycle
+LaneDramPort::record(bool is_write, Cycle now, uint64_t addr, Bytes bytes,
+                     mem::TrafficClass cls)
+{
+    GROW_ASSERT(replica_ != nullptr,
+                "lane port used outside an open epoch (beginEpoch "
+                "missing)");
+    DramRequest req;
+    req.epoch = arbiter_.epoch_;
+    req.clusterId = cluster_;
+    req.laneId = lane_;
+    req.seq = seq_++;
+    req.isWrite = is_write;
+    req.now = now;
+    req.addr = addr;
+    req.bytes = bytes;
+    req.cls = cls;
+    pending_.push_back(req);
+    // The engine-visible response: the snapshot state plus this lane's
+    // own earlier requests of the epoch. The replica's private traffic
+    // accounting is discarded at commit; the canonical replay is the
+    // single source of truth for byte totals.
+    return is_write ? replica_->write(now, addr, bytes, cls)
+                    : replica_->read(now, addr, bytes, cls);
+}
+
+Cycle
+LaneDramPort::read(Cycle now, uint64_t addr, Bytes bytes,
+                   mem::TrafficClass cls)
+{
+    return record(false, now, addr, bytes, cls);
+}
+
+Cycle
+LaneDramPort::write(Cycle now, uint64_t addr, Bytes bytes,
+                    mem::TrafficClass cls)
+{
+    return record(true, now, addr, bytes, cls);
+}
+
+std::unique_ptr<mem::DramModel>
+LaneDramPort::cloneTimingState() const
+{
+    panic("LaneDramPort cannot be snapshotted (it is itself a view "
+          "onto the canonical device)");
+}
+
+EpochDramArbiter::EpochDramArbiter(mem::DramModel &canonical,
+                                   uint32_t num_lanes)
+    : canonical_(canonical)
+{
+    GROW_ASSERT(num_lanes >= 1, "arbiter needs at least one lane");
+    lanes_.reserve(num_lanes);
+    for (uint32_t i = 0; i < num_lanes; ++i)
+        lanes_.push_back(std::make_unique<LaneDramPort>(*this, i));
+}
+
+void
+EpochDramArbiter::beginEpoch()
+{
+    ++epoch_;
+    for (auto &lane : lanes_) {
+        GROW_ASSERT(lane->pending_.empty(),
+                    "beginEpoch with uncommitted requests (commitEpoch "
+                    "missing)");
+        lane->replica_ = canonical_.cloneTimingState();
+    }
+}
+
+void
+EpochDramArbiter::commitEpoch()
+{
+    GROW_ASSERT(epoch_ > 0, "commitEpoch before the first beginEpoch");
+    std::vector<DramRequest> all;
+    for (auto &lane : lanes_) {
+        all.insert(all.end(), lane->pending_.begin(),
+                   lane->pending_.end());
+        lane->pending_.clear();
+        lane->replica_.reset();
+    }
+    // Canonical total order: cluster id first (the issue key the
+    // hardware arbiter would see), lane id as a defensive tie-break,
+    // lane-local sequence last so program order within a cluster is
+    // preserved. The sort key is unique, so std::sort is stable here.
+    std::sort(all.begin(), all.end(),
+              [](const DramRequest &a, const DramRequest &b) {
+                  return std::tie(a.epoch, a.clusterId, a.laneId, a.seq) <
+                         std::tie(b.epoch, b.clusterId, b.laneId, b.seq);
+              });
+    for (const DramRequest &r : all) {
+        if (r.isWrite)
+            canonical_.write(r.now, r.addr, r.bytes, r.cls);
+        else
+            canonical_.read(r.now, r.addr, r.bytes, r.cls);
+    }
+    committed_ += all.size();
+}
+
+} // namespace grow::accel

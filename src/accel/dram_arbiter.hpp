@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Deterministic epoch-based arbitration of a shared DRAM channel.
+ *
+ * The cluster-parallel co-simulation (core::GrowSim with
+ * SimOptions::epochCycles > 0) runs one lane per processing engine,
+ * each lane executing its share of the graph clusters concurrently.
+ * The lanes share one DRAM device -- exactly the coupling that makes
+ * naive parallel simulation non-deterministic: the interleaving of
+ * read()/write() calls would depend on OS scheduling.
+ *
+ * The arbiter removes the scheduling dependence with a bulk-
+ * synchronous protocol:
+ *
+ *  1. beginEpoch() snapshots the canonical device's timing state into
+ *     one private replica per lane (DramModel::cloneTimingState).
+ *  2. During the epoch each lane talks only to its LaneDramPort: the
+ *     response comes from the lane's replica (snapshot + the lane's
+ *     own earlier requests of this epoch), and the request is recorded
+ *     with its canonical key (epoch, clusterId, requestSeq). Lanes
+ *     never touch shared mutable state, so they may run on any number
+ *     of worker threads in any order.
+ *  3. commitEpoch() sorts the recorded requests by the canonical key
+ *     and replays them through the canonical device, which accumulates
+ *     the official traffic accounting and the channel backlog that the
+ *     next epoch's snapshots observe.
+ *
+ * Determinism: every response and the canonical replay order are pure
+ * functions of the simulation state at the epoch boundary -- thread
+ * count and scheduling cannot change a single bit. Fidelity: a lane
+ * observes other lanes' channel pressure with one-epoch delay
+ * (contention within an epoch window of E cycles is resolved at the
+ * boundary), which is the standard relaxed-synchronization trade-off
+ * of parallel architecture simulators; epochCycles == 0 disables the
+ * arbiter entirely and keeps the exact serial interleaving. See
+ * DESIGN.md "Parallel co-simulation & DRAM arbitration".
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/dram.hpp"
+#include "sim/types.hpp"
+
+namespace grow::accel {
+
+class EpochDramArbiter;
+
+/** One recorded memory request with its canonical ordering key. */
+struct DramRequest
+{
+    uint64_t epoch = 0;
+    /** Graph cluster the owning lane was executing (falls back to the
+     *  lane id before the first cluster transition). Clusters are
+     *  owned by exactly one lane, so (epoch, clusterId, seq) is
+     *  unique; laneId breaks ties defensively. */
+    uint32_t clusterId = 0;
+    uint32_t laneId = 0;
+    /** Lane-local issue index (program order within the lane). */
+    uint64_t seq = 0;
+
+    bool isWrite = false;
+    Cycle now = 0;
+    uint64_t addr = 0;
+    Bytes bytes = 0;
+    mem::TrafficClass cls = mem::TrafficClass::DenseRow;
+};
+
+/**
+ * Per-lane port: a DramModel whose responses are computed against the
+ * lane's private replica of the canonical device. Engines use it as a
+ * drop-in DRAM; the arbiter owns it.
+ */
+class LaneDramPort : public mem::DramModel
+{
+  public:
+    LaneDramPort(EpochDramArbiter &arbiter, uint32_t lane_id);
+
+    /** Stamp subsequent requests as belonging to @p cluster_id
+     *  (wired to RowEngine's cluster transitions). */
+    void setCluster(uint32_t cluster_id) { cluster_ = cluster_id; }
+
+    Cycle read(Cycle now, uint64_t addr, Bytes bytes,
+               mem::TrafficClass cls) override;
+    Cycle write(Cycle now, uint64_t addr, Bytes bytes,
+                mem::TrafficClass cls) override;
+    std::unique_ptr<mem::DramModel> cloneTimingState() const override;
+
+  private:
+    friend class EpochDramArbiter;
+
+    Cycle record(bool is_write, Cycle now, uint64_t addr, Bytes bytes,
+                 mem::TrafficClass cls);
+
+    EpochDramArbiter &arbiter_;
+    uint32_t lane_;
+    uint32_t cluster_;
+    uint64_t seq_ = 0;
+    /** Snapshot of the canonical device + this lane's epoch requests. */
+    std::unique_ptr<mem::DramModel> replica_;
+    std::vector<DramRequest> pending_;
+};
+
+/**
+ * The epoch coordinator. Owns the lane ports; the canonical device is
+ * borrowed and must outlive the arbiter.
+ */
+class EpochDramArbiter
+{
+  public:
+    EpochDramArbiter(mem::DramModel &canonical, uint32_t num_lanes);
+
+    uint32_t numLanes() const
+    {
+        return static_cast<uint32_t>(lanes_.size());
+    }
+    LaneDramPort &lane(uint32_t i) { return *lanes_.at(i); }
+
+    /** Current epoch index (first beginEpoch() starts epoch 1). */
+    uint64_t epoch() const { return epoch_; }
+
+    /** Total requests replayed through the canonical device so far. */
+    uint64_t committedRequests() const { return committed_; }
+
+    /** Open the next epoch: re-snapshot every lane's replica from the
+     *  canonical device. */
+    void beginEpoch();
+
+    /**
+     * Close the epoch: gather every lane's recorded requests, order
+     * them by the canonical (epoch, clusterId, laneId, seq) key and
+     * replay them through the canonical device. Responses of the
+     * replay are discarded -- lanes already consumed their replica
+     * responses; the replay exists to accumulate the official traffic
+     * and carry the channel backlog into the next epoch.
+     */
+    void commitEpoch();
+
+  private:
+    friend class LaneDramPort;
+
+    mem::DramModel &canonical_;
+    std::vector<std::unique_ptr<LaneDramPort>> lanes_;
+    uint64_t epoch_ = 0;
+    uint64_t committed_ = 0;
+};
+
+} // namespace grow::accel

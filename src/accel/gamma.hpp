@@ -39,6 +39,11 @@ class GammaSim : public AcceleratorSim
     PhaseResult run(const SpDeGemmProblem &problem,
                     const SimOptions &options) override;
 
+    std::unique_ptr<AcceleratorSim> clone() const override
+    {
+        return std::make_unique<GammaSim>(config_);
+    }
+
   private:
     GammaConfig config_;
 };

@@ -80,6 +80,11 @@ class GcnaxSim : public AcceleratorSim
 
     const GcnaxConfig &config() const { return config_; }
 
+    std::unique_ptr<AcceleratorSim> clone() const override
+    {
+        return std::make_unique<GcnaxSim>(config_);
+    }
+
   private:
     /** Exact traffic for a candidate tiling (O(nnz) tile census). */
     Bytes tilingTraffic(const sparse::TileGridStats &stats, uint32_t tk,

@@ -41,6 +41,11 @@ class MatRaptorSim : public AcceleratorSim
     PhaseResult run(const SpDeGemmProblem &problem,
                     const SimOptions &options) override;
 
+    std::unique_ptr<AcceleratorSim> clone() const override
+    {
+        return std::make_unique<MatRaptorSim>(config_);
+    }
+
   private:
     MatRaptorConfig config_;
 };

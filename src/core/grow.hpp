@@ -8,6 +8,16 @@
  * interleaved across PEs and the engines are co-simulated in lockstep
  * on a shared memory system, so transient per-PE bandwidth imbalance is
  * captured.
+ *
+ * Two co-simulation schedules exist (SimOptions::epochCycles):
+ * 0 (default) steps the engine with the smallest local clock against
+ * the live shared DRAM -- the exact historical serial schedule; > 0
+ * runs bulk-synchronous epochs in which the engine lanes execute
+ * concurrently against private DRAM replicas and their requests are
+ * replayed through the shared device in canonical (epoch, clusterId,
+ * requestSeq) order (accel::EpochDramArbiter). Either way the result
+ * is bit-identical for every SimOptions::threads value; see DESIGN.md
+ * "Parallel co-simulation & DRAM arbitration".
  */
 #pragma once
 
@@ -29,6 +39,11 @@ class GrowSim : public accel::AcceleratorSim
 
     accel::PhaseResult run(const accel::SpDeGemmProblem &problem,
                            const accel::SimOptions &options) override;
+
+    std::unique_ptr<accel::AcceleratorSim> clone() const override
+    {
+        return std::make_unique<GrowSim>(config_);
+    }
 
     const GrowConfig &config() const { return config_; }
 

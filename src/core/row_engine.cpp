@@ -92,6 +92,8 @@ RowEngine::startNextCluster()
     rowCursor_ = problem_.clustering->clusterStart[c];
     clusterEndRow_ = problem_.clustering->clusterStart[c + 1];
     stats_.clustersProcessed += 1;
+    if (problem_.onClusterStart)
+        problem_.onClusterStart(c);
 
     // A demand-filled LRU cache does not preload anything.
     if (config_.hdnPolicy == HdnPolicy::Lru)

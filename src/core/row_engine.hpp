@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -76,6 +77,14 @@ struct RowEngineProblem
      * list, computed once per problem instead of copied per cluster).
      */
     const std::vector<NodeId> *globalHdnList = nullptr;
+    /**
+     * Invoked with the cluster id whenever the engine transitions to
+     * a new cluster, before any memory request of that cluster is
+     * issued. The epoch arbiter wires this to LaneDramPort::setCluster
+     * so requests carry their canonical (epoch, clusterId, seq) key;
+     * unset (the serial path) it costs nothing.
+     */
+    std::function<void(uint32_t)> onClusterStart;
 };
 
 class RowEngine

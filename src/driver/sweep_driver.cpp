@@ -2,11 +2,13 @@
 
 #include <atomic>
 #include <exception>
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
 #include "util/logging.hpp"
+#include "util/work_pool.hpp"
 
 namespace grow::driver {
 
@@ -78,16 +80,20 @@ SweepDriver::runAll(const std::vector<SweepJob> &jobs) const
     for (size_t i = 0; i < jobs.size(); ++i)
         outcomes[i].label = jobs[i].label;
 
-    std::atomic<size_t> next{0};
     std::atomic<bool> failed{false};
     std::vector<std::exception_ptr> errors(jobs.size());
     std::vector<char> ran(jobs.size(), 0);
 
-    auto worker = [&]() {
-        while (true) {
-            const size_t i = next.fetch_add(1);
-            if (i >= jobs.size() || failed.load())
-                return;
+    // Jobs run on the shared process-wide pool (util::WorkPool), so a
+    // job that itself fans out -- phase-parallel executePlan, epoch-
+    // mode cluster rounds -- reuses the same workers instead of
+    // oversubscribing the machine with a second thread layer.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        tasks.emplace_back([&, i] {
+            if (failed.load())
+                return; // fail-fast: skip unstarted jobs
             const SweepJob &job = jobs[i];
             ran[i] = 1;
             try {
@@ -102,21 +108,9 @@ SweepDriver::runAll(const std::vector<SweepJob> &jobs) const
                 errors[i] = std::current_exception();
                 failed.store(true);
             }
-        }
-    };
-
-    const uint32_t threads = static_cast<uint32_t>(
-        std::min<size_t>(numThreads_, jobs.size()));
-    if (threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (uint32_t t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
-        for (auto &t : pool)
-            t.join();
+        });
     }
+    util::WorkPool::shared().runAll(std::move(tasks), numThreads_);
 
     if (failed.load()) {
         // One aggregate report: every error in job order, then the

@@ -7,10 +7,13 @@
  * combinations, each combination independent of the others. Engine
  * instances carry no state across run() calls and workloads are only
  * read, so combinations parallelise perfectly: the driver fans jobs
- * out over a fixed-size thread pool (one fresh engine instance per
- * job, constructed on the worker that claims it) and returns results
- * in job order regardless of completion order, so parallel sweeps are
- * bit-identical to serial ones. See DESIGN.md for the threading model.
+ * out over the shared util::WorkPool (one fresh engine instance per
+ * job, constructed on the worker that claims it; at most numThreads
+ * jobs in flight) and returns results in job order regardless of
+ * completion order, so parallel sweeps are bit-identical to serial
+ * ones. Jobs that fan out internally (phase-parallel executePlan,
+ * epoch-mode co-simulation) reuse the same pool workers -- nesting
+ * never oversubscribes. See DESIGN.md for the threading model.
  */
 #pragma once
 

@@ -1,8 +1,11 @@
 #include "gcn/runner.hpp"
 
+#include <functional>
+
 #include "sparse/reference_gemm.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
+#include "util/work_pool.hpp"
 
 namespace grow::gcn {
 
@@ -221,6 +224,36 @@ executePlan(accel::AcceleratorSim &engine, const PhasePlan &plan,
         res.model = plan.front().model;
         res.modelAreaOverhead =
             aggregatorSupport(modelAggregator(res.model)).areaOverhead;
+    }
+
+    // Phase-parallel execution: outside functional mode no phase reads
+    // another phase's output (the plan carries every operand), so the
+    // phases of one inference fan out over the shared worker pool --
+    // one cloned engine and one private DRAM model per phase -- and
+    // fold back in plan order. Each phase's simulation is hermetic,
+    // so the aggregate is bit-identical to the serial loop below for
+    // every thread count. Functional mode threads combination outputs
+    // between phases and stays serial.
+    const uint32_t threads = std::max(1u, options.sim.threads);
+    if (!functional && threads > 1 && plan.size() > 1) {
+        std::vector<accel::PhaseResult> phaseResults(plan.size());
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(plan.size());
+        for (size_t i = 0; i < plan.size(); ++i) {
+            tasks.emplace_back([&engine, &plan, &options, &phaseResults,
+                                i] {
+                auto worker = engine.clone();
+                phaseResults[i] =
+                    worker->run(plan[i].problem, options.sim);
+            });
+        }
+        util::rethrowFirstError(
+            util::WorkPool::shared().runAll(std::move(tasks), threads));
+        for (size_t i = 0; i < plan.size(); ++i) {
+            accumulatePhase(res, plan[i], std::move(phaseResults[i]),
+                            options.energy);
+        }
+        return res;
     }
 
     // The most recent combination output, pending consumption by a

@@ -112,12 +112,19 @@ PhasePlan buildPhasePlan(const GcnWorkload &workload,
 /**
  * Execute @p plan on @p engine and aggregate the per-phase metrics.
  *
+ * With options.sim.threads > 1 (and outside functional mode) the
+ * phases fan out over the shared worker pool, one cloned engine and
+ * one private DRAM model per phase, and fold back in plan order --
+ * bit-identical to the serial loop for every thread count (phases are
+ * hermetic; see DESIGN.md "Parallel co-simulation").
+ *
  * In functional mode (options.sim.functional) each combination output
  * feeds the downstream steps of its layer that consume it (attention
  * score peeks at it, aggregation consumes it, a trailing MLP
  * combination's output is terminal) and every phase output is checked
  * against sparse::referenceSpMM; a mismatch panics, as does a plan
- * that leaves a combination output unconsumed at the end.
+ * that leaves a combination output unconsumed at the end. Functional
+ * plans execute serially regardless of the thread budget.
  */
 InferenceResult executePlan(accel::AcceleratorSim &engine,
                             const PhasePlan &plan,

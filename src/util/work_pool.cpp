@@ -1,0 +1,168 @@
+#include "util/work_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "util/logging.hpp"
+
+namespace grow::util {
+
+uint32_t
+checkedThreadCount(int64_t requested)
+{
+    const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+    const int64_t limit = static_cast<int64_t>(hw) * 4;
+    if (requested < 1)
+        fatal("threads must be >= 1, got " + std::to_string(requested) +
+              " (omit threads= for one worker per core; threads=1 is "
+              "the serial baseline)");
+    if (requested > limit)
+        fatal("threads=" + std::to_string(requested) + " exceeds 4x the "
+              "hardware concurrency (" + std::to_string(hw) +
+              " cores, limit " + std::to_string(limit) +
+              "): refusing to oversubscribe that hard");
+    return static_cast<uint32_t>(requested);
+}
+
+void
+rethrowFirstError(const std::vector<std::exception_ptr> &errors)
+{
+    for (const auto &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+/**
+ * One runAll() invocation. Owned by shared_ptr: a claim ticket that a
+ * worker only picks up after the batch already drained must find the
+ * control block alive (and see no unclaimed task), not dangling
+ * caller-stack memory.
+ */
+struct WorkPool::Batch
+{
+    std::vector<std::function<void()>> tasks;
+    std::vector<std::exception_ptr> errors;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex m;
+    std::condition_variable cv;
+};
+
+struct WorkPool::Impl
+{
+    std::mutex m;
+    std::condition_variable cv;
+    /** Claim tickets: one entry per helper invited into a batch. */
+    std::deque<std::shared_ptr<Batch>> tickets;
+    bool stop = false;
+};
+
+WorkPool::WorkPool(uint32_t workers) : impl_(std::make_unique<Impl>())
+{
+    workers_.reserve(workers);
+    for (uint32_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkPool::~WorkPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(impl_->m);
+        impl_->stop = true;
+    }
+    impl_->cv.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+WorkPool &
+WorkPool::shared()
+{
+    // The caller of runAll() always participates, so the shared pool
+    // keeps hardware_concurrency - 1 workers: full-width fan-out uses
+    // exactly one thread per core with no oversubscription.
+    static WorkPool pool(std::max(1u, std::thread::hardware_concurrency()) -
+                         1);
+    return pool;
+}
+
+void
+WorkPool::help(Batch &batch)
+{
+    const size_t size = batch.tasks.size();
+    while (true) {
+        const size_t i = batch.next.fetch_add(1);
+        if (i >= size)
+            return;
+        try {
+            batch.tasks[i]();
+        } catch (...) {
+            batch.errors[i] = std::current_exception();
+        }
+        if (batch.done.fetch_add(1) + 1 == size) {
+            // Empty critical section: the waiter must not check the
+            // predicate between our done increment and the notify.
+            std::lock_guard<std::mutex> lk(batch.m);
+            batch.cv.notify_all();
+        }
+    }
+}
+
+void
+WorkPool::workerLoop()
+{
+    while (true) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lk(impl_->m);
+            impl_->cv.wait(lk, [this] {
+                return impl_->stop || !impl_->tickets.empty();
+            });
+            if (impl_->stop)
+                return;
+            batch = std::move(impl_->tickets.front());
+            impl_->tickets.pop_front();
+        }
+        help(*batch);
+    }
+}
+
+std::vector<std::exception_ptr>
+WorkPool::runAll(std::vector<std::function<void()>> tasks,
+                 uint32_t max_parallel)
+{
+    if (tasks.empty())
+        return {};
+    auto batch = std::make_shared<Batch>();
+    batch->errors.resize(tasks.size());
+    batch->tasks = std::move(tasks);
+
+    // Invite helpers: the caller is one executor, so max_parallel - 1
+    // tickets bound the in-flight task count at max_parallel; never
+    // more tickets than workers or tasks could use.
+    const size_t budget = max_parallel == 0 ? workers_.size()
+                                            : max_parallel - 1;
+    uint32_t helpers = static_cast<uint32_t>(std::min<size_t>(
+        {budget, workers_.size(), batch->tasks.size() - 1}));
+    if (helpers > 0) {
+        {
+            std::lock_guard<std::mutex> lk(impl_->m);
+            for (uint32_t i = 0; i < helpers; ++i)
+                impl_->tickets.push_back(batch);
+        }
+        impl_->cv.notify_all();
+    }
+
+    help(*batch);
+    {
+        std::unique_lock<std::mutex> lk(batch->m);
+        batch->cv.wait(lk, [&] {
+            return batch->done.load() == batch->tasks.size();
+        });
+    }
+    return std::move(batch->errors);
+}
+
+} // namespace grow::util

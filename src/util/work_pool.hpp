@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared work pool for every level of parallelism in the simulator.
+ *
+ * Sweep-level jobs (driver::SweepDriver), phase-level fan-out inside
+ * one inference (gcn::executePlan) and cluster-level co-simulation
+ * rounds (core::GrowSim's epoch mode) all draw workers from one
+ * process-wide pool, so nesting them composes without oversubscribing
+ * the machine: an inner fan-out never spawns threads, it only enqueues
+ * claim tickets that idle pool workers may pick up.
+ *
+ * Deadlock freedom under nesting comes from caller participation:
+ * runAll() has the calling thread claim and execute tasks of its own
+ * batch until none are left, then wait for the stragglers claimed by
+ * pool workers. A worker executing an outer task that fans out again
+ * drains the inner batch the same way, so no thread ever blocks on
+ * work that only itself could perform.
+ *
+ * Determinism: tasks of one batch must be independent (they write to
+ * disjoint slots); under that contract results are bit-identical for
+ * every pool width and max_parallel value, which is what the
+ * threads=N reproducibility guarantee of the parallel co-simulation
+ * rests on (see DESIGN.md "Parallel co-simulation").
+ */
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace grow::util {
+
+/**
+ * Validate a user-supplied `threads=` value: rejects 0 (a silent
+ * "spawn nothing" footgun) and values above 4x the hardware
+ * concurrency (almost certainly a typo; oversubscribing a cycle-level
+ * simulator that hard only loses throughput). fatal() on violation.
+ */
+uint32_t checkedThreadCount(int64_t requested);
+
+/**
+ * Surface the first captured task exception from a runAll() result,
+ * if any (first-wins: errors come back in task order, so the rethrown
+ * one is deterministic regardless of completion order).
+ */
+void rethrowFirstError(const std::vector<std::exception_ptr> &errors);
+
+class WorkPool
+{
+  public:
+    /** @p workers persistent worker threads (>= 0; 0 means the caller
+     *  of runAll() does all the work itself). */
+    explicit WorkPool(uint32_t workers);
+    ~WorkPool();
+
+    WorkPool(const WorkPool &) = delete;
+    WorkPool &operator=(const WorkPool &) = delete;
+
+    /** The process-wide pool, lazily created with
+     *  hardware_concurrency() - 1 workers (the caller thread is the
+     *  +1: runAll() always participates). */
+    static WorkPool &shared();
+
+    uint32_t numWorkers() const
+    {
+        return static_cast<uint32_t>(workers_.size());
+    }
+
+    /**
+     * Execute every task; the calling thread participates until the
+     * batch is exhausted, then blocks for in-flight stragglers. At
+     * most @p max_parallel tasks run concurrently (0 = pool width +
+     * caller; 1 = serial on the caller, in task order). Returns one
+     * exception_ptr slot per task (null on success) in task order --
+     * a throwing task never cancels its siblings.
+     */
+    std::vector<std::exception_ptr>
+    runAll(std::vector<std::function<void()>> tasks,
+           uint32_t max_parallel = 0);
+
+  private:
+    struct Batch;
+
+    /** Claim-and-execute loop shared by workers and callers. */
+    static void help(Batch &batch);
+
+    void workerLoop();
+
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace grow::util

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Perf-trajectory differ: canonical record join keys, drift
+ * classification against the gate units and tolerance, and the
+ * added/removed record accounting CI relies on.
+ */
+#include <gtest/gtest.h>
+
+#include "report/diff.hpp"
+#include <cmath>
+
+#include "report/json.hpp"
+
+namespace grow::report {
+namespace {
+
+JsonValue
+parse(const std::string &text)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(parseJson(text, v, &error)) << error;
+    return v;
+}
+
+/** A minimal schema-valid report with the given records payload. */
+std::string
+reportWith(const std::string &records)
+{
+    return R"({"schema":1,"generator":"grow-bench","bench":"t",)"
+           R"("revision":"r","records":[)" +
+           records + "]}";
+}
+
+const char *kRecA =
+    R"({"bench":"fig20","table":"fig20","dataset":"yelp",)"
+    R"("engine":"grow","metric":"cycles","unit":"cycles","value":1000})";
+
+TEST(ReportDiff, JoinKeyCoversBenchTableDimsAndMetric)
+{
+    auto root = parse(reportWith(
+        R"({"bench":"b","table":"t","dataset":"d","engine":"e",)"
+        R"("model":"gat","depth":3,"dims":{"cap":"512"},)"
+        R"("metric":"cycles","value":1})"));
+    const auto &rec = root.find("records")->arr[0];
+    EXPECT_EQ(recordJoinKey(rec),
+              "b|t|dataset=d|engine=e|model=gat|depth=3|cap=512|cycles");
+}
+
+TEST(ReportDiff, IdenticalReportsShowNoDrift)
+{
+    auto base = parse(reportWith(kRecA));
+    auto curr = parse(reportWith(kRecA));
+    auto result = diffReports(base, curr);
+    EXPECT_EQ(result.joined, 1u);
+    EXPECT_TRUE(result.drifted.empty());
+    EXPECT_EQ(result.regressions, 0u);
+    EXPECT_TRUE(result.onlyBase.empty());
+    EXPECT_TRUE(result.onlyCurrent.empty());
+}
+
+TEST(ReportDiff, GatedDriftBeyondToleranceIsARegression)
+{
+    auto base = parse(reportWith(kRecA));
+    auto curr = parse(reportWith(
+        R"({"bench":"fig20","table":"fig20","dataset":"yelp",)"
+        R"("engine":"grow","metric":"cycles","unit":"cycles",)"
+        R"("value":1100})"));
+    DiffOptions opt;
+    opt.relTolerance = 0.05;
+    auto result = diffReports(base, curr, opt);
+    ASSERT_EQ(result.drifted.size(), 1u);
+    EXPECT_EQ(result.regressions, 1u);
+    EXPECT_TRUE(result.drifted[0].regression);
+    EXPECT_DOUBLE_EQ(result.drifted[0].relDelta, 0.1);
+    EXPECT_DOUBLE_EQ(result.drifted[0].baseValue, 1000.0);
+    EXPECT_DOUBLE_EQ(result.drifted[0].currValue, 1100.0);
+
+    // A looser tolerance downgrades the same delta to plain drift.
+    opt.relTolerance = 0.2;
+    auto relaxed = diffReports(base, curr, opt);
+    ASSERT_EQ(relaxed.drifted.size(), 1u);
+    EXPECT_EQ(relaxed.regressions, 0u);
+    EXPECT_FALSE(relaxed.drifted[0].regression);
+}
+
+TEST(ReportDiff, ImprovementsBeyondToleranceAlsoTripTheGate)
+{
+    // The simulator is deterministic: an "improvement" that nobody
+    // made is drift too. Both directions gate.
+    auto base = parse(reportWith(kRecA));
+    auto curr = parse(reportWith(
+        R"({"bench":"fig20","table":"fig20","dataset":"yelp",)"
+        R"("engine":"grow","metric":"cycles","unit":"cycles",)"
+        R"("value":800})"));
+    DiffOptions opt;
+    opt.relTolerance = 0.1;
+    auto result = diffReports(base, curr, opt);
+    EXPECT_EQ(result.regressions, 1u);
+}
+
+TEST(ReportDiff, UngatedUnitsNeverFailTheGate)
+{
+    auto base = parse(reportWith(
+        R"({"bench":"b","table":"t","metric":"speedup","unit":"x",)"
+        R"("value":2.5})"));
+    auto curr = parse(reportWith(
+        R"({"bench":"b","table":"t","metric":"speedup","unit":"x",)"
+        R"("value":1.0})"));
+    auto result = diffReports(base, curr); // gate = cycles,bytes
+    ASSERT_EQ(result.drifted.size(), 1u);
+    EXPECT_EQ(result.regressions, 0u);
+    EXPECT_FALSE(result.drifted[0].regression);
+}
+
+TEST(ReportDiff, AddedAndRemovedRecordsAreInformational)
+{
+    auto base = parse(reportWith(kRecA));
+    auto curr = parse(reportWith(
+        std::string(kRecA) + "," +
+        R"({"bench":"fig22","table":"fig22","dataset":"yelp",)"
+        R"("engine":"grow","metric":"energy","unit":"uJ","value":5})"));
+    auto result = diffReports(base, curr);
+    EXPECT_EQ(result.joined, 1u);
+    EXPECT_EQ(result.regressions, 0u);
+    EXPECT_TRUE(result.onlyBase.empty());
+    ASSERT_EQ(result.onlyCurrent.size(), 1u);
+    EXPECT_NE(result.onlyCurrent[0].find("fig22"), std::string::npos);
+}
+
+TEST(ReportDiff, TextChangesAreReportedButNotGated)
+{
+    auto base = parse(reportWith(
+        R"({"bench":"b","table":"t","metric":"status","text":"ok"})"));
+    auto curr = parse(reportWith(
+        R"({"bench":"b","table":"t","metric":"status","text":"meh"})"));
+    auto result = diffReports(base, curr);
+    ASSERT_EQ(result.textChanges.size(), 1u);
+    EXPECT_EQ(result.textChanges[0].baseText, "ok");
+    EXPECT_EQ(result.textChanges[0].currText, "meh");
+    EXPECT_EQ(result.regressions, 0u);
+}
+
+TEST(ReportDiff, GatedMetricLosingItsNumericValueTripsTheGate)
+{
+    // A bench bug that turns a gated numeric metric into a text cell
+    // must not silently retire the metric from the gate.
+    auto base = parse(reportWith(kRecA));
+    auto curr = parse(reportWith(
+        R"({"bench":"fig20","table":"fig20","dataset":"yelp",)"
+        R"("engine":"grow","metric":"cycles","unit":"cycles",)"
+        R"("text":"n/a"})"));
+    DiffOptions opt;
+    opt.relTolerance = 1e9;
+    auto result = diffReports(base, curr, opt);
+    ASSERT_EQ(result.textChanges.size(), 1u);
+    EXPECT_EQ(result.regressions, 1u);
+}
+
+TEST(ReportDiff, ZeroBaselineDriftIsInfiniteAndGated)
+{
+    auto base = parse(reportWith(
+        R"({"bench":"b","table":"t","metric":"stalls","unit":"cycles",)"
+        R"("value":0})"));
+    auto curr = parse(reportWith(
+        R"({"bench":"b","table":"t","metric":"stalls","unit":"cycles",)"
+        R"("value":7})"));
+    DiffOptions opt;
+    opt.relTolerance = 1e9; // even an absurd tolerance cannot excuse it
+    auto result = diffReports(base, curr, opt);
+    ASSERT_EQ(result.drifted.size(), 1u);
+    EXPECT_TRUE(std::isinf(result.drifted[0].relDelta));
+    EXPECT_EQ(result.regressions, 1u);
+}
+
+TEST(ReportDiff, WorstDriftSortsFirstAndFormats)
+{
+    auto base = parse(reportWith(
+        R"({"bench":"b","table":"t","metric":"m1","unit":"cycles","value":100},)"
+        R"({"bench":"b","table":"t","metric":"m2","unit":"cycles","value":100})"));
+    auto curr = parse(reportWith(
+        R"({"bench":"b","table":"t","metric":"m1","unit":"cycles","value":101},)"
+        R"({"bench":"b","table":"t","metric":"m2","unit":"cycles","value":150})"));
+    auto result = diffReports(base, curr);
+    ASSERT_EQ(result.drifted.size(), 2u);
+    EXPECT_NE(result.drifted[0].key.find("m2"), std::string::npos);
+    auto text = formatDiff(result, DiffOptions{});
+    EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+    EXPECT_NE(text.find("+50.000%"), std::string::npos);
+    // max_lines truncation note
+    auto truncated = formatDiff(result, DiffOptions{}, 1);
+    EXPECT_NE(truncated.find("suppressed"), std::string::npos);
+}
+
+} // namespace
+} // namespace grow::report

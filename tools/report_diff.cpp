@@ -1,0 +1,112 @@
+/**
+ * @file
+ * report_diff: the CI perf-regression gate over two BENCH_GROW.json
+ * perf-trajectory files (src/report/diff.hpp).
+ *
+ * Usage:
+ *   report_diff base=main/BENCH_GROW.json current=build/BENCH_GROW.json
+ *               [tol=0.0] [gate=cycles,bytes] [max_lines=40]
+ *
+ * Joins the two files on the canonical (bench, table, row-dims,
+ * metric) record key, prints every per-metric delta (worst first) and
+ * the added/removed record summary.
+ *
+ * Exit codes:
+ *   0  no gated metric drifted beyond `tol` (other drift is reported
+ *      but does not fail the gate)
+ *   1  at least one gated regression
+ *   2  usage error, unreadable file, JSON parse or schema failure
+ */
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "report/diff.hpp"
+#include "report/json.hpp"
+#include "report/report.hpp"
+#include "util/cli.hpp"
+#include "util/string_util.hpp"
+
+using namespace grow;
+
+namespace {
+
+int
+loadReport(const std::string &path, report::JsonValue &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "report_diff: cannot read " << path << "\n";
+        return 2;
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    std::string error;
+    if (!report::parseJson(oss.str(), out, &error)) {
+        std::cerr << "report_diff: " << path
+                  << ": JSON parse error: " << error << "\n";
+        return 2;
+    }
+    std::vector<std::string> errors;
+    if (!report::validateReportJson(out, errors)) {
+        std::cerr << "report_diff: " << path << ": " << errors.size()
+                  << " schema violation(s):\n";
+        for (const auto &msg : errors)
+            std::cerr << "  - " << msg << "\n";
+        return 2;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        CliArgs args(argc, argv);
+        args.requireKnown({"base", "current", "tol", "gate", "max_lines"});
+        const std::string basePath = args.get("base", "");
+        const std::string currPath = args.get("current", "");
+        if (basePath.empty() || currPath.empty()) {
+            std::cerr << "usage: report_diff base=<old.json> "
+                         "current=<new.json> [tol=0.0] "
+                         "[gate=cycles,bytes] [max_lines=40]\n";
+            return 2;
+        }
+
+        report::DiffOptions options;
+        options.relTolerance = args.getDouble("tol", 0.0);
+        if (options.relTolerance < 0) {
+            std::cerr << "report_diff: tol must be >= 0\n";
+            return 2;
+        }
+        options.gateUnits = args.getList("gate", {"cycles", "bytes"});
+        const int64_t maxLines = args.getInt("max_lines", 40);
+        if (maxLines < 0) {
+            std::cerr << "report_diff: max_lines must be >= 0\n";
+            return 2;
+        }
+
+        report::JsonValue base, current;
+        if (int rc = loadReport(basePath, base))
+            return rc;
+        if (int rc = loadReport(currPath, current))
+            return rc;
+
+        auto result = report::diffReports(base, current, options);
+        std::cout << report::formatDiff(result, options,
+                                        static_cast<size_t>(maxLines));
+        if (result.joined == 0) {
+            // Nothing joined means the gate compared nothing -- that
+            // is a configuration problem (wrong files), not a pass.
+            std::cerr << "report_diff: no records joined between "
+                      << basePath << " and " << currPath << "\n";
+            return 2;
+        }
+        return result.regressions > 0 ? 1 : 0;
+    } catch (const std::exception &e) {
+        std::cerr << "report_diff: " << e.what() << "\n";
+        return 2;
+    }
+}
