@@ -2,11 +2,17 @@
  * @file
  * Google-benchmark microbenchmarks of the substrate kernels: golden
  * SpMM, format conversions, tile census, graph generation, the
- * multilevel partitioner and the workload-construction split. These
- * quantify the host-side cost of the simulation substrate itself (not
- * simulated cycles).
+ * multilevel partitioner and the workload-construction split, plus
+ * paired old-vs-new container benches of the RowEngine hot-loop data
+ * structures (ring/flat-map vs deque/unordered_map) and the WorkPool
+ * submit path. These quantify the host-side cost of the simulation
+ * substrate itself (not simulated cycles).
  */
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <deque>
+#include <unordered_map>
 
 #include "gcn/runner.hpp"
 #include "gcn/workload.hpp"
@@ -17,7 +23,10 @@
 #include "sparse/convert.hpp"
 #include "sparse/reference_gemm.hpp"
 #include "sparse/tiling.hpp"
+#include "util/arena.hpp"
+#include "util/flat_map.hpp"
 #include "util/random.hpp"
+#include "util/work_pool.hpp"
 
 using namespace grow;
 
@@ -193,6 +202,157 @@ BENCHMARK(BM_BuildPhasePlan)
     ->Arg(static_cast<int>(gcn::ModelKind::SagePool))
     ->Arg(static_cast<int>(gcn::ModelKind::Gin))
     ->Arg(static_cast<int>(gcn::ModelKind::Gat));
+
+// ---------------------------------------------------------------------
+// RowEngine hot-loop containers: each pair runs the identical access
+// pattern through the old standard container and the new arena-backed
+// replacement, so one bench_kernels run shows the speedup directly.
+// ---------------------------------------------------------------------
+
+/** Stand-in for RowEngine's per-row window slot (same field layout). */
+struct BenchSlot
+{
+    NodeId row;
+    uint64_t token;
+    uint32_t pending;
+    Cycle lastFinish;
+    bool controlDone;
+};
+
+constexpr uint32_t kLdnEntries = 1024;
+
+/** LDN-table churn: find / miss-insert / FIFO-evict over a bounded
+ *  live set, the access pattern of RowEngine's ldnMap_. The id space
+ *  is 2x the live bound: like the real table (which exists to dedupe
+ *  in-flight fetches of clustered neighbourhoods), lookups hit about
+ *  half the time. */
+template <typename Body>
+void
+ldnChurn(benchmark::State &state, Body &&body)
+{
+    constexpr uint32_t kIdSpace = kLdnEntries * 2;
+    uint64_t lcg = 0x2545F4914F6CDD1DULL;
+    uint64_t hits = 0;
+    for (auto _ : state) {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        const NodeId id = static_cast<NodeId>((lcg >> 33) % kIdSpace);
+        hits += body(id, static_cast<Cycle>(lcg));
+    }
+    benchmark::DoNotOptimize(hits);
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_LdnTableUnorderedMap(benchmark::State &state)
+{
+    std::unordered_map<NodeId, Cycle> map;
+    map.reserve(kLdnEntries);
+    std::vector<NodeId> fifo(kLdnEntries);
+    uint32_t at = 0;
+    ldnChurn(state, [&](NodeId id, Cycle c) -> uint64_t {
+        auto it = map.find(id);
+        if (it != map.end())
+            return 1;
+        if (map.size() == kLdnEntries)
+            map.erase(fifo[at]);
+        map.emplace(id, c);
+        fifo[at] = id;
+        at = (at + 1) % kLdnEntries;
+        return 0;
+    });
+}
+BENCHMARK(BM_LdnTableUnorderedMap);
+
+void
+BM_LdnTableFlatMap(benchmark::State &state)
+{
+    util::FlatMap<NodeId, Cycle> map(kLdnEntries, kInvalidNode);
+    std::vector<NodeId> fifo(kLdnEntries);
+    uint32_t at = 0;
+    ldnChurn(state, [&](NodeId id, Cycle c) -> uint64_t {
+        if (map.find(id) != nullptr)
+            return 1;
+        if (map.size() == kLdnEntries)
+            map.erase(fifo[at]);
+        map.insert(id, c);
+        fifo[at] = id;
+        at = (at + 1) % kLdnEntries;
+        return 0;
+    });
+}
+BENCHMARK(BM_LdnTableFlatMap);
+
+/** Runahead-window traffic: steady push_back / touch-back / pop_front
+ *  through a window of runahead-degree slots, the access pattern of
+ *  RowEngine's window_ (and, with Cycle payloads, streamChunks_). */
+constexpr size_t kWindowDepth = 16;
+
+void
+BM_RunaheadWindowDeque(benchmark::State &state)
+{
+    std::deque<BenchSlot> win;
+    uint64_t token = 0, sum = 0;
+    for (auto _ : state) {
+        if (win.size() == kWindowDepth) {
+            sum += win.front().lastFinish;
+            win.pop_front();
+        }
+        win.push_back(BenchSlot{static_cast<NodeId>(token), token, 1,
+                                token * 3, false});
+        win.back().pending += 1;
+        ++token;
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RunaheadWindowDeque);
+
+void
+BM_RunaheadWindowRing(benchmark::State &state)
+{
+    util::Arena arena(util::ceilPow2(kWindowDepth) * sizeof(BenchSlot) +
+                      alignof(std::max_align_t));
+    util::RingBuffer<BenchSlot> win(arena, kWindowDepth);
+    uint64_t token = 0, sum = 0;
+    for (auto _ : state) {
+        if (win.size() == kWindowDepth) {
+            sum += win.front().lastFinish;
+            win.pop_front();
+        }
+        win.push_back(BenchSlot{static_cast<NodeId>(token), token, 1,
+                                token * 3, false});
+        win.back().pending += 1;
+        ++token;
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RunaheadWindowRing);
+
+/**
+ * WorkPool submit throughput: one epoch-mode co-simulation round is
+ * one runAll() of tiny tasks, so batch setup cost (allocation, ticket
+ * posting, wakeup, completion wait) sits on the simulator's critical
+ * path. Arg = worker count (0 = caller-only).
+ */
+void
+BM_WorkPoolSubmit(benchmark::State &state)
+{
+    util::WorkPool pool(static_cast<uint32_t>(state.range(0)));
+    constexpr size_t kTasks = 16;
+    std::atomic<uint64_t> sink{0};
+    for (auto _ : state) {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(kTasks);
+        for (size_t i = 0; i < kTasks; ++i)
+            tasks.emplace_back([&sink] {
+                sink.fetch_add(1, std::memory_order_relaxed);
+            });
+        util::rethrowFirstError(pool.runAll(std::move(tasks)));
+    }
+    state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_WorkPoolSubmit)->Arg(0)->Arg(3)->UseRealTime();
 
 } // namespace
 

@@ -112,6 +112,10 @@ GROW_BENCH_MAIN("model_zoo")
             std::vector<const gcn::InferenceResult *> results;
             for (size_t e = 0; e < engineKeys.size(); ++e)
                 results.push_back(&take(spec.name));
+            for (size_t e = 0; e < engineKeys.size(); ++e)
+                ctx.recordInference(spec.name,
+                                    engineKeys[e] + "@" + modelName,
+                                    *results[e]);
             const auto &lead = *results.front();
             // Speedup of the lead engine over the second key (the
             // headline baseline).

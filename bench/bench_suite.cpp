@@ -19,11 +19,14 @@
  *                    [list=1]
  *                    [scale=...] [datasets=...] [model=...]
  *                    [cachedir=...] [format=table|json|csv] [out=path]
- *                    [threads=N] [epoch=cycles]
+ *                    [threads=N] [epoch=cycles] [profile=0|1]
  *
  * `benches=` overrides `suite=`; scale/datasets/model/cachedir/
- * threads/epoch are forwarded verbatim to every bench (per-bench
- * defaults apply when omitted). `format=table` renders every report in sequence exactly as
+ * threads/epoch/profile are forwarded verbatim to every bench
+ * (per-bench defaults apply when omitted). With profile=1 every
+ * bench's report carries the nondeterministic `sim-speed` family
+ * (host wall-clock + rows/s), which lands in the merged
+ * BENCH_GROW.json for the trajectory differ's loose-tolerance gate. `format=table` renders every report in sequence exactly as
  * the standalone binaries would; json/csv emit the merged records.
  */
 #include <fstream>
@@ -90,7 +93,7 @@ suiteMain(int argc, char **argv)
     CliArgs args(argc, argv);
     args.requireKnown({"suite", "benches", "list", "scale", "datasets",
                        "model", "cachedir", "format", "out", "threads",
-                       "epoch"});
+                       "epoch", "profile"});
     if (args.has("threads")) // reject bad values before any bench runs
         util::checkedThreadCount(args.getInt("threads", 1));
     if (args.getBool("list", false)) {

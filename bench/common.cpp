@@ -67,7 +67,7 @@ BenchContext::BenchContext(int argc, char **argv,
 {
     std::vector<std::string> known = {"scale",  "datasets", "model",
                                       "cachedir", "format", "out",
-                                      "threads",  "epoch"};
+                                      "threads",  "epoch",  "profile"};
     known.insert(known.end(), extra_keys.begin(), extra_keys.end());
     args_.requireKnown(known);
 
@@ -79,11 +79,18 @@ BenchContext::BenchContext(int argc, char **argv,
     threads_ = args_.has("threads")
                    ? util::checkedThreadCount(args_.getInt("threads", 1))
                    : std::max(1u, std::thread::hardware_concurrency());
-    const int64_t epoch = args_.getInt("epoch", 0);
-    if (epoch < 0)
-        fatal("epoch must be >= 0 cycles (0 = exact serial schedule), "
-              "got " + std::to_string(epoch));
-    epochCycles_ = static_cast<Cycle>(epoch);
+    profile_ = args_.getBool("profile", false);
+    if (args_.get("epoch", "") == "auto") {
+        // epoch=auto: window seeds at the controller default and
+        // adapts per round from observed channel utilisation.
+        epochAuto_ = true;
+    } else {
+        const int64_t epoch = args_.getInt("epoch", 0);
+        if (epoch < 0)
+            fatal("epoch must be >= 0 cycles (0 = exact serial "
+                  "schedule) or 'auto', got " + std::to_string(epoch));
+        epochCycles_ = static_cast<Cycle>(epoch);
+    }
     specs_ = graph::datasetsByNames(
         args_.getList("datasets", split(default_datasets, ',')));
 
@@ -101,6 +108,8 @@ BenchContext::BenchContext(int argc, char **argv,
 BenchContext::~BenchContext()
 {
     try {
+        if (profile_)
+            emitSimSpeed();
         if (auto *collector = report::activeCollector())
             collector->add(std::move(report_));
         else
@@ -108,6 +117,63 @@ BenchContext::~BenchContext()
     } catch (const std::exception &e) {
         logError(std::string("report emission failed: ") + e.what());
     }
+}
+
+void
+BenchContext::emitSimSpeed()
+{
+    // Every cached InferenceResult already carries its own host timing
+    // (gcn::executePlan measures itself); this just declares it. The
+    // values are nondeterministic, which is fine: sim-speed units
+    // ("ms", "rows/s") are outside report_diff's default gate set and
+    // only compare under an explicit loose tolerance override.
+    if (!results_.empty()) {
+        auto t = report_.table("sim_speed",
+                               "Simulator speed (host wall-clock)");
+        t.col("dataset", "dataset")
+            .col("engine", "engine")
+            .col("wall_ms", "wall ms", "ms")
+            .col("combination_ms", "comb ms", "ms")
+            .col("aggregation_ms", "agg ms", "ms")
+            .col("attention_ms", "attn ms", "ms")
+            .col("sim_rows", "sim rows", "rows")
+            .col("rows_per_sec", "sim rows/s", "rows/s");
+        for (const auto &[key, r] : results_) {
+            const auto slash = key.find('/');
+            std::string dataset = key.substr(0, slash);
+            std::string engine = slash == std::string::npos
+                                     ? std::string()
+                                     : key.substr(slash + 1);
+            double comb = 0.0, agg = 0.0, attn = 0.0;
+            for (const auto &pm : r.phases) {
+                switch (pm.op) {
+                  case gcn::PhaseOp::Combination:
+                    comb += pm.hostMillis;
+                    break;
+                  case gcn::PhaseOp::Aggregation:
+                    agg += pm.hostMillis;
+                    break;
+                  case gcn::PhaseOp::AttentionScore:
+                    attn += pm.hostMillis;
+                    break;
+                }
+            }
+            t.row({.dataset = dataset, .engine = engine})
+                .add(report::textCell(dataset))
+                .add(report::textCell(engine))
+                .add(report::real(r.hostMillis, 3, "ms"))
+                .add(report::real(comb, 3, "ms"))
+                .add(report::real(agg, 3, "ms"))
+                .add(report::real(attn, 3, "ms"))
+                .add(report::count(r.simRows, "rows"))
+                .add(report::real(
+                    util::rowsPerSecond(r.simRows, r.hostMillis), 1,
+                    "rows/s"));
+        }
+    }
+    auto bt = report_.table("sim_speed_bench", "Bench wall-clock");
+    bt.col("bench_wall_ms", "bench wall ms", "ms");
+    bt.row({}).add(report::real(benchClock_.elapsedMs(), 3, "ms"));
 }
 
 void
@@ -143,6 +209,7 @@ BenchContext::runnerOptions() const
     gcn::RunnerOptions base;
     base.sim.threads = threads_;
     base.sim.epochCycles = epochCycles_;
+    base.sim.epochAuto = epochAuto_;
     return base;
 }
 
@@ -166,6 +233,16 @@ BenchContext::inference(const std::string &dataset,
                  .first;
     }
     return it->second;
+}
+
+void
+BenchContext::recordInference(const std::string &dataset,
+                              const std::string &engine_key,
+                              const gcn::InferenceResult &result)
+{
+    if (!profile_)
+        return;
+    results_.emplace(dataset + "/" + engine_key, result);
 }
 
 void

@@ -22,9 +22,20 @@
  *                               shared pool; results are bit-identical
  *                               for every value. Rejects 0 and > 4x
  *                               hardware concurrency.
- *   epoch=<cycles>              GROW cluster-parallel co-simulation
+ *   epoch=<cycles>|auto         GROW cluster-parallel co-simulation
  *                               window (default 0 = exact serial
- *                               schedule; see DESIGN.md)
+ *                               schedule; `auto` adapts the window
+ *                               per round from observed channel
+ *                               utilisation, still deterministically;
+ *                               see DESIGN.md)
+ *   profile=0|1                 also report the `sim-speed` metric
+ *                               family: host wall-clock per inference
+ *                               (split by phase op) plus simulated
+ *                               rows per host second. Off by default
+ *                               -- wall-clock is nondeterministic and
+ *                               must never enter golden-locked output
+ *                               (see DESIGN.md "Simulator
+ *                               performance")
  *
  * A bench does not print: it *declares* its banner lines and tables
  * through the structured results API (src/report/) and the selected
@@ -59,6 +70,7 @@
 #include "util/cli.hpp"
 #include "util/mathutil.hpp"
 #include "util/string_util.hpp"
+#include "util/wallclock.hpp"
 
 namespace grow::bench {
 
@@ -117,6 +129,9 @@ class BenchContext
      *  epoch-mode rounds. */
     uint32_t threads() const { return threads_; }
 
+    /** Whether `profile=1` requested the sim-speed metric family. */
+    bool profile() const { return profile_; }
+
     /** Base runner options every inference of this bench runs under
      *  (threads= and epoch= applied; engine-specific layout still
      *  comes from makeEngineJob). */
@@ -153,6 +168,17 @@ class BenchContext
     inference(const std::string &dataset, const std::string &engine_key);
 
     /**
+     * Feed an externally-run inference into the sim-speed emitter.
+     * Benches that drive their own SweepDriver (model_zoo) bypass the
+     * inference() cache; under profile=1 they hand each outcome here
+     * so their host timing still reaches the sim_speed table. No-op
+     * unless profiling (avoids result copies on golden runs).
+     */
+    void recordInference(const std::string &dataset,
+                         const std::string &engine_key,
+                         const gcn::InferenceResult &result);
+
+    /**
      * Fan the whole dataset x engine-key cross product out over the
      * sweep driver and populate the inference cache, so subsequent
      * inference() calls only read. Cuts sweep wall-clock by roughly
@@ -164,11 +190,18 @@ class BenchContext
     gcn::InferenceResult runEngine(const gcn::GcnWorkload &w,
                                    const std::string &engine_key);
 
+    /** Declare the sim-speed tables from the cached inference results
+     *  (profile=1 only; runs just before the report is emitted). */
+    void emitSimSpeed();
+
     CliArgs args_;
     graph::ScaleTier tier_;
     gcn::ModelKind model_ = gcn::ModelKind::Gcn;
     uint32_t threads_ = 1;
+    bool profile_ = false;
+    util::WallClock benchClock_;
     Cycle epochCycles_ = 0;
+    bool epochAuto_ = false;
     std::vector<graph::DatasetSpec> specs_;
     driver::WorkloadCache cache_;
     std::map<std::string, gcn::GcnWorkload> workloads_;

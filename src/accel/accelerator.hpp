@@ -57,6 +57,18 @@ struct SimOptions
      * outcome is bit-identical regardless of `threads`.
      */
     Cycle epochCycles = 0;
+    /**
+     * Auto-tune the epoch window from observed channel utilisation
+     * (CLI `epoch=auto`): after each committed round the canonical
+     * channel's busy-cycle delta is compared against the window span;
+     * a mostly-idle channel doubles the next window (fewer barriers),
+     * a saturated one halves it (cross-lane contention resolved at
+     * finer grain). The adaptation reads only simulated state, so for
+     * a fixed seed window the outcome stays bit-identical for every
+     * thread count (but differs from any fixed-window run).
+     * epochCycles > 0 seeds the first window; 0 seeds at 4096 cycles.
+     */
+    bool epochAuto = false;
 };
 
 /**

@@ -25,9 +25,22 @@ namespace {
 void
 runEpochRounds(std::vector<std::unique_ptr<RowEngine>> &engines,
                accel::EpochDramArbiter &arbiter,
+               const mem::DramModel &channel,
                const accel::SimOptions &options)
 {
-    const Cycle window = options.epochCycles;
+    // epoch=auto window adaptation (SimOptions::epochAuto): bounds and
+    // thresholds of the utilisation controller. All inputs are
+    // simulated state, so the trajectory is deterministic.
+    constexpr Cycle kAutoSeedWindow = 4096;
+    constexpr Cycle kAutoMinWindow = 256;
+    constexpr Cycle kAutoMaxWindow = 1u << 20;
+    constexpr double kAutoLowUtil = 0.25;
+    constexpr double kAutoHighUtil = 0.75;
+
+    Cycle window = options.epochCycles > 0 ? options.epochCycles
+                   : options.epochAuto    ? kAutoSeedWindow
+                                          : 0;
+    Cycle prevBusy = channel.busyCycles();
     const uint32_t threads = std::max(1u, options.threads);
     while (true) {
         bool any = false;
@@ -64,6 +77,21 @@ runEpochRounds(std::vector<std::unique_ptr<RowEngine>> &engines,
                 std::move(tasks), threads));
         }
         arbiter.commitEpoch();
+        if (options.epochAuto) {
+            // A saturated channel means cross-lane contention is being
+            // resolved too coarsely (lanes see it one epoch late):
+            // halve the window. A mostly idle channel means the lanes
+            // barely interact and the rounds are pure overhead: double
+            // it.
+            const Cycle busy = channel.busyCycles();
+            const double util = static_cast<double>(busy - prevBusy) /
+                                static_cast<double>(window);
+            prevBusy = busy;
+            if (util > kAutoHighUtil)
+                window = std::max(kAutoMinWindow, window / 2);
+            else if (util < kAutoLowUtil)
+                window = std::min(kAutoMaxWindow, window * 2);
+        }
     }
 }
 
@@ -141,7 +169,7 @@ GrowSim::run(const accel::SpDeGemmProblem &problem,
     // the device itself, so lanes can co-simulate on worker threads
     // deterministically. epochCycles == 0 (default) keeps the exact
     // serial interleaving below.
-    const bool epochMode = options.epochCycles > 0;
+    const bool epochMode = options.epochCycles > 0 || options.epochAuto;
     std::unique_ptr<accel::EpochDramArbiter> arbiter;
     if (epochMode) {
         arbiter = std::make_unique<accel::EpochDramArbiter>(
@@ -194,7 +222,7 @@ GrowSim::run(const accel::SpDeGemmProblem &problem,
         arbiter->commitEpoch();
 
     if (epochMode) {
-        runEpochRounds(engines, *arbiter, options);
+        runEpochRounds(engines, *arbiter, *dram, options);
     } else {
         // Co-simulate: always step the engine with the smallest local
         // clock so shared-DRAM requests issue in (approximately)

@@ -22,6 +22,50 @@ cacheConfigFor(const GrowConfig &config, const RowEngineProblem &problem)
 
 } // namespace
 
+RowEngine::StreamExtent
+RowEngine::streamExtent(const RowEngineProblem &problem,
+                        const std::vector<uint32_t> &cluster_ids)
+{
+    GROW_ASSERT(problem.lhs != nullptr, "missing LHS matrix");
+    GROW_ASSERT(problem.clustering != nullptr, "missing clustering");
+    StreamExtent e;
+    for (uint32_t c : cluster_ids) {
+        for (NodeId r = problem.clustering->clusterStart[c];
+             r < problem.clustering->clusterStart[c + 1]; ++r) {
+            Bytes b = problem.lhs->rowNnz(r) * (kValueBytes + kIndexBytes) +
+                      kPtrBytes;
+            e.totalBytes += b;
+            e.maxRowBytes = std::max(e.maxRowBytes, b);
+        }
+    }
+    return e;
+}
+
+size_t
+RowEngine::streamChunkBound(const GrowConfig &config, Bytes max_row_bytes)
+{
+    // ensureStreamed keeps chunks covering at most the prefetch window
+    // (I-BUF capacity) plus the row being demanded plus one chunk of
+    // slack. Full chunks are dmaChunkBytes; at most one partial chunk
+    // survives per processed row, and every row advances the demand
+    // pointer by >= kPtrBytes, so partials are bounded by span/kPtrBytes.
+    const Bytes chunk = std::max<Bytes>(1, config.dmaChunkBytes);
+    const Bytes span = config.iBufSparseBytes + max_row_bytes + chunk;
+    return static_cast<size_t>(ceilDiv(span, chunk) +
+                               ceilDiv(span, kPtrBytes) + 4);
+}
+
+size_t
+RowEngine::arenaBytes(const GrowConfig &config, Bytes max_row_bytes)
+{
+    const size_t windowSlots =
+        util::ceilPow2(std::max<uint32_t>(1, config.runaheadDegree));
+    const size_t chunkSlots =
+        util::ceilPow2(streamChunkBound(config, max_row_bytes));
+    return windowSlots * sizeof(Slot) + chunkSlots * sizeof(StreamChunk) +
+           2 * alignof(std::max_align_t);
+}
+
 RowEngine::RowEngine(const GrowConfig &config,
                      const RowEngineProblem &problem, mem::DramModel &dram,
                      uint32_t pe_id, std::vector<uint32_t> cluster_ids,
@@ -34,6 +78,12 @@ RowEngine::RowEngine(const GrowConfig &config,
       clusterIds_(std::move(cluster_ids)),
       durPerProduct_(std::max<Cycle>(
           1, ceilDiv(problem.rhsCols, config.numMacs))),
+      extent_(streamExtent(problem, clusterIds_)),
+      arena_(arenaBytes(config, extent_.maxRowBytes)),
+      window_(arena_, std::max<uint32_t>(1, config.runaheadDegree)),
+      streamChunks_(arena_,
+                    streamChunkBound(config, extent_.maxRowBytes)),
+      ldnMap_(config.ldnEntries ? config.ldnEntries : 1, kInvalidNode),
       hdnCache_(cacheConfigFor(config, problem), problem.lhs->cols()),
       lruCache_(config.hdn.capacityBytes,
                 std::max<Bytes>(1, static_cast<Bytes>(problem.rhsCols) *
@@ -42,15 +92,8 @@ RowEngine::RowEngine(const GrowConfig &config,
       oBufDense_("oBufDense", config.oBufDenseBytes),
       wBuf_("wBuf", config.hdn.capacityBytes)
 {
-    GROW_ASSERT(problem_.lhs != nullptr, "missing LHS matrix");
-    GROW_ASSERT(problem_.clustering != nullptr, "missing clustering");
     GROW_ASSERT(config_.runaheadDegree >= 1,
                 "runahead degree must be >= 1");
-    for (uint32_t c : clusterIds_) {
-        for (NodeId r = problem_.clustering->clusterStart[c];
-             r < problem_.clustering->clusterStart[c + 1]; ++r)
-            totalStreamBytes_ += rowCsrBytes(r);
-    }
     if (clusterIds_.empty()) {
         finishedIssue_ = true;
     } else {
@@ -116,7 +159,15 @@ RowEngine::startNextCluster()
         if (preload > 0) {
             Cycle done = dram_.read(clock_, preloadBase_, preload,
                                     mem::TrafficClass::HdnPreload);
-            clock_ = std::max(clock_, done);
+            if (config_.hdnPreloadOverlap) {
+                // The DMA is outstanding; the control unit keeps
+                // running and joins it before the first CAM lookup of
+                // this cluster (processNextRow).
+                preloadReady_ = std::max(preloadReady_, done);
+                preloadPending_ = true;
+            } else {
+                clock_ = std::max(clock_, done);
+            }
         }
     }
 }
@@ -127,7 +178,7 @@ RowEngine::ensureStreamed(Bytes up_to)
     // Prefetch one I-BUF_sparse worth of stream beyond the request, but
     // never past the engine's total demand.
     Bytes target =
-        std::min(up_to + config_.iBufSparseBytes, totalStreamBytes_);
+        std::min(up_to + config_.iBufSparseBytes, extent_.totalBytes);
     target = std::max(target, up_to);
     while (streamIssued_ < target) {
         Bytes chunk = std::min<Bytes>(config_.dmaChunkBytes,
@@ -137,13 +188,13 @@ RowEngine::ensureStreamed(Bytes up_to)
                        mem::TrafficClass::SparseStream);
         streamIssued_ += chunk;
         stats_.fetchedSparseBytes += roundUp(chunk, kDramLineBytes);
-        streamChunks_.emplace_back(streamIssued_, done);
+        streamChunks_.push_back(StreamChunk{streamIssued_, done});
         iBufSparse_.write(chunk);
     }
     // Completion of the chunk containing byte up_to-1.
-    while (streamChunks_.size() > 1 && streamChunks_.front().first < up_to)
+    while (streamChunks_.size() > 1 && streamChunks_.front().upTo < up_to)
         streamChunks_.pop_front();
-    return streamChunks_.empty() ? clock_ : streamChunks_.front().second;
+    return streamChunks_.empty() ? clock_ : streamChunks_.front().done;
 }
 
 void
@@ -152,9 +203,9 @@ RowEngine::freeExpiredLdn()
     while (!ldnHeap_.empty() && ldnHeap_.top().first <= clock_) {
         auto [when, node] = ldnHeap_.top();
         ldnHeap_.pop();
-        auto it = ldnMap_.find(node);
-        if (it != ldnMap_.end() && it->second == when) {
-            ldnMap_.erase(it);
+        const Cycle *entry = ldnMap_.find(node);
+        if (entry != nullptr && *entry == when) {
+            ldnMap_.erase(node);
             GROW_ASSERT(ldnLive_ > 0, "LDN occupancy underflow");
             --ldnLive_;
         }
@@ -187,13 +238,13 @@ RowEngine::missFetch(NodeId k)
     }
 
     Cycle completion;
-    auto it = ldnMap_.find(k);
-    if (it != ldnMap_.end() && it->second > clock_) {
+    const Cycle *entry = ldnMap_.find(k);
+    if (entry != nullptr && *entry > clock_) {
         // Another product already fetches this row; share the fill.
-        completion = it->second;
+        completion = *entry;
     } else {
-        if (it != ldnMap_.end())
-            ldnMap_.erase(it); // expired entry not yet reaped
+        if (entry != nullptr)
+            ldnMap_.erase(k); // expired entry not yet reaped
         if (ldnLive_ >= config_.ldnEntries) {
             stats_.ldnStalls += 1;
             // Wait for the earliest live entry to return.
@@ -202,10 +253,10 @@ RowEngine::missFetch(NodeId k)
                             "full LDN table with empty heap");
                 auto [when, node] = ldnHeap_.top();
                 ldnHeap_.pop();
-                auto live = ldnMap_.find(node);
-                if (live != ldnMap_.end() && live->second == when) {
+                const Cycle *live = ldnMap_.find(node);
+                if (live != nullptr && *live == when) {
                     clock_ = std::max(clock_, when);
-                    ldnMap_.erase(live);
+                    ldnMap_.erase(node);
                     --ldnLive_;
                 }
             }
@@ -215,7 +266,7 @@ RowEngine::missFetch(NodeId k)
             static_cast<Bytes>(problem_.rhsCols) * kValueBytes;
         completion = dram_.read(clock_, rhsRowAddr(k), rowBytes,
                                 mem::TrafficClass::DenseRow);
-        ldnMap_[k] = completion;
+        ldnMap_.insert(k, completion);
         ldnHeap_.emplace(completion, k);
         ++ldnLive_;
     }
@@ -224,13 +275,19 @@ RowEngine::missFetch(NodeId k)
     return completion;
 }
 
-RowEngine::Slot *
+RowEngine::Slot &
 RowEngine::findSlot(uint64_t token)
 {
-    for (auto &slot : window_)
-        if (slot.token == token)
-            return &slot;
-    panic("MAC completion for unknown row token");
+    // Tokens are assigned sequentially at push and the window only
+    // retires from the front, so the slot index is just the offset from
+    // the oldest token -- O(1), no scan.
+    GROW_ASSERT(!window_.empty(), "slot lookup in empty window");
+    const uint64_t base = window_.front().token;
+    GROW_ASSERT(token >= base && token - base < window_.size(),
+                "MAC completion for unknown row token");
+    Slot &slot = window_[static_cast<size_t>(token - base)];
+    GROW_ASSERT(slot.token == token, "window token sequence broken");
+    return slot;
 }
 
 void
@@ -239,10 +296,10 @@ RowEngine::retireFront()
     GROW_ASSERT(!window_.empty(), "retire with empty window");
     while (window_.front().pending > 0) {
         MacCompletion comp = mac_.drainOne();
-        Slot *slot = findSlot(comp.rowToken);
-        GROW_ASSERT(slot->pending > 0, "pending underflow");
-        slot->pending -= 1;
-        slot->lastFinish = std::max(slot->lastFinish, comp.finish);
+        Slot &slot = findSlot(comp.rowToken);
+        GROW_ASSERT(slot.pending > 0, "pending underflow");
+        slot.pending -= 1;
+        slot.lastFinish = std::max(slot.lastFinish, comp.finish);
     }
     Slot front = window_.front();
     window_.pop_front();
@@ -279,6 +336,13 @@ RowEngine::processNextRow()
     streamNeeded_ += rowCsrBytes(row);
     Cycle rowReady = ensureStreamed(streamNeeded_);
     clock_ = std::max(clock_, rowReady);
+
+    // Join an outstanding HDN preload before this cluster's first CAM
+    // lookup (hdnPreloadOverlap; no-op otherwise).
+    if (preloadPending_) {
+        clock_ = std::max(clock_, preloadReady_);
+        preloadPending_ = false;
+    }
 
     window_.push_back(Slot{row, nextToken_++, 0, clock_, false});
     const uint64_t token = window_.back().token;
@@ -344,6 +408,12 @@ RowEngine::finalize()
     while (!window_.empty())
         retireFront();
     finishedIssue_ = true;
+    // A preload issued by a trailing row-less cluster still has to
+    // complete before the engine is done.
+    if (preloadPending_) {
+        clock_ = std::max(clock_, preloadReady_);
+        preloadPending_ = false;
+    }
     return std::max({clock_, maxCompletion_, mac_.macFree()});
 }
 

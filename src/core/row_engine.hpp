@@ -21,15 +21,30 @@
  * (outstanding distinct misses), the LHS ID table (outstanding parked
  * products) or the row window itself -- exactly the structural hazards
  * of Fig. 16.
+ *
+ * Hot-loop layout: the per-row bookkeeping (multi-row window, stream
+ * chunk FIFO, LDN table) lives in fixed-capacity ring buffers and an
+ * open-addressing flat map carved from one per-engine arena
+ * (util/arena.hpp, util/flat_map.hpp). Their capacities are derived
+ * from the hardware configuration, so they never grow; the swap from
+ * std::deque/std::unordered_map is bit-identical in simulated results
+ * and substantially faster in host wall-clock (bench_kernels
+ * BM_LdnTable*, BM_RowEngineAggregation).
+ *
+ * With GrowConfig::hdnPreloadOverlap the engine issues the next
+ * cluster's HDN preload without stalling its control clock: the
+ * preload DMA overlaps the previous cluster's tail (window drain +
+ * first-row stream fetch) and the control unit joins it only before
+ * the first CAM lookup of the new cluster. Off (the default) the
+ * engine blocks at the transition, reproducing the golden-locked
+ * historical schedules exactly.
  */
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "core/grow_config.hpp"
@@ -42,6 +57,8 @@
 #include "sim/types.hpp"
 #include "sparse/csr_matrix.hpp"
 #include "sparse/dense_matrix.hpp"
+#include "util/arena.hpp"
+#include "util/flat_map.hpp"
 
 namespace grow::core {
 
@@ -133,13 +150,38 @@ class RowEngine
         bool controlDone = false;
     };
 
+    /** One in-flight DMA stream chunk: bytes covered + fill time. */
+    struct StreamChunk
+    {
+        Bytes upTo;
+        Cycle done;
+    };
+
+    /** Stream totals scanned once over the owned clusters. */
+    struct StreamExtent
+    {
+        Bytes totalBytes = 0;
+        Bytes maxRowBytes = 0;
+    };
+    static StreamExtent
+    streamExtent(const RowEngineProblem &problem,
+                 const std::vector<uint32_t> &cluster_ids);
+
+    /** Hardware-derived bound on in-flight stream chunks (see .cpp). */
+    static size_t streamChunkBound(const GrowConfig &config,
+                                   Bytes max_row_bytes);
+
+    /** Arena capacity covering every table carved below. */
+    static size_t arenaBytes(const GrowConfig &config,
+                             Bytes max_row_bytes);
+
     void startNextCluster();
     void retireFront();
     Cycle ensureStreamed(Bytes up_to);
     Cycle missFetch(NodeId k);
     void freeExpiredLdn();
     void freeExpiredLhs();
-    Slot *findSlot(uint64_t token);
+    Slot &findSlot(uint64_t token);
 
     Bytes rowCsrBytes(NodeId row) const;
     uint64_t rhsRowAddr(NodeId k) const;
@@ -165,19 +207,31 @@ class RowEngine
     Cycle maxCompletion_ = 0;
     Cycle durPerProduct_;
 
-    // Multi-row stationary window.
-    std::deque<Slot> window_;
+    // In-flight HDN preload (hdnPreloadOverlap only): the DMA is
+    // outstanding and the control unit joins it before the first CAM
+    // lookup of the new cluster.
+    Cycle preloadReady_ = 0;
+    bool preloadPending_ = false;
+
+    // Sparse stream prefetch totals (extent_ scanned at construction).
+    StreamExtent extent_;
+    Bytes streamNeeded_ = 0;
+    Bytes streamIssued_ = 0;
+
+    // Per-engine arena backing the hot-loop tables below.
+    util::Arena arena_;
+
+    // Multi-row stationary window (capacity = runahead degree).
+    util::RingBuffer<Slot> window_;
     uint64_t nextToken_ = 0;
     MacScheduler mac_;
 
-    // Sparse stream prefetch state.
-    Bytes streamNeeded_ = 0;
-    Bytes streamIssued_ = 0;
-    Bytes totalStreamBytes_ = 0;
-    std::deque<std::pair<Bytes, Cycle>> streamChunks_;
+    // Stream chunk FIFO (capacity derived from I-BUF / DMA chunk).
+    util::RingBuffer<StreamChunk> streamChunks_;
 
-    // LDN table (outstanding distinct RHS-row misses).
-    std::unordered_map<NodeId, Cycle> ldnMap_;
+    // LDN table (outstanding distinct RHS-row misses; occupancy is
+    // bounded by ldnEntries -- see missFetch).
+    util::FlatMap<NodeId, Cycle> ldnMap_;
     std::priority_queue<std::pair<Cycle, NodeId>,
                         std::vector<std::pair<Cycle, NodeId>>,
                         std::greater<>> ldnHeap_;

@@ -5,6 +5,7 @@
 #include "sparse/reference_gemm.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
+#include "util/wallclock.hpp"
 #include "util/work_pool.hpp"
 
 namespace grow::gcn {
@@ -46,11 +47,14 @@ checkFunctional(const accel::PhaseResult &result,
 /** Fold one executed phase into the inference aggregate. */
 void
 accumulatePhase(InferenceResult &res, const PlannedPhase &step,
-                accel::PhaseResult &&r, const energy::EnergyParams &params)
+                accel::PhaseResult &&r, const energy::EnergyParams &params,
+                double host_ms)
 {
     PhaseMetrics pm;
     pm.layer = step.layer;
     pm.op = step.op;
+    pm.hostMillis = host_ms;
+    res.simRows += step.problem.lhs->rows();
     pm.energy = energy::computeEnergy(params, r.activity);
     // Sec. VIII extra-unit energy: phases that exercise the softmax
     // unit (GAT scores) or the comparator array (SagePool reduction)
@@ -217,6 +221,7 @@ executePlan(accel::AcceleratorSim &engine, const PhasePlan &plan,
             const RunnerOptions &options)
 {
     const bool functional = options.sim.functional;
+    util::WallClock runClock;
 
     InferenceResult res;
     res.engine = engine.name();
@@ -237,11 +242,13 @@ executePlan(accel::AcceleratorSim &engine, const PhasePlan &plan,
     const uint32_t threads = std::max(1u, options.sim.threads);
     if (!functional && threads > 1 && plan.size() > 1) {
         std::vector<accel::PhaseResult> phaseResults(plan.size());
+        std::vector<double> phaseMillis(plan.size(), 0.0);
         std::vector<std::function<void()>> tasks;
         tasks.reserve(plan.size());
         for (size_t i = 0; i < plan.size(); ++i) {
             tasks.emplace_back([&engine, &plan, &options, &phaseResults,
-                                i] {
+                                &phaseMillis, i] {
+                util::ScopedTimer timer(phaseMillis[i]);
                 auto worker = engine.clone();
                 phaseResults[i] =
                     worker->run(plan[i].problem, options.sim);
@@ -251,8 +258,9 @@ executePlan(accel::AcceleratorSim &engine, const PhasePlan &plan,
             util::WorkPool::shared().runAll(std::move(tasks), threads));
         for (size_t i = 0; i < plan.size(); ++i) {
             accumulatePhase(res, plan[i], std::move(phaseResults[i]),
-                            options.energy);
+                            options.energy, phaseMillis[i]);
         }
+        res.hostMillis = runClock.elapsedMs();
         return res;
     }
 
@@ -276,7 +284,12 @@ executePlan(accel::AcceleratorSim &engine, const PhasePlan &plan,
             problem.rhs = &pending;
         }
 
-        auto phaseRes = engine.run(problem, options.sim);
+        double phaseMs = 0.0;
+        accel::PhaseResult phaseRes;
+        {
+            util::ScopedTimer timer(phaseMs);
+            phaseRes = engine.run(problem, options.sim);
+        }
         if (functional) {
             checkFunctional(phaseRes, *problem.lhs, *problem.rhs,
                             describePhase(step));
@@ -307,8 +320,10 @@ executePlan(accel::AcceleratorSim &engine, const PhasePlan &plan,
                 break;
             }
         }
-        accumulatePhase(res, step, std::move(phaseRes), options.energy);
+        accumulatePhase(res, step, std::move(phaseRes), options.energy,
+                        phaseMs);
     }
+    res.hostMillis = runClock.elapsedMs();
     GROW_ASSERT(!hasPending,
                 "plan left a functional combination output unconsumed "
                 "at end of plan (model " +

@@ -67,6 +67,8 @@ struct PhaseMetrics
     PhaseOp op = PhaseOp::Combination;
     accel::PhaseResult result;
     energy::EnergyBreakdown energy;
+    /** Host wall-clock spent simulating this phase (sim-speed). */
+    double hostMillis = 0.0;
 };
 
 /** Whole-inference aggregate. */
@@ -90,6 +92,16 @@ struct InferenceResult
      */
     double modelAreaOverhead = 0.0;
     std::vector<PhaseMetrics> phases;
+
+    /**
+     * Simulator throughput (sim-speed family): host wall-clock of the
+     * whole executePlan call and the LHS rows simulated across its
+     * phases. Host time is nondeterministic by nature -- it feeds the
+     * opt-in `profile=` reporting only and never a golden-locked
+     * table.
+     */
+    double hostMillis = 0.0;
+    uint64_t simRows = 0;
 
     /** Total DRAM bytes moved. */
     Bytes totalTrafficBytes() const { return traffic.total(); }

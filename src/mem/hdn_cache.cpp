@@ -35,28 +35,6 @@ HdnCache::loadCluster(const std::vector<NodeId> &ids)
     return pinned;
 }
 
-bool
-HdnCache::lookup(NodeId id)
-{
-    GROW_ASSERT(id < member_.size(), "HDN id out of universe");
-    camArray_.read(kHdnIdBytes);
-    bool hit = member_[id] == epoch_ && residentRows_ > 0;
-    if (hit) {
-        ++hits_;
-        dataArray_.read(config_.rowBytes);
-    } else {
-        ++misses_;
-    }
-    return hit;
-}
-
-bool
-HdnCache::resident(NodeId id) const
-{
-    GROW_ASSERT(id < member_.size(), "HDN id out of universe");
-    return member_[id] == epoch_ && residentRows_ > 0;
-}
-
 double
 HdnCache::hitRate() const
 {

@@ -16,6 +16,7 @@
 
 #include "mem/sram.hpp"
 #include "sim/types.hpp"
+#include "util/logging.hpp"
 
 namespace grow::mem {
 
@@ -57,11 +58,32 @@ class HdnCache
      */
     uint32_t loadCluster(const std::vector<NodeId> &ids);
 
-    /** CAM probe: is @p id pinned? Updates hit/miss counters. */
-    bool lookup(NodeId id);
+    /** CAM probe: is @p id pinned? Updates hit/miss counters. Inline:
+     *  one probe per LHS non-zero -- the single hottest call of the
+     *  whole simulator (flat epoch-stamped membership array, no probe
+     *  loop, no hashing). */
+    bool
+    lookup(NodeId id)
+    {
+        GROW_ASSERT(id < member_.size(), "HDN id out of universe");
+        camArray_.read(kHdnIdBytes);
+        const bool hit = member_[id] == epoch_ && residentRows_ > 0;
+        if (hit) {
+            ++hits_;
+            dataArray_.read(config_.rowBytes);
+        } else {
+            ++misses_;
+        }
+        return hit;
+    }
 
     /** Non-counting membership test (for assertions/tests). */
-    bool resident(NodeId id) const;
+    bool
+    resident(NodeId id) const
+    {
+        GROW_ASSERT(id < member_.size(), "HDN id out of universe");
+        return member_[id] == epoch_ && residentRows_ > 0;
+    }
 
     uint32_t residentRows() const { return residentRows_; }
 

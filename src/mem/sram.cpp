@@ -11,20 +11,6 @@ SramBuffer::SramBuffer(std::string name, Bytes capacity)
 }
 
 void
-SramBuffer::read(Bytes bytes)
-{
-    readAccesses_ += 1;
-    bytesRead_ += bytes;
-}
-
-void
-SramBuffer::write(Bytes bytes)
-{
-    writeAccesses_ += 1;
-    bytesWritten_ += bytes;
-}
-
-void
 SramBuffer::clearStats()
 {
     readAccesses_ = writeAccesses_ = 0;

@@ -26,11 +26,22 @@ class SramBuffer
     const std::string &name() const { return name_; }
     Bytes capacity() const { return capacity_; }
 
-    /** Record a read of @p bytes. */
-    void read(Bytes bytes);
+    /** Record a read of @p bytes. Inline: this sits on the per-nonzero
+     *  CAM/data path of the row engines. */
+    void
+    read(Bytes bytes)
+    {
+        readAccesses_ += 1;
+        bytesRead_ += bytes;
+    }
 
     /** Record a write of @p bytes. */
-    void write(Bytes bytes);
+    void
+    write(Bytes bytes)
+    {
+        writeAccesses_ += 1;
+        bytesWritten_ += bytes;
+    }
 
     uint64_t readAccesses() const { return readAccesses_; }
     uint64_t writeAccesses() const { return writeAccesses_; }

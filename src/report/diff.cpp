@@ -29,6 +29,7 @@ struct RecordView
     double value = 0.0;
     std::string text;
     std::string unit;
+    std::string metric;
 };
 
 std::map<std::string, RecordView>
@@ -51,6 +52,9 @@ indexRecords(const JsonValue &root)
         if (const JsonValue *u = r.find("unit");
             u != nullptr && u->isString())
             view.unit = u->str;
+        if (const JsonValue *m = r.find("metric");
+            m != nullptr && m->isString())
+            view.metric = m->str;
         // Last write wins on duplicate keys; the schema contract
         // (record.hpp) says rows must be uniquely identified, and the
         // report tests enforce it for the shipped benches.
@@ -122,6 +126,19 @@ diffReports(const JsonValue &base, const JsonValue &current,
                          options.gateUnits.end(),
                          unit) != options.gateUnits.end();
     };
+    // Override precedence: metric name beats unit beats the global
+    // tolerance; the presence of any override gates the record.
+    auto overrideFor = [&options](const std::string &metric,
+                                  const std::string &unit)
+        -> const double * {
+        auto it = options.tolOverrides.find(metric);
+        if (it != options.tolOverrides.end())
+            return &it->second;
+        it = options.tolOverrides.find(unit);
+        if (it != options.tolOverrides.end())
+            return &it->second;
+        return nullptr;
+    };
     for (const auto &[key, b] : baseIdx) {
         auto it = currIdx.find(key);
         if (it == currIdx.end()) {
@@ -144,9 +161,13 @@ diffReports(const JsonValue &base, const JsonValue &current,
                                ? std::numeric_limits<double>::infinity()
                                : -std::numeric_limits<
                                      double>::infinity());
-                e.regression =
-                    gatedUnit(e.unit) &&
-                    std::fabs(e.relDelta) > options.relTolerance;
+                const std::string &metric =
+                    c.metric.empty() ? b.metric : c.metric;
+                const double *ov = overrideFor(metric, e.unit);
+                const double tol =
+                    ov != nullptr ? *ov : options.relTolerance;
+                e.regression = (ov != nullptr || gatedUnit(e.unit)) &&
+                               std::fabs(e.relDelta) > tol;
                 if (e.regression)
                     ++out.regressions;
                 out.drifted.push_back(std::move(e));
@@ -160,7 +181,9 @@ diffReports(const JsonValue &base, const JsonValue &current,
             // that turns "cycles" into a text cell would silently
             // retire the metric from the gate. No tolerance applies.
             if (b.hasValue != c.hasValue &&
-                (gatedUnit(b.unit) || gatedUnit(c.unit)))
+                (gatedUnit(b.unit) || gatedUnit(c.unit) ||
+                 overrideFor(b.metric, b.unit) != nullptr ||
+                 overrideFor(c.metric, c.unit) != nullptr))
                 ++out.regressions;
         }
     }
@@ -189,7 +212,14 @@ formatDiff(const DiffResult &result, const DiffOptions &options,
     oss << "report_diff: " << result.joined << " metric(s) joined, "
         << result.drifted.size() << " drifted, " << result.regressions
         << " gated regression(s) beyond tol="
-        << jsonNumber(options.relTolerance) << "\n";
+        << jsonNumber(options.relTolerance);
+    if (!options.tolOverrides.empty()) {
+        oss << " (+" << options.tolOverrides.size() << " override(s):";
+        for (const auto &[name, tol] : options.tolOverrides)
+            oss << " " << name << "=" << jsonNumber(tol);
+        oss << ")";
+    }
+    oss << "\n";
     size_t lines = 0;
     auto budget = [&] {
         return max_lines == 0 || lines < max_lines;

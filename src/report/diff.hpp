@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,16 @@ struct DiffOptions
     double relTolerance = 0.0;
     /** Units participating in the gate (cycle counts, byte totals). */
     std::vector<std::string> gateUnits = {"cycles", "bytes"};
+    /**
+     * Per-metric tolerance overrides, keyed by metric name (e.g.
+     * "rows_per_sec") or unit (e.g. "rows/s", "ms"). Precedence:
+     * metric name > unit > relTolerance. An override also *gates* its
+     * metric/unit even when the unit is outside gateUnits -- that is
+     * how the nondeterministic sim-speed family (units outside the
+     * default gate set) gets its own loose CI gate without loosening
+     * the 2%-tight cycles/bytes gate (CLI: repeatable `tol.<name>=`).
+     */
+    std::map<std::string, double> tolOverrides;
 };
 
 /** One joined numeric metric whose value changed. */

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Per-engine bump arena + fixed-capacity ring buffer for the simulator
+ * hot loops.
+ *
+ * The cycle-level engines (core::RowEngine above all) used to keep
+ * their per-row bookkeeping in node-based standard containers
+ * (std::deque, std::unordered_map). Every simulated row then paid for
+ * pointer chasing and allocator traffic on structures whose sizes are
+ * *statically bounded by the hardware configuration*: the multi-row
+ * window never exceeds the runahead degree, the stream-chunk FIFO is
+ * bounded by I-BUF capacity over the DMA chunk size, the LDN table by
+ * its entry count. Arena + RingBuffer (and util/flat_map.hpp) replace
+ * them with contiguous, cache-line-friendly storage carved out of one
+ * allocation per engine:
+ *
+ *  - Arena: a bump allocator over one contiguous block. alloc<T>(n)
+ *    returns aligned uninitialised storage; nothing is freed
+ *    individually -- the owning engine frees everything at once by
+ *    dropping the arena. Capacity is fixed at construction; exceeding
+ *    it is a programming error (the caller sized the tables wrong),
+ *    not a resize.
+ *
+ *  - RingBuffer<T>: a power-of-two-capacity FIFO with O(1)
+ *    push_back/pop_front/operator[] and no wraparound branches beyond
+ *    one mask. Growth is rejected by design: callers derive the
+ *    capacity from the hardware bound, and a push beyond it means the
+ *    bound was computed wrong (GROW_ASSERT), never a silent
+ *    reallocation that would invalidate outstanding references.
+ *
+ * Everything here is deterministic plain data: swapping these in for
+ * the standard containers must not change a single simulated cycle,
+ * which tests/gcn/model_zoo_test.cpp's bit-identity locks enforce.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+
+#include "util/logging.hpp"
+
+namespace grow::util {
+
+/** Round @p n up to the next power of two (min 1). */
+inline size_t
+ceilPow2(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Fixed-capacity bump allocator. One contiguous block, aligned for
+ * anything up to alignof(std::max_align_t); alloc() hands out
+ * uninitialised storage and never frees -- lifetime of every
+ * allocation is the lifetime of the arena.
+ */
+class Arena
+{
+  public:
+    explicit Arena(size_t capacity_bytes)
+        : capacity_(capacity_bytes),
+          block_(capacity_bytes ? new std::byte[capacity_bytes] : nullptr)
+    {
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    size_t capacity() const { return capacity_; }
+    size_t used() const { return used_; }
+
+    /** Aligned uninitialised storage for @p n objects of T. The arena
+     *  must have been sized to fit every table it backs -- running out
+     *  is a sizing bug, not an allocation failure. */
+    template <typename T>
+    T *
+    alloc(size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena storage is never destructed");
+        const size_t align = alignof(T);
+        size_t at = (used_ + align - 1) & ~(align - 1);
+        GROW_ASSERT(at + n * sizeof(T) <= capacity_,
+                    "arena exhausted: size the tables before carving");
+        used_ = at + n * sizeof(T);
+        return reinterpret_cast<T *>(block_.get() + at);
+    }
+
+  private:
+    size_t capacity_ = 0;
+    size_t used_ = 0;
+    std::unique_ptr<std::byte[]> block_;
+};
+
+/**
+ * Fixed-capacity FIFO over arena (or heap) storage. Capacity rounds up
+ * to a power of two so head/tail wrap with one mask. push_back beyond
+ * capacity asserts -- see the file comment for why growth is rejected.
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    RingBuffer() = default;
+
+    /** Carve storage for at least @p min_capacity elements from
+     *  @p arena. */
+    RingBuffer(Arena &arena, size_t min_capacity)
+        : mask_(ceilPow2(min_capacity ? min_capacity : 1) - 1),
+          data_(arena.alloc<T>(mask_ + 1))
+    {
+    }
+
+    /** Heap-backed variant (tests, callers without an arena). */
+    explicit RingBuffer(size_t min_capacity)
+        : mask_(ceilPow2(min_capacity ? min_capacity : 1) - 1),
+          owned_(new T[mask_ + 1]), data_(owned_.get())
+    {
+    }
+
+    size_t capacity() const { return data_ ? mask_ + 1 : 0; }
+    size_t size() const { return tail_ - head_; }
+    bool empty() const { return head_ == tail_; }
+    bool full() const { return size() == capacity(); }
+
+    T &
+    push_back(const T &v)
+    {
+        GROW_ASSERT(!full(),
+                    "ring buffer full: fixed capacity, growth rejected");
+        T &slot = data_[tail_ & mask_];
+        slot = v;
+        ++tail_;
+        return slot;
+    }
+
+    void
+    pop_front()
+    {
+        GROW_ASSERT(!empty(), "pop_front on empty ring buffer");
+        ++head_;
+    }
+
+    T &front() { return (*this)[0]; }
+    const T &front() const { return (*this)[0]; }
+    T &back() { return (*this)[size() - 1]; }
+    const T &back() const { return (*this)[size() - 1]; }
+
+    /** @p i counted from the front (0 = oldest). */
+    T &
+    operator[](size_t i)
+    {
+        GROW_ASSERT(i < size(), "ring buffer index out of range");
+        return data_[(head_ + i) & mask_];
+    }
+    const T &
+    operator[](size_t i) const
+    {
+        GROW_ASSERT(i < size(), "ring buffer index out of range");
+        return data_[(head_ + i) & mask_];
+    }
+
+    void clear() { head_ = tail_ = 0; }
+
+  private:
+    size_t mask_ = 0;
+    size_t head_ = 0;
+    size_t tail_ = 0;
+    std::unique_ptr<T[]> owned_;
+    T *data_ = nullptr;
+};
+
+} // namespace grow::util

@@ -69,14 +69,34 @@ CliArgs::getBool(const std::string &key, bool def) const
     fatal("invalid boolean value for " + key + ": " + it->second);
 }
 
+std::map<std::string, std::string>
+CliArgs::withPrefix(const std::string &prefix) const
+{
+    std::map<std::string, std::string> out;
+    for (const auto &[key, value] : kv_) {
+        if (key.size() > prefix.size() && key.rfind(prefix, 0) == 0)
+            out.emplace(key.substr(prefix.size()), value);
+    }
+    return out;
+}
+
 void
-CliArgs::requireKnown(const std::vector<std::string> &known) const
+CliArgs::requireKnown(const std::vector<std::string> &known,
+                      const std::vector<std::string> &known_prefixes) const
 {
     std::vector<std::string> sorted = known;
     std::sort(sorted.begin(), sorted.end());
+    auto prefixed = [&known_prefixes](const std::string &key) {
+        for (const auto &p : known_prefixes)
+            if (key.size() > p.size() && key.rfind(p, 0) == 0)
+                return true;
+        return false;
+    };
     std::string unknown;
     for (const auto &[key, value] : kv_) {
         if (std::find(sorted.begin(), sorted.end(), key) != sorted.end())
+            continue;
+        if (prefixed(key))
             continue;
         if (!unknown.empty())
             unknown += ", ";
@@ -89,6 +109,11 @@ CliArgs::requireKnown(const std::vector<std::string> &known) const
         if (!accepted.empty())
             accepted += ", ";
         accepted += key;
+    }
+    for (const auto &p : known_prefixes) {
+        if (!accepted.empty())
+            accepted += ", ";
+        accepted += p + "<name>";
     }
     fatal("unknown argument(s): " + unknown + " (accepted keys: " +
           accepted + ")");

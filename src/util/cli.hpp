@@ -45,11 +45,24 @@ class CliArgs
     getList(const std::string &key, const std::vector<std::string> &def) const;
 
     /**
-     * fatal() unless every supplied key is in @p known. A typo like
+     * Repeatable prefixed options: every supplied key starting with
+     * @p prefix, returned as (suffix -> value) with the prefix
+     * stripped. `tol.cycles=0.02 tol.rows/s=0.15` under prefix "tol."
+     * yields {cycles: "0.02", "rows/s": "0.15"}. Suffixes must be
+     * non-empty (a bare `tol.=x` is rejected by requireKnown).
+     */
+    std::map<std::string, std::string>
+    withPrefix(const std::string &prefix) const;
+
+    /**
+     * fatal() unless every supplied key is in @p known or carries one
+     * of @p known_prefixes with a non-empty suffix. A typo like
      * `cachdir=` must abort with the accepted-key list instead of
      * silently running with the option dropped.
      */
-    void requireKnown(const std::vector<std::string> &known) const;
+    void requireKnown(const std::vector<std::string> &known,
+                      const std::vector<std::string> &known_prefixes = {})
+        const;
 
   private:
     std::map<std::string, std::string> kv_;

@@ -1,0 +1,188 @@
+#include "util/topology.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+namespace grow::util {
+
+namespace {
+
+/** First line of @p path, or "" when unreadable. */
+std::string
+readLine(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string line;
+    if (!in || !std::getline(in, line))
+        return {};
+    return line;
+}
+
+/** Unsigned decimal content of @p path, or @p fallback. */
+uint32_t
+readUint(const std::string &path, uint32_t fallback)
+{
+    const std::string line = readLine(path);
+    if (line.empty())
+        return fallback;
+    try {
+        return static_cast<uint32_t>(std::stoul(line));
+    } catch (...) {
+        return fallback;
+    }
+}
+
+} // namespace
+
+std::vector<uint32_t>
+parseCpuList(const std::string &list)
+{
+    // Kernel cpulist grammar: comma-separated decimal ids and
+    // inclusive lo-hi ranges. Malformed tokens are skipped rather than
+    // fatal -- a broken sysfs must degrade, not abort the simulator.
+    std::vector<uint32_t> out;
+    std::stringstream ss(list);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+        tok.erase(std::remove_if(tok.begin(), tok.end(),
+                                 [](unsigned char c) {
+                                     return std::isspace(c);
+                                 }),
+                  tok.end());
+        if (tok.empty())
+            continue;
+        try {
+            const auto dash = tok.find('-');
+            if (dash == std::string::npos) {
+                out.push_back(static_cast<uint32_t>(std::stoul(tok)));
+                continue;
+            }
+            const uint64_t lo = std::stoul(tok.substr(0, dash));
+            const uint64_t hi = std::stoul(tok.substr(dash + 1));
+            // Bound the span so a corrupt "0-4294967295" cannot
+            // allocate the world.
+            if (hi < lo || hi - lo > 4096)
+                continue;
+            for (uint64_t c = lo; c <= hi; ++c)
+                out.push_back(static_cast<uint32_t>(c));
+        } catch (...) {
+            continue;
+        }
+    }
+    return out;
+}
+
+Topology
+Topology::parse(const std::string &sysfs_root)
+{
+    Topology t;
+    const std::string cpuRoot = sysfs_root + "/devices/system/cpu";
+    std::vector<uint32_t> online =
+        parseCpuList(readLine(cpuRoot + "/online"));
+    if (online.empty()) {
+        // No sysfs view (non-Linux, locked-down container): one flat
+        // node with hardware_concurrency CPUs.
+        const uint32_t hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        for (uint32_t c = 0; c < hw; ++c)
+            online.push_back(c);
+    }
+
+    // NUMA membership comes from the node side of the tree (each
+    // node's cpulist); CPUs not claimed by any node default to node 0.
+    std::unordered_map<uint32_t, uint32_t> cpuNode;
+    const std::string nodeRoot = sysfs_root + "/devices/system/node";
+    for (uint32_t n : parseCpuList(readLine(nodeRoot + "/online"))) {
+        const std::string cpulist =
+            readLine(nodeRoot + "/node" + std::to_string(n) + "/cpulist");
+        for (uint32_t c : parseCpuList(cpulist))
+            cpuNode.emplace(c, n);
+    }
+
+    t.cpus_.reserve(online.size());
+    for (uint32_t c : online) {
+        CpuPlace p;
+        p.cpu = c;
+        p.package = readUint(cpuRoot + "/cpu" + std::to_string(c) +
+                                 "/topology/physical_package_id",
+                             0);
+        const auto it = cpuNode.find(c);
+        p.node = it == cpuNode.end() ? 0 : it->second;
+        t.cpus_.push_back(p);
+    }
+    return t;
+}
+
+const Topology &
+Topology::host()
+{
+    static const Topology t = parse("/sys");
+    return t;
+}
+
+uint32_t
+Topology::nodes() const
+{
+    std::vector<uint32_t> seen;
+    for (const auto &p : cpus_)
+        seen.push_back(p.node);
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    return static_cast<uint32_t>(seen.size());
+}
+
+uint32_t
+Topology::packages() const
+{
+    std::vector<uint32_t> seen;
+    for (const auto &p : cpus_)
+        seen.push_back(p.package);
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    return static_cast<uint32_t>(seen.size());
+}
+
+std::vector<uint32_t>
+Topology::placement(uint32_t workers) const
+{
+    if (workers == 0 || cpus_.empty())
+        return {};
+    std::vector<CpuPlace> order = cpus_;
+    std::stable_sort(order.begin(), order.end(),
+                     [](const CpuPlace &a, const CpuPlace &b) {
+                         if (a.node != b.node)
+                             return a.node < b.node;
+                         if (a.package != b.package)
+                             return a.package < b.package;
+                         return a.cpu < b.cpu;
+                     });
+    std::vector<uint32_t> out(workers);
+    for (uint32_t i = 0; i < workers; ++i)
+        out[i] = order[i % order.size()].cpu;
+    return out;
+}
+
+bool
+pinCurrentThread(uint32_t cpu)
+{
+#ifdef __linux__
+    if (cpu >= CPU_SETSIZE)
+        return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
+} // namespace grow::util

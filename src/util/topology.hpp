@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Host CPU topology discovery for worker placement.
+ *
+ * The simulator's worker pool (util/work_pool.hpp) fans cycle-level
+ * lanes out across cores. Where those workers land matters: lanes of
+ * one inference share read-only graph operands, so keeping workers on
+ * one socket/NUMA node preserves LLC sharing and avoids cross-node
+ * traffic on every CSR access. Topology parses the Linux sysfs view
+ * (`/sys/devices/system/cpu`, `/sys/devices/system/node`) into an
+ * ordered CPU list and computes a node-major compact placement; the
+ * pool then best-effort pins each worker to its assigned CPU.
+ *
+ * Everything degrades gracefully: on hosts without the sysfs files
+ * (containers, non-Linux) the topology collapses to "one node, one
+ * package, hardware_concurrency CPUs" and pinning becomes a no-op.
+ * parse() takes the sysfs root as a parameter so tests can point it at
+ * a fabricated tree.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grow::util {
+
+/** One online logical CPU and where it lives. */
+struct CpuPlace
+{
+    uint32_t cpu = 0;     ///< logical CPU id
+    uint32_t package = 0; ///< physical socket
+    uint32_t node = 0;    ///< NUMA node
+};
+
+/** Parse a kernel cpulist string ("0-3,8,10-11") into CPU ids. */
+std::vector<uint32_t> parseCpuList(const std::string &list);
+
+class Topology
+{
+  public:
+    /** Empty topology (no CPUs known). */
+    Topology() = default;
+
+    /**
+     * Parse the sysfs tree under @p sysfs_root (normally "/sys").
+     * Missing files degrade to single-package/single-node; a missing
+     * online-CPU list degrades to hardware_concurrency CPUs.
+     */
+    static Topology parse(const std::string &sysfs_root);
+
+    /** The host topology, parsed once from /sys and cached. */
+    static const Topology &host();
+
+    const std::vector<CpuPlace> &cpus() const { return cpus_; }
+
+    /** Distinct NUMA nodes / packages seen. */
+    uint32_t nodes() const;
+    uint32_t packages() const;
+
+    /**
+     * Assign @p workers worker threads to CPUs, node-major and
+     * compact: all CPUs of node 0 (by package, then id) before node 1,
+     * wrapping round-robin when workers exceed the CPU count. Compact
+     * beats spreading here because co-simulating lanes share read-only
+     * operands -- same-socket workers hit the same LLC lines.
+     */
+    std::vector<uint32_t> placement(uint32_t workers) const;
+
+  private:
+    std::vector<CpuPlace> cpus_;
+};
+
+/**
+ * Best-effort pin of the calling thread to @p cpu (Linux
+ * sched_setaffinity). Returns whether the pin took effect; failure is
+ * never an error -- placement is an optimisation, not a contract.
+ */
+bool pinCurrentThread(uint32_t cpu);
+
+} // namespace grow::util

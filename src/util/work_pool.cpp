@@ -1,11 +1,11 @@
 #include "util/work_pool.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <mutex>
 
 #include "util/logging.hpp"
+#include "util/topology.hpp"
 
 namespace grow::util {
 
@@ -34,36 +34,121 @@ rethrowFirstError(const std::vector<std::exception_ptr> &errors)
             std::rethrow_exception(e);
 }
 
+namespace {
+
+/** Tasks per completion-tree leaf counter (one cacheline each). */
+constexpr size_t kLeafFan = 8;
+
+/** Worker has no assigned CPU (topology too narrow to pin). */
+constexpr uint32_t kNoCpu = UINT32_MAX;
+
+/** Retired batches kept for reuse; beyond this they just die. */
+constexpr size_t kMaxSpareBatches = 4;
+
+} // namespace
+
 /**
  * One runAll() invocation. Owned by shared_ptr: a claim ticket that a
  * worker only picks up after the batch already drained must find the
  * control block alive (and see no unclaimed task), not dangling
- * caller-stack memory.
+ * caller-stack memory. Retired batches are pooled (WorkPool::Impl::
+ * spares) and reset() for the next submission, so steady-state
+ * epoch-round fan-out allocates nothing.
  */
 struct WorkPool::Batch
 {
     std::vector<std::function<void()>> tasks;
     std::vector<std::exception_ptr> errors;
     std::atomic<size_t> next{0};
-    std::atomic<size_t> done{0};
-    std::mutex m;
-    std::condition_variable cv;
+
+    /**
+     * Completion tree: task i retires into leaf i / kLeafFan; the last
+     * task of a leaf retires the leaf into doneLeaves, which is the
+     * only word the caller parks on. Workers thus contend on
+     * ceil(size / kLeafFan) distinct cachelines instead of one hot
+     * counter, and the caller is woken exactly once.
+     */
+    struct alignas(64) Leaf
+    {
+        std::atomic<size_t> done{0};
+    };
+    std::unique_ptr<Leaf[]> leaves;
+    size_t numLeaves = 0;
+    size_t leafCapacity = 0;
+    std::atomic<size_t> doneLeaves{0};
+
+    /** Arm for a new submission (caller must hold the only reference). */
+    void reset(std::vector<std::function<void()>> new_tasks)
+    {
+        tasks = std::move(new_tasks);
+        errors.assign(tasks.size(), std::exception_ptr());
+        next.store(0, std::memory_order_relaxed);
+        numLeaves = (tasks.size() + kLeafFan - 1) / kLeafFan;
+        if (numLeaves > leafCapacity) {
+            leaves = std::make_unique<Leaf[]>(numLeaves);
+            leafCapacity = numLeaves;
+        } else {
+            for (size_t g = 0; g < numLeaves; ++g)
+                leaves[g].done.store(0, std::memory_order_relaxed);
+        }
+        doneLeaves.store(0, std::memory_order_relaxed);
+    }
 };
 
 struct WorkPool::Impl
 {
     std::mutex m;
-    std::condition_variable cv;
-    /** Claim tickets: one entry per helper invited into a batch. */
-    std::deque<std::shared_ptr<Batch>> tickets;
+
+    /** One announced batch; takers count the invites down. */
+    struct Ticket
+    {
+        std::shared_ptr<Batch> batch;
+        uint32_t invites = 0;
+    };
+    std::deque<Ticket> tickets;
+
+    /**
+     * Per-worker parking slot: a worker that finds no ticket loads its
+     * epoch under the lock, registers on the idle stack and futex-
+     * waits on the epoch outside the lock. A waker pops the id, bumps
+     * the epoch and notifies that one slot -- the bump-after-load
+     * ordering through the mutex makes the wakeup lossless.
+     */
+    struct alignas(64) Slot
+    {
+        std::atomic<uint32_t> epoch{0};
+        bool parkedListed = false; ///< under m: id is on `idle`
+    };
+    std::unique_ptr<Slot[]> slots;
+    std::vector<uint32_t> idle; ///< LIFO of parked worker ids (under m)
+
+    /** Retired batches available for reuse (under m). */
+    std::vector<std::shared_ptr<Batch>> spares;
+
     bool stop = false;
 };
 
 WorkPool::WorkPool(uint32_t workers) : impl_(std::make_unique<Impl>())
 {
+    impl_->slots = std::make_unique<Impl::Slot[]>(workers);
+    impl_->idle.reserve(workers);
+    // Topology-aware placement: pin workers node-major/compact when
+    // the host has a CPU for each worker; on narrower machines (CI
+    // containers, oversubscribed pools) leave placement to the
+    // scheduler rather than stack pinned workers on one core.
+    const Topology &topo = Topology::host();
+    std::vector<uint32_t> place;
+    if (workers > 0 && workers <= topo.cpus().size())
+        place = topo.placement(workers);
     workers_.reserve(workers);
-    for (uint32_t i = 0; i < workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (uint32_t i = 0; i < workers; ++i) {
+        const uint32_t cpu = place.empty() ? kNoCpu : place[i];
+        workers_.emplace_back([this, i, cpu] {
+            if (cpu != kNoCpu)
+                pinCurrentThread(cpu);
+            workerLoop(i);
+        });
+    }
 }
 
 WorkPool::~WorkPool()
@@ -72,7 +157,10 @@ WorkPool::~WorkPool()
         std::lock_guard<std::mutex> lk(impl_->m);
         impl_->stop = true;
     }
-    impl_->cv.notify_all();
+    for (size_t i = 0; i < workers_.size(); ++i) {
+        impl_->slots[i].epoch.fetch_add(1, std::memory_order_release);
+        impl_->slots[i].epoch.notify_one();
+    }
     for (auto &t : workers_)
         t.join();
 }
@@ -101,31 +189,49 @@ WorkPool::help(Batch &batch)
         } catch (...) {
             batch.errors[i] = std::current_exception();
         }
-        if (batch.done.fetch_add(1) + 1 == size) {
-            // Empty critical section: the waiter must not check the
-            // predicate between our done increment and the notify.
-            std::lock_guard<std::mutex> lk(batch.m);
-            batch.cv.notify_all();
+        const size_t leaf = i / kLeafFan;
+        const size_t group = std::min(kLeafFan, size - leaf * kLeafFan);
+        if (batch.leaves[leaf].done.fetch_add(1) + 1 == group) {
+            if (batch.doneLeaves.fetch_add(1) + 1 == batch.numLeaves)
+                batch.doneLeaves.notify_all();
         }
     }
 }
 
 void
-WorkPool::workerLoop()
+WorkPool::workerLoop(uint32_t id)
 {
+    Impl &impl = *impl_;
+    Impl::Slot &slot = impl.slots[id];
     while (true) {
         std::shared_ptr<Batch> batch;
+        uint32_t seen = 0;
         {
-            std::unique_lock<std::mutex> lk(impl_->m);
-            impl_->cv.wait(lk, [this] {
-                return impl_->stop || !impl_->tickets.empty();
-            });
-            if (impl_->stop)
+            std::unique_lock<std::mutex> lk(impl.m);
+            if (impl.stop)
                 return;
-            batch = std::move(impl_->tickets.front());
-            impl_->tickets.pop_front();
+            if (!impl.tickets.empty()) {
+                Impl::Ticket &t = impl.tickets.front();
+                batch = t.batch; // refcount bump only, no allocation
+                if (--t.invites == 0)
+                    impl.tickets.pop_front();
+            } else {
+                // The epoch load is ordered before any waker's bump by
+                // the mutex, so wait(seen) below cannot miss a wakeup:
+                // a bump between unlock and wait makes it return
+                // immediately.
+                seen = slot.epoch.load(std::memory_order_relaxed);
+                if (!slot.parkedListed) {
+                    slot.parkedListed = true;
+                    impl.idle.push_back(id);
+                }
+            }
         }
-        help(*batch);
+        if (batch) {
+            help(*batch);
+            continue;
+        }
+        slot.epoch.wait(seen);
     }
 }
 
@@ -135,34 +241,78 @@ WorkPool::runAll(std::vector<std::function<void()>> tasks,
 {
     if (tasks.empty())
         return {};
-    auto batch = std::make_shared<Batch>();
-    batch->errors.resize(tasks.size());
-    batch->tasks = std::move(tasks);
+    const size_t size = tasks.size();
+
+    // Reuse a retired batch when the spare list holds the only
+    // reference (no straggling helper can still touch its counters).
+    std::shared_ptr<Batch> batch;
+    {
+        std::lock_guard<std::mutex> lk(impl_->m);
+        auto &spares = impl_->spares;
+        for (auto it = spares.begin(); it != spares.end(); ++it) {
+            if (it->use_count() == 1) {
+                batch = std::move(*it);
+                spares.erase(it);
+                break;
+            }
+        }
+    }
+    if (!batch)
+        batch = std::make_shared<Batch>();
+    batch->reset(std::move(tasks));
 
     // Invite helpers: the caller is one executor, so max_parallel - 1
-    // tickets bound the in-flight task count at max_parallel; never
-    // more tickets than workers or tasks could use.
+    // invites bound the in-flight task count at max_parallel; never
+    // more invites than workers or tasks could use.
     const size_t budget = max_parallel == 0 ? workers_.size()
                                             : max_parallel - 1;
-    uint32_t helpers = static_cast<uint32_t>(std::min<size_t>(
-        {budget, workers_.size(), batch->tasks.size() - 1}));
+    const uint32_t helpers = static_cast<uint32_t>(
+        std::min<size_t>({budget, workers_.size(), size - 1}));
     if (helpers > 0) {
+        // One ticket for the whole batch, then targeted wakeups of
+        // exactly the parked workers wanted. Busy workers re-check the
+        // ticket queue before parking, so invites beyond the parked
+        // population are picked up as workers free up.
+        std::vector<uint32_t> wake;
+        wake.reserve(helpers);
         {
             std::lock_guard<std::mutex> lk(impl_->m);
-            for (uint32_t i = 0; i < helpers; ++i)
-                impl_->tickets.push_back(batch);
+            impl_->tickets.push_back(Impl::Ticket{batch, helpers});
+            for (uint32_t h = 0; h < helpers && !impl_->idle.empty();
+                 ++h) {
+                const uint32_t id = impl_->idle.back();
+                impl_->idle.pop_back();
+                impl_->slots[id].parkedListed = false;
+                wake.push_back(id);
+            }
         }
-        impl_->cv.notify_all();
+        for (uint32_t id : wake) {
+            impl_->slots[id].epoch.fetch_add(1, std::memory_order_release);
+            impl_->slots[id].epoch.notify_one();
+        }
     }
 
     help(*batch);
-    {
-        std::unique_lock<std::mutex> lk(batch->m);
-        batch->cv.wait(lk, [&] {
-            return batch->done.load() == batch->tasks.size();
-        });
+    // Park on the completion-tree root until every leaf retired.
+    size_t seen = batch->doneLeaves.load(std::memory_order_acquire);
+    while (seen != batch->numLeaves) {
+        batch->doneLeaves.wait(seen);
+        seen = batch->doneLeaves.load(std::memory_order_acquire);
     }
-    return std::move(batch->errors);
+
+    std::vector<std::exception_ptr> errors = std::move(batch->errors);
+    {
+        std::lock_guard<std::mutex> lk(impl_->m);
+        // Pool the batch only when we hold the sole reference: a late
+        // taker of a drained ticket may still read tasks.size(), so
+        // the closures can only be dropped once nobody else can look.
+        if (batch.use_count() == 1 &&
+            impl_->spares.size() < kMaxSpareBatches) {
+            batch->tasks.clear();
+            impl_->spares.push_back(std::move(batch));
+        }
+    }
+    return errors;
 }
 
 } // namespace grow::util

@@ -16,6 +16,24 @@
  * drains the inner batch the same way, so no thread ever blocks on
  * work that only itself could perform.
  *
+ * Hot-path mechanics (epoch-mode co-simulation submits a batch per
+ * round, so submission cost is on the simulator's critical path):
+ *  - Batch objects are pooled and reused across runAll() calls; a
+ *    steady-state round allocates nothing.
+ *  - A batch is announced as ONE ticket carrying an invite count;
+ *    takers count it down. The old design queued one shared_ptr copy
+ *    per helper.
+ *  - Idle workers park on per-worker futex slots and runAll() wakes
+ *    exactly the helpers it wants (targeted wakeup); the old central
+ *    notify_all woke the whole pool to race for tickets.
+ *  - Completion is a two-level tree of counters: tasks retire into
+ *    per-leaf cachelines and only the last task of a leaf touches the
+ *    root the caller parks on -- no per-batch mutex/condvar.
+ *  - Worker threads are placed node-major/compact on the host CPUs
+ *    (util/topology.hpp) when the machine is wide enough to give each
+ *    worker its own CPU; co-simulating lanes share read-only operands,
+ *    so same-socket placement keeps them in one LLC.
+ *
  * Determinism: tasks of one batch must be independent (they write to
  * disjoint slots); under that contract results are bit-identical for
  * every pool width and max_parallel value, which is what the
@@ -87,7 +105,7 @@ class WorkPool
     /** Claim-and-execute loop shared by workers and callers. */
     static void help(Batch &batch);
 
-    void workerLoop();
+    void workerLoop(uint32_t id);
 
     struct Impl;
     std::unique_ptr<Impl> impl_;

@@ -8,8 +8,11 @@
 
 #include "report/diff.hpp"
 #include <cmath>
+#include <sstream>
 
 #include "report/json.hpp"
+#include "report/report.hpp"
+#include "report/sinks.hpp"
 
 namespace grow::report {
 namespace {
@@ -190,6 +193,152 @@ TEST(ReportDiff, WorstDriftSortsFirstAndFormats)
     // max_lines truncation note
     auto truncated = formatDiff(result, DiffOptions{}, 1);
     EXPECT_NE(truncated.find("suppressed"), std::string::npos);
+}
+
+const char *kSimSpeedBase =
+    R"({"bench":"zoo","table":"sim_speed","dataset":"cora",)"
+    R"("engine":"grow","metric":"rows_per_sec","unit":"rows/s",)"
+    R"("value":1000})";
+const char *kSimSpeedDrifted =
+    R"({"bench":"zoo","table":"sim_speed","dataset":"cora",)"
+    R"("engine":"grow","metric":"rows_per_sec","unit":"rows/s",)"
+    R"("value":1100})";
+
+TEST(ReportDiff, TolOverrideGatesAUnitOutsideTheDefaultGateSet)
+{
+    // sim-speed units (ms, rows/s) are not in gateUnits; by default
+    // their drift is informational. A tol override both sets their
+    // tolerance AND opts them into the gate.
+    auto base = parse(reportWith(kSimSpeedBase));
+    auto curr = parse(reportWith(kSimSpeedDrifted));
+
+    auto plain = diffReports(base, curr);
+    ASSERT_EQ(plain.drifted.size(), 1u);
+    EXPECT_EQ(plain.regressions, 0u);
+
+    DiffOptions opt;
+    opt.tolOverrides["rows/s"] = 0.05;
+    auto gated = diffReports(base, curr, opt);
+    EXPECT_EQ(gated.regressions, 1u);
+
+    // The 10% drift passes a 15% override (the CI setting).
+    opt.tolOverrides["rows/s"] = 0.15;
+    auto loose = diffReports(base, curr, opt);
+    ASSERT_EQ(loose.drifted.size(), 1u);
+    EXPECT_EQ(loose.regressions, 0u);
+}
+
+TEST(ReportDiff, MetricNameOverrideBeatsUnitOverride)
+{
+    auto base = parse(reportWith(kSimSpeedBase));
+    auto curr = parse(reportWith(kSimSpeedDrifted));
+
+    DiffOptions opt;
+    opt.tolOverrides["rows/s"] = 0.05;       // would gate the 10% drift
+    opt.tolOverrides["rows_per_sec"] = 0.2;  // metric name wins
+    auto result = diffReports(base, curr, opt);
+    EXPECT_EQ(result.regressions, 0u);
+
+    opt.tolOverrides["rows/s"] = 0.5;
+    opt.tolOverrides["rows_per_sec"] = 0.05; // tight metric override
+    auto tight = diffReports(base, curr, opt);
+    EXPECT_EQ(tight.regressions, 1u);
+}
+
+TEST(ReportDiff, TolOverrideCanLoosenAGatedUnit)
+{
+    auto base = parse(reportWith(kRecA));
+    auto curr = parse(reportWith(
+        R"({"bench":"fig20","table":"fig20","dataset":"yelp",)"
+        R"("engine":"grow","metric":"cycles","unit":"cycles",)"
+        R"("value":1050})"));
+    auto strict = diffReports(base, curr); // 5% > default 2%
+    EXPECT_EQ(strict.regressions, 1u);
+
+    DiffOptions opt;
+    opt.tolOverrides["cycles"] = 0.1;
+    auto loose = diffReports(base, curr, opt);
+    ASSERT_EQ(loose.drifted.size(), 1u);
+    EXPECT_EQ(loose.regressions, 0u);
+
+    // The header advertises active overrides so a CI log shows what
+    // tolerance actually applied.
+    auto text = formatDiff(loose, opt);
+    EXPECT_NE(text.find("override"), std::string::npos);
+    EXPECT_NE(text.find("cycles=0.1"), std::string::npos);
+}
+
+TEST(ReportDiff, OverriddenMetricLosingItsValueTripsTheGate)
+{
+    // Mirrors GatedMetricLosingItsNumericValueTripsTheGate for a
+    // metric gated only through an override.
+    auto base = parse(reportWith(kSimSpeedBase));
+    auto curr = parse(reportWith(
+        R"({"bench":"zoo","table":"sim_speed","dataset":"cora",)"
+        R"("engine":"grow","metric":"rows_per_sec","unit":"rows/s",)"
+        R"("text":"n/a"})"));
+    auto plain = diffReports(base, curr);
+    EXPECT_EQ(plain.regressions, 0u);
+
+    DiffOptions opt;
+    opt.tolOverrides["rows/s"] = 0.15;
+    auto gated = diffReports(base, curr, opt);
+    EXPECT_EQ(gated.regressions, 1u);
+}
+
+/** Render @p report through the JSON sink and parse it back. */
+JsonValue
+roundTrip(const Report &report)
+{
+    std::ostringstream os;
+    JsonSink().emit(report, os);
+    JsonValue root = parse(os.str());
+    std::vector<std::string> errors;
+    EXPECT_TRUE(validateReportJson(root, errors))
+        << (errors.empty() ? "" : errors.front());
+    return root;
+}
+
+TEST(ReportDiff, SimSpeedRecordsSurviveTheJsonRoundTrip)
+{
+    // The profile=1 table as BenchContext::emitSimSpeed declares it:
+    // built through the report API, rendered to JSON, validated, and
+    // joined by the differ under the CI tolerance overrides.
+    auto makeReport = [](double wall_ms, double rows_per_sec) {
+        Report rep;
+        rep.meta().bench = "model_zoo";
+        rep.meta().revision = "test";
+        auto t = rep.table("sim_speed", "Simulator speed");
+        t.col("dataset", "dataset")
+            .col("engine", "engine")
+            .col("wall_ms", "wall ms", "ms")
+            .col("rows_per_sec", "sim rows/s", "rows/s");
+        t.row({.dataset = "cora", .engine = "grow"})
+            .add(textCell("cora"))
+            .add(textCell("grow"))
+            .add(real(wall_ms, 3, "ms"))
+            .add(real(rows_per_sec, 1, "rows/s"));
+        return rep;
+    };
+
+    auto base = roundTrip(makeReport(100.0, 5000.0));
+    auto curr = roundTrip(makeReport(110.0, 4545.5));
+
+    DiffOptions opt;
+    opt.tolOverrides["ms"] = 0.15;
+    opt.tolOverrides["rows/s"] = 0.15;
+    auto result = diffReports(base, curr, opt);
+    // Identity cells (dataset, engine) are not records; both numeric
+    // metrics join and the 10% drift passes the 15% override.
+    EXPECT_EQ(result.joined, 2u);
+    EXPECT_EQ(result.drifted.size(), 2u);
+    EXPECT_EQ(result.regressions, 0u);
+    EXPECT_TRUE(result.onlyBase.empty());
+    EXPECT_TRUE(result.onlyCurrent.empty());
+
+    opt.tolOverrides["ms"] = 0.05;
+    auto tight = diffReports(base, curr, opt);
+    EXPECT_EQ(tight.regressions, 1u);
 }
 
 } // namespace

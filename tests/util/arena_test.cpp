@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Arena bump allocator + fixed-capacity RingBuffer: alignment and
+ * exhaustion of the arena, FIFO order across power-of-two wraparound,
+ * and the growth-rejection contract (push beyond capacity asserts
+ * instead of reallocating behind outstanding references).
+ */
+#include <gtest/gtest.h>
+
+#include "util/arena.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace grow::util {
+namespace {
+
+TEST(Arena, CeilPow2RoundsUpWithMinimumOne)
+{
+    EXPECT_EQ(ceilPow2(0), 1u);
+    EXPECT_EQ(ceilPow2(1), 1u);
+    EXPECT_EQ(ceilPow2(2), 2u);
+    EXPECT_EQ(ceilPow2(3), 4u);
+    EXPECT_EQ(ceilPow2(8), 8u);
+    EXPECT_EQ(ceilPow2(9), 16u);
+    EXPECT_EQ(ceilPow2(1000), 1024u);
+}
+
+TEST(Arena, AllocRespectsAlignmentAndTracksUsage)
+{
+    Arena arena(256);
+    EXPECT_EQ(arena.capacity(), 256u);
+    EXPECT_EQ(arena.used(), 0u);
+
+    uint8_t *a = arena.alloc<uint8_t>(3);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(arena.used(), 3u);
+
+    // The next allocation must be aligned for its type even though the
+    // bump pointer sits at an odd offset.
+    uint64_t *b = arena.alloc<uint64_t>(2);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % alignof(uint64_t), 0u);
+    EXPECT_EQ(arena.used(), 8u + 2 * sizeof(uint64_t));
+
+    // Distinct allocations never overlap.
+    b[0] = 0x1122334455667788ULL;
+    a[0] = 0xFF;
+    EXPECT_EQ(b[0], 0x1122334455667788ULL);
+}
+
+TEST(Arena, ExhaustionAssertsInsteadOfReturningNull)
+{
+    Arena arena(16);
+    (void)arena.alloc<uint8_t>(16);
+    EXPECT_THROW(arena.alloc<uint8_t>(1), std::logic_error);
+}
+
+TEST(RingBuffer, FifoOrderAcrossWraparound)
+{
+    // min_capacity 5 rounds to 8; cycling 3-in 3-out drives head and
+    // tail through several mask wraps while order must hold.
+    RingBuffer<int> ring(5);
+    EXPECT_EQ(ring.capacity(), 8u);
+    EXPECT_TRUE(ring.empty());
+
+    int next_in = 0, next_out = 0;
+    for (int cycle = 0; cycle < 20; ++cycle) {
+        for (int i = 0; i < 3; ++i)
+            ring.push_back(next_in++);
+        ASSERT_EQ(ring.size(), 3u);
+        EXPECT_EQ(ring.front(), next_out);
+        EXPECT_EQ(ring.back(), next_in - 1);
+        for (size_t i = 0; i < ring.size(); ++i)
+            EXPECT_EQ(ring[i], next_out + static_cast<int>(i));
+        for (int i = 0; i < 3; ++i) {
+            EXPECT_EQ(ring.front(), next_out++);
+            ring.pop_front();
+        }
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, GrowthAndUnderflowAreRejected)
+{
+    RingBuffer<int> ring(2);
+    ring.push_back(1);
+    ring.push_back(2);
+    EXPECT_TRUE(ring.full());
+    EXPECT_THROW(ring.push_back(3), std::logic_error);
+
+    ring.pop_front();
+    ring.pop_front();
+    EXPECT_THROW(ring.pop_front(), std::logic_error);
+    EXPECT_THROW(ring[0], std::logic_error);
+}
+
+TEST(RingBuffer, ClearResetsWithoutTouchingCapacity)
+{
+    RingBuffer<int> ring(4);
+    ring.push_back(7);
+    ring.push_back(8);
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.capacity(), 4u);
+    ring.push_back(9);
+    EXPECT_EQ(ring.front(), 9);
+}
+
+TEST(RingBuffer, ArenaBackedStorageBehavesLikeHeapBacked)
+{
+    Arena arena(ceilPow2(6) * sizeof(uint32_t) +
+                alignof(std::max_align_t));
+    RingBuffer<uint32_t> ring(arena, 6);
+    EXPECT_EQ(ring.capacity(), 8u);
+    for (uint32_t i = 0; i < 8; ++i)
+        ring.push_back(i * 10);
+    EXPECT_TRUE(ring.full());
+    for (uint32_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(ring.front(), i * 10);
+        ring.pop_front();
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, DefaultConstructedIsEmptyWithZeroCapacity)
+{
+    RingBuffer<int> ring;
+    EXPECT_EQ(ring.capacity(), 0u);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_THROW(ring.push_back(1), std::logic_error);
+}
+
+} // namespace
+} // namespace grow::util

@@ -98,5 +98,38 @@ TEST(CliArgs, RequireKnownAcceptsKnownKeysAndIgnoresDashFlags)
     EXPECT_NO_THROW(makeArgs({}).requireKnown({}));
 }
 
+TEST(CliArgs, WithPrefixStripsThePrefixAndSkipsOthers)
+{
+    auto args = makeArgs(
+        {"tol.ms=0.15", "tol.rows/s=0.2", "tol=0.02", "base=x"});
+    auto tols = args.withPrefix("tol.");
+    ASSERT_EQ(tols.size(), 2u);
+    EXPECT_EQ(tols.at("ms"), "0.15");
+    EXPECT_EQ(tols.at("rows/s"), "0.2");
+    // The bare `tol=` key is not prefixed, and a suffix-less `tol.=`
+    // would not count either.
+    EXPECT_EQ(tols.count("tol"), 0u);
+    EXPECT_EQ(args.withPrefix("gate.").size(), 0u);
+}
+
+TEST(CliArgs, RequireKnownAcceptsPrefixedKeys)
+{
+    auto args = makeArgs({"tol.ms=0.15", "base=x"});
+    EXPECT_NO_THROW(args.requireKnown({"base"}, {"tol."}));
+    // A prefix alone with no suffix is still unknown.
+    auto bare = makeArgs({"tol.=0.15"});
+    EXPECT_ANY_THROW(bare.requireKnown({"base"}, {"tol."}));
+    // Prefixed keys are only accepted when the prefix is declared.
+    EXPECT_ANY_THROW(args.requireKnown({"base"}));
+    // The accepted-keys message advertises the prefix form.
+    try {
+        makeArgs({"bogus=1"}).requireKnown({"base"}, {"tol."});
+        FAIL() << "expected fatal()";
+    } catch (const std::exception &e) {
+        EXPECT_NE(std::string(e.what()).find("tol.<name>"),
+                  std::string::npos);
+    }
+}
+
 } // namespace
 } // namespace grow

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Open-addressing FlatMap: round-trip semantics against the contract
+ * std::unordered_map used to provide, tombstone reuse on the probe
+ * path, the growth-rejection bound, and compaction staying amortised
+ * under full-occupancy FIFO churn (the LDN-table pathology that once
+ * rebuilt the table on nearly every insert).
+ */
+#include <gtest/gtest.h>
+
+#include "util/flat_map.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace grow::util {
+namespace {
+
+constexpr uint32_t kEmpty = UINT32_MAX;
+
+TEST(FlatMap, InsertFindEraseRoundTrip)
+{
+    FlatMap<uint32_t, int> map(8, kEmpty);
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.capacity(), 8u);
+    EXPECT_EQ(map.find(3), nullptr);
+
+    map.insert(3, 30);
+    map.insert(4, 40);
+    ASSERT_NE(map.find(3), nullptr);
+    EXPECT_EQ(*map.find(3), 30);
+    EXPECT_EQ(*map.find(4), 40);
+    EXPECT_EQ(map.size(), 2u);
+
+    // Overwrite keeps the size; insert is upsert.
+    map.insert(3, 33);
+    EXPECT_EQ(*map.find(3), 33);
+    EXPECT_EQ(map.size(), 2u);
+
+    EXPECT_TRUE(map.erase(3));
+    EXPECT_EQ(map.find(3), nullptr);
+    EXPECT_FALSE(map.erase(3));
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(*map.find(4), 40);
+}
+
+TEST(FlatMap, EraseLeavesATombstoneThatInsertReuses)
+{
+    FlatMap<uint32_t, int> map(8, kEmpty);
+    map.insert(5, 50);
+    EXPECT_EQ(map.tombstones(), 0u);
+    map.erase(5);
+    EXPECT_EQ(map.tombstones(), 1u);
+
+    // Re-inserting the same key probes over its own tombstone and
+    // reclaims it instead of consuming a fresh Empty slot.
+    map.insert(5, 55);
+    EXPECT_EQ(map.tombstones(), 0u);
+    EXPECT_EQ(*map.find(5), 55);
+}
+
+TEST(FlatMap, ErasedKeyOnProbePathDoesNotHideLaterEntries)
+{
+    // Fill to the live bound so colliding keys chain past each other,
+    // then erase keys in the middle of chains: lookups must keep
+    // walking past Dead slots.
+    constexpr size_t kLive = 64;
+    FlatMap<uint32_t, uint32_t> map(kLive, kEmpty);
+    for (uint32_t k = 0; k < kLive; ++k)
+        map.insert(k, k * 2);
+    for (uint32_t k = 0; k < kLive; k += 2)
+        EXPECT_TRUE(map.erase(k));
+    for (uint32_t k = 0; k < kLive; ++k) {
+        if (k % 2 == 0) {
+            EXPECT_EQ(map.find(k), nullptr) << k;
+        } else {
+            ASSERT_NE(map.find(k), nullptr) << k;
+            EXPECT_EQ(*map.find(k), k * 2);
+        }
+    }
+}
+
+TEST(FlatMap, GrowthBeyondMaxLiveIsRejected)
+{
+    FlatMap<uint32_t, int> map(4, kEmpty);
+    for (uint32_t k = 0; k < 4; ++k)
+        map.insert(k, 0);
+    EXPECT_THROW(map.insert(99, 0), std::logic_error);
+    // Overwriting a live key is not growth.
+    map.insert(2, 7);
+    EXPECT_EQ(*map.find(2), 7);
+}
+
+TEST(FlatMap, ReservedEmptyKeyIsRejected)
+{
+    FlatMap<uint32_t, int> map(4, kEmpty);
+    EXPECT_THROW(map.insert(kEmpty, 1), std::logic_error);
+}
+
+TEST(FlatMap, ClearResetsLiveAndTombstones)
+{
+    FlatMap<uint32_t, int> map(8, kEmpty);
+    map.insert(1, 10);
+    map.insert(2, 20);
+    map.erase(1);
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.tombstones(), 0u);
+    EXPECT_EQ(map.find(2), nullptr);
+    map.insert(2, 21);
+    EXPECT_EQ(*map.find(2), 21);
+}
+
+TEST(FlatMap, FullOccupancyFifoChurnStaysBoundedAndCorrect)
+{
+    // The LDN-table pattern: the table sits at its live bound while a
+    // FIFO evicts the oldest entry to admit each new one. Tombstones
+    // must stay below the compaction ceiling (slots are never
+    // exhausted) and the map must agree with a reference map
+    // throughout -- this is the exact churn that degenerated into a
+    // rebuild per insert before the 3/4 threshold.
+    constexpr size_t kLive = 256;
+    FlatMap<uint32_t, uint32_t> map(kLive, kEmpty);
+    std::unordered_map<uint32_t, uint32_t> ref;
+    std::deque<uint32_t> fifo;
+
+    uint32_t next = 0;
+    for (; next < kLive; ++next) {
+        map.insert(next, next ^ 0xABCDu);
+        ref.emplace(next, next ^ 0xABCDu);
+        fifo.push_back(next);
+    }
+    for (int churn = 0; churn < 20000; ++churn) {
+        const uint32_t victim = fifo.front();
+        fifo.pop_front();
+        EXPECT_TRUE(map.erase(victim));
+        ref.erase(victim);
+        map.insert(next, next ^ 0xABCDu);
+        ref.emplace(next, next ^ 0xABCDu);
+        fifo.push_back(next);
+        ++next;
+
+        EXPECT_EQ(map.size(), kLive);
+        // live + dead may touch 3/4 of the table right before a
+        // compaction fires but never exceed it after an insert.
+        EXPECT_LE((map.size() + map.tombstones()) * 4,
+                  map.slotCount() * 3);
+    }
+    for (const auto &[k, v] : ref) {
+        ASSERT_NE(map.find(k), nullptr) << k;
+        EXPECT_EQ(*map.find(k), v);
+    }
+    // Spot-check misses after heavy churn.
+    EXPECT_EQ(map.find(0), nullptr);
+    EXPECT_EQ(map.find(next + 1), nullptr);
+}
+
+} // namespace
+} // namespace grow::util

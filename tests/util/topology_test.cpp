@@ -1,0 +1,133 @@
+/**
+ * @file
+ * CPU topology discovery: cpulist grammar, parsing a fabricated sysfs
+ * tree (two sockets, two NUMA nodes), node-major compact placement
+ * with round-robin wrap, and graceful degradation when the sysfs
+ * files are absent.
+ */
+#include <gtest/gtest.h>
+
+#include "util/topology.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+namespace grow::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ParseCpuList, HandlesSinglesRangesAndMixes)
+{
+    EXPECT_EQ(parseCpuList(""), (std::vector<uint32_t>{}));
+    EXPECT_EQ(parseCpuList("0"), (std::vector<uint32_t>{0}));
+    EXPECT_EQ(parseCpuList("0-3"), (std::vector<uint32_t>{0, 1, 2, 3}));
+    EXPECT_EQ(parseCpuList("0-2,8,10-11"),
+              (std::vector<uint32_t>{0, 1, 2, 8, 10, 11}));
+    EXPECT_EQ(parseCpuList("4\n"), (std::vector<uint32_t>{4}));
+}
+
+TEST(ParseCpuList, SkipsMalformedTokens)
+{
+    // Junk tokens are dropped, valid neighbours survive.
+    EXPECT_EQ(parseCpuList("x,2,3-"), (std::vector<uint32_t>{2}));
+    EXPECT_EQ(parseCpuList("5-3"), (std::vector<uint32_t>{}));
+}
+
+/** Fabricated sysfs: cpus 0-3, packages {0,0,1,1}, nodes {0,0,1,1}. */
+class FakeSysfs : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        root_ = fs::temp_directory_path() /
+                ("grow-topo-test-" +
+                 std::to_string(static_cast<unsigned>(::getpid())));
+        fs::remove_all(root_);
+        write("devices/system/cpu/online", "0-3\n");
+        for (int cpu = 0; cpu < 4; ++cpu)
+            write("devices/system/cpu/cpu" + std::to_string(cpu) +
+                      "/topology/physical_package_id",
+                  std::to_string(cpu / 2) + "\n");
+        write("devices/system/node/online", "0-1\n");
+        write("devices/system/node/node0/cpulist", "0-1\n");
+        write("devices/system/node/node1/cpulist", "2-3\n");
+    }
+
+    void TearDown() override { fs::remove_all(root_); }
+
+    void
+    write(const std::string &rel, const std::string &content)
+    {
+        fs::path p = root_ / rel;
+        fs::create_directories(p.parent_path());
+        std::ofstream(p) << content;
+    }
+
+    fs::path root_;
+};
+
+TEST_F(FakeSysfs, ParsesPackagesAndNodes)
+{
+    Topology topo = Topology::parse(root_.string());
+    ASSERT_EQ(topo.cpus().size(), 4u);
+    EXPECT_EQ(topo.packages(), 2u);
+    EXPECT_EQ(topo.nodes(), 2u);
+    for (const CpuPlace &p : topo.cpus()) {
+        EXPECT_EQ(p.package, p.cpu / 2) << p.cpu;
+        EXPECT_EQ(p.node, p.cpu / 2) << p.cpu;
+    }
+}
+
+TEST_F(FakeSysfs, PlacementIsNodeMajorCompactAndWraps)
+{
+    Topology topo = Topology::parse(root_.string());
+    // Fewer workers than CPUs: fill node 0 first (LLC sharing), never
+    // spread across nodes early.
+    EXPECT_EQ(topo.placement(2), (std::vector<uint32_t>{0, 1}));
+    EXPECT_EQ(topo.placement(3), (std::vector<uint32_t>{0, 1, 2}));
+    // More workers than CPUs: round-robin wrap in the same order.
+    EXPECT_EQ(topo.placement(6),
+              (std::vector<uint32_t>{0, 1, 2, 3, 0, 1}));
+    EXPECT_TRUE(topo.placement(0).empty());
+}
+
+TEST_F(FakeSysfs, NodeOrderDominatesCpuIdOrder)
+{
+    // Invert the node mapping: high CPU ids on node 0. Placement must
+    // follow nodes, not raw CPU ids.
+    write("devices/system/node/node0/cpulist", "2-3\n");
+    write("devices/system/node/node1/cpulist", "0-1\n");
+    Topology topo = Topology::parse(root_.string());
+    EXPECT_EQ(topo.placement(4),
+              (std::vector<uint32_t>{2, 3, 0, 1}));
+}
+
+TEST(Topology, MissingSysfsDegradesToHardwareConcurrency)
+{
+    Topology topo = Topology::parse("/nonexistent-sysfs-root");
+    const uint32_t hc =
+        std::max(1u, std::thread::hardware_concurrency());
+    ASSERT_EQ(topo.cpus().size(), hc);
+    EXPECT_EQ(topo.nodes(), 1u);
+    EXPECT_EQ(topo.packages(), 1u);
+    // Degenerate placement is still well-formed.
+    auto placed = topo.placement(hc + 1);
+    ASSERT_EQ(placed.size(), hc + 1);
+    EXPECT_EQ(placed.front(), placed.back());
+}
+
+TEST(Topology, HostIsCachedAndNonEmpty)
+{
+    const Topology &a = Topology::host();
+    const Topology &b = Topology::host();
+    EXPECT_EQ(&a, &b);
+    EXPECT_FALSE(a.cpus().empty());
+}
+
+} // namespace
+} // namespace grow::util

@@ -5,18 +5,32 @@
  *
  * Usage:
  *   report_diff base=main/BENCH_GROW.json current=build/BENCH_GROW.json
- *               [tol=0.0] [gate=cycles,bytes] [max_lines=40]
+ *               [history=bench/history] [tol=0.0] [gate=cycles,bytes]
+ *               [tol.<metric-or-unit>=pct ...] [max_lines=40]
  *
  * Joins the two files on the canonical (bench, table, row-dims,
  * metric) record key, prints every per-metric delta (worst first) and
  * the added/removed record summary.
  *
+ * `tol.<name>=` keys are repeatable per-metric tolerance overrides
+ * (name = metric name or unit; metric wins). An override also gates
+ * its metric even when the unit is outside `gate=` -- e.g.
+ * `tol.rows/s=0.15` gates the sim-speed family at 15% while cycles
+ * stay at the tight default.
+ *
+ * `history=` names the committed perf-trajectory directory
+ * (bench/history/): when `base=` is absent, the lexically newest
+ * *.json there becomes the baseline. No baseline at all skips the
+ * gate (exit 0) -- a first run must not fail CI.
+ *
  * Exit codes:
  *   0  no gated metric drifted beyond `tol` (other drift is reported
- *      but does not fail the gate)
+ *      but does not fail the gate), or no baseline available
  *   1  at least one gated regression
  *   2  usage error, unreadable file, JSON parse or schema failure
  */
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -58,6 +72,26 @@ loadReport(const std::string &path, report::JsonValue &out)
     return 0;
 }
 
+/** Lexically newest *.json under @p dir, or "" when none/unreadable.
+ *  History snapshots are date-prefixed, so lexical == chronological. */
+std::string
+newestHistoryFile(const std::string &dir)
+{
+    std::error_code ec;
+    std::string best;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string path = entry.path().string();
+        if (entry.path().extension() != ".json")
+            continue;
+        if (path > best)
+            best = path;
+    }
+    return best;
+}
+
 } // namespace
 
 int
@@ -65,14 +99,29 @@ main(int argc, char **argv)
 {
     try {
         CliArgs args(argc, argv);
-        args.requireKnown({"base", "current", "tol", "gate", "max_lines"});
-        const std::string basePath = args.get("base", "");
+        args.requireKnown(
+            {"base", "current", "history", "tol", "gate", "max_lines"},
+            {"tol."});
+        std::string basePath = args.get("base", "");
         const std::string currPath = args.get("current", "");
-        if (basePath.empty() || currPath.empty()) {
+        const std::string historyDir = args.get("history", "");
+        if (currPath.empty() ||
+            (basePath.empty() && historyDir.empty())) {
             std::cerr << "usage: report_diff base=<old.json> "
-                         "current=<new.json> [tol=0.0] "
-                         "[gate=cycles,bytes] [max_lines=40]\n";
+                         "current=<new.json> [history=<dir>] [tol=0.0] "
+                         "[gate=cycles,bytes] [tol.<metric>=pct ...] "
+                         "[max_lines=40]\n";
             return 2;
+        }
+        if (basePath.empty()) {
+            basePath = newestHistoryFile(historyDir);
+            if (basePath.empty()) {
+                std::cout << "report_diff: no baseline in " << historyDir
+                          << "; gate skipped (first run)\n";
+                return 0;
+            }
+            std::cout << "report_diff: baseline from committed history: "
+                      << basePath << "\n";
         }
 
         report::DiffOptions options;
@@ -82,6 +131,17 @@ main(int argc, char **argv)
             return 2;
         }
         options.gateUnits = args.getList("gate", {"cycles", "bytes"});
+        for (const auto &[name, text] : args.withPrefix("tol.")) {
+            char *end = nullptr;
+            const double tol = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0' || tol < 0) {
+                std::cerr << "report_diff: tol." << name
+                          << " must be a fraction >= 0, got '" << text
+                          << "'\n";
+                return 2;
+            }
+            options.tolOverrides[name] = tol;
+        }
         const int64_t maxLines = args.getInt("max_lines", 40);
         if (maxLines < 0) {
             std::cerr << "report_diff: max_lines must be >= 0\n";
