@@ -17,12 +17,30 @@
  * format=json emits the same sweep as schema-versioned MetricRecords
  * keyed by the SweepJob labels ("cap/512", "ra/8", ...).
  *
+ * Two optional tiers ride on top of the classic sweep:
+ *   est=1     re-scores every sweep point with the analytical cost
+ *             model (src/costmodel/) and reports the estimate-vs-sim
+ *             drift as percent records with unit "est", so CI can gate
+ *             the estimator envelope via report_diff `tol.est=`.
+ *   dse=1     runs the two-tier explorer (driver::DseDriver): the
+ *             ~17k-point default grid is scored analytically in
+ *             microseconds per point, pruned to its Pareto frontier
+ *             over (cycles, SRAM), and the first pareto= survivors are
+ *             simulated cycle-accurately for validation.
+ *
  * Usage: design_space_sweep [dataset=pokec] [scale=tiny] [threads=0]
- *                           [epoch=0]
+ *                           [epoch=0] [dse=0] [pareto=8] [est=0]
  *                           [cachedir=] [model=gcn|sage-mean|sage-pool|
  *                           gin|gat] [format=table|json|csv] [out=path]
  */
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+
 #include "core/grow.hpp"
+#include "costmodel/cost_model.hpp"
+#include "driver/dse.hpp"
 #include "driver/sweep_driver.hpp"
 #include "driver/workload_cache.hpp"
 #include "energy/area_model.hpp"
@@ -50,6 +68,15 @@ growJob(const std::string &label, const core::GrowConfig &cfg,
     return job;
 }
 
+/** Fixed-point rendering for wall-clock notes. */
+std::string
+fmtFixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+}
+
 } // namespace
 
 int
@@ -57,7 +84,7 @@ main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
     args.requireKnown({"dataset", "scale", "threads", "cachedir", "model",
-                       "format", "out", "epoch"});
+                       "format", "out", "epoch", "dse", "pareto", "est"});
     const auto &spec = graph::datasetByName(args.get("dataset", "pokec"));
     auto tier = graph::tierFromString(args.get("scale", "tiny"));
     const int64_t threadsArg = args.getInt("threads", 0);
@@ -68,6 +95,16 @@ main(int argc, char **argv)
     if (epochArg < 0)
         fatal("epoch must be >= 0 cycles, got " +
               std::to_string(epochArg));
+    const int64_t dseArg = args.getInt("dse", 0);
+    if (dseArg != 0 && dseArg != 1)
+        fatal("dse must be 0 or 1, got " + std::to_string(dseArg));
+    const int64_t paretoArg = args.getInt("pareto", 8);
+    if (paretoArg < 0)
+        fatal("pareto must be >= 0 survivors (0 = whole frontier), got " +
+              std::to_string(paretoArg));
+    const int64_t estArg = args.getInt("est", 0);
+    if (estArg != 0 && estArg != 1)
+        fatal("est must be 0 or 1, got " + std::to_string(estArg));
     const std::string format = args.get("format", "table");
     report::makeSink(format); // reject bad formats before simulating
     driver::SweepDriver pool(static_cast<uint32_t>(threadsArg));
@@ -113,12 +150,25 @@ main(int argc, char **argv)
 
     // --- Assemble every sweep point, then run them all at once. -------
     std::vector<driver::SweepJob> jobs;
+    // (config, workload) of each job, for the est=1 re-scoring pass.
+    struct EstPoint
+    {
+        core::GrowConfig cfg;
+        const gcn::GcnWorkload *workload;
+    };
+    std::vector<EstPoint> estPoints;
+    auto addJob = [&](const std::string &label,
+                      const core::GrowConfig &cfg,
+                      const gcn::GcnWorkload &wl) {
+        jobs.push_back(growJob(label, cfg, wl));
+        estPoints.push_back({cfg, &wl});
+    };
 
     const Bytes capacitiesKb[] = {64, 128, 256, 512, 1024};
     for (Bytes kb : capacitiesKb) {
         core::GrowConfig cfg;
         cfg.hdn.capacityBytes = kb * 1024;
-        jobs.push_back(growJob("cap/" + std::to_string(kb), cfg, w));
+        addJob("cap/" + std::to_string(kb), cfg, w);
     }
 
     const std::pair<uint32_t, uint32_t> runaheadPoints[] = {
@@ -128,19 +178,19 @@ main(int argc, char **argv)
         cfg.runaheadDegree = degree;
         cfg.ldnEntries = ldn;
         cfg.lhsIdEntries = 4 * ldn;
-        jobs.push_back(growJob("ra/" + std::to_string(degree), cfg, w));
+        addJob("ra/" + std::to_string(degree), cfg, w);
     }
 
     const uint32_t macWidths[] = {8, 16, 32, 64};
     for (uint32_t macs : macWidths) {
         core::GrowConfig cfg;
         cfg.numMacs = macs;
-        jobs.push_back(growJob("mac/" + std::to_string(macs), cfg, w));
+        addJob("mac/" + std::to_string(macs), cfg, w);
     }
 
     for (size_t i = 0; i < std::size(depths); ++i) {
-        jobs.push_back(growJob("depth/" + std::to_string(depths[i]),
-                               core::GrowConfig{}, *workloadByDepth[i]));
+        addJob("depth/" + std::to_string(depths[i]), core::GrowConfig{},
+               *workloadByDepth[i]);
     }
 
     // Within-inference parallelism rides the same shared pool as the
@@ -270,6 +320,113 @@ main(int argc, char **argv)
             .add(report::count(r.totalCycles, "cycles"))
             .add(report::bytesValue(r.totalTrafficBytes()))
             .add(report::real(r.energy.total() / 1e6, 1, "uJ"));
+    }
+
+    // --- est=1: analytical estimator drift on every sweep point. ------
+    // Percent-error records carry unit "est" so CI gates the whole
+    // family with one `tol.est=` override (the offline envelope lives
+    // in tests/costmodel/estimator_envelope_test.cpp).
+    if (estArg) {
+        struct EstModel
+        {
+            gcn::PhasePlan plan;
+            std::unique_ptr<costmodel::AnalyticalCostModel> model;
+        };
+        std::map<const gcn::GcnWorkload *, std::unique_ptr<EstModel>>
+            models;
+        auto modelFor = [&](const gcn::GcnWorkload *wl)
+            -> costmodel::AnalyticalCostModel & {
+            auto &slot = models[wl];
+            if (!slot) {
+                slot = std::make_unique<EstModel>();
+                gcn::RunnerOptions opt;
+                opt.usePartitioning = true;
+                slot->plan = gcn::buildPhasePlan(*wl, opt);
+                slot->model =
+                    std::make_unique<costmodel::AnalyticalCostModel>(
+                        slot->plan);
+            }
+            return *slot->model;
+        };
+        auto relPct = [](double est, double sim) {
+            return sim == 0.0 ? 0.0 : 100.0 * std::abs(est - sim) / sim;
+        };
+        auto e = rep.table("estimator_error",
+                           "analytical estimate vs cycle-accurate sim");
+        e.col("point", "point")
+            .col("est_cycles", "est cycles", "cycles")
+            .col("cycle_err_pct", "cycle err %", "est")
+            .col("traffic_err_pct", "traffic err %", "est");
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            core::GrowSim probe(estPoints[i].cfg);
+            auto est =
+                modelFor(estPoints[i].workload).estimate(probe.mapping());
+            const auto &r = outcomes[i].inference;
+            e.row({.dataset = spec.name,
+                   .engine = engineName,
+                   .extra = {{"label", outcomes[i].label}}})
+                .add(report::textCell(outcomes[i].label))
+                .add(report::count(est.totalCycles, "cycles"))
+                .add(report::real(
+                    relPct(static_cast<double>(est.totalCycles),
+                           static_cast<double>(r.totalCycles)),
+                    2, "est"))
+                .add(report::real(
+                    relPct(static_cast<double>(est.trafficBytes),
+                           static_cast<double>(r.totalTrafficBytes())),
+                    2, "est"));
+        }
+    }
+
+    // --- dse=1: two-tier design-space exploration. --------------------
+    if (dseArg) {
+        gcn::RunnerOptions dseBase;
+        dseBase.sim.threads = pool.numThreads();
+        dseBase.sim.epochCycles = static_cast<Cycle>(epochArg);
+        driver::DseDriver dse(w, dseBase);
+        const auto grid = driver::DseGrid::defaultGrid();
+        auto analysis = dse.analyze(grid);
+        rep.note("dse tier-1: " + fmtCount(analysis.points.size()) +
+                 " grid points scored in " +
+                 fmtFixed(analysis.scoreMillis, 1) + " ms (" +
+                 fmtFixed(analysis.microsPerPoint(), 2) +
+                 " us/point; one-time reuse profiling " +
+                 fmtFixed(analysis.setupMillis, 1) + " ms); frontier " +
+                 std::to_string(analysis.frontier.size()) + " point(s)");
+
+        auto survivors = dse.simulateFrontier(
+            analysis, static_cast<size_t>(paretoArg), pool);
+        rep.note("dse tier-2: simulated " +
+                 std::to_string(survivors.size()) + " of " +
+                 std::to_string(analysis.frontier.size()) +
+                 " frontier point(s) cycle-accurately");
+        if (!survivors.empty())
+            rep.note("dse wall-clock: whole analytical grid " +
+                     fmtFixed(analysis.scoreMillis, 1) +
+                     " ms vs one cycle-accurate point " +
+                     fmtFixed(survivors[0].simulated.hostMillis, 1) +
+                     " ms");
+
+        auto f = rep.table("dse_frontier",
+                           "Pareto frontier (est cycles vs SRAM), "
+                           "cycle-accurate validation");
+        f.col("config", "config")
+            .col("sram", "SRAM", "bytes")
+            .col("est_cycles", "est cycles", "cycles")
+            .col("sim_cycles", "sim cycles", "cycles")
+            .col("cycle_err_pct", "cycle err %", "est")
+            .col("traffic_err_pct", "traffic err %", "est");
+        for (const auto &s : survivors) {
+            f.row({.dataset = spec.name,
+                   .engine = engineName,
+                   .extra = {{"label", s.estimate.label}}})
+                .add(report::textCell(s.estimate.label))
+                .add(report::bytesValue(s.estimate.sramBytes))
+                .add(report::count(s.estimate.cycles, "cycles"))
+                .add(report::count(s.simulated.totalCycles, "cycles"))
+                .add(report::real(100.0 * s.cycleError, 2, "est"))
+                .add(report::real(100.0 * s.trafficError, 2, "est"));
+        }
     }
 
     report::emitReport(rep, format, args.get("out", ""));

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "energy/energy_model.hpp"
+#include "mapping/mapping.hpp"
 #include "mem/dram.hpp"
 #include "partition/hdn_select.hpp"
 #include "partition/relabel.hpp"
@@ -154,6 +155,16 @@ class AcceleratorSim
     /** Simulate one SpDeGEMM phase. */
     virtual PhaseResult run(const SpDeGemmProblem &problem,
                             const SimOptions &options) = 0;
+
+    /**
+     * The engine's declarative dataflow description (loop nest,
+     * stationarity, reuse categories, buffer levels) for both phase
+     * classes, derived from the current configuration. Pure data: the
+     * phase-plan lowering derives problem fields from it and the
+     * analytical cost model derives closed-form cycle/traffic
+     * estimates; run() never reads it.
+     */
+    virtual mapping::EngineMapping mapping() const = 0;
 
     /**
      * A fresh engine of the identical configuration, carrying no

@@ -13,6 +13,40 @@ GammaSim::GammaSim(GammaConfig config) : config_(std::move(config))
     GROW_ASSERT(config_.numMacs > 0, "invalid GAMMA configuration");
 }
 
+mapping::EngineMapping
+GammaSim::mapping() const
+{
+    using namespace grow::mapping;
+    EngineMapping em;
+    em.engine = "gamma";
+    em.consumesPartitioning = false;
+    em.dramBytesPerCycle = config_.dram.bytesPerCycle();
+    em.dramAccessLatency = config_.dram.accessLatency;
+
+    // Gustavson row-wise product like GROW, but generic sparse-sparse:
+    // fibers are demand-cached under LRU and partials pass a merge
+    // network instead of accumulating in a dense output row.
+    MappingSpec s;
+    s.stationarity = Stationarity::Row;
+    s.rhsFormat = OperandFormat::CompressedFiber;
+    s.outFormat = OperandFormat::CompressedFiber;
+    s.denseReuse = DenseReuse::LruCache;
+    s.loops = {{Dim::M, MapKind::Temporal, 1},
+               {Dim::K, MapKind::Temporal, 1},
+               {Dim::N, MapKind::Spatial, config_.numMacs}};
+    s.spatialLanes = config_.numMacs;
+    s.reductionLanes = config_.mergeRadix;
+    s.buffers = {{BufferRole::RowCache, config_.fiberCacheBytes}};
+
+    // The FiberCache sim runs for combination too (no W residency).
+    em.combination = s;
+    em.combination.phaseClass = PhaseClass::DenseResident;
+    em.aggregation = std::move(s);
+    em.aggregation.phaseClass = PhaseClass::SparseStreaming;
+    mapping::validate(em);
+    return em;
+}
+
 PhaseResult
 GammaSim::run(const SpDeGemmProblem &problem, const SimOptions &options)
 {

@@ -39,6 +39,10 @@ class GammaSim : public AcceleratorSim
     PhaseResult run(const SpDeGemmProblem &problem,
                     const SimOptions &options) override;
 
+    /** Row-wise product with a demand-filled LRU FiberCache and a
+     *  high-radix merge; RHS consumed as compressed fibers. */
+    mapping::EngineMapping mapping() const override;
+
     std::unique_ptr<AcceleratorSim> clone() const override
     {
         return std::make_unique<GammaSim>(config_);

@@ -27,6 +27,46 @@ GcnaxSim::GcnaxSim(GcnaxConfig config) : config_(std::move(config))
     GROW_ASSERT(config_.numMacs > 0, "GCNAX needs at least one MAC");
 }
 
+mapping::EngineMapping
+GcnaxSim::mapping() const
+{
+    using namespace grow::mapping;
+    EngineMapping em;
+    em.engine = "gcnax";
+    em.consumesPartitioning = false;
+    em.dramBytesPerCycle = config_.dram.bytesPerCycle();
+    em.dramAccessLatency = config_.dram.accessLatency;
+
+    // Outer-product loop fusion (Fig. 4): the output tile stays
+    // resident across the K sweep; tile extents come from the runtime
+    // traffic search (tile = 0), bounded below by the hardware minima.
+    MappingSpec s;
+    s.stationarity = Stationarity::Output;
+    s.rhsFormat = OperandFormat::DenseRows;
+    s.outFormat = OperandFormat::DenseRows;
+    s.denseReuse = DenseReuse::Tiled;
+    s.loops = {{Dim::N, MapKind::Temporal, 0},
+               {Dim::M, MapKind::Temporal, 0},
+               {Dim::K, MapKind::Temporal, 0},
+               {Dim::N, MapKind::Spatial, config_.numMacs}};
+    s.spatialLanes = config_.numMacs;
+    s.tileOverheadCycles = config_.tileOverheadCycles;
+    s.minTileK = config_.minTileK;
+    s.minTileM = config_.minTileM;
+    s.buffers = {{BufferRole::SparseInput, config_.sparseBufBytes},
+                 {BufferRole::DenseInput, config_.denseBufBytes},
+                 {BufferRole::Output, config_.outBufBytes}};
+
+    // GCNAX runs combination with the same tiled dataflow -- it does
+    // not pin W on-chip, so both phase classes share one spec.
+    em.combination = s;
+    em.combination.phaseClass = PhaseClass::DenseResident;
+    em.aggregation = std::move(s);
+    em.aggregation.phaseClass = PhaseClass::SparseStreaming;
+    mapping::validate(em);
+    return em;
+}
+
 Bytes
 GcnaxSim::tilingTraffic(const sparse::TileGridStats &stats, uint32_t tk,
                         uint32_t tn, uint32_t rows, uint32_t cols,

@@ -71,6 +71,10 @@ class GcnaxSim : public AcceleratorSim
     PhaseResult run(const SpDeGemmProblem &problem,
                     const SimOptions &options) override;
 
+    /** Output-stationary outer-product dataflow over 2-D sparse tiles
+     *  with a per-problem traffic-minimising tiling search. */
+    mapping::EngineMapping mapping() const override;
+
     /**
      * The reconfigurable tiling search: enumerate feasible (Tm, Tk, Tn)
      * and return the traffic-minimising choice for this operand.

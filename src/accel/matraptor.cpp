@@ -14,6 +14,40 @@ MatRaptorSim::MatRaptorSim(MatRaptorConfig config) : config_(std::move(config))
                 "invalid MatRaptor configuration");
 }
 
+mapping::EngineMapping
+MatRaptorSim::mapping() const
+{
+    using namespace grow::mapping;
+    EngineMapping em;
+    em.engine = "matraptor";
+    em.consumesPartitioning = false;
+    em.dramBytesPerCycle = config_.dram.bytesPerCycle();
+    em.dramAccessLatency = config_.dram.accessLatency;
+
+    // Row-wise product without any dense-operand reuse: each LHS
+    // non-zero streams its full RHS fiber (compressed, the format tax
+    // of a sparse-sparse engine) and partials drain through sorting
+    // queues.
+    MappingSpec s;
+    s.stationarity = Stationarity::None;
+    s.rhsFormat = OperandFormat::CompressedFiber;
+    s.outFormat = OperandFormat::CompressedFiber;
+    s.denseReuse = DenseReuse::None;
+    s.loops = {{Dim::M, MapKind::Temporal, 1},
+               {Dim::K, MapKind::Temporal, 1},
+               {Dim::N, MapKind::Spatial, config_.numMacs}};
+    s.spatialLanes = config_.numMacs;
+    s.reductionLanes = config_.mergeLanes;
+    s.buffers = {{BufferRole::MergeQueue, config_.queueBufBytes}};
+
+    em.combination = s;
+    em.combination.phaseClass = PhaseClass::DenseResident;
+    em.aggregation = std::move(s);
+    em.aggregation.phaseClass = PhaseClass::SparseStreaming;
+    mapping::validate(em);
+    return em;
+}
+
 PhaseResult
 MatRaptorSim::run(const SpDeGemmProblem &problem, const SimOptions &options)
 {

@@ -41,6 +41,10 @@ class MatRaptorSim : public AcceleratorSim
     PhaseResult run(const SpDeGemmProblem &problem,
                     const SimOptions &options) override;
 
+    /** Row-wise product with no RHS reuse at all: every non-zero
+     *  refetches its compressed fiber; sort-merge output queues. */
+    mapping::EngineMapping mapping() const override;
+
     std::unique_ptr<AcceleratorSim> clone() const override
     {
         return std::make_unique<MatRaptorSim>(config_);

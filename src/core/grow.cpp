@@ -102,6 +102,61 @@ GrowSim::GrowSim(GrowConfig config) : config_(std::move(config))
     GROW_ASSERT(config_.numPes >= 1, "need at least one PE");
 }
 
+mapping::EngineMapping
+GrowSim::mapping() const
+{
+    using namespace grow::mapping;
+    EngineMapping em;
+    em.engine = "grow";
+    em.consumesPartitioning = true;
+    em.dramBytesPerCycle = config_.dram.bytesPerCycle();
+    em.dramAccessLatency = config_.dram.accessLatency;
+    em.numPes = config_.numPes;
+
+    // Row-stationary Gustavson nest (Fig. 8/15): a runahead window of
+    // LHS rows is temporally resident, each non-zero issues one
+    // RHS-row product, and the MAC array spatially spans the output
+    // row.
+    MappingSpec agg;
+    agg.phaseClass = PhaseClass::SparseStreaming;
+    agg.stationarity = Stationarity::Row;
+    agg.rhsFormat = OperandFormat::DenseRows;
+    agg.outFormat = OperandFormat::DenseRows;
+    agg.loops = {{Dim::M, MapKind::Temporal, config_.runaheadDegree},
+                 {Dim::K, MapKind::Temporal, 1},
+                 {Dim::N, MapKind::Spatial, config_.numMacs}};
+    agg.spatialLanes = config_.numMacs;
+    agg.rowWindow = config_.runaheadDegree;
+    agg.missConcurrency = std::max(1u, config_.ldnEntries);
+    agg.streamChunkBytes = config_.dmaChunkBytes;
+    agg.denseReuse = !config_.hdnCacheEnabled ? DenseReuse::None
+                     : config_.hdnPolicy == HdnPolicy::Lru
+                         ? DenseReuse::LruCache
+                         : DenseReuse::PinnedCache;
+    agg.pinnedIdEntries =
+        config_.hdnCacheEnabled ? config_.hdn.camEntries : 0;
+    agg.buffers = {{BufferRole::SparseInput, config_.iBufSparseBytes},
+                   {BufferRole::Output, config_.oBufDenseBytes}};
+    if (config_.hdnCacheEnabled)
+        agg.buffers.push_back(
+            {BufferRole::RowCache, config_.hdn.capacityBytes});
+
+    // Combination keeps the whole weight matrix in the repurposed HDN
+    // data array (Sec. V-B): same nest, dense operand fully resident.
+    MappingSpec comb = agg;
+    comb.phaseClass = PhaseClass::DenseResident;
+    comb.denseReuse = DenseReuse::Resident;
+    comb.pinnedIdEntries = 0;
+    comb.buffers = {{BufferRole::SparseInput, config_.iBufSparseBytes},
+                    {BufferRole::Output, config_.oBufDenseBytes},
+                    {BufferRole::DenseInput, config_.hdn.capacityBytes}};
+
+    em.combination = std::move(comb);
+    em.aggregation = std::move(agg);
+    mapping::validate(em);
+    return em;
+}
+
 std::vector<NodeId>
 topReferencedColumns(const sparse::CsrMatrix &lhs, uint32_t top_n)
 {

@@ -40,6 +40,10 @@ class GrowSim : public accel::AcceleratorSim
     accel::PhaseResult run(const accel::SpDeGemmProblem &problem,
                            const accel::SimOptions &options) override;
 
+    /** Row-stationary Gustavson dataflow with the multi-row runahead
+     *  window and the pinned (or LRU / disabled) HDN row cache. */
+    mapping::EngineMapping mapping() const override;
+
     std::unique_ptr<accel::AcceleratorSim> clone() const override
     {
         return std::make_unique<GrowSim>(config_);

@@ -1,0 +1,38 @@
+#include "costmodel/pareto.hpp"
+
+#include <algorithm>
+
+namespace grow::costmodel {
+
+std::vector<size_t>
+paretoFrontier(const std::vector<ParetoPoint> &points)
+{
+    std::vector<ParetoPoint> sorted(points);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ParetoPoint &a, const ParetoPoint &b) {
+                  if (a.x != b.x)
+                      return a.x < b.x;
+                  if (a.y != b.y)
+                      return a.y < b.y;
+                  return a.index < b.index;
+              });
+    std::vector<size_t> frontier;
+    bool any = false;
+    double bestY = 0.0;
+    double lastX = 0.0;
+    double lastY = 0.0;
+    for (const ParetoPoint &p : sorted) {
+        if (any && p.x == lastX && p.y == lastY)
+            continue; // duplicate: lowest index already kept
+        if (!any || p.y < bestY) {
+            frontier.push_back(p.index);
+            bestY = p.y;
+            any = true;
+        }
+        lastX = p.x;
+        lastY = p.y;
+    }
+    return frontier;
+}
+
+} // namespace grow::costmodel

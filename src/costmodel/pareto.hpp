@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Pareto-frontier pruning for two-objective design-space exploration.
+ *
+ * The DSE driver scores every grid point analytically, keeps only the
+ * non-dominated (both objectives minimised) configurations, and spends
+ * cycle-accurate simulation exclusively on that frontier.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace grow::costmodel {
+
+/** One scored point; @p index is the caller's grid index. */
+struct ParetoPoint
+{
+    double x = 0.0; ///< first objective (minimise), e.g. cycles
+    double y = 0.0; ///< second objective (minimise), e.g. SRAM bytes
+    size_t index = 0;
+};
+
+/**
+ * Indices (caller's ParetoPoint::index) of the non-dominated points,
+ * sorted by ascending x. A point is dominated when another point is <=
+ * in both objectives and < in at least one; among exact duplicates the
+ * lowest index survives. O(n log n).
+ */
+std::vector<size_t> paretoFrontier(const std::vector<ParetoPoint> &points);
+
+} // namespace grow::costmodel

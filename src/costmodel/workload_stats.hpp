@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-operand reuse statistics for the analytical cost model.
+ *
+ * Everything expensive is computed exactly once per sparse operand
+ * (O(nnz log nnz)), after which any configuration's reuse can be
+ * queried in O(1)/O(log):
+ *
+ *  - LRU reuse profile: Mattson stack distances of the row-major
+ *    column-reference stream. lruHits(C) is the *exact* hit count of a
+ *    fully-associative demand-filled LRU cache with C row slots
+ *    (GAMMA's FiberCache, GROW's Sec. VIII LRU policy study) -- one
+ *    pass yields the whole capacity axis.
+ *
+ *  - Pinned reuse profile: every reference ranked by its column's
+ *    position in the pinned HDN list (per-cluster lists when the
+ *    operand carries partitioning artefacts, the global frequency
+ *    order otherwise). pinnedHits(P) is the exact hit count of a
+ *    scratchpad that pins the first P list entries per cluster --
+ *    again the whole capacity/CAM axis from one pass.
+ *
+ * These two curves are what lets the DSE's analytical tier sweep
+ * thousands of HDN capacities per second instead of re-simulating.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/relabel.hpp"
+#include "sim/types.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace grow::costmodel {
+
+struct OperandStats
+{
+    /** Borrowed operand identity (must outlive the stats). */
+    const sparse::CsrMatrix *lhs = nullptr;
+    const partition::Clustering *clustering = nullptr;
+    const std::vector<std::vector<NodeId>> *hdnLists = nullptr;
+
+    uint64_t rows = 0;
+    uint64_t cols = 0;
+    uint64_t nnz = 0;
+    /** CSR stream extent: nnz*(value+index) + rows*pointer bytes. */
+    Bytes csrStreamBytes = 0;
+
+    /**
+     * lruHitPrefix[c] = exact LRU hits with a c-row cache. The last
+     * entry saturates (every finite-distance reuse hits); lruHits()
+     * clamps.
+     */
+    std::vector<uint64_t> lruHitPrefix;
+
+    /**
+     * pinnedHitPrefix[r] = exact pinned-cache hits when the first r
+     * entries of each cluster's HDN list are resident (global list
+     * ranks when the operand has no per-cluster lists).
+     */
+    std::vector<uint64_t> pinnedHitPrefix;
+
+    /** Per-cluster HDN list lengths (preload accounting); empty when
+     *  the operand carries no artefacts. */
+    std::vector<uint32_t> clusterListLens;
+
+    /** Per-cluster non-zero counts (PE load-balance accounting); empty
+     *  when the operand carries no clustering. */
+    std::vector<uint64_t> clusterNnz;
+
+    uint64_t lruHits(uint64_t capacity_rows) const;
+    uint64_t pinnedHits(uint64_t resident_rows) const;
+
+    /**
+     * One-shot exact precompute over the operand's reference stream.
+     * @p clustering / @p hdn_lists may be null (unpartitioned layout:
+     * the pinned profile then ranks by global column frequency, the
+     * order topReferencedColumns() pins).
+     */
+    static OperandStats
+    compute(const sparse::CsrMatrix &lhs,
+            const partition::Clustering *clustering,
+            const std::vector<std::vector<NodeId>> *hdn_lists);
+};
+
+} // namespace grow::costmodel

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Two-tier design-space exploration driver.
+ *
+ * Tier 1 (analytical): score every configuration of a GROW design grid
+ * with costmodel::AnalyticalCostModel -- microseconds per point after a
+ * one-time reuse-profiling pass of the workload's operands, so grids of
+ * 10k+ points cost less wall-clock than a single cycle-accurate
+ * simulation. Tier 2 (cycle-accurate): prune the grid to its Pareto
+ * frontier over (estimated cycles, on-chip SRAM bytes), cap the
+ * survivor count, and hand only those to driver::SweepDriver for real
+ * simulation. The per-survivor estimate-vs-simulation drift doubles as
+ * a live validation of the analytical tier (reported through the
+ * estimator-error records; see tests/costmodel/ for the offline
+ * envelope).
+ *
+ * The grid sweeps GrowConfig knobs: GROW's estimator is O(#clusters)
+ * per configuration once profiled, whereas re-tiling dataflows (GCNAX)
+ * pay an O(nnz) tile census per buffer configuration -- fine for
+ * one-off estimates, wrong for a dense grid.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/grow_config.hpp"
+#include "costmodel/cost_model.hpp"
+#include "driver/sweep_driver.hpp"
+#include "gcn/runner.hpp"
+#include "gcn/workload.hpp"
+
+namespace grow::driver {
+
+/** Axes of the GROW configuration grid (cartesian product). */
+struct DseGrid
+{
+    core::GrowConfig base;
+    std::vector<Bytes> hdnCapacityBytes;
+    std::vector<uint32_t> camEntries;
+    /** Runahead degree; LDN entries follow (== degree, the Fig. 21
+     *  provisioning) and the LHS ID table is 4x the LDN. */
+    std::vector<uint32_t> runaheadDegrees;
+    std::vector<uint32_t> macWidths;
+    std::vector<uint32_t> peCounts;
+    std::vector<double> dramBandwidthGBps;
+
+    /** Grid cardinality (empty axes count as the base value). */
+    size_t size() const;
+
+    /** The default example grid: ~17k points around Table III. */
+    static DseGrid defaultGrid();
+};
+
+/** One analytically scored configuration. */
+struct DsePointEstimate
+{
+    std::string label;           ///< "cap512k/cam4096/ra16/mac16/pe1/bw128"
+    core::GrowConfig config;
+    Cycle cycles = 0;            ///< estimated end-to-end cycles
+    Bytes trafficBytes = 0;      ///< estimated DRAM traffic
+    Bytes sramBytes = 0;         ///< on-chip SRAM cost objective
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+};
+
+/** Tier-1 outcome. */
+struct DseAnalysis
+{
+    std::vector<DsePointEstimate> points; ///< grid order
+    /** Indices into points, ascending estimated cycles. */
+    std::vector<size_t> frontier;
+    double setupMillis = 0.0;    ///< operand reuse profiling (one-time)
+    double scoreMillis = 0.0;    ///< scoring all grid points
+    double microsPerPoint() const;
+};
+
+/** One tier-2 survivor with its validation drift. */
+struct DseSurvivor
+{
+    DsePointEstimate estimate;
+    gcn::InferenceResult simulated;
+    /** |est - sim| / sim. */
+    double cycleError = 0.0;
+    double trafficError = 0.0;
+};
+
+/**
+ * Two-tier explorer over one workload. Borrows @p workload (must
+ * outlive the driver); the phase plan is lowered once under the
+ * engine-neutral mapping contract (usePartitioning on -- the grid is
+ * GROW's) and re-scored per configuration.
+ */
+class DseDriver
+{
+  public:
+    DseDriver(const gcn::GcnWorkload &workload,
+              const gcn::RunnerOptions &base);
+
+    /** Tier 1: score the whole grid and compute the Pareto frontier
+     *  over (cycles, SRAM bytes). */
+    DseAnalysis analyze(const DseGrid &grid) const;
+
+    /**
+     * Tier 2: cycle-accurately simulate the first @p max_survivors
+     * frontier points of @p analysis (all of them when 0) through
+     * @p pool, and attach the estimate-vs-simulation drift.
+     */
+    std::vector<DseSurvivor> simulateFrontier(const DseAnalysis &analysis,
+                                              size_t max_survivors,
+                                              const SweepDriver &pool) const;
+
+    const gcn::PhasePlan &plan() const { return plan_; }
+    const costmodel::AnalyticalCostModel &model() const { return *model_; }
+
+  private:
+    const gcn::GcnWorkload *workload_;
+    gcn::RunnerOptions options_;
+    gcn::PhasePlan plan_;
+    std::unique_ptr<costmodel::AnalyticalCostModel> model_;
+    double setupMillis_ = 0.0;
+};
+
+} // namespace grow::driver

@@ -451,7 +451,8 @@ WorkloadCache::artifacts(const graph::DatasetSpec &spec,
         auto it = mem_.find(key);
         if (it != mem_.end()) {
             ++stats_.memoryHits;
-            return it->second;
+            lru_.splice(lru_.begin(), lru_, it->second.pos);
+            return it->second.bundle;
         }
     }
 
@@ -491,13 +492,18 @@ WorkloadCache::artifacts(const graph::DatasetSpec &spec,
         stored = saveArtifacts(pathFor(key), *built);
 
     std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = mem_.emplace(key, built);
+    auto [it, inserted] = mem_.try_emplace(key);
     if (!inserted) {
         // Another thread built the same key first; adopt its bundle so
         // every consumer shares one instance.
         ++stats_.memoryHits;
-        return it->second;
+        lru_.splice(lru_.begin(), lru_, it->second.pos);
+        return it->second.bundle;
     }
+    it->second.bundle = built;
+    lru_.push_front(key);
+    it->second.pos = lru_.begin();
+    enforceCapLocked();
     if (fromDisk)
         ++stats_.diskLoads;
     else
@@ -506,7 +512,7 @@ WorkloadCache::artifacts(const graph::DatasetSpec &spec,
         ++stats_.diskFailures;
     if (stored)
         ++stats_.diskStores;
-    return it->second;
+    return built;
 }
 
 gcn::GcnWorkload
@@ -529,6 +535,41 @@ WorkloadCache::clearMemory()
 {
     std::lock_guard<std::mutex> lock(mu_);
     mem_.clear();
+    lru_.clear();
+}
+
+void
+WorkloadCache::setMemoryEntryCap(uint64_t max_entries)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entryCap_ = max_entries;
+    enforceCapLocked();
+}
+
+uint64_t
+WorkloadCache::memoryEntryCap() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entryCap_;
+}
+
+size_t
+WorkloadCache::memoryEntries() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return mem_.size();
+}
+
+void
+WorkloadCache::enforceCapLocked()
+{
+    if (entryCap_ == 0)
+        return;
+    while (mem_.size() > entryCap_) {
+        mem_.erase(lru_.back());
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
 }
 
 } // namespace grow::driver

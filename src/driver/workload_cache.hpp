@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -102,6 +103,7 @@ class WorkloadCache
         uint64_t diskLoads = 0;    ///< served from a valid disk file
         uint64_t diskStores = 0;   ///< files written after a build
         uint64_t diskFailures = 0; ///< unreadable/corrupt files skipped
+        uint64_t evictions = 0;    ///< entries dropped by the LRU cap
     };
 
     /** In-memory-only cache. */
@@ -137,12 +139,43 @@ class WorkloadCache
     /** Drop the in-memory map (the disk layer is untouched). */
     void clearMemory();
 
+    /**
+     * Cap the in-memory map at @p max_entries bundles, evicting the
+     * least-recently-used key past the cap (0 = unbounded, the
+     * default). Long-lived serving processes sweep many (dataset, tier,
+     * plan) keys whose bundles are hundreds of MB at scale; the cap
+     * bounds that footprint. Only the memory layer is affected -- the
+     * disk layer keeps every file, so an evicted key reloads from disk
+     * instead of resynthesising. Bundles already handed out stay alive
+     * through their shared_ptr; eviction merely drops the cache's
+     * reference. Shrinking the cap below the current size evicts
+     * immediately.
+     */
+    void setMemoryEntryCap(uint64_t max_entries);
+
+    /** Current in-memory entry cap (0 = unbounded). */
+    uint64_t memoryEntryCap() const;
+
+    /** Number of bundles currently held in memory (for tests). */
+    size_t memoryEntries() const;
+
   private:
+    struct MemEntry
+    {
+        std::shared_ptr<const gcn::GraphArtifacts> bundle;
+        /** Position in lru_ (front = most recently used). */
+        std::list<ArtifactKey>::iterator pos;
+    };
+
     std::string pathFor(const ArtifactKey &key) const;
+    /** Evict past the cap. Caller holds mu_. */
+    void enforceCapLocked();
 
     mutable std::mutex mu_;
     std::string dir_;
-    std::map<ArtifactKey, std::shared_ptr<const gcn::GraphArtifacts>> mem_;
+    std::map<ArtifactKey, MemEntry> mem_;
+    std::list<ArtifactKey> lru_;
+    uint64_t entryCap_ = 0;
     Stats stats_;
 };
 

@@ -132,9 +132,27 @@ buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
     plan.reserve(static_cast<size_t>(modelPhasesPerLayer(model)) *
                  workload.numLayers());
 
-    // ---- Combination: X * W (W resident on-chip). @p stage
-    // disambiguates same-layer combinations in the provenance label
-    // (GIN's trailing MLP pass). ---------------------------------------
+    // The dataflow mapping the plan is lowered against. Everything
+    // engine-visible below (rhsOnChip, accel::Phase, artefact
+    // attachment) is read from the spec of the step's phase class --
+    // the lowering itself knows no engine.
+    const mapping::EngineMapping &em =
+        options.mapping ? *options.mapping : mapping::genericMapping();
+
+    /** Derive the problem fields the spec dictates. */
+    auto applySpec = [](PlannedPhase &ph,
+                        const mapping::MappingSpec &spec) {
+        ph.mapping = spec;
+        ph.problem.rhsOnChip = spec.rhsResident();
+        ph.problem.phase = spec.rhsResident()
+                               ? accel::Phase::Combination
+                               : accel::Phase::Aggregation;
+    };
+
+    // ---- Combination: X * W. The DenseResident spec declares whether
+    // the engine keeps W on-chip (Sec. V-B). @p stage disambiguates
+    // same-layer combinations in the provenance label (GIN's trailing
+    // MLP pass). -------------------------------------------------------
     auto pushCombination = [&](uint32_t layer, const sparse::CsrMatrix &x,
                                const sparse::DenseMatrix *wts,
                                const char *stage = "") {
@@ -145,8 +163,7 @@ buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
         ph.problem.lhs = &x;
         ph.problem.rhsCols = workload.layer(layer).outDim;
         ph.problem.rhs = functional ? wts : nullptr;
-        ph.problem.phase = accel::Phase::Combination;
-        ph.problem.rhsOnChip = true;
+        applySpec(ph, em.spec(mapping::PhaseClass::DenseResident));
         ph.problem.label = describePhase(ph) + stage;
         plan.push_back(std::move(ph));
     };
@@ -155,7 +172,8 @@ buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
     // SDDMM-shaped attention-score pass over the same non-zeros. In
     // functional mode the dense RHS is the preceding combination
     // output, threaded in by executePlan. GROW's preprocessing
-    // artefacts apply to every step that streams the adjacency.
+    // artefacts apply to every step whose spec streams the sparse
+    // operand (i.e. does not hold the dense operand resident).
     auto pushAdjacencyStep = [&](uint32_t layer, PhaseOp op) {
         PlannedPhase ph;
         ph.layer = layer;
@@ -163,8 +181,8 @@ buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
         ph.op = op;
         ph.problem.lhs = &A;
         ph.problem.rhsCols = workload.layer(layer).outDim;
-        ph.problem.phase = accel::Phase::Aggregation;
-        if (part) {
+        applySpec(ph, em.spec(mapping::PhaseClass::SparseStreaming));
+        if (part && !ph.mapping.rhsResident()) {
             ph.problem.clustering = &workload.relabel().clustering;
             ph.problem.hdnLists = &workload.hdnLists();
         }
@@ -338,7 +356,12 @@ InferenceResult
 runInference(accel::AcceleratorSim &engine, const GcnWorkload &workload,
              const RunnerOptions &options)
 {
-    return executePlan(engine, buildPhasePlan(workload, options), options);
+    RunnerOptions opts = options;
+    if (!opts.mapping) {
+        opts.mapping = std::make_shared<mapping::EngineMapping>(
+            engine.mapping());
+    }
+    return executePlan(engine, buildPhasePlan(workload, opts), opts);
 }
 
 } // namespace grow::gcn

@@ -15,6 +15,7 @@
  */
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "energy/energy_model.hpp"
 #include "gcn/model.hpp"
 #include "gcn/workload.hpp"
+#include "mapping/mapping.hpp"
 
 namespace grow::gcn {
 
@@ -36,6 +38,14 @@ struct RunnerOptions
      * artefacts but still see the original-layout operands.
      */
     bool usePartitioning = false;
+    /**
+     * Dataflow mapping of the engine the plan will execute on.
+     * runInference fills it from AcceleratorSim::mapping(); a plan
+     * built without an engine in hand falls back to
+     * mapping::genericMapping(), whose lowering-visible fields are
+     * identical to every published engine mapping's.
+     */
+    std::shared_ptr<const mapping::EngineMapping> mapping;
 };
 
 /**
@@ -51,6 +61,14 @@ struct PlannedPhase
     ModelKind model = ModelKind::Gcn;
     PhaseOp op = PhaseOp::Combination;
     accel::SpDeGemmProblem problem;
+    /**
+     * The dataflow spec this phase was lowered against (the engine
+     * mapping's spec for the phase class of `op`). Every engine-
+     * visible problem field above (rhsOnChip, phase, artefact
+     * attachment) is derived from it -- the lowering itself carries no
+     * per-engine knowledge.
+     */
+    mapping::MappingSpec mapping;
 };
 
 /**

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Declarative dataflow mappings (MAESTRO-style) for the SpDeGEMM
+ * engines.
+ *
+ * Every accelerator model publishes one EngineMapping: a small,
+ * per-phase-class description of its loop nest (order, temporal vs
+ * spatial mapping, tile sizes), operand stationarity, dense-operand
+ * reuse category, operand formats and buffer levels. Two consumers
+ * replace what used to be hardwired per-engine knowledge:
+ *
+ *  - gcn::buildPhasePlan derives every engine-visible problem field
+ *    (rhsOnChip, accel::Phase, artefact attachment) from the spec of
+ *    the phase class it is lowering, so the lowering contains no
+ *    per-engine special cases, and
+ *  - costmodel::AnalyticalCostModel turns (MappingSpec, workload
+ *    reuse statistics) into closed-form cycle/traffic estimates, the
+ *    fast tier of the design-space-exploration driver.
+ *
+ * The vocabulary follows qmaestro's dataflow DSL (TemporalMap /
+ * SpatialMap per dimension); describe() renders a spec in that style
+ * for reports and debugging. The module is a leaf: it depends only on
+ * sim/types.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace grow::mapping {
+
+/** Loop dimensions of C[M x N] = S[M x K] * D[K x N]. */
+enum class Dim : uint8_t { M, K, N };
+
+const char *dimName(Dim dim);
+
+/** How one loop level distributes its dimension (MAESTRO directive). */
+enum class MapKind : uint8_t { Temporal, Spatial };
+
+/** One level of the loop nest, outermost first. */
+struct LoopLevel
+{
+    Dim dim = Dim::M;
+    MapKind kind = MapKind::Temporal;
+    /**
+     * Iteration-space tile mapped at this level; 0 means "full extent
+     * or chosen per problem at runtime" (e.g. GCNAX's traffic-driven
+     * tiling search).
+     */
+    uint32_t tile = 0;
+};
+
+/** Which operand the loop body holds stationary. */
+enum class Stationarity : uint8_t {
+    Row,    ///< one sparse LHS row's products stay resident (GROW)
+    Output, ///< output tile accumulates in place (GCNAX)
+    None    ///< partials stream through a merge network
+};
+
+const char *stationarityName(Stationarity s);
+
+/** Reuse category of the dense RHS operand. */
+enum class DenseReuse : uint8_t {
+    Resident,    ///< whole operand pinned on-chip for the phase (W)
+    PinnedCache, ///< top-degree rows pinned per cluster (GROW HDN)
+    LruCache,    ///< demand-filled fully-associative LRU (GAMMA)
+    Tiled,       ///< buffer-sized tiles refetched per output trip
+    None         ///< every reference refetches (MatRaptor)
+};
+
+const char *denseReuseName(DenseReuse r);
+
+/** Storage format of an operand as it crosses the DRAM boundary. */
+enum class OperandFormat : uint8_t {
+    DenseRows,      ///< N values per row, value bytes only
+    CompressedFiber ///< value+index per element plus a segment pointer
+};
+
+const char *operandFormatName(OperandFormat f);
+
+/**
+ * Which phase class of the GCN lowering a spec describes. The lowering
+ * (not the engine) decides the class per PlannedPhase: combination
+ * X*W keeps the weight operand on-chip for the whole phase
+ * (Sec. V-B), every adjacency-streaming step does not.
+ */
+enum class PhaseClass : uint8_t { DenseResident, SparseStreaming };
+
+const char *phaseClassName(PhaseClass c);
+
+/** Named on-chip buffer level of a mapping. */
+enum class BufferRole : uint8_t {
+    SparseInput, ///< streamed sparse LHS staging
+    DenseInput,  ///< dense RHS rows / tiles
+    Output,      ///< output accumulation
+    RowCache,    ///< dense-row reuse cache (HDN / fiber cache)
+    MergeQueue   ///< partial-result sorting or merge storage
+};
+
+const char *bufferRoleName(BufferRole r);
+
+struct BufferLevel
+{
+    BufferRole role = BufferRole::SparseInput;
+    Bytes capacityBytes = 0;
+};
+
+/**
+ * Dataflow of one engine for one phase class. Purely declarative:
+ * engines publish it, the lowering and the analytical cost model
+ * consume it; nothing here executes.
+ */
+struct MappingSpec
+{
+    PhaseClass phaseClass = PhaseClass::SparseStreaming;
+    Stationarity stationarity = Stationarity::Row;
+    DenseReuse denseReuse = DenseReuse::None;
+    OperandFormat rhsFormat = OperandFormat::DenseRows;
+    OperandFormat outFormat = OperandFormat::DenseRows;
+
+    /** Loop nest, outermost first. */
+    std::vector<LoopLevel> loops;
+    /** On-chip buffer levels backing the mapping. */
+    std::vector<BufferLevel> buffers;
+
+    /** MAC lanes the spatial level spreads one product over. */
+    uint32_t spatialLanes = 1;
+    /** Rows held concurrently in the temporal M window (runahead). */
+    uint32_t rowWindow = 1;
+    /** Outstanding distinct dense-row misses (LDN entries). */
+    uint32_t missConcurrency = 1;
+    /** Post-MAC merge throughput in elements/cycle (0 = accumulate
+     *  in place, no merge network). */
+    uint32_t reductionLanes = 0;
+    /** Entries of the pinned-row ID CAM bounding the pinned set. */
+    uint32_t pinnedIdEntries = 0;
+    /** Pipeline bubble per non-empty sparse tile (tiled dataflows). */
+    Cycle tileOverheadCycles = 0;
+    /** Sparse-stream DMA chunk granularity (0 = line granular). */
+    Bytes streamChunkBytes = 0;
+    /** Tiling-search bounds (DenseReuse::Tiled only). */
+    uint32_t minTileK = 0;
+    uint32_t minTileM = 0;
+
+    /** Whether the dense operand is on-chip for the whole phase. */
+    bool rhsResident() const
+    {
+        return phaseClass == PhaseClass::DenseResident;
+    }
+
+    /** Capacity of the first buffer with @p role (0 when absent). */
+    Bytes bufferCapacity(BufferRole role) const;
+};
+
+/**
+ * The complete dataflow description one engine publishes: one spec per
+ * phase class plus the platform scalars the roofline needs.
+ */
+struct EngineMapping
+{
+    /** Engine report name ("grow", "gcnax", ...). */
+    std::string engine;
+    /**
+     * Whether the engine can exploit GROW's preprocessing artefacts
+     * (cluster layout + per-cluster HDN lists). A run convention may
+     * still disable partitioning for such an engine ("grow w/o G.P"),
+     * which is why RunnerOptions::usePartitioning stays separate.
+     */
+    bool consumesPartitioning = false;
+
+    MappingSpec combination;
+    MappingSpec aggregation;
+
+    /** Per-PE DRAM bandwidth in bytes per accelerator cycle. */
+    double dramBytesPerCycle = 128.0;
+    /** Idle DRAM access latency in cycles. */
+    Cycle dramAccessLatency = 100;
+    /** Processing elements sharing the (PE-scaled) channel. */
+    uint32_t numPes = 1;
+
+    /** Spec for a phase class. */
+    const MappingSpec &spec(PhaseClass c) const
+    {
+        return c == PhaseClass::DenseResident ? combination : aggregation;
+    }
+};
+
+/**
+ * Asserts the structural invariants of @p spec: the loop nest covers
+ * M, K and N, at most one spatial level, non-zero lane/window/
+ * concurrency counts, and a phase class consistent with the reuse
+ * category (a DenseResident phase never carries a reuse cache).
+ */
+void validate(const MappingSpec &spec);
+
+/** validate() both specs plus the per-phase-class invariants. */
+void validate(const EngineMapping &mapping);
+
+/**
+ * qmaestro-style rendering of one spec, e.g.
+ *   "row-stationary { TemporalMap(16,16) M; TemporalMap(1,1) K;
+ *    SpatialMap(16,16) N; } rhs=dense-rows reuse=pinned-cache"
+ */
+std::string describe(const MappingSpec &spec);
+
+/**
+ * The engine-neutral lowering contract: combination is DenseResident,
+ * adjacency steps are SparseStreaming. buildPhasePlan falls back to
+ * this when RunnerOptions carries no engine mapping (plans built
+ * without an engine in hand, e.g. plan-shape tests); the problems it
+ * produces are field-identical to every published engine mapping's.
+ */
+const EngineMapping &genericMapping();
+
+} // namespace grow::mapping

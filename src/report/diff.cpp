@@ -252,6 +252,25 @@ formatDiff(const DiffResult &result, const DiffOptions &options,
         oss << "  " << result.onlyCurrent.size()
             << " record(s) only in current (first: "
             << result.onlyCurrent[0] << ")\n";
+    if (result.regressions > 0) {
+        // One final greppable line for CI logs: the top worst gated
+        // regressions, even when the detail lines above were truncated
+        // by max_lines. `drifted` is already sorted worst-first.
+        constexpr size_t kFailSummaryTop = 3;
+        oss << "report_diff: FAIL; worst drift:";
+        size_t shown = 0;
+        for (const auto &e : result.drifted) {
+            if (!e.regression)
+                continue;
+            oss << (shown ? ", " : " ") << e.key << " ("
+                << fmtPercentDelta(e.relDelta) << ")";
+            if (++shown == kFailSummaryTop)
+                break;
+        }
+        if (result.regressions > shown)
+            oss << ", +" << result.regressions - shown << " more";
+        oss << "\n";
+    }
     return oss.str();
 }
 

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * OperandStats reuse curves against brute-force cache replay.
+ *
+ * The Mattson stack-distance histogram and the pinned-rank histogram
+ * are single-pass summaries of the whole capacity axis; these tests
+ * replay actual caches (mem::LruRowCache, mem::HdnCache semantics) at
+ * several capacities and demand bit-equal hit counts.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "costmodel/workload_stats.hpp"
+#include "mem/lru_cache.hpp"
+#include "sparse/coo_matrix.hpp"
+#include "sparse/csr_matrix.hpp"
+#include "util/random.hpp"
+
+namespace grow::costmodel {
+namespace {
+
+sparse::CsrMatrix
+randomMatrix(uint32_t rows, uint32_t cols, uint64_t nnz, uint64_t seed)
+{
+    Rng rng(seed);
+    sparse::CooMatrix coo(rows, cols);
+    std::vector<bool> used(static_cast<size_t>(rows) * cols, false);
+    uint64_t placed = 0;
+    while (placed < nnz) {
+        const auto r = static_cast<NodeId>(rng.next() % rows);
+        const auto c = static_cast<NodeId>(rng.next() % cols);
+        const size_t slot = static_cast<size_t>(r) * cols + c;
+        if (used[slot])
+            continue;
+        used[slot] = true;
+        coo.add(r, c, 1.0);
+        ++placed;
+    }
+    coo.canonicalize();
+    return sparse::CsrMatrix::fromCoo(coo);
+}
+
+TEST(OperandStats, LruCurveMatchesCacheReplay)
+{
+    auto m = randomMatrix(64, 48, 600, 7);
+    auto s = OperandStats::compute(m, nullptr, nullptr);
+    EXPECT_EQ(s.nnz, m.nnz());
+    EXPECT_EQ(s.csrStreamBytes, m.streamBytes());
+
+    const Bytes rowBytes = 128;
+    for (uint32_t rowsCap : {1u, 2u, 3u, 5u, 8u, 16u, 47u, 48u, 100u}) {
+        mem::LruRowCache cache(rowsCap * rowBytes, rowBytes);
+        for (uint32_t r = 0; r < m.rows(); ++r)
+            for (NodeId k : m.rowCols(r))
+                if (!cache.lookup(k))
+                    cache.insert(k);
+        EXPECT_EQ(s.lruHits(cache.maxRows()), cache.hits())
+            << "capacity " << rowsCap;
+    }
+}
+
+TEST(OperandStats, LruCurveIsMonotone)
+{
+    auto m = randomMatrix(32, 40, 300, 11);
+    auto s = OperandStats::compute(m, nullptr, nullptr);
+    uint64_t prev = 0;
+    for (uint32_t cap = 0; cap <= 64; ++cap) {
+        uint64_t h = s.lruHits(cap);
+        EXPECT_GE(h, prev);
+        EXPECT_LE(h, s.nnz);
+        prev = h;
+    }
+    EXPECT_EQ(s.lruHits(0), 0u);
+    // Unbounded capacity hits every non-cold reference.
+    mem::LruRowCache big(1u << 30, 1);
+    for (uint32_t r = 0; r < m.rows(); ++r)
+        for (NodeId k : m.rowCols(r))
+            if (!big.lookup(k))
+                big.insert(k);
+    EXPECT_EQ(s.lruHits(1u << 20), big.hits());
+}
+
+TEST(OperandStats, PinnedCurveMatchesMembershipReplay)
+{
+    auto m = randomMatrix(40, 32, 400, 3);
+
+    // Two clusters over the rows, each pinning its own ranked list.
+    partition::Clustering cl;
+    cl.clusterStart = {0, 17, 40};
+    std::vector<std::vector<NodeId>> lists = {
+        {5, 1, 9, 30, 2}, {8, 5, 0, 31}};
+
+    auto s = OperandStats::compute(m, &cl, &lists);
+    ASSERT_EQ(s.clusterListLens.size(), 2u);
+    EXPECT_EQ(s.clusterListLens[0], 5u);
+    EXPECT_EQ(s.clusterListLens[1], 4u);
+    ASSERT_EQ(s.clusterNnz.size(), 2u);
+    EXPECT_EQ(s.clusterNnz[0] + s.clusterNnz[1], m.nnz());
+
+    for (uint32_t resident : {0u, 1u, 2u, 3u, 4u, 5u, 9u}) {
+        // Brute force: a reference hits iff its column is among the
+        // first `resident` entries of its row's cluster list.
+        uint64_t expect = 0;
+        for (uint32_t c = 0; c < 2; ++c) {
+            const auto &ids = lists[c];
+            for (uint32_t r = cl.clusterStart[c];
+                 r < cl.clusterStart[c + 1]; ++r)
+                for (NodeId k : m.rowCols(r))
+                    for (uint32_t i = 0;
+                         i < std::min<uint32_t>(resident,
+                                                static_cast<uint32_t>(
+                                                    ids.size()));
+                         ++i)
+                        if (ids[i] == k) {
+                            ++expect;
+                            break;
+                        }
+        }
+        EXPECT_EQ(s.pinnedHits(resident), expect)
+            << "resident " << resident;
+    }
+}
+
+TEST(OperandStats, GlobalPinnedCurveRanksByFrequency)
+{
+    // Column 3 referenced 3x, column 1 2x, column 0 1x; global ranks
+    // follow (frequency desc, id asc): 3, 1, 0, then untouched ids.
+    sparse::CooMatrix coo(4, 5);
+    coo.add(0, 3, 1.0);
+    coo.add(1, 3, 1.0);
+    coo.add(2, 3, 1.0);
+    coo.add(1, 1, 1.0);
+    coo.add(3, 1, 1.0);
+    coo.add(2, 0, 1.0);
+    coo.canonicalize();
+    auto m = sparse::CsrMatrix::fromCoo(coo);
+    auto s = OperandStats::compute(m, nullptr, nullptr);
+
+    EXPECT_EQ(s.pinnedHits(0), 0u);
+    EXPECT_EQ(s.pinnedHits(1), 3u); // column 3 pinned
+    EXPECT_EQ(s.pinnedHits(2), 5u); // + column 1
+    EXPECT_EQ(s.pinnedHits(3), 6u); // + column 0: every reference
+    EXPECT_EQ(s.pinnedHits(100), 6u);
+    EXPECT_TRUE(s.clusterListLens.empty());
+    EXPECT_TRUE(s.clusterNnz.empty());
+}
+
+} // namespace
+} // namespace grow::costmodel

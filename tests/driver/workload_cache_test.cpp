@@ -447,5 +447,82 @@ TEST(WorkloadCache, FingerprintDistinguishesKeys)
     EXPECT_TRUE(base < tiny || tiny < base);
 }
 
+TEST(WorkloadCache, LruEntryCapEvictsLeastRecentlyUsed)
+{
+    WorkloadCache cache;
+    EXPECT_EQ(cache.memoryEntryCap(), 0u); // unbounded by default
+    cache.setMemoryEntryCap(2);
+    const auto &cora = graph::datasetByName("cora");
+    const auto &cite = graph::datasetByName("citeseer");
+
+    auto a = cache.artifacts(cora, graph::ScaleTier::Unit, {});
+    auto b = cache.artifacts(cite, graph::ScaleTier::Unit, {});
+    EXPECT_EQ(cache.memoryEntries(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // Touch cora so citeseer becomes least recently used, then insert
+    // a third key: citeseer must be the one evicted.
+    cache.artifacts(cora, graph::ScaleTier::Unit, {});
+    gcn::PartitionPlan smaller;
+    smaller.targetClusterSize = 128;
+    cache.artifacts(cora, graph::ScaleTier::Unit, smaller);
+    EXPECT_EQ(cache.memoryEntries(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // cora stayed resident (memory hit); citeseer rebuilds from
+    // scratch -- there is no disk layer -- into a fresh instance, while
+    // the evicted bundle stays alive through the caller's shared_ptr.
+    cache.artifacts(cora, graph::ScaleTier::Unit, {});
+    const uint64_t buildsBefore = cache.stats().builds;
+    auto b2 = cache.artifacts(cite, graph::ScaleTier::Unit, {});
+    EXPECT_EQ(cache.stats().builds, buildsBefore + 1);
+    EXPECT_NE(b.get(), b2.get());
+    expectArtifactsIdentical(*b, *b2);
+}
+
+TEST(WorkloadCache, EvictedKeyReloadsFromDiskInsteadOfRebuilding)
+{
+    const std::string dir = scratchDir("evict_disk");
+    WorkloadCache cache(dir);
+    cache.setMemoryEntryCap(1);
+    const auto &cora = graph::datasetByName("cora");
+    const auto &cite = graph::datasetByName("citeseer");
+
+    auto a = cache.artifacts(cora, graph::ScaleTier::Unit, {});
+    cache.artifacts(cite, graph::ScaleTier::Unit, {}); // evicts cora
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.memoryEntries(), 1u);
+
+    // The disk layer is untouched by eviction: cora comes back as a
+    // disk load, not a rebuild, and round-trips bit-identically.
+    auto a2 = cache.artifacts(cora, graph::ScaleTier::Unit, {});
+    EXPECT_EQ(cache.stats().builds, 2u);
+    EXPECT_EQ(cache.stats().diskLoads, 1u);
+    expectArtifactsIdentical(*a, *a2);
+    fs::remove_all(dir);
+}
+
+TEST(WorkloadCache, ShrinkingCapEvictsImmediately)
+{
+    WorkloadCache cache;
+    const auto &spec = graph::datasetByName("cora");
+    cache.artifacts(spec, graph::ScaleTier::Unit, {});
+    gcn::PartitionPlan p1, p2;
+    p1.targetClusterSize = 128;
+    p2.targetClusterSize = 256;
+    cache.artifacts(spec, graph::ScaleTier::Unit, p1);
+    auto newest = cache.artifacts(spec, graph::ScaleTier::Unit, p2);
+    EXPECT_EQ(cache.memoryEntries(), 3u);
+
+    cache.setMemoryEntryCap(1);
+    EXPECT_EQ(cache.memoryEntries(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    // The survivor is the most recently used key.
+    const uint64_t hitsBefore = cache.stats().memoryHits;
+    auto again = cache.artifacts(spec, graph::ScaleTier::Unit, p2);
+    EXPECT_EQ(cache.stats().memoryHits, hitsBefore + 1);
+    EXPECT_EQ(newest.get(), again.get());
+}
+
 } // namespace
 } // namespace grow::driver

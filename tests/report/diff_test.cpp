@@ -195,6 +195,48 @@ TEST(ReportDiff, WorstDriftSortsFirstAndFormats)
     EXPECT_NE(truncated.find("suppressed"), std::string::npos);
 }
 
+TEST(ReportDiff, FailureSummaryLineListsTopWorstRegressions)
+{
+    // On failure the last line names the worst gated regressions so a
+    // CI log tail is enough to see *what* regressed -- even when the
+    // per-metric detail lines were truncated by max_lines.
+    std::string baseRecs, currRecs;
+    for (int i = 1; i <= 5; ++i) {
+        const std::string sep = i > 1 ? "," : "";
+        baseRecs += sep +
+                    R"({"bench":"b","table":"t","metric":"m)" +
+                    std::to_string(i) +
+                    R"(","unit":"cycles","value":100})";
+        // m5 drifts worst (+50%), m1 least (+10%).
+        currRecs += sep +
+                    R"({"bench":"b","table":"t","metric":"m)" +
+                    std::to_string(i) + R"(","unit":"cycles","value":)" +
+                    std::to_string(100 + 10 * i) + "}";
+    }
+    auto result = diffReports(parse(reportWith(baseRecs)),
+                              parse(reportWith(currRecs)));
+    EXPECT_EQ(result.regressions, 5u);
+
+    auto text = formatDiff(result, DiffOptions{}, 1);
+    const size_t fail = text.find("report_diff: FAIL; worst drift:");
+    ASSERT_NE(fail, std::string::npos);
+    const std::string summary = text.substr(fail);
+    // Top 3 by |relDelta|, worst first, with the remainder counted.
+    EXPECT_NE(summary.find("m5"), std::string::npos);
+    EXPECT_NE(summary.find("m4"), std::string::npos);
+    EXPECT_NE(summary.find("m3"), std::string::npos);
+    EXPECT_EQ(summary.find("m2"), std::string::npos);
+    EXPECT_NE(summary.find("+50.000%"), std::string::npos);
+    EXPECT_NE(summary.find("+2 more"), std::string::npos);
+    EXPECT_LT(summary.find("m5"), summary.find("m4"));
+
+    // A clean diff never emits the failure line.
+    auto clean = diffReports(parse(reportWith(baseRecs)),
+                             parse(reportWith(baseRecs)));
+    EXPECT_EQ(formatDiff(clean, DiffOptions{}).find("FAIL"),
+              std::string::npos);
+}
+
 const char *kSimSpeedBase =
     R"({"bench":"zoo","table":"sim_speed","dataset":"cora",)"
     R"("engine":"grow","metric":"rows_per_sec","unit":"rows/s",)"

@@ -112,6 +112,22 @@ TEST(CliArgs, WithPrefixStripsThePrefixAndSkipsOthers)
     EXPECT_EQ(args.withPrefix("gate.").size(), 0u);
 }
 
+TEST(CliArgs, RequireKnownCoversTheDseKeys)
+{
+    // design_space_sweep grew dse=/pareto=/est=; the example's key set
+    // must both accept them and keep rejecting near-miss typos (a
+    // dropped `dse=1` would silently skip the whole DSE tier).
+    const std::vector<std::string> keys = {
+        "dataset", "scale",  "threads", "cachedir", "model", "format",
+        "out",     "epoch",  "dse",     "pareto",   "est"};
+    auto ok = makeArgs({"dse=1", "pareto=8", "est=1"});
+    EXPECT_NO_THROW(ok.requireKnown(keys));
+    for (const char *typo : {"des=1", "dse1=1", "paretto=4", "Est=1"}) {
+        auto bad = makeArgs({typo});
+        EXPECT_ANY_THROW(bad.requireKnown(keys)) << typo;
+    }
+}
+
 TEST(CliArgs, RequireKnownAcceptsPrefixedKeys)
 {
     auto args = makeArgs({"tol.ms=0.15", "base=x"});
