@@ -17,7 +17,7 @@ GROW_BENCH_MAIN("fig11_power_law")
     ctx.banner("Figure 11: power-law degree distribution");
 
     for (const auto &spec : ctx.specs()) {
-        const auto &g = ctx.workload(spec.name).graph();
+        const auto g = ctx.workload(spec.name).graphView();
         auto degrees = graph::sortedDegreesDesc(g);
 
         auto t = ctx.table("fig11_curve",

@@ -12,10 +12,12 @@
 
 #include <atomic>
 #include <deque>
+#include <filesystem>
 #include <unordered_map>
 
 #include "gcn/runner.hpp"
 #include "gcn/workload.hpp"
+#include "graph/file_graph.hpp"
 #include "graph/generators.hpp"
 #include "graph/normalize.hpp"
 #include "graph/sampling.hpp"
@@ -126,6 +128,82 @@ BM_NormalizeAdjacency(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * g.numArcs());
 }
 BENCHMARK(BM_NormalizeAdjacency)->Arg(20000);
+
+// Paired serial-vs-parallel build-stage benchmarks: Arg is the worker
+// count (results are bit-identical for every value; these measure the
+// wall-clock payoff of the deterministic parallel pipeline).
+void
+BM_PartitionThreads(benchmark::State &state)
+{
+    graph::DcSbmParams p;
+    p.nodes = 40000;
+    p.avgDegree = 12.0;
+    p.communities = p.nodes / 700 + 1;
+    p.seed = 3;
+    auto g = graph::generateDcSbm(p);
+    partition::PartitionConfig pc;
+    pc.numParts = p.communities;
+    pc.threads = static_cast<uint32_t>(state.range(0));
+    for (auto _ : state) {
+        pc.seed += 1;
+        auto r = partition::MultilevelPartitioner(pc).partition(g.view());
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * g.numArcs());
+}
+BENCHMARK(BM_PartitionThreads)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
+
+void
+BM_NormalizeThreads(benchmark::State &state)
+{
+    auto g = graph::generateChungLu(100000, 16.0, 2.3, 5);
+    const auto threads = static_cast<uint32_t>(state.range(0));
+    for (auto _ : state) {
+        auto a = graph::normalizedAdjacency(g.view(), true, threads);
+        benchmark::DoNotOptimize(a);
+    }
+    state.SetItemsProcessed(state.iterations() * g.numArcs());
+}
+BENCHMARK(BM_NormalizeThreads)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
+
+// Traversal through the mmap-backed CsrView vs the same graph on the
+// heap: quantifies the page-cache indirection cost of the out-of-core
+// path (a warm mapping should be within noise of the heap copy).
+void
+BM_CsrTraversal(benchmark::State &state)
+{
+    const bool mapped = state.range(0) != 0;
+    auto g = graph::generateChungLu(100000, 16.0, 2.3, 5);
+    std::shared_ptr<const graph::MappedCsrGraph> file;
+    graph::CsrView v = g.view();
+    std::string path;
+    if (mapped) {
+        graph::DatasetSpec spec;
+        spec.name = "bm_traversal";
+        path = (std::filesystem::temp_directory_path() /
+                "bm_traversal.growcsr")
+                   .string();
+        if (!graph::writeCsrFile(path, spec, graph::ScaleTier::Full,
+                                 g.view()))
+            state.SkipWithError("writeCsrFile failed");
+        file = graph::MappedCsrGraph::open(path);
+        if (!file)
+            state.SkipWithError("MappedCsrGraph::open failed");
+        v = file->view();
+    }
+    for (auto _ : state) {
+        uint64_t sum = 0;
+        for (NodeId u = 0; u < v.numNodes(); ++u)
+            for (NodeId nb : v.neighbors(u))
+                sum += nb;
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * v.numArcs());
+    state.SetLabel(mapped ? "mmap" : "heap");
+    if (!path.empty())
+        std::filesystem::remove(path);
+}
+BENCHMARK(BM_CsrTraversal)->Arg(0)->Arg(1);
 
 void
 BM_BuildGraphArtifacts(benchmark::State &state)

@@ -33,7 +33,7 @@ GROW_BENCH_MAIN("table1_datasets")
         .col("x1_density", "x1 dens");
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
-        const auto &g = w.graph();
+        const auto g = w.graphView();
         t.row({.dataset = spec.name})
             .add(report::textCell(spec.name))
             .add(report::count(spec.paperNodes))
@@ -61,7 +61,7 @@ GROW_BENCH_MAIN("table1_datasets")
         .col("power_law_alpha", "alpha (MLE)")
         .col("top1pct_coverage", "top-1% coverage");
     for (const auto &spec : ctx.specs()) {
-        const auto &g = ctx.workload(spec.name).graph();
+        const auto g = ctx.workload(spec.name).graphView();
         auto h = graph::degreeHistogram(g);
         uint32_t k = std::max(1u, g.numNodes() / 100);
         p.row({.dataset = spec.name})

@@ -24,6 +24,28 @@ mutableCurrentBench()
     return name;
 }
 
+/** Parse a `memcap=` byte size: digits with an optional K/M/G suffix. */
+uint64_t
+parseByteSize(const std::string &s)
+{
+    if (s.empty())
+        fatal("memcap needs a byte size (e.g. memcap=512M)");
+    uint64_t mult = 1;
+    std::string digits = s;
+    switch (s.back()) {
+      case 'k': case 'K': mult = 1ull << 10; break;
+      case 'm': case 'M': mult = 1ull << 20; break;
+      case 'g': case 'G': mult = 1ull << 30; break;
+      default: break;
+    }
+    if (mult != 1)
+        digits.pop_back();
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+        fatal("memcap must be <digits>[K|M|G], got '" + s + "'");
+    return std::stoull(digits) * mult;
+}
+
 } // namespace
 
 const std::map<std::string, BenchFn> &
@@ -67,7 +89,8 @@ BenchContext::BenchContext(int argc, char **argv,
 {
     std::vector<std::string> known = {"scale",  "datasets", "model",
                                       "cachedir", "format", "out",
-                                      "threads",  "epoch",  "profile"};
+                                      "threads",  "epoch",  "profile",
+                                      "memcap"};
     known.insert(known.end(), extra_keys.begin(), extra_keys.end());
     args_.requireKnown(known);
 
@@ -80,6 +103,11 @@ BenchContext::BenchContext(int argc, char **argv,
                    ? util::checkedThreadCount(args_.getInt("threads", 1))
                    : std::max(1u, std::thread::hardware_concurrency());
     profile_ = args_.getBool("profile", false);
+    if (args_.has("memcap"))
+        cache_.setMemoryByteCap(parseByteSize(args_.get("memcap", "")));
+    // Cache misses build with the bench's worker pool; artefacts are
+    // bit-identical for every thread count (see DESIGN.md).
+    cache_.setBuildThreads(threads_);
     if (args_.get("epoch", "") == "auto") {
         // epoch=auto: window seeds at the controller default and
         // adapts per round from observed channel utilisation.
@@ -169,6 +197,41 @@ BenchContext::emitSimSpeed()
                 .add(report::real(
                     util::rowsPerSecond(r.simRows, r.hostMillis), 1,
                     "rows/s"));
+        }
+    }
+    // build_phase family: per-stage wall-clock of every bundle this
+    // process actually built (cache/disk hits record nothing). The
+    // cache's build log survives eviction, so a memcap= run still
+    // reports its builds. One row per dataset: a sweep may build
+    // several bundle variants of one graph (e.g. a sampled extension),
+    // but duplicate row keys would collide in the record stream, so
+    // the first (base) build represents the dataset.
+    std::map<std::string, gcn::GraphArtifacts::BuildProfile> built;
+    for (const auto &[name, profile] : cache_.buildLog())
+        built.emplace(name, profile);
+    if (!built.empty()) {
+        auto pt = report_.table("build_phase",
+                                "Workload build (host wall-clock)");
+        pt.col("dataset", "dataset")
+            .col("threads", "threads")
+            .col("synth_ms", "synth ms", "ms")
+            .col("normalize_ms", "norm ms", "ms")
+            .col("partition_ms", "part ms", "ms")
+            .col("relabel_ms", "relabel ms", "ms")
+            .col("hdn_ms", "hdn ms", "ms")
+            .col("total_ms", "total ms", "ms")
+            .col("edges_per_sec", "edges/s", "edges/s");
+        for (const auto &[name, p] : built) {
+            pt.row({.dataset = name})
+                .add(report::textCell(name))
+                .add(report::count(p.threads))
+                .add(report::real(p.synthMs, 3, "ms"))
+                .add(report::real(p.normalizeMs, 3, "ms"))
+                .add(report::real(p.partitionMs, 3, "ms"))
+                .add(report::real(p.relabelMs, 3, "ms"))
+                .add(report::real(p.hdnMs, 3, "ms"))
+                .add(report::real(p.totalMs, 3, "ms"))
+                .add(report::real(p.arcsPerSec(), 1, "edges/s"));
         }
     }
     auto bt = report_.table("sim_speed_bench", "Bench wall-clock");

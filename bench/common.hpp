@@ -5,7 +5,12 @@
  * Every bench accepts `key=value` arguments (unknown keys abort with
  * the accepted list):
  *   scale=mini|tiny|full|unit   dataset scale tier (per-bench default)
- *   datasets=cora,...|all       dataset subset
+ *   datasets=cora,...|all       dataset subset; a `file:<path>`
+ *                               element streams a pre-converted
+ *                               .growcsr graph (tools/graph_convert)
+ *                               through mmap instead of synthesising
+ *                               (out-of-core ingestion; pass the
+ *                               scale= the file was converted at)
  *   model=gcn|sage-mean|sage-pool|gin|gat
  *                               GNN layer type the workloads lower as
  *                               (default gcn, the paper's evaluation)
@@ -31,11 +36,24 @@
  *   profile=0|1                 also report the `sim-speed` metric
  *                               family: host wall-clock per inference
  *                               (split by phase op) plus simulated
- *                               rows per host second. Off by default
+ *                               rows per host second, and the
+ *                               `build_phase` family: per-stage
+ *                               workload-build wall-clock (synthesis,
+ *                               normalize, partition, relabel, HDN)
+ *                               plus build edges/s, one row per
+ *                               freshly built bundle (cache hits have
+ *                               no build to time). Off by default
  *                               -- wall-clock is nondeterministic and
  *                               must never enter golden-locked output
  *                               (see DESIGN.md "Simulator
  *                               performance")
+ *   memcap=<bytes>[K|M|G]       byte budget for the in-memory artefact
+ *                               cache (default 0 = unbounded):
+ *                               least-recently-used bundles are
+ *                               evicted past the budget, except the
+ *                               most recent one, so a single
+ *                               over-budget graph still runs
+ *                               (out-of-core via dataset=file:)
  *
  * A bench does not print: it *declares* its banner lines and tables
  * through the structured results API (src/report/) and the selected

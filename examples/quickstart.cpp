@@ -42,7 +42,7 @@ main(int argc, char **argv)
     auto workload = gcn::buildWorkload(spec, wc);
     std::cout << "dataset " << spec.name << " @" << graph::tierName(tier)
               << ": " << fmtCount(workload.nodes()) << " nodes, "
-              << fmtCount(workload.graph().numArcs()) << " arcs, "
+              << fmtCount(workload.graphView().numArcs()) << " arcs, "
               << workload.relabel().clustering.numClusters()
               << " clusters\n";
 

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "util/checksum.hpp"
 #include "util/logging.hpp"
 
 namespace grow::driver {
@@ -21,12 +22,7 @@ constexpr char kMagic[8] = {'G', 'R', 'O', 'W', 'A', 'R', 'T', 'C'};
 uint64_t
 checksum(const char *data, size_t size)
 {
-    uint64_t h = 0xcbf29ce484222325ULL;
-    for (size_t i = 0; i < size; ++i) {
-        h ^= static_cast<unsigned char>(data[i]);
-        h *= 0x100000001b3ULL;
-    }
-    return h;
+    return util::fnv1a(data, size);
 }
 
 /** Append-only little encoder over a byte buffer. */
@@ -190,6 +186,10 @@ specFingerprint(const graph::DatasetSpec &spec)
     w.pod(spec.tinyNodeDiv);
     w.pod(spec.miniDegreeDiv);
     w.pod(spec.tinyDegreeDiv);
+    // File-backed datasets: the payload checksum of the .growcsr the
+    // spec was decoded from (0 for synthesized specs). Re-converting
+    // the file invalidates artefacts just like a registry edit would.
+    w.pod(spec.sourceChecksum);
     return checksum(w.bytes().data(), w.bytes().size());
 }
 
@@ -203,6 +203,7 @@ ArtifactKey::of(const graph::DatasetSpec &spec, graph::ScaleTier tier,
     k.dataset = spec.name;
     k.tier = tier;
     k.plan = plan;
+    k.fileChecksum = spec.sourceChecksum;
     return k;
 }
 
@@ -214,6 +215,8 @@ ArtifactKey::fingerprint() const
         << (plan.buildPartitioning ? 1 : 0) << "-c"
         << plan.targetClusterSize << "-h" << plan.hdnTopN << "-s"
         << plan.sampleFanout;
+    if (fileChecksum != 0)
+        oss << "-f" << std::hex << fileChecksum;
     return oss.str();
 }
 
@@ -224,7 +227,7 @@ ArtifactKey::operator<(const ArtifactKey &o) const
         return std::make_tuple(k.dataset, static_cast<int>(k.tier),
                                k.plan.buildPartitioning,
                                k.plan.targetClusterSize, k.plan.hdnTopN,
-                               k.plan.sampleFanout);
+                               k.plan.sampleFanout, k.fileChecksum);
     };
     return tie(*this) < tie(o);
 }
@@ -245,6 +248,7 @@ saveArtifacts(const std::string &path, const gcn::GraphArtifacts &a)
     w.pod(a.plan.sampleFanout);
     w.pod(a.maxClusterNodes);
     w.pod(static_cast<uint8_t>(a.hasPartitioning));
+    w.pod(static_cast<uint8_t>(a.fileBacked()));
     if (a.hasSampling) {
         // v3 extension file: only the sampled operand. The graph-level
         // payload is owned by (and serialized under) the base bundle.
@@ -253,8 +257,12 @@ saveArtifacts(const std::string &path, const gcn::GraphArtifacts &a)
         if (a.hasPartitioning)
             w.csr(a.adjacencySampledPartitioned);
     } else {
-        w.vec(a.own.graph.offsets());
-        w.vec(a.own.graph.adjacency());
+        // v4: a file-backed bundle's graph stays in its .growcsr file
+        // (re-mapped at load); only heap bundles serialize the arrays.
+        if (!a.fileBacked()) {
+            w.vec(a.own.graph.offsets());
+            w.vec(a.own.graph.adjacency());
+        }
         w.csr(a.own.adjacency);
         if (a.hasPartitioning) {
             w.csr(a.own.adjacencyPartitioned);
@@ -361,15 +369,22 @@ loadArtifacts(const std::string &path, const ArtifactKey &expected,
             return nullptr;
         a->spec = &graph::datasetByName(dataset);
         // The registry's spec may have been edited since the file was
-        // written; stale synthesis parameters must rebuild.
+        // written; stale synthesis parameters must rebuild. For
+        // file-backed datasets the fingerprint covers the .growcsr
+        // payload checksum, so a re-converted file rebuilds too.
         if (fingerprint != specFingerprint(*a->spec))
+            return nullptr;
+        if (a->spec->sourceChecksum != expected.fileChecksum)
             return nullptr;
 
         uint8_t hasPartitioning = 0;
-        if (!r.pod(hasPartitioning))
+        uint8_t fileBacked = 0;
+        if (!r.pod(hasPartitioning) || !r.pod(fileBacked))
             return nullptr;
         a->hasPartitioning = hasPartitioning != 0;
         if (a->hasPartitioning != a->plan.buildPartitioning)
+            return nullptr;
+        if ((fileBacked != 0) != a->spec->isFileBacked())
             return nullptr;
 
         if (a->plan.sampleFanout > 0) {
@@ -397,13 +412,21 @@ loadArtifacts(const std::string &path, const ArtifactKey &expected,
             return a;
         }
 
-        std::vector<uint64_t> offsets;
-        std::vector<NodeId> neighbors;
-        if (!r.vec(offsets) || !r.vec(neighbors))
-            return nullptr;
-        a->own.graph =
-            graph::Graph::fromAdjacency(std::move(offsets),
-                                        std::move(neighbors));
+        if (fileBacked != 0) {
+            // The graph never left its .growcsr: re-attach the mapped
+            // instance held by the file-dataset registry.
+            a->own.mapped = graph::fileDatasetGraph(*a->spec);
+            if (a->own.mapped == nullptr)
+                return nullptr;
+        } else {
+            std::vector<uint64_t> offsets;
+            std::vector<NodeId> neighbors;
+            if (!r.vec(offsets) || !r.vec(neighbors))
+                return nullptr;
+            a->own.graph =
+                graph::Graph::fromAdjacency(std::move(offsets),
+                                            std::move(neighbors));
+        }
         if (!r.csr(a->own.adjacency))
             return nullptr;
         if (a->hasPartitioning) {
@@ -420,7 +443,7 @@ loadArtifacts(const std::string &path, const ArtifactKey &expected,
         }
         if (!r.done())
             return nullptr; // trailing bytes: not a file we wrote
-        if (a->own.adjacency.rows() != a->own.graph.numNodes())
+        if (a->own.adjacency.rows() != a->graphView().numNodes())
             return nullptr;
         return a;
     } catch (const std::exception &e) {
@@ -428,6 +451,49 @@ loadArtifacts(const std::string &path, const ArtifactKey &expected,
                 e.what());
         return nullptr;
     }
+}
+
+uint64_t
+artifactFootprintBytes(const gcn::GraphArtifacts &a)
+{
+    auto vecBytes = [](size_t n, size_t elem) -> uint64_t {
+        return sizeof(uint64_t) + static_cast<uint64_t>(n) * elem;
+    };
+    auto csrBytes = [&](const sparse::CsrMatrix &m) -> uint64_t {
+        return 2 * sizeof(uint32_t) +
+               vecBytes(m.rowPtr().size(), sizeof(uint64_t)) +
+               vecBytes(m.colIdx().size(), sizeof(NodeId)) +
+               vecBytes(m.values().size(), sizeof(double));
+    };
+    if (a.hasSampling) {
+        // Extension bundle: the base payload is a separate cache entry.
+        uint64_t bytes = sizeof(a.sampleSeed);
+        bytes += csrBytes(a.adjacencySampled);
+        if (a.hasPartitioning)
+            bytes += csrBytes(a.adjacencySampledPartitioned);
+        return bytes;
+    }
+    uint64_t bytes = 0;
+    // A mapped graph contributes nothing: its pages are reclaimable
+    // page cache, not process heap. That is the whole point of the
+    // out-of-core path -- a graph over the byte budget still runs.
+    if (!a.fileBacked()) {
+        bytes += vecBytes(a.own.graph.offsets().size(),
+                          sizeof(uint64_t));
+        bytes += vecBytes(a.own.graph.adjacency().size(),
+                          sizeof(NodeId));
+    }
+    bytes += csrBytes(a.own.adjacency);
+    if (a.hasPartitioning) {
+        bytes += csrBytes(a.own.adjacencyPartitioned);
+        bytes += vecBytes(a.own.relabel.newToOld.size(), sizeof(NodeId));
+        bytes += vecBytes(a.own.relabel.clustering.clusterStart.size(),
+                          sizeof(uint32_t));
+        bytes += sizeof(uint64_t);
+        for (const auto &list : a.own.hdnLists)
+            bytes += vecBytes(list.size(), sizeof(NodeId));
+    }
+    return bytes;
 }
 
 WorkloadCache::WorkloadCache(std::string disk_dir) : dir_(std::move(disk_dir))
@@ -482,9 +548,16 @@ WorkloadCache::artifacts(const graph::DatasetSpec &spec,
             diskFailed = true; // present but unusable: rebuild
     }
     if (!built) {
-        built = baseBundle ? gcn::extendWithSampling(baseBundle,
-                                                     plan.sampleFanout)
-                           : gcn::buildGraphArtifacts(spec, tier, plan);
+        uint32_t threads = 1;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            threads = buildThreads_;
+        }
+        built = baseBundle
+                    ? gcn::extendWithSampling(baseBundle,
+                                              plan.sampleFanout)
+                    : gcn::buildGraphArtifacts(spec, tier, plan,
+                                               threads);
     }
 
     bool stored = false;
@@ -503,6 +576,10 @@ WorkloadCache::artifacts(const graph::DatasetSpec &spec,
     it->second.bundle = built;
     lru_.push_front(key);
     it->second.pos = lru_.begin();
+    it->second.bytes = artifactFootprintBytes(*built);
+    totalBytes_ += it->second.bytes;
+    if (!fromDisk && built->buildProfile.valid)
+        buildLog_.emplace_back(spec.name, built->buildProfile);
     enforceCapLocked();
     if (fromDisk)
         ++stats_.diskLoads;
@@ -530,12 +607,20 @@ WorkloadCache::stats() const
     return stats_;
 }
 
+std::vector<std::pair<std::string, gcn::GraphArtifacts::BuildProfile>>
+WorkloadCache::buildLog() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return buildLog_;
+}
+
 void
 WorkloadCache::clearMemory()
 {
     std::lock_guard<std::mutex> lock(mu_);
     mem_.clear();
     lru_.clear();
+    totalBytes_ = 0;
 }
 
 void
@@ -553,6 +638,35 @@ WorkloadCache::memoryEntryCap() const
     return entryCap_;
 }
 
+void
+WorkloadCache::setMemoryByteCap(uint64_t max_bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    byteCap_ = max_bytes;
+    enforceCapLocked();
+}
+
+uint64_t
+WorkloadCache::memoryByteCap() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return byteCap_;
+}
+
+uint64_t
+WorkloadCache::memoryBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return totalBytes_;
+}
+
+void
+WorkloadCache::setBuildThreads(uint32_t threads)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    buildThreads_ = threads == 0 ? 1 : threads;
+}
+
 size_t
 WorkloadCache::memoryEntries() const
 {
@@ -563,12 +677,25 @@ WorkloadCache::memoryEntries() const
 void
 WorkloadCache::enforceCapLocked()
 {
-    if (entryCap_ == 0)
-        return;
-    while (mem_.size() > entryCap_) {
-        mem_.erase(lru_.back());
+    auto evictOldest = [this] {
+        auto it = mem_.find(lru_.back());
+        totalBytes_ -= it->second.bytes;
+        mem_.erase(it);
         lru_.pop_back();
-        ++stats_.evictions;
+    };
+    if (entryCap_ != 0) {
+        while (mem_.size() > entryCap_) {
+            evictOldest();
+            ++stats_.evictions;
+        }
+    }
+    // Byte budget: evict LRU-first, but always retain the most
+    // recently used entry so one over-budget bundle still runs.
+    if (byteCap_ != 0) {
+        while (totalBytes_ > byteCap_ && mem_.size() > 1) {
+            evictOldest();
+            ++stats_.evictionsByBytes;
+        }
     }
 }
 

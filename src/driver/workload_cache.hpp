@@ -27,6 +27,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gcn/workload.hpp"
 
@@ -38,6 +40,12 @@ struct ArtifactKey
     std::string dataset;
     graph::ScaleTier tier = graph::ScaleTier::Mini;
     gcn::PartitionPlan plan;
+    /**
+     * Payload checksum of the backing .growcsr file for file-backed
+     * datasets (0 for synthesized ones). Part of the key so replacing
+     * the file behind a dataset name can never serve stale artefacts.
+     */
+    uint64_t fileChecksum = 0;
 
     /** Key for @p spec at @p tier under @p plan. */
     static ArtifactKey of(const graph::DatasetSpec &spec,
@@ -61,8 +69,12 @@ struct ArtifactKey
  *     file carries only the sampled *extension* (seed + sampled
  *     adjacencies); the graph-level payload lives solely in the base
  *     bundle's file and is re-attached at load time.
+ * v4: file-backed bundles (dataset=file:<path>) serialize a flag
+ *     instead of the graph arrays -- the graph stays in the .growcsr
+ *     file and is re-mapped at load time; the spec fingerprint covers
+ *     the source-file checksum.
  */
-inline constexpr uint32_t kArtifactFormatVersion = 3;
+inline constexpr uint32_t kArtifactFormatVersion = 4;
 
 /**
  * Serialize @p artifacts to @p path (binary; atomic via temp+rename).
@@ -89,6 +101,16 @@ loadArtifacts(const std::string &path, const ArtifactKey &expected,
               std::shared_ptr<const gcn::GraphArtifacts> base = nullptr);
 
 /**
+ * Heap footprint of @p artifacts, mirroring the serialized payload
+ * layout (the dominant vectors and CSR arrays; per-bundle bookkeeping
+ * is ignored). A mmap-backed graph counts as zero -- its pages live in
+ * the page cache and are reclaimable, not held by this process. A
+ * sampled extension counts only its own payload (the base is a
+ * separate cache entry). Used to size the byte-budget memory cap.
+ */
+uint64_t artifactFootprintBytes(const gcn::GraphArtifacts &artifacts);
+
+/**
  * Memoising construction front-end for workloads and their shared
  * graph artefacts.
  */
@@ -103,7 +125,9 @@ class WorkloadCache
         uint64_t diskLoads = 0;    ///< served from a valid disk file
         uint64_t diskStores = 0;   ///< files written after a build
         uint64_t diskFailures = 0; ///< unreadable/corrupt files skipped
-        uint64_t evictions = 0;    ///< entries dropped by the LRU cap
+        uint64_t evictions = 0;    ///< entries dropped by the entry cap
+        /** Entries dropped by the byte-budget cap (memcap=). */
+        uint64_t evictionsByBytes = 0;
     };
 
     /** In-memory-only cache. */
@@ -156,8 +180,42 @@ class WorkloadCache
     /** Current in-memory entry cap (0 = unbounded). */
     uint64_t memoryEntryCap() const;
 
+    /**
+     * Cap the in-memory map at @p max_bytes of artefact payload
+     * (0 = unbounded, the default), measured by
+     * artifactFootprintBytes(). Least-recently-used keys are evicted
+     * past the budget, except the most recently inserted/used entry,
+     * which is always retained: a single bundle larger than the budget
+     * (the out-of-core case) still completes, it just shares with
+     * nothing. Composes with the entry cap -- both are enforced.
+     */
+    void setMemoryByteCap(uint64_t max_bytes);
+
+    /** Current in-memory byte cap (0 = unbounded). */
+    uint64_t memoryByteCap() const;
+
+    /** Total artefact payload bytes currently held in memory. */
+    uint64_t memoryBytes() const;
+
+    /**
+     * Worker threads handed to buildGraphArtifacts() on a cache miss
+     * (>= 1). Never part of any cache key: builds are bit-identical
+     * across thread counts.
+     */
+    void setBuildThreads(uint32_t threads);
+
     /** Number of bundles currently held in memory (for tests). */
     size_t memoryEntries() const;
+
+    /**
+     * Per-dataset build profile of every bundle this process built
+     * from scratch (disk loads and memory hits record nothing), in
+     * build order. Survives eviction and clearMemory(): the log feeds
+     * the profile=1 build_phase metric family, which must not lose
+     * rows just because the byte cap reclaimed the bundle itself.
+     */
+    std::vector<std::pair<std::string, gcn::GraphArtifacts::BuildProfile>>
+    buildLog() const;
 
   private:
     struct MemEntry
@@ -165,10 +223,12 @@ class WorkloadCache
         std::shared_ptr<const gcn::GraphArtifacts> bundle;
         /** Position in lru_ (front = most recently used). */
         std::list<ArtifactKey>::iterator pos;
+        /** artifactFootprintBytes() of bundle, counted once at insert. */
+        uint64_t bytes = 0;
     };
 
     std::string pathFor(const ArtifactKey &key) const;
-    /** Evict past the cap. Caller holds mu_. */
+    /** Evict past the entry and byte caps. Caller holds mu_. */
     void enforceCapLocked();
 
     mutable std::mutex mu_;
@@ -176,7 +236,11 @@ class WorkloadCache
     std::map<ArtifactKey, MemEntry> mem_;
     std::list<ArtifactKey> lru_;
     uint64_t entryCap_ = 0;
+    uint64_t byteCap_ = 0;
+    uint64_t totalBytes_ = 0;
+    uint32_t buildThreads_ = 1;
     Stats stats_;
+    std::vector<std::pair<std::string, gcn::GraphArtifacts::BuildProfile>> buildLog_;
 };
 
 } // namespace grow::driver

@@ -1,6 +1,7 @@
 #include "gcn/workload.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "graph/normalize.hpp"
 #include "graph/sampling.hpp"
@@ -20,7 +21,7 @@ namespace {
  * knob, not a graph artefact.
  */
 sparse::CsrMatrix
-ginAdjacency(const graph::Graph &g, double eps)
+ginAdjacency(const graph::CsrView &g, double eps)
 {
     const uint32_t n = g.numNodes();
     std::vector<uint64_t> rowPtr(n + 1, 0);
@@ -123,8 +124,8 @@ extendWithSampling(std::shared_ptr<const GraphArtifacts> base,
     // -- the seed derives from the dataset spec, not the per-workload
     // feature seed.
     a->sampleSeed = a->spec->seed * 131 + 17;
-    a->adjacencySampled =
-        graph::sampleNeighborAdjacency(a->graph(), fanout, a->sampleSeed);
+    a->adjacencySampled = graph::sampleNeighborAdjacency(
+        a->graphView(), fanout, a->sampleSeed);
     if (a->hasPartitioning)
         a->adjacencySampledPartitioned =
             a->adjacencySampled.permutedSymmetric(a->relabel().newToOld);
@@ -134,28 +135,61 @@ extendWithSampling(std::shared_ptr<const GraphArtifacts> base,
 
 std::shared_ptr<const GraphArtifacts>
 buildGraphArtifacts(const graph::DatasetSpec &spec, graph::ScaleTier tier,
-                    const PartitionPlan &plan)
+                    const PartitionPlan &plan, uint32_t threads)
 {
     if (plan.sampleFanout > 0) {
         PartitionPlan basePlan = plan;
         basePlan.sampleFanout = 0;
         return extendWithSampling(
-            buildGraphArtifacts(spec, tier, basePlan),
+            buildGraphArtifacts(spec, tier, basePlan, threads),
             plan.sampleFanout);
     }
+
+    using Clock = std::chrono::steady_clock;
+    auto msSince = [](Clock::time_point &mark) {
+        const auto now = Clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(now - mark)
+                .count();
+        mark = now;
+        return ms;
+    };
 
     auto a = std::make_shared<GraphArtifacts>();
     a->spec = &graph::datasetByName(spec.name);
     a->tier = tier;
     a->plan = plan;
 
-    auto inst = graph::buildDataset(spec, tier);
-    a->own.graph = std::move(inst.graph);
+    GraphArtifacts::BuildProfile prof;
+    prof.threads = std::max(1u, threads);
+    const auto buildStart = Clock::now();
+    auto mark = buildStart;
+
+    if (spec.isFileBacked()) {
+        // The graph stays on disk: every stage below streams it
+        // through the mmap view. The file records the tier it was
+        // written at; silently relabelling it would poison cache keys
+        // and bench tables.
+        if (tier != spec.sourceTier)
+            fatal("dataset '" + spec.name + "' was converted at scale=" +
+                  graph::tierName(spec.sourceTier) + "; pass scale=" +
+                  graph::tierName(spec.sourceTier) +
+                  " to use " + spec.sourceFile);
+        a->own.mapped = graph::fileDatasetGraph(spec);
+    } else {
+        auto inst = graph::buildDataset(spec, tier);
+        a->own.graph = std::move(inst.graph);
+    }
+    const graph::CsrView gv = a->graphView();
+    prof.arcs = gv.numArcs();
+    prof.synthMs = msSince(mark);
+
     a->own.adjacency =
-        graph::normalizedAdjacency(a->own.graph, /*self_loops=*/true);
+        graph::normalizedAdjacency(gv, /*self_loops=*/true, threads);
+    prof.normalizeMs = msSince(mark);
 
     if (plan.buildPartitioning) {
-        const uint32_t n = a->own.graph.numNodes();
+        const uint32_t n = gv.numNodes();
         const uint32_t clusterSize =
             plan.targetClusterSize
                 ? plan.targetClusterSize
@@ -167,22 +201,34 @@ buildGraphArtifacts(const graph::DatasetSpec &spec, graph::ScaleTier tier,
         pc.numParts = std::max<uint32_t>(
             1, static_cast<uint32_t>(ceilDiv(n, clusterSize)));
         pc.seed = spec.seed * 31 + 11;
+        pc.threads = threads;
         partition::MultilevelPartitioner partitioner(pc);
-        auto parts = partitioner.partition(a->own.graph);
+        auto parts = partitioner.partition(gv);
+        prof.partitionMs = msSince(mark);
+
         a->own.relabel = partition::relabelByPartition(n, parts);
         // The partitioner's balance bound is soft; make it hard so no
         // cluster exceeds the HDN cache capacity it was sized for.
         a->own.relabel.clustering = partition::splitOversizedClusters(
             a->own.relabel.clustering, clusterSize);
         a->maxClusterNodes = clusterSize;
-        auto relabeledGraph =
-            a->own.graph.relabeled(a->own.relabel.newToOld);
-        a->own.adjacencyPartitioned =
-            a->own.adjacency.permutedSymmetric(a->own.relabel.newToOld);
+        a->own.adjacencyPartitioned = a->own.adjacency.permutedSymmetric(
+            a->own.relabel.newToOld, threads);
+        prof.relabelMs = msSince(mark);
+
+        // Intra-cluster ranking straight off the original view + the
+        // permutation: the relabeled graph is never materialized.
         a->own.hdnLists = partition::selectHdnPerCluster(
-            relabeledGraph, a->own.relabel.clustering, plan.hdnTopN);
+            gv, a->own.relabel, plan.hdnTopN, threads);
+        prof.hdnMs = msSince(mark);
         a->hasPartitioning = true;
     }
+
+    prof.totalMs = std::chrono::duration<double, std::milli>(
+                       Clock::now() - buildStart)
+                       .count();
+    prof.valid = true;
+    a->buildProfile = prof;
     return a;
 }
 
@@ -241,7 +287,7 @@ buildLayerData(std::shared_ptr<const GraphArtifacts> artifacts,
         // The epsilon-weighted central node enters the aggregation
         // operand's diagonal; every layer shares one A_gin (no rng).
         w.ginEpsilon = config.ginEpsilon;
-        w.adjacencyGin = ginAdjacency(w.graph(), config.ginEpsilon);
+        w.adjacencyGin = ginAdjacency(w.graphView(), config.ginEpsilon);
         if (w.hasPartitioning())
             w.adjacencyGinPartitioned =
                 w.adjacencyGin.permutedSymmetric(w.relabel().newToOld);

@@ -36,6 +36,7 @@
 
 #include "gcn/model.hpp"
 #include "graph/datasets.hpp"
+#include "graph/file_graph.hpp"
 #include "graph/graph.hpp"
 #include "partition/hdn_select.hpp"
 #include "partition/relabel.hpp"
@@ -153,7 +154,14 @@ struct GraphArtifacts
      */
     struct Payload
     {
-        graph::Graph graph; ///< original labelling
+        graph::Graph graph; ///< original labelling (heap bundles)
+        /**
+         * The mmap-backed graph of a file-backed bundle
+         * (dataset=file:<path>); null for synthesized bundles, whose
+         * graph lives in `graph`. Exactly one of the two is populated
+         * -- consumers stream either through graphView().
+         */
+        std::shared_ptr<const graph::MappedCsrGraph> mapped;
         /** Normalized adjacency, original labelling (baselines). */
         sparse::CsrMatrix adjacency;
         sparse::CsrMatrix adjacencyPartitioned; ///< relabeled
@@ -176,6 +184,24 @@ struct GraphArtifacts
     /** Graph-level payload (the base's for a sampled extension). */
     const Payload &payload() const { return base ? base->own : own; }
 
+    /**
+     * CSR view of the graph -- the heap copy or the mmap-backed file.
+     * This is the accessor every consumer should stream through.
+     */
+    graph::CsrView graphView() const
+    {
+        const Payload &p = payload();
+        return p.mapped ? p.mapped->view() : p.graph.view();
+    }
+
+    /** Whether the graph streams from a mmap-backed .growcsr file. */
+    bool fileBacked() const { return payload().mapped != nullptr; }
+
+    /**
+     * The heap graph. EMPTY on file-backed bundles (the graph stays on
+     * disk) -- use graphView() unless you specifically need the heap
+     * object.
+     */
     const graph::Graph &graph() const { return payload().graph; }
     const sparse::CsrMatrix &adjacency() const
     {
@@ -194,7 +220,36 @@ struct GraphArtifacts
         return payload().hdnLists;
     }
 
-    uint32_t nodes() const { return graph().numNodes(); }
+    uint32_t nodes() const { return graphView().numNodes(); }
+
+    /**
+     * Wall-clock profile of the build that produced this bundle
+     * (profile=1 benches emit it as the build_phase metric family).
+     * Valid only when the bundle was actually built in this process;
+     * cache hits and disk loads leave it invalid.
+     */
+    struct BuildProfile
+    {
+        bool valid = false;
+        uint32_t threads = 1;      ///< workers the build ran with
+        double synthMs = 0.0;      ///< graph synthesis or file mapping
+        double normalizeMs = 0.0;  ///< normalized adjacency build
+        double partitionMs = 0.0;  ///< multilevel partitioning
+        double relabelMs = 0.0;    ///< relabel + permuted adjacency
+        double hdnMs = 0.0;        ///< per-cluster HDN ranking
+        double totalMs = 0.0;
+        uint64_t arcs = 0;         ///< graph arcs processed
+
+        /** Arc throughput of the whole build (the edges/s metric). */
+        double arcsPerSec() const
+        {
+            return totalMs > 0.0
+                       ? static_cast<double>(arcs) / (totalMs / 1000.0)
+                       : 0.0;
+        }
+    };
+
+    BuildProfile buildProfile;
 };
 
 /**
@@ -206,13 +261,17 @@ struct GraphArtifacts
 uint32_t defaultClusterSize(const graph::GcnShape &shape, uint32_t hdn_top_n);
 
 /**
- * Synthesise the graph of @p spec at @p tier and run the partitioning
- * preprocessing of @p plan. Deterministic for (spec, tier, plan); the
- * depth/seed knobs of WorkloadConfig do not affect the result.
+ * Synthesise the graph of @p spec at @p tier (or mmap it for a
+ * file-backed spec) and run the partitioning preprocessing of @p plan.
+ * Deterministic for (spec, tier, plan); the depth/seed knobs of
+ * WorkloadConfig do not affect the result, and neither does
+ * @p threads: only order-independent disjoint-write stages are
+ * parallelized (in thread-count-independent chunks), so every thread
+ * count yields a bit-identical bundle.
  */
 std::shared_ptr<const GraphArtifacts>
 buildGraphArtifacts(const graph::DatasetSpec &spec, graph::ScaleTier tier,
-                    const PartitionPlan &plan = {});
+                    const PartitionPlan &plan = {}, uint32_t threads = 1);
 
 /**
  * Extend @p base (built without sampling) with the sampled-adjacency
@@ -271,8 +330,11 @@ struct GcnWorkload
     /** Table I layer shape {F0, H, C} of the dataset. */
     const graph::GcnShape &shape() const { return artifacts->spec->gcn; }
 
-    /** The synthetic graph, original labelling. */
+    /** The synthetic graph, original labelling. EMPTY on file-backed
+     *  workloads -- stream through graphView() instead. */
     const graph::Graph &graph() const { return artifacts->graph(); }
+    /** CSR view of the graph (heap or mmap-backed). */
+    graph::CsrView graphView() const { return artifacts->graphView(); }
     /** Normalized adjacency, original labelling. */
     const sparse::CsrMatrix &adjacency() const
     {

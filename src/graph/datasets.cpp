@@ -1,11 +1,44 @@
 #include "graph/datasets.hpp"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
 
+#include "graph/file_graph.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
 
 namespace grow::graph {
+
+namespace {
+
+/**
+ * Process-wide registry of file-backed datasets, keyed by the dataset
+ * name embedded in the .growcsr header. The registry keeps the mmap
+ * alive for the process lifetime; bundles built from it share the same
+ * mapping by shared_ptr.
+ */
+struct FileDatasetEntry
+{
+    DatasetSpec spec;
+    std::shared_ptr<const MappedCsrGraph> graph;
+};
+
+std::mutex &
+fileRegistryMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+std::map<std::string, FileDatasetEntry> &
+fileRegistry()
+{
+    static std::map<std::string, FileDatasetEntry> registry;
+    return registry;
+}
+
+} // namespace
 
 ScaleTier
 tierFromString(const std::string &s)
@@ -68,10 +101,58 @@ const DatasetSpec &
 datasetByName(const std::string &name)
 {
     std::string n = toLower(name);
+    {
+        std::lock_guard<std::mutex> lock(fileRegistryMutex());
+        auto it = fileRegistry().find(n);
+        if (it != fileRegistry().end())
+            return it->second.spec;
+    }
     for (const auto &d : allDatasets())
         if (d.name == n)
             return d;
     fatal("unknown dataset: " + name);
+}
+
+const DatasetSpec &
+registerFileDataset(const std::string &path)
+{
+    auto mapped = MappedCsrGraph::open(path);
+    if (!mapped)
+        fatal("dataset file unusable (missing, truncated, corrupt or "
+              "stale format): " + path);
+    DatasetSpec spec = mapped->spec();
+    std::lock_guard<std::mutex> lock(fileRegistryMutex());
+    auto it = fileRegistry().find(spec.name);
+    if (it != fileRegistry().end()) {
+        if (it->second.spec.sourceChecksum != spec.sourceChecksum)
+            fatal("dataset name collision: '" + spec.name +
+                  "' already registered from " +
+                  it->second.spec.sourceFile +
+                  " with different content than " + path);
+        return it->second.spec;
+    }
+    // Copy the key out first: `spec.name` and `std::move(spec)` are
+    // indeterminately sequenced as emplace arguments.
+    const std::string name = spec.name;
+    auto ins = fileRegistry()
+                   .emplace(name, FileDatasetEntry{std::move(spec),
+                                                   std::move(mapped)})
+                   .first;
+    return ins->second.spec;
+}
+
+std::shared_ptr<const MappedCsrGraph>
+fileDatasetGraph(const DatasetSpec &spec)
+{
+    if (!spec.isFileBacked())
+        return nullptr;
+    std::lock_guard<std::mutex> lock(fileRegistryMutex());
+    auto it = fileRegistry().find(spec.name);
+    GROW_ASSERT(it != fileRegistry().end() &&
+                    it->second.spec.sourceChecksum == spec.sourceChecksum,
+                "file-backed spec '" + spec.name +
+                    "' is not in the file dataset registry");
+    return it->second.graph;
 }
 
 std::vector<DatasetSpec>
@@ -82,6 +163,10 @@ datasetsByNames(const std::vector<std::string> &names)
         if (toLower(n) == "all") {
             out = allDatasets();
             return out;
+        }
+        if (toLower(n).rfind("file:", 0) == 0) {
+            out.push_back(registerFileDataset(n.substr(5)));
+            continue;
         }
         out.push_back(datasetByName(n));
     }
@@ -133,6 +218,17 @@ buildDataset(const DatasetSpec &spec, ScaleTier tier)
     DatasetInstance inst;
     inst.spec = &datasetByName(spec.name);
     inst.tier = tier;
+
+    if (spec.isFileBacked()) {
+        // Materialize a heap copy of the mapped file; callers that can
+        // stream straight off the mmap use fileDatasetGraph() instead.
+        auto mapped = fileDatasetGraph(spec);
+        CsrView v = mapped->view();
+        inst.graph = Graph::fromAdjacency(
+            {v.offsets.begin(), v.offsets.end()},
+            {v.adjacency.begin(), v.adjacency.end()});
+        return inst;
+    }
 
     DcSbmParams p;
     p.nodes = scaledNodes(spec, tier);

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -71,18 +72,61 @@ struct DatasetSpec
     double miniDegreeDiv = 1.0;
     double tinyDegreeDiv = 1.0;
 
+    /**
+     * File-backed datasets (`dataset=file:<path>`): the graph is
+     * mmap-loaded from a .growcsr file (graph/file_graph.hpp) instead
+     * of synthesized, and the payload checksum joins every cache key
+     * derived from this spec so two files never alias. Empty/0 for
+     * the synthesized registry datasets.
+     */
+    std::string sourceFile;
+    uint64_t sourceChecksum = 0;
+    ScaleTier sourceTier = ScaleTier::Full;
+
     /** Whether this is one of the four large-scale datasets. */
     bool isLargeScale() const { return miniNodeDiv > 1; }
+
+    /** Whether the graph comes from a .growcsr file. */
+    bool isFileBacked() const { return !sourceFile.empty(); }
 };
 
 /** The eight datasets of Table I, ordered by node count. */
 const std::vector<DatasetSpec> &allDatasets();
 
-/** Lookup by (case-insensitive) name; fatal() when unknown. */
+/**
+ * Lookup by (case-insensitive) name; fatal() when unknown. File
+ * datasets registered via registerFileDataset() are consulted first,
+ * so a registered file *shadows* the builtin of the same name for the
+ * rest of the process -- exactly what lets a converted Table I graph
+ * replay its in-memory twin bit for bit.
+ */
 const DatasetSpec &datasetByName(const std::string &name);
 
-/** Resolve a list of names ("all" expands to every dataset). */
+/**
+ * Resolve a list of names ("all" expands to every dataset). A
+ * `file:<path>` entry opens the .growcsr file at <path> and registers
+ * it under the dataset name embedded in its header.
+ */
 std::vector<DatasetSpec> datasetsByNames(const std::vector<std::string> &names);
+
+class MappedCsrGraph;
+
+/**
+ * Open the .growcsr file at @p path (fatal() when unreadable or
+ * corrupt -- a named file that cannot be used is a configuration
+ * error) and register it in the process-wide file dataset registry
+ * under its embedded dataset name. Re-registering the same content is
+ * idempotent; two different files claiming one name fatal(). The
+ * returned spec carries sourceFile/sourceChecksum/sourceTier.
+ */
+const DatasetSpec &registerFileDataset(const std::string &path);
+
+/**
+ * The mapped graph backing a file-backed @p spec (registered earlier);
+ * null for synthesized specs.
+ */
+std::shared_ptr<const MappedCsrGraph>
+fileDatasetGraph(const DatasetSpec &spec);
 
 /** Node count of @p spec at @p tier. */
 uint32_t scaledNodes(const DatasetSpec &spec, ScaleTier tier);

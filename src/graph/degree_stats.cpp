@@ -5,7 +5,7 @@
 namespace grow::graph {
 
 LogHistogram
-degreeHistogram(const Graph &g)
+degreeHistogram(const CsrView &g)
 {
     LogHistogram h;
     for (NodeId v = 0; v < g.numNodes(); ++v)
@@ -14,7 +14,7 @@ degreeHistogram(const Graph &g)
 }
 
 std::vector<uint32_t>
-sortedDegreesDesc(const Graph &g)
+sortedDegreesDesc(const CsrView &g)
 {
     std::vector<uint32_t> d(g.numNodes());
     for (NodeId v = 0; v < g.numNodes(); ++v)
@@ -24,7 +24,7 @@ sortedDegreesDesc(const Graph &g)
 }
 
 double
-topKDegreeCoverage(const Graph &g, uint32_t k)
+topKDegreeCoverage(const CsrView &g, uint32_t k)
 {
     if (g.numArcs() == 0)
         return 0.0;
@@ -37,7 +37,7 @@ topKDegreeCoverage(const Graph &g, uint32_t k)
 }
 
 double
-degreeGini(const Graph &g)
+degreeGini(const CsrView &g)
 {
     uint32_t n = g.numNodes();
     if (n == 0)

@@ -1,6 +1,9 @@
 /**
  * @file
  * Degree-distribution analysis (Fig. 11 and HDN coverage estimation).
+ *
+ * All analyses operate on a CsrView, so they stream heap graphs and
+ * mmap-backed file graphs alike; the Graph overloads are conveniences.
  */
 #pragma once
 
@@ -13,19 +16,32 @@
 namespace grow::graph {
 
 /** Power-of-two bucketed degree histogram of @p g. */
-LogHistogram degreeHistogram(const Graph &g);
+LogHistogram degreeHistogram(const CsrView &g);
+inline LogHistogram degreeHistogram(const Graph &g)
+{
+    return degreeHistogram(g.view());
+}
 
 /** All node degrees sorted descending. */
-std::vector<uint32_t> sortedDegreesDesc(const Graph &g);
+std::vector<uint32_t> sortedDegreesDesc(const CsrView &g);
+inline std::vector<uint32_t> sortedDegreesDesc(const Graph &g)
+{
+    return sortedDegreesDesc(g.view());
+}
 
 /**
  * Fraction of all adjacency entries whose *target* is one of the top-k
  * highest-degree nodes. This is the upper bound on the HDN cache hit
  * rate without graph partitioning (Sec. V-C).
  */
-double topKDegreeCoverage(const Graph &g, uint32_t k);
+double topKDegreeCoverage(const CsrView &g, uint32_t k);
+inline double topKDegreeCoverage(const Graph &g, uint32_t k)
+{
+    return topKDegreeCoverage(g.view(), k);
+}
 
 /** Gini coefficient of the degree distribution (0 = uniform). */
-double degreeGini(const Graph &g);
+double degreeGini(const CsrView &g);
+inline double degreeGini(const Graph &g) { return degreeGini(g.view()); }
 
 } // namespace grow::graph

@@ -18,6 +18,61 @@
 
 namespace grow::graph {
 
+/**
+ * Non-owning view of an adjacency-CSR graph: the accessor surface the
+ * workload-build front-end (normalize, partition, relabel, HDN select,
+ * sampling) consumes. Both storage backends produce one -- Graph (heap
+ * vectors) via view() and MappedCsrGraph (mmap-backed file, possibly
+ * larger than RAM) via its view() -- so the whole pipeline streams
+ * either without caring where the bytes live. Invariants match Graph:
+ * sorted neighbor lists, symmetric, no self loops.
+ */
+struct CsrView
+{
+    std::span<const uint64_t> offsets;  ///< size numNodes+1 (or empty)
+    std::span<const NodeId> adjacency;  ///< sorted within each node
+
+    uint32_t numNodes() const
+    {
+        return static_cast<uint32_t>(
+            offsets.empty() ? 0 : offsets.size() - 1);
+    }
+
+    /** Directed adjacency entries (2x undirected edge count). */
+    uint64_t numArcs() const { return adjacency.size(); }
+
+    /** Undirected edge count. */
+    uint64_t numEdges() const { return adjacency.size() / 2; }
+
+    double avgDegree() const
+    {
+        const uint32_t n = numNodes();
+        return n == 0 ? 0.0
+                      : static_cast<double>(numArcs()) /
+                            static_cast<double>(n);
+    }
+
+    /** Density of the (binary) adjacency matrix. */
+    double density() const
+    {
+        const double n = numNodes();
+        return n == 0.0 ? 0.0 : static_cast<double>(numArcs()) / (n * n);
+    }
+
+    uint32_t degree(NodeId v) const
+    {
+        return static_cast<uint32_t>(offsets[v + 1] - offsets[v]);
+    }
+
+    /** Sorted neighbor list of @p v. */
+    std::span<const NodeId> neighbors(NodeId v) const
+    {
+        return adjacency.subspan(offsets[v],
+                                 static_cast<size_t>(offsets[v + 1] -
+                                                     offsets[v]));
+    }
+};
+
 class Graph
 {
   public:
@@ -59,6 +114,9 @@ class Graph
 
     const std::vector<uint64_t> &offsets() const { return offsets_; }
     const std::vector<NodeId> &adjacency() const { return neighbors_; }
+
+    /** Non-owning CSR view (the front-end accessor surface). */
+    CsrView view() const { return {offsets_, neighbors_}; }
 
     /** Whether edge (u,v) exists (binary search). */
     bool hasEdge(NodeId u, NodeId v) const;

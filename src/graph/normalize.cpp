@@ -2,12 +2,12 @@
 
 #include <cmath>
 
-#include "sparse/coo_matrix.hpp"
+#include "util/work_pool.hpp"
 
 namespace grow::graph {
 
 sparse::CsrMatrix
-normalizedAdjacency(const Graph &g, bool self_loops)
+normalizedAdjacency(const CsrView &g, bool self_loops, uint32_t threads)
 {
     const uint32_t n = g.numNodes();
     std::vector<double> invSqrtDeg(n);
@@ -16,29 +16,69 @@ normalizedAdjacency(const Graph &g, bool self_loops)
         invSqrtDeg[v] = d > 0.0 ? 1.0 / std::sqrt(d) : 0.0;
     }
 
-    sparse::CooMatrix coo(n, n);
-    coo.reserve(g.numArcs() + (self_loops ? n : 0));
-    for (NodeId v = 0; v < n; ++v) {
-        if (self_loops)
-            coo.add(v, v, invSqrtDeg[v] * invSqrtDeg[v]);
-        for (NodeId nb : g.neighbors(v))
-            coo.add(v, nb, invSqrtDeg[v] * invSqrtDeg[nb]);
-    }
-    coo.canonicalize();
-    return sparse::CsrMatrix::fromCoo(coo);
+    std::vector<uint64_t> rowPtr(static_cast<size_t>(n) + 1, 0);
+    for (NodeId v = 0; v < n; ++v)
+        rowPtr[v + 1] = rowPtr[v] + g.degree(v) + (self_loops ? 1 : 0);
+    std::vector<NodeId> colIdx(rowPtr[n]);
+    std::vector<double> values(rowPtr[n]);
+
+    // Disjoint-write row fill: each row's slice of colIdx/values is
+    // bracketed by rowPtr, so chunks never overlap and the output is
+    // independent of the thread count.
+    util::parallelFor(n, threads,
+                      [&](uint64_t begin, uint64_t end, uint32_t) {
+        for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+            uint64_t out = rowPtr[v];
+            // The self loop lands at its sorted position among the
+            // (ascending) neighbors, matching the canonical COO order
+            // this construction replaced bit for bit.
+            bool selfPlaced = !self_loops;
+            for (NodeId nb : g.neighbors(v)) {
+                if (!selfPlaced && nb > v) {
+                    colIdx[out] = v;
+                    values[out] = invSqrtDeg[v] * invSqrtDeg[v];
+                    selfPlaced = true;
+                    ++out;
+                }
+                colIdx[out] = nb;
+                values[out] = invSqrtDeg[v] * invSqrtDeg[nb];
+                ++out;
+            }
+            if (!selfPlaced) {
+                colIdx[out] = v;
+                values[out] = invSqrtDeg[v] * invSqrtDeg[v];
+            }
+        }
+    });
+    return sparse::CsrMatrix::fromRaw(n, n, std::move(rowPtr),
+                                      std::move(colIdx),
+                                      std::move(values));
+}
+
+sparse::CsrMatrix
+normalizedAdjacency(const Graph &g, bool self_loops)
+{
+    return normalizedAdjacency(g.view(), self_loops, 1);
+}
+
+sparse::CsrMatrix
+binaryAdjacency(const CsrView &g)
+{
+    std::vector<uint64_t> rowPtr(g.offsets.begin(), g.offsets.end());
+    if (rowPtr.empty())
+        rowPtr.push_back(0);
+    std::vector<NodeId> colIdx(g.adjacency.begin(), g.adjacency.end());
+    std::vector<double> values(colIdx.size(), 1.0);
+    return sparse::CsrMatrix::fromRaw(g.numNodes(), g.numNodes(),
+                                      std::move(rowPtr),
+                                      std::move(colIdx),
+                                      std::move(values));
 }
 
 sparse::CsrMatrix
 binaryAdjacency(const Graph &g)
 {
-    const uint32_t n = g.numNodes();
-    sparse::CooMatrix coo(n, n);
-    coo.reserve(g.numArcs());
-    for (NodeId v = 0; v < n; ++v)
-        for (NodeId nb : g.neighbors(v))
-            coo.add(v, nb, 1.0);
-    coo.canonicalize();
-    return sparse::CsrMatrix::fromCoo(coo);
+    return binaryAdjacency(g.view());
 }
 
 } // namespace grow::graph

@@ -16,15 +16,27 @@
 namespace grow::graph {
 
 /**
- * Build the normalized adjacency CSR of @p g.
+ * Build the normalized adjacency CSR of @p g. Row fills fan out over
+ * @p threads workers in thread-count-independent chunks
+ * (util::parallelFor): the result is bit-identical for every thread
+ * count, including the serial threads=1 path.
  *
- * @param g            input graph
+ * @param g            input CSR view (heap Graph or mmap-backed file)
  * @param self_loops   add I before normalizing (GCN convention)
+ * @param threads      worker threads for the row fill
  */
+sparse::CsrMatrix normalizedAdjacency(const CsrView &g,
+                                      bool self_loops = true,
+                                      uint32_t threads = 1);
+
+/** Convenience overload over a heap Graph (serial). */
 sparse::CsrMatrix normalizedAdjacency(const Graph &g,
                                       bool self_loops = true);
 
 /** Unnormalized binary adjacency CSR (all values 1.0). */
+sparse::CsrMatrix binaryAdjacency(const CsrView &g);
+
+/** Convenience overload over a heap Graph. */
 sparse::CsrMatrix binaryAdjacency(const Graph &g);
 
 } // namespace grow::graph

@@ -10,6 +10,12 @@ namespace grow::graph {
 sparse::CsrMatrix
 sampleNeighborAdjacency(const Graph &g, uint32_t fanout, uint64_t seed)
 {
+    return sampleNeighborAdjacency(g.view(), fanout, seed);
+}
+
+sparse::CsrMatrix
+sampleNeighborAdjacency(const CsrView &g, uint32_t fanout, uint64_t seed)
+{
     GROW_ASSERT(fanout >= 1, "neighbour sampling needs fanout >= 1");
     const uint32_t n = g.numNodes();
     Rng rng(seed);

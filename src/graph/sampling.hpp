@@ -35,6 +35,10 @@ namespace grow::graph {
  * Deterministic: the same (g, fanout, seed) always yields a
  * bit-identical matrix. @p fanout must be >= 1.
  */
+sparse::CsrMatrix sampleNeighborAdjacency(const CsrView &g,
+                                          uint32_t fanout, uint64_t seed);
+
+/** Convenience overload over a heap Graph. */
 sparse::CsrMatrix sampleNeighborAdjacency(const Graph &g, uint32_t fanout,
                                           uint64_t seed);
 

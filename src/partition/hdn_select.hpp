@@ -31,6 +31,20 @@ selectHdnPerCluster(const graph::Graph &relabeled,
                     const Clustering &clustering, uint32_t top_n);
 
 /**
+ * Same ranking computed from the *original* graph view plus the
+ * relabeling, without materializing the relabeled graph: intra-cluster
+ * degrees are counted through the permutation, streaming the (possibly
+ * mmap-backed, larger-than-RAM) original adjacency once. Clusters are
+ * ranked independently and fanned out over @p threads workers in
+ * thread-count-independent chunks -- the lists are bit-identical to
+ * the materialized overload for every thread count.
+ */
+std::vector<std::vector<NodeId>>
+selectHdnPerCluster(const graph::CsrView &original,
+                    const RelabelResult &relabel, uint32_t top_n,
+                    uint32_t threads = 1);
+
+/**
  * Global top-N by total degree: the HDN list GROW uses when graph
  * partitioning is disabled (Fig. 17's "GROW (w/o G.P)" configuration).
  */

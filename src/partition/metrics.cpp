@@ -7,7 +7,7 @@
 namespace grow::partition {
 
 PartitionQuality
-evaluatePartition(const graph::Graph &g, const PartitionResult &parts)
+evaluatePartition(const graph::CsrView &g, const PartitionResult &parts)
 {
     GROW_ASSERT(parts.assignment.size() == g.numNodes(),
                 "assignment size mismatch");

@@ -22,7 +22,12 @@ struct PartitionQuality
 };
 
 /** Compute quality metrics of @p parts over @p g. */
-PartitionQuality evaluatePartition(const graph::Graph &g,
+PartitionQuality evaluatePartition(const graph::CsrView &g,
                                    const PartitionResult &parts);
+inline PartitionQuality
+evaluatePartition(const graph::Graph &g, const PartitionResult &parts)
+{
+    return evaluatePartition(g.view(), parts);
+}
 
 } // namespace grow::partition

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "util/logging.hpp"
 #include "util/random.hpp"
+#include "util/work_pool.hpp"
 
 namespace grow::partition {
 
@@ -13,27 +15,52 @@ namespace {
 /**
  * Internal weighted graph used across coarsening levels. Node weights
  * count contracted fine nodes; edge weights count contracted fine edges.
+ *
+ * The level-0 graph *borrows* the caller's CSR arrays (possibly an
+ * mmap-backed view of a file bigger than RAM) with implicit all-1
+ * weights; contracted levels own their arrays. Accessors hide the
+ * distinction.
  */
 struct WGraph
 {
     uint32_t n = 0;
-    std::vector<uint64_t> off;
-    std::vector<NodeId> adj;
-    std::vector<uint32_t> ewt;
-    std::vector<uint32_t> nwt;
+    /** Borrowed arrays (level 0 only; empty owned arrays select them). */
+    std::span<const uint64_t> offExt;
+    std::span<const NodeId> adjExt;
+    /** Owned arrays (contracted levels). */
+    std::vector<uint64_t> offOwn;
+    std::vector<NodeId> adjOwn;
+    /** Weights; empty vectors mean implicitly all-1 (level 0). */
+    std::vector<uint32_t> ewtOwn;
+    std::vector<uint32_t> nwtOwn;
 
     uint64_t totalNodeWeight = 0;
+
+    const uint64_t *off() const
+    {
+        return offOwn.empty() ? offExt.data() : offOwn.data();
+    }
+    const NodeId *adj() const
+    {
+        return adjOwn.empty() ? adjExt.data() : adjOwn.data();
+    }
+    uint32_t ewt(uint64_t i) const
+    {
+        return ewtOwn.empty() ? 1u : ewtOwn[i];
+    }
+    uint32_t nwt(NodeId u) const
+    {
+        return nwtOwn.empty() ? 1u : nwtOwn[u];
+    }
 };
 
 WGraph
-fromGraph(const graph::Graph &g)
+fromView(const graph::CsrView &g)
 {
     WGraph w;
     w.n = g.numNodes();
-    w.off = g.offsets();
-    w.adj = g.adjacency();
-    w.ewt.assign(w.adj.size(), 1);
-    w.nwt.assign(w.n, 1);
+    w.offExt = g.offsets;
+    w.adjExt = g.adjacency;
     w.totalNodeWeight = w.n;
     return w;
 }
@@ -47,7 +74,10 @@ struct Level
 
 /**
  * Heavy-edge matching: every unmatched node grabs its unmatched
- * neighbor with the heaviest connecting edge.
+ * neighbor with the heaviest connecting edge. Inherently sequential
+ * (each decision depends on all earlier ones through the rng-shuffled
+ * visit order), so it stays serial -- see the determinism contract in
+ * the header.
  */
 std::vector<NodeId>
 heavyEdgeMatching(const WGraph &g, Rng &rng)
@@ -62,12 +92,12 @@ heavyEdgeMatching(const WGraph &g, Rng &rng)
             continue;
         NodeId best = kInvalidNode;
         uint32_t bestW = 0;
-        for (uint64_t i = g.off[u]; i < g.off[u + 1]; ++i) {
-            NodeId v = g.adj[i];
+        for (uint64_t i = g.off()[u]; i < g.off()[u + 1]; ++i) {
+            NodeId v = g.adj()[i];
             if (v == u || match[v] != kInvalidNode)
                 continue;
-            if (g.ewt[i] > bestW) {
-                bestW = g.ewt[i];
+            if (g.ewt(i) > bestW) {
+                bestW = g.ewt(i);
                 best = v;
             }
         }
@@ -81,9 +111,18 @@ heavyEdgeMatching(const WGraph &g, Rng &rng)
     return match;
 }
 
-/** Contract matched pairs into a coarse graph. */
+/**
+ * Contract matched pairs into a coarse graph.
+ *
+ * Every coarse row is computed independently from its (at most two)
+ * fine members, so the row-building loop is a pure disjoint-write
+ * fan-out: parallelized over util::parallelFor's thread-count-
+ * independent chunks, it produces the same rows -- and therefore the
+ * same coarse graph -- for every thread count.
+ */
 Level
-contract(const WGraph &g, const std::vector<NodeId> &match)
+contract(const WGraph &g, const std::vector<NodeId> &match,
+         uint32_t threads)
 {
     Level lvl;
     lvl.fineToCoarse.assign(g.n, kInvalidNode);
@@ -100,63 +139,71 @@ contract(const WGraph &g, const std::vector<NodeId> &match)
 
     WGraph &c = lvl.graph;
     c.n = cn;
-    c.nwt.assign(cn, 0);
+    c.nwtOwn.assign(cn, 0);
     for (NodeId u = 0; u < g.n; ++u)
-        c.nwt[lvl.fineToCoarse[u]] += g.nwt[u];
+        c.nwtOwn[lvl.fineToCoarse[u]] += g.nwt(u);
     c.totalNodeWeight = g.totalNodeWeight;
 
-    // Accumulate coarse adjacency with a scatter array.
-    std::vector<uint32_t> weightTo(cn, 0);
-    std::vector<NodeId> touched;
-    std::vector<std::pair<NodeId, uint32_t>> coarseEdges; // flattened
-    std::vector<uint64_t> counts(cn + 1, 0);
-
-    // First pass: count coarse degree per coarse node.
-    // We materialize edges per coarse node directly into vectors.
+    // Materialize edges per coarse node. Each coarse node is processed
+    // exactly once, via its smallest fine member, and writes only its
+    // own row -- disjoint writes, safe and deterministic to chunk.
     std::vector<std::vector<std::pair<NodeId, uint32_t>>> rows(cn);
-    for (NodeId u = 0; u < g.n; ++u) {
-        NodeId cu = lvl.fineToCoarse[u];
-        // Process each coarse node once, via its smallest fine member.
-        NodeId v = match[u];
-        if (v < u)
-            continue;
-        touched.clear();
-        auto scan = [&](NodeId fine) {
-            for (uint64_t i = g.off[fine]; i < g.off[fine + 1]; ++i) {
-                NodeId cv = lvl.fineToCoarse[g.adj[i]];
-                if (cv == cu)
-                    continue; // interior edge disappears
-                if (weightTo[cv] == 0)
-                    touched.push_back(cv);
-                weightTo[cv] += g.ewt[i];
+    util::parallelFor(g.n, threads,
+                      [&](uint64_t begin, uint64_t end, uint32_t) {
+        // Scatter scratch, reused across chunks on the same worker
+        // thread. Rows reset their touched entries to zero on exit, so
+        // the array stays all-zero between uses.
+        static thread_local std::vector<uint32_t> weightTo;
+        if (weightTo.size() < cn)
+            weightTo.assign(cn, 0);
+        std::vector<NodeId> touched;
+        for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+            NodeId v = match[u];
+            if (v < u)
+                continue; // row is built by the smaller member
+            NodeId cu = lvl.fineToCoarse[u];
+            touched.clear();
+            auto scan = [&](NodeId fine) {
+                for (uint64_t i = g.off()[fine]; i < g.off()[fine + 1];
+                     ++i) {
+                    NodeId cv = lvl.fineToCoarse[g.adj()[i]];
+                    if (cv == cu)
+                        continue; // interior edge disappears
+                    if (weightTo[cv] == 0)
+                        touched.push_back(cv);
+                    weightTo[cv] += g.ewt(i);
+                }
+            };
+            scan(u);
+            if (v != u)
+                scan(v);
+            auto &row = rows[cu];
+            row.reserve(touched.size());
+            for (NodeId cv : touched) {
+                row.emplace_back(cv, weightTo[cv]);
+                weightTo[cv] = 0;
             }
-        };
-        scan(u);
-        if (v != u)
-            scan(v);
-        auto &row = rows[cu];
-        row.reserve(touched.size());
-        for (NodeId cv : touched) {
-            row.emplace_back(cv, weightTo[cv]);
-            weightTo[cv] = 0;
+            std::sort(row.begin(), row.end());
         }
-        std::sort(row.begin(), row.end());
-    }
+    });
 
+    std::vector<uint64_t> counts(cn + 1, 0);
     for (NodeId cu = 0; cu < cn; ++cu)
         counts[cu + 1] = counts[cu] + rows[cu].size();
-    c.off = std::move(counts);
-    c.adj.resize(c.off[cn]);
-    c.ewt.resize(c.off[cn]);
-    for (NodeId cu = 0; cu < cn; ++cu) {
-        uint64_t out = c.off[cu];
-        for (const auto &[cv, w] : rows[cu]) {
-            c.adj[out] = cv;
-            c.ewt[out] = w;
-            ++out;
+    c.offOwn = std::move(counts);
+    c.adjOwn.resize(c.offOwn[cn]);
+    c.ewtOwn.resize(c.offOwn[cn]);
+    util::parallelFor(cn, threads,
+                      [&](uint64_t begin, uint64_t end, uint32_t) {
+        for (NodeId cu = static_cast<NodeId>(begin); cu < end; ++cu) {
+            uint64_t out = c.offOwn[cu];
+            for (const auto &[cv, w] : rows[cu]) {
+                c.adjOwn[out] = cv;
+                c.ewtOwn[out] = w;
+                ++out;
+            }
         }
-    }
-    (void)coarseEdges;
+    });
     return lvl;
 }
 
@@ -184,7 +231,7 @@ initialPartition(const WGraph &g, uint32_t k, Rng &rng)
     rng.shuffle(order); // random tie-break below the weight sort
     std::stable_sort(order.begin(), order.end(),
                      [&g](NodeId a, NodeId b) {
-                         return g.nwt[a] > g.nwt[b];
+                         return g.nwt(a) > g.nwt(b);
                      });
 
     std::vector<double> partW(k, 0.0);
@@ -192,18 +239,18 @@ initialPartition(const WGraph &g, uint32_t k, Rng &rng)
     std::vector<uint32_t> touched;
     for (NodeId u : order) {
         touched.clear();
-        for (uint64_t i = g.off[u]; i < g.off[u + 1]; ++i) {
-            uint32_t p = part[g.adj[i]];
+        for (uint64_t i = g.off()[u]; i < g.off()[u + 1]; ++i) {
+            uint32_t p = part[g.adj()[i]];
             if (p == kInvalidNode)
                 continue;
             if (conn[p] == 0)
                 touched.push_back(p);
-            conn[p] += g.ewt[i];
+            conn[p] += g.ewt(i);
         }
         uint32_t best = kInvalidNode;
         uint64_t bestConn = 0;
         for (uint32_t p : touched) {
-            if (conn[p] > bestConn && partW[p] + g.nwt[u] <= maxW) {
+            if (conn[p] > bestConn && partW[p] + g.nwt(u) <= maxW) {
                 best = p;
                 bestConn = conn[p];
             }
@@ -216,7 +263,7 @@ initialPartition(const WGraph &g, uint32_t k, Rng &rng)
                     best = p;
         }
         part[u] = best;
-        partW[best] += g.nwt[u];
+        partW[best] += g.nwt(u);
         for (uint32_t p : touched)
             conn[p] = 0;
     }
@@ -235,7 +282,7 @@ refine(const WGraph &g, std::vector<uint32_t> &part, uint32_t k,
         return;
     std::vector<uint64_t> partW(k, 0);
     for (NodeId u = 0; u < g.n; ++u)
-        partW[part[u]] += g.nwt[u];
+        partW[part[u]] += g.nwt(u);
     const double maxW = imbalance *
         static_cast<double>(g.totalNodeWeight) / static_cast<double>(k);
 
@@ -253,13 +300,13 @@ refine(const WGraph &g, std::vector<uint32_t> &part, uint32_t k,
             const bool overweight = partW[own] > maxW;
             touchedParts.clear();
             bool boundary = false;
-            for (uint64_t i = g.off[u]; i < g.off[u + 1]; ++i) {
-                uint32_t p = part[g.adj[i]];
+            for (uint64_t i = g.off()[u]; i < g.off()[u + 1]; ++i) {
+                uint32_t p = part[g.adj()[i]];
                 if (p != own)
                     boundary = true;
                 if (conn[p] == 0)
                     touchedParts.push_back(p);
-                conn[p] += g.ewt[i];
+                conn[p] += g.ewt(i);
             }
             if (boundary) {
                 uint32_t best = own;
@@ -271,15 +318,15 @@ refine(const WGraph &g, std::vector<uint32_t> &part, uint32_t k,
                         continue;
                     bool better = overweight ? conn[p] >= bestConn
                                              : conn[p] > bestConn;
-                    if (better && partW[p] + g.nwt[u] <= maxW &&
-                        partW[own] > g.nwt[u]) {
+                    if (better && partW[p] + g.nwt(u) <= maxW &&
+                        partW[own] > g.nwt(u)) {
                         best = p;
                         bestConn = conn[p];
                     }
                 }
                 if (best != own) {
-                    partW[own] -= g.nwt[u];
-                    partW[best] += g.nwt[u];
+                    partW[own] -= g.nwt(u);
+                    partW[best] += g.nwt(u);
                     part[u] = best;
                     ++moves;
                 }
@@ -303,6 +350,12 @@ MultilevelPartitioner::MultilevelPartitioner(PartitionConfig config)
 PartitionResult
 MultilevelPartitioner::partition(const graph::Graph &g) const
 {
+    return partition(g.view());
+}
+
+PartitionResult
+MultilevelPartitioner::partition(const graph::CsrView &g) const
+{
     PartitionResult result;
     const uint32_t k = std::min(config_.numParts,
                                 std::max(1u, g.numNodes()));
@@ -316,13 +369,13 @@ MultilevelPartitioner::partition(const graph::Graph &g) const
 
     // Coarsening.
     std::vector<Level> levels;
-    WGraph current = fromGraph(g);
+    WGraph current = fromView(g);
     const uint32_t targetNodes =
         std::max(2u * k, k * config_.coarsenNodesPerPart);
     while (current.n > targetNodes &&
            levels.size() < config_.maxLevels) {
         auto match = heavyEdgeMatching(current, rng);
-        Level lvl = contract(current, match);
+        Level lvl = contract(current, match, config_.threads);
         if (lvl.graph.n >= current.n * 95 / 100)
             break; // matching stalled (e.g. star graphs)
         WGraph coarse = lvl.graph;
@@ -347,7 +400,7 @@ MultilevelPartitioner::partition(const graph::Graph &g) const
         if (it + 1 != levels.rend()) {
             fineGraph = &(it + 1)->graph;
         } else {
-            base = fromGraph(g);
+            base = fromView(g);
             fineGraph = &base;
         }
         refine(*fineGraph, part, k, config_.imbalance,

@@ -13,7 +13,12 @@
  *  3. Uncoarsening with boundary Fiduccia-Mattheyses refinement under a
  *     balance constraint.
  *
- * The partitioner is deterministic for a fixed seed.
+ * The partitioner is deterministic for a fixed seed AND a fixed thread
+ * count is *not* required: only the order-independent disjoint-write
+ * stage (pair contraction) is parallelized, in thread-count-independent
+ * chunks (util::parallelFor), while the rng-sequential stages (matching,
+ * initial partition, refinement) stay serial. threads=8 therefore
+ * produces bit-identical assignments to threads=1.
  */
 #pragma once
 
@@ -45,6 +50,12 @@ struct PartitionConfig
     uint32_t refinePasses = 4;
     /** Hard cap on coarsening levels. */
     uint32_t maxLevels = 48;
+    /**
+     * Worker threads for the contraction stage (1 = serial). Never part
+     * of any cache key: the assignment is bit-identical for every
+     * value.
+     */
+    uint32_t threads = 1;
 };
 
 /**
@@ -57,6 +68,13 @@ class MultilevelPartitioner
 
     /** Partition @p g into config.numParts parts. */
     PartitionResult partition(const graph::Graph &g) const;
+
+    /**
+     * Partition any CSR view (heap Graph or mmap-backed file graph --
+     * the level-0 adjacency is streamed from the view, never copied,
+     * so graphs larger than RAM coarsen straight off the page cache).
+     */
+    PartitionResult partition(const graph::CsrView &g) const;
 
   private:
     PartitionConfig config_;

@@ -5,6 +5,7 @@
 
 #include "sparse/coo_matrix.hpp"
 #include "util/logging.hpp"
+#include "util/work_pool.hpp"
 
 namespace grow::sparse {
 
@@ -94,7 +95,8 @@ CsrMatrix::transposed() const
 }
 
 CsrMatrix
-CsrMatrix::permutedSymmetric(const std::vector<NodeId> &new_to_old) const
+CsrMatrix::permutedSymmetric(const std::vector<NodeId> &new_to_old,
+                             uint32_t threads) const
 {
     GROW_ASSERT(rows_ == cols_, "symmetric permutation needs square matrix");
     GROW_ASSERT(new_to_old.size() == rows_, "permutation size mismatch");
@@ -114,22 +116,28 @@ CsrMatrix::permutedSymmetric(const std::vector<NodeId> &new_to_old) const
     for (NodeId n = 0; n < rows_; ++n)
         p.rowPtr_[n + 1] = p.rowPtr_[n] + rowNnz(new_to_old[n]);
 
-    for (NodeId n = 0; n < rows_; ++n) {
-        NodeId o = new_to_old[n];
-        uint64_t out = p.rowPtr_[n];
-        auto cols = rowCols(o);
-        auto vals = rowVals(o);
-        // Remap columns then sort the row back into ascending order.
-        std::vector<std::pair<NodeId, double>> entries(cols.size());
-        for (size_t i = 0; i < cols.size(); ++i)
-            entries[i] = {old_to_new[cols[i]], vals[i]};
-        std::sort(entries.begin(), entries.end());
-        for (const auto &[c, v] : entries) {
-            p.colIdx_[out] = c;
-            p.values_[out] = v;
-            ++out;
+    // Each output row remaps and re-sorts its own slice, bracketed by
+    // rowPtr: disjoint writes, bit-identical for any thread count.
+    util::parallelFor(rows_, threads,
+                      [&](uint64_t begin, uint64_t end, uint32_t) {
+        std::vector<std::pair<NodeId, double>> entries;
+        for (NodeId n = static_cast<NodeId>(begin); n < end; ++n) {
+            NodeId o = new_to_old[n];
+            uint64_t out = p.rowPtr_[n];
+            auto cols = rowCols(o);
+            auto vals = rowVals(o);
+            // Remap columns then sort the row back into ascending order.
+            entries.resize(cols.size());
+            for (size_t i = 0; i < cols.size(); ++i)
+                entries[i] = {old_to_new[cols[i]], vals[i]};
+            std::sort(entries.begin(), entries.end());
+            for (const auto &[c, v] : entries) {
+                p.colIdx_[out] = c;
+                p.values_[out] = v;
+                ++out;
+            }
         }
-    }
+    });
     return p;
 }
 

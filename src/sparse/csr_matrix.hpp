@@ -64,9 +64,12 @@ class CsrMatrix
      * Apply a symmetric permutation: row/col i of the result is
      * row/col perm[i] of this matrix (i.e. new_id -> old_id mapping).
      * Requires a square matrix. This is the "node relabeling" step of
-     * GROW's graph-partitioning preprocessing (Fig. 13).
+     * GROW's graph-partitioning preprocessing (Fig. 13). Rows are
+     * remapped independently (disjoint writes), so @p threads workers
+     * produce a bit-identical matrix for every thread count.
      */
-    CsrMatrix permutedSymmetric(const std::vector<NodeId> &new_to_old) const;
+    CsrMatrix permutedSymmetric(const std::vector<NodeId> &new_to_old,
+                                uint32_t threads = 1) const;
 
     /**
      * DRAM footprint of the compressed stream: values + column indices

@@ -1,8 +1,10 @@
 #include "util/work_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <mutex>
+#include <utility>
 
 #include "util/logging.hpp"
 #include "util/topology.hpp"
@@ -313,6 +315,55 @@ WorkPool::runAll(std::vector<std::function<void()>> tasks,
         }
     }
     return errors;
+}
+
+uint32_t
+parallelForChunks(uint64_t n)
+{
+    // Fixed chunk plan per n: enough chunks that a wide pool load-
+    // balances, few enough that per-chunk overhead stays invisible.
+    // Deliberately independent of the thread count -- chunk boundaries
+    // are part of the deterministic contract.
+    constexpr uint64_t kMaxChunks = 64;
+    constexpr uint64_t kMinChunkItems = 2048;
+    if (n == 0)
+        return 0;
+    const uint64_t byGranularity = (n + kMinChunkItems - 1) / kMinChunkItems;
+    return static_cast<uint32_t>(std::min(kMaxChunks, byGranularity));
+}
+
+void
+parallelFor(uint64_t n,
+            uint32_t threads,
+            const std::function<void(uint64_t, uint64_t, uint32_t)> &fn)
+{
+    const uint32_t chunks = parallelForChunks(n);
+    if (chunks == 0)
+        return;
+    auto chunkBounds = [n, chunks](uint32_t c) {
+        // Even split: the first (n % chunks) chunks get one extra item.
+        const uint64_t base = n / chunks;
+        const uint64_t extra = n % chunks;
+        const uint64_t begin =
+            c * base + std::min<uint64_t>(c, extra);
+        const uint64_t end = begin + base + (c < extra ? 1 : 0);
+        return std::pair<uint64_t, uint64_t>(begin, end);
+    };
+    if (threads <= 1 || chunks == 1) {
+        // Identical chunk sequence, executed inline in ascending order.
+        for (uint32_t c = 0; c < chunks; ++c) {
+            auto [begin, end] = chunkBounds(c);
+            fn(begin, end, c);
+        }
+        return;
+    }
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(chunks);
+    for (uint32_t c = 0; c < chunks; ++c) {
+        auto [begin, end] = chunkBounds(c);
+        tasks.push_back([&fn, begin, end, c] { fn(begin, end, c); });
+    }
+    rethrowFirstError(WorkPool::shared().runAll(std::move(tasks), threads));
 }
 
 } // namespace grow::util

@@ -66,6 +66,27 @@ uint32_t checkedThreadCount(int64_t requested);
  */
 void rethrowFirstError(const std::vector<std::exception_ptr> &errors);
 
+/**
+ * Deterministic data-parallel loop on the shared pool: split [0, n)
+ * into contiguous chunks and run `fn(begin, end, chunk)` for each, at
+ * most @p threads concurrently. Chunk boundaries depend only on (n,
+ * threads-independent kParallelForChunksPerWorker cap) -- NOT on the
+ * thread count -- so a stage that writes disjoint per-index slots and
+ * folds per-chunk partials in ascending chunk order is bit-identical
+ * for every @p threads value; that canonical reduction order is what
+ * the workload-build pipeline's determinism guarantee rests on.
+ *
+ * threads <= 1 (or a trivially small n) degenerates to one inline call
+ * on the caller -- same chunking, zero pool traffic -- so serial and
+ * parallel runs execute the identical chunk sequence.
+ */
+void parallelFor(uint64_t n, uint32_t threads,
+                 const std::function<void(uint64_t begin, uint64_t end,
+                                          uint32_t chunk)> &fn);
+
+/** Number of parallelFor chunks for @p n items (thread-independent). */
+uint32_t parallelForChunks(uint64_t n);
+
 class WorkPool
 {
   public:

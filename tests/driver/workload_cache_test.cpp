@@ -524,5 +524,170 @@ TEST(WorkloadCache, ShrinkingCapEvictsImmediately)
     EXPECT_EQ(newest.get(), again.get());
 }
 
+TEST(WorkloadCache, ByteCapEvictsByFootprintButKeepsNewest)
+{
+    WorkloadCache cache;
+    EXPECT_EQ(cache.memoryByteCap(), 0u); // unbounded by default
+    const auto &cora = graph::datasetByName("cora");
+    const auto &cite = graph::datasetByName("citeseer");
+
+    auto a = cache.artifacts(cora, graph::ScaleTier::Unit, {});
+    const uint64_t oneBundle = cache.memoryBytes();
+    EXPECT_EQ(oneBundle, artifactFootprintBytes(*a));
+    EXPECT_GT(oneBundle, 0u);
+
+    // Budget below a single bundle: the newest entry is still kept --
+    // an over-budget graph must run, it just shares with nothing.
+    cache.setMemoryByteCap(oneBundle / 2);
+    EXPECT_EQ(cache.memoryEntries(), 1u);
+    EXPECT_EQ(cache.stats().evictionsByBytes, 0u);
+
+    // A second key pushes the older one out by bytes.
+    auto b = cache.artifacts(cite, graph::ScaleTier::Unit, {});
+    EXPECT_EQ(cache.memoryEntries(), 1u);
+    EXPECT_EQ(cache.stats().evictionsByBytes, 1u);
+    EXPECT_EQ(cache.memoryBytes(), artifactFootprintBytes(*b));
+
+    // A budget that holds both keeps both.
+    cache.setMemoryByteCap(4 * oneBundle);
+    cache.artifacts(cora, graph::ScaleTier::Unit, {});
+    EXPECT_EQ(cache.memoryEntries(), 2u);
+    EXPECT_EQ(cache.memoryBytes(),
+              artifactFootprintBytes(*a) + artifactFootprintBytes(*b));
+
+    // clearMemory resets the byte accounting.
+    cache.clearMemory();
+    EXPECT_EQ(cache.memoryBytes(), 0u);
+}
+
+TEST(WorkloadCache, FootprintTracksSerializedPayload)
+{
+    // The footprint mirrors the serialized layout, so it must land
+    // close to the artefact file size (same vectors, same prefixes;
+    // the file adds only the small key/fingerprint header).
+    const std::string dir = scratchDir("footprint");
+    const auto &spec = graph::datasetByName("cora");
+    WorkloadCache cache(dir);
+    auto a = cache.artifacts(spec, graph::ScaleTier::Unit, {});
+    const auto key = ArtifactKey::of(spec, graph::ScaleTier::Unit, {});
+    const auto fileBytes = fs::file_size(
+        fs::path(dir) / (key.fingerprint() + ".growart"));
+    const auto footprint = artifactFootprintBytes(*a);
+    EXPECT_GT(footprint, 0u);
+    EXPECT_LT(footprint, fileBytes);
+    EXPECT_GT(footprint, fileBytes - 256);
+    fs::remove_all(dir);
+}
+
+/** Write spec's unit-tier graph as a .growcsr and register it. */
+const graph::DatasetSpec &
+registerUnitFile(const std::string &dir, const std::string &source,
+                 const std::string &name)
+{
+    graph::DatasetSpec tmpl = graph::datasetByName(source);
+    tmpl.name = name;
+    // Synthesize from the *registered* spec (buildDataset resolves the
+    // name through the registry); the renamed spec only labels the
+    // file. The graph is identical -- synthesis never reads the name.
+    auto inst = graph::buildDataset(graph::datasetByName(source),
+                                    graph::ScaleTier::Unit);
+    const std::string path = dir + "/" + name + ".growcsr";
+    fs::create_directories(dir);
+    if (!graph::writeCsrFile(path, tmpl, graph::ScaleTier::Unit,
+                             inst.graph.view()))
+        throw std::runtime_error("writeCsrFile failed");
+    return graph::registerFileDataset(path);
+}
+
+TEST(WorkloadCache, FileBackedBundleRoundTripsWithoutGraphPayload)
+{
+    const std::string dir = scratchDir("filebacked");
+    const auto &spec =
+        registerUnitFile(dir, "cora", "cachetest_cora_file");
+    ASSERT_TRUE(spec.isFileBacked());
+
+    WorkloadCache cold(dir + "/cache");
+    auto built =
+        cold.artifacts(spec, graph::ScaleTier::Unit, {});
+    ASSERT_TRUE(built->fileBacked());
+    EXPECT_EQ(built->graph().numNodes(), 0u); // graph stays on disk
+
+    // The key carries the file checksum.
+    const auto key = ArtifactKey::of(spec, graph::ScaleTier::Unit, {});
+    EXPECT_EQ(key.fileChecksum, spec.sourceChecksum);
+    EXPECT_NE(key.fingerprint().find("-f"), std::string::npos);
+
+    // The artefact file of a file-backed bundle omits the graph
+    // arrays: it must be smaller than the file of the equivalent
+    // heap bundle (same graph, same plan) by exactly that payload.
+    const auto artBytes = fs::file_size(
+        fs::path(dir + "/cache") / (key.fingerprint() + ".growart"));
+    auto heapBuilt = gcn::buildGraphArtifacts(
+        graph::datasetByName("cora"), graph::ScaleTier::Unit);
+    const std::string heapPath = dir + "/heap.growart";
+    ASSERT_TRUE(saveArtifacts(heapPath, *heapBuilt));
+    const auto graphArrayBytes =
+        (heapBuilt->graph().offsets().size() * sizeof(uint64_t)) +
+        (heapBuilt->graph().adjacency().size() * sizeof(NodeId));
+    EXPECT_LE(artBytes + graphArrayBytes, fs::file_size(heapPath));
+
+    // A warm cache loads the bundle and re-attaches the mapped graph.
+    WorkloadCache warm(dir + "/cache");
+    auto loaded = warm.artifacts(spec, graph::ScaleTier::Unit, {});
+    EXPECT_EQ(warm.stats().builds, 0u);
+    EXPECT_EQ(warm.stats().diskLoads, 1u);
+    ASSERT_TRUE(loaded->fileBacked());
+    EXPECT_EQ(loaded->graphView().numNodes(),
+              built->graphView().numNodes());
+    EXPECT_EQ(loaded->adjacency().rowPtr(), built->adjacency().rowPtr());
+    EXPECT_EQ(loaded->adjacency().values(), built->adjacency().values());
+    EXPECT_EQ(loaded->relabel().newToOld, built->relabel().newToOld);
+
+    // Mapped graphs cost no heap: the footprint must be far below an
+    // equivalent heap bundle's (which carries the graph arrays).
+    auto heap = gcn::buildGraphArtifacts(graph::datasetByName("cora"),
+                                         graph::ScaleTier::Unit);
+    EXPECT_LT(artifactFootprintBytes(*built),
+              artifactFootprintBytes(*heap));
+    fs::remove_all(dir);
+}
+
+TEST(WorkloadCache, FileBackedBuildMatchesSynthesizedBuild)
+{
+    // A Table I dataset exported to .growcsr and rebuilt through the
+    // file path must produce the exact artefacts of the in-memory
+    // build: same adjacency, same partitioning, same HDN lists.
+    const std::string dir = scratchDir("filematch");
+    const auto &spec =
+        registerUnitFile(dir, "citeseer", "cachetest_cite_file");
+    auto fromFile = gcn::buildGraphArtifacts(
+        spec, graph::ScaleTier::Unit, {}, 4);
+    auto synthesized = gcn::buildGraphArtifacts(
+        graph::datasetByName("citeseer"), graph::ScaleTier::Unit, {}, 1);
+    EXPECT_EQ(fromFile->adjacency().rowPtr(),
+              synthesized->adjacency().rowPtr());
+    EXPECT_EQ(fromFile->adjacency().colIdx(),
+              synthesized->adjacency().colIdx());
+    EXPECT_EQ(fromFile->adjacency().values(),
+              synthesized->adjacency().values());
+    EXPECT_EQ(fromFile->relabel().newToOld,
+              synthesized->relabel().newToOld);
+    EXPECT_EQ(fromFile->hdnLists(), synthesized->hdnLists());
+    EXPECT_EQ(fromFile->adjacencyPartitioned().colIdx(),
+              synthesized->adjacencyPartitioned().colIdx());
+    fs::remove_all(dir);
+}
+
+TEST(WorkloadCache, FileBackedBuildRejectsTierMismatch)
+{
+    const std::string dir = scratchDir("filetier");
+    const auto &spec =
+        registerUnitFile(dir, "cora", "cachetest_tier_file");
+    // The file records unit tier; any other scale= is a config error.
+    EXPECT_THROW(gcn::buildGraphArtifacts(spec, graph::ScaleTier::Mini),
+                 std::runtime_error);
+    fs::remove_all(dir);
+}
+
 } // namespace
 } // namespace grow::driver

@@ -147,5 +147,30 @@ TEST(CliArgs, RequireKnownAcceptsPrefixedKeys)
     }
 }
 
+TEST(CliArgs, RequireKnownCoversTheIngestionKeys)
+{
+    // The out-of-core ingestion PR grew memcap= on every bench and
+    // in=/out=/name=/nodes=/dataset=/verify= on graph_convert; the key
+    // sets must accept them and keep rejecting near-miss typos (a
+    // dropped memcap= would silently run uncapped).
+    const std::vector<std::string> benchKeys = {
+        "scale",   "datasets", "model", "cachedir", "format",
+        "out",     "threads",  "epoch", "profile",  "memcap"};
+    auto ok = makeArgs({"memcap=512M", "datasets=file:/tmp/g.growcsr"});
+    EXPECT_NO_THROW(ok.requireKnown(benchKeys));
+    for (const char *typo : {"memcp=512M", "memcap2=1G", "Memcap=1"}) {
+        auto bad = makeArgs({typo});
+        EXPECT_ANY_THROW(bad.requireKnown(benchKeys)) << typo;
+    }
+
+    const std::vector<std::string> convertKeys = {
+        "in", "out", "name", "nodes", "dataset", "scale", "verify"};
+    auto conv = makeArgs(
+        {"in=edges.txt", "out=g.growcsr", "name=reddit", "nodes=100"});
+    EXPECT_NO_THROW(conv.requireKnown(convertKeys));
+    auto badConv = makeArgs({"verfy=g.growcsr"});
+    EXPECT_ANY_THROW(badConv.requireKnown(convertKeys));
+}
+
 } // namespace
 } // namespace grow
