@@ -1,36 +1,41 @@
 /**
  * @file
- * Batched multi-graph serving on one engine configuration.
+ * Batched multi-graph serving -- now a thin client of the serving
+ * subsystem (src/serve/).
  *
- * The serving scenario behind ROADMAP's "batched multi-graph
- * inference" item: a fleet of identical GROW engines answers a batch
- * of inference requests, several requests per graph (fresh feature
- * matrices stand in for fresh user inputs). The expensive per-graph
- * preprocessing -- synthesis, normalized adjacency, partitioning, HDN
- * lists -- is built exactly once per graph by the WorkloadCache and
- * shared, read-only, by every request in the batch; only the cheap
- * per-request feature data is constructed per job. With cachedir= the
- * artefacts persist, so a warmed-up server process skips graph
- * preprocessing entirely.
+ * Historically this example hand-rolled its own batch dispatch over
+ * the SweepDriver; the serving layer has since become a first-class
+ * subsystem (serve::Executor + the virtual-clock loop behind
+ * tools/grow_serve), so the example now *is* what a serving consumer
+ * writes: build the request batch, replay it through runVirtualServe,
+ * and aggregate the records. Several requests per graph (fresh
+ * feature seeds stand in for fresh user inputs) share each graph's
+ * expensive preprocessing through the WorkloadCache; with cachedir=
+ * the artefacts persist across runs.
  *
- * Requests are independent, so the batch is dispatched through the
- * SweepDriver thread pool (one simulated engine instance per request,
- * results in deterministic batch order). Results go through the
- * structured results API: format=json gives serving consumers the
- * per-graph latency/traffic records programmatically.
+ * The report keeps the historical shape: the `batched_serving` table
+ * (dataset, nodes, mean cycles, mean DRAM traffic, HDN hit rate, mean
+ * latency @1GHz) plus the `aggregate_engine_ms` record -- both now
+ * produced by serve::appendServedDatasetTable, which
+ * tests/serve/serve_report_test.cpp locks down.
+ *
+ * For the full daemon (socket protocol, admission control, deadlines,
+ * multi-tenant fairness) see tools/grow_serve and tools/serve_load.
  *
  * Usage: batched_serving [datasets=cora,citeseer,pubmed] [scale=unit]
- *                        [engine=grow] [requests=4] [threads=0]
+ *                        [engine=grow] [requests=4] [threads=1]
  *                        [cachedir=] [format=table|json|csv] [out=path]
  */
-#include <memory>
+#include <string>
+#include <vector>
 
-#include "driver/sweep_driver.hpp"
 #include "driver/workload_cache.hpp"
-#include "gcn/runner.hpp"
-#include "gcn/workload.hpp"
+#include "graph/datasets.hpp"
 #include "report/report.hpp"
 #include "report/sinks.hpp"
+#include "serve/executor.hpp"
+#include "serve/metrics.hpp"
+#include "serve/virtual_serve.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
@@ -51,35 +56,46 @@ main(int argc, char **argv)
     if (requests < 1 || requests > 4096)
         fatal("requests must be between 1 and 4096, got " +
               std::to_string(requests));
-    const int64_t threadsArg = args.getInt("threads", 0);
-    if (threadsArg < 0 || threadsArg > 1024)
-        fatal("threads must be between 0 (= all cores) and 1024, got " +
-              std::to_string(threadsArg));
+    const int64_t threads = args.getInt("threads", 1);
+    if (threads < 1 || threads > 1024)
+        fatal("threads must be between 1 and 1024, got " +
+              std::to_string(threads));
     const std::string format = args.get("format", "table");
     report::makeSink(format); // reject bad formats before simulating
 
     driver::WorkloadCache cache(args.get("cachedir", ""));
-    driver::SweepDriver pool(static_cast<uint32_t>(threadsArg));
+    serve::Executor executor(cache, specs,
+                             static_cast<uint32_t>(threads));
 
-    // ---- Assemble the batch: requests x graphs, shared artefacts. ----
-    std::vector<driver::SweepJob> jobs;
-    std::vector<uint32_t> nodesPerSpec;
+    // ---- The batch as a serving schedule: requests x graphs, all
+    // arriving at once, served back to back on one virtual engine.
+    std::vector<serve::ScheduledRequest> schedule;
+    uint64_t id = 0;
     for (const auto &spec : specs) {
         for (int64_t r = 0; r < requests; ++r) {
-            gcn::WorkloadConfig wc;
-            wc.tier = tier;
+            serve::ScheduledRequest sr;
+            serve::ServeRequest &req = sr.request;
+            req.id = ++id;
+            req.dataset = spec.name;
+            req.engine = engineKey;
+            req.tier = tier;
             // Each request carries its own synthetic input features;
             // the graph-level artefacts are shared through the cache.
-            wc.seed = 7 + static_cast<uint64_t>(r);
-            auto w = std::make_shared<const gcn::GcnWorkload>(
-                cache.workload(spec, wc));
-            if (r == 0)
-                nodesPerSpec.push_back(w->nodes());
-            auto job = driver::makeEngineJob(engineKey, std::move(w));
-            job.label = spec.name + "/req" + std::to_string(r);
-            jobs.push_back(std::move(job));
+            req.seed = 7 + static_cast<uint64_t>(r);
+            schedule.push_back(std::move(sr));
         }
     }
+
+    serve::VirtualServeConfig config;
+    config.admission.maxDepth =
+        static_cast<uint32_t>(schedule.size()); // batch mode: admit all
+    serve::VirtualServeResult result =
+        serve::runVirtualServe(schedule, &executor, config, nullptr);
+    for (const serve::RequestRecord &rec : result.records)
+        if (rec.status != serve::RequestStatus::Completed)
+            fatal("batched_serving: request " +
+                  std::to_string(rec.request.id) +
+                  " failed: " + rec.error);
 
     report::Report rep;
     rep.meta().bench = "batched_serving";
@@ -88,10 +104,9 @@ main(int argc, char **argv)
     rep.meta().scale = graph::tierName(tier);
 
     auto cstats = cache.stats();
-    rep.note("batch: " + std::to_string(jobs.size()) +
+    rep.note("batch: " + std::to_string(schedule.size()) +
              " request(s) over " + std::to_string(specs.size()) +
-             " graph(s) on '" + engineKey + "' (" +
-             std::to_string(pool.numThreads()) + " engines)");
+             " graph(s) on '" + engineKey + "'");
     rep.note("preprocessing: " + std::to_string(cstats.builds) +
              " build(s), " + std::to_string(cstats.memoryHits) +
              " in-memory reuse(s), " + std::to_string(cstats.diskLoads) +
@@ -100,60 +115,15 @@ main(int argc, char **argv)
                   ? ""
                   : " [disk cache: " + cache.diskDir() + "]"));
 
-    // Phase-level fan-out inside each request shares the sweep pool.
-    for (auto &job : jobs)
-        job.options.sim.threads = pool.numThreads();
-
-    auto outcomes = pool.runAll(jobs);
-
-    // ---- Per-graph serving report. -----------------------------------
-    auto t = rep.table(
-        "batched_serving",
+    const double serialMs = serve::appendServedDatasetTable(
+        rep, result.records, "batched_serving",
         "batched serving (" + std::string(graph::tierName(tier)) +
             " scale, " + std::to_string(requests) + " request(s)/graph)");
-    t.col("dataset", "graph")
-        .col("nodes", "nodes", "count")
-        .col("mean_cycles", "mean cycles", "cycles")
-        .col("mean_dram_traffic", "mean DRAM traffic", "bytes")
-        .col("hdn_hit_rate", "HDN hit rate")
-        .col("mean_latency_ms", "mean latency @1GHz", "ms");
-    size_t cursor = 0;
-    Cycle engineCycles = 0;
-    for (size_t s = 0; s < specs.size(); ++s) {
-        const auto &spec = specs[s];
-        double cycles = 0.0;
-        double traffic = 0.0;
-        double hits = 0.0, lookups = 0.0;
-        for (int64_t r = 0; r < requests; ++r) {
-            const auto &o = outcomes.at(cursor++);
-            GROW_ASSERT(o.label.rfind(spec.name + "/", 0) == 0,
-                        "batch outcome order mismatch at " + spec.name);
-            cycles += static_cast<double>(o.inference.totalCycles);
-            traffic += static_cast<double>(o.inference.totalTrafficBytes());
-            hits += static_cast<double>(o.inference.cacheHits);
-            lookups += static_cast<double>(o.inference.cacheHits +
-                                           o.inference.cacheMisses);
-            engineCycles += o.inference.totalCycles;
-        }
-        const double n = static_cast<double>(requests);
-        t.row({.dataset = spec.name, .engine = engineKey})
-            .add(report::textCell(spec.name))
-            .add(report::count(nodesPerSpec.at(s)))
-            .add(report::count(static_cast<uint64_t>(cycles / n),
-                               "cycles"))
-            .add(report::bytesValue(static_cast<Bytes>(traffic / n)))
-            .add(lookups > 0 ? report::fraction(hits / lookups)
-                             : report::textCell("-"))
-            .add(report::custom(cycles / n / 1e6,
-                                fmtDouble(cycles / n / 1e6, 2) + " ms",
-                                "ms"));
-    }
 
-    // One engine serving the whole batch serially vs the fleet.
-    const double serialMs = static_cast<double>(engineCycles) / 1e6;
+    // One engine serving the whole batch serially.
     rep.note("aggregate simulated engine time: " +
              fmtDouble(serialMs, 2) + " ms (" +
-             fmtDouble(serialMs / static_cast<double>(jobs.size()), 2) +
+             fmtDouble(serialMs / static_cast<double>(schedule.size()), 2) +
              " ms/request)");
     rep.addRecord({.bench = "batched_serving",
                    .table = "batched_serving_totals",

@@ -607,6 +607,19 @@ WorkloadCache::stats() const
     return stats_;
 }
 
+WorkloadCache::Snapshot
+WorkloadCache::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Snapshot s;
+    s.counters = stats_;
+    s.entries = mem_.size();
+    s.bytes = totalBytes_;
+    s.entryCap = entryCap_;
+    s.byteCap = byteCap_;
+    return s;
+}
+
 std::vector<std::pair<std::string, gcn::GraphArtifacts::BuildProfile>>
 WorkloadCache::buildLog() const
 {

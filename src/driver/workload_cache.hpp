@@ -160,6 +160,31 @@ class WorkloadCache
 
     Stats stats() const;
 
+    /**
+     * One coherent picture of the cache: counters plus the current
+     * footprint and caps, all read under a single lock acquisition.
+     * A metrics loop that polls a serving cache must use this instead
+     * of stitching stats()/memoryEntries()/memoryBytes() together --
+     * between separate calls a concurrent lookup can evict, so the
+     * stitched numbers would describe no state the cache ever held.
+     */
+    struct Snapshot
+    {
+        Stats counters;
+        uint64_t entries = 0;  ///< bundles currently in memory
+        uint64_t bytes = 0;    ///< artefact payload bytes in memory
+        uint64_t entryCap = 0; ///< 0 = unbounded
+        uint64_t byteCap = 0;  ///< 0 = unbounded
+
+        /** Artefact lookups served without a from-scratch build. */
+        uint64_t reuses() const
+        {
+            return counters.memoryHits + counters.diskLoads;
+        }
+    };
+
+    Snapshot snapshot() const;
+
     /** Drop the in-memory map (the disk layer is untouched). */
     void clearMemory();
 

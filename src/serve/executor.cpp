@@ -1,0 +1,135 @@
+#include "serve/executor.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <utility>
+
+#include "driver/engine_factory.hpp"
+#include "gcn/runner.hpp"
+#include "util/logging.hpp"
+#include "util/wallclock.hpp"
+
+namespace grow::serve {
+
+namespace {
+
+bool
+iequals(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    return true;
+}
+
+} // namespace
+
+uint64_t
+estimateRequestBytes(const graph::DatasetSpec &spec, graph::ScaleTier tier,
+                     uint32_t depth)
+{
+    // Operand working set: per-layer sparse features (value + index,
+    // ~8 B/nnz) plus one pass over the adjacency. Closed-form from
+    // the published structure, deliberately ignoring model-specific
+    // extras (GIN MLP operands, attention scores) -- admission needs
+    // a stable relative ordering of requests, not an allocator-grade
+    // number.
+    const double nodes = static_cast<double>(graph::scaledNodes(spec, tier));
+    const double featureNnz =
+        nodes * (static_cast<double>(spec.gcn.inFeatures) * spec.x0Density +
+                 static_cast<double>(depth > 1 ? depth - 1 : 0) *
+                     static_cast<double>(spec.gcn.hidden) * spec.x1Density);
+    const double adjacencyNnz = nodes * spec.paperAvgDegree;
+    const double bytes = (featureNnz + adjacencyNnz) * 8.0;
+    return bytes > 0.0 ? static_cast<uint64_t>(bytes) : 1;
+}
+
+Executor::Executor(driver::WorkloadCache &cache,
+                   std::vector<graph::DatasetSpec> datasets,
+                   uint32_t sim_threads)
+    : cache_(cache), datasets_(std::move(datasets)),
+      simThreads_(std::max(1u, sim_threads))
+{
+    if (datasets_.empty())
+        datasets_ = graph::allDatasets();
+}
+
+const graph::DatasetSpec *
+Executor::findDataset(const std::string &name) const
+{
+    for (const auto &spec : datasets_)
+        if (iequals(spec.name, name))
+            return &spec;
+    return nullptr;
+}
+
+bool
+Executor::validate(ServeRequest &req, std::string *error) const
+{
+    auto fail = [error](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    const graph::DatasetSpec *spec = findDataset(req.dataset);
+    if (!spec)
+        return fail("unknown dataset '" + req.dataset + "'");
+    bool modelKnown = false;
+    for (gcn::ModelKind kind : gcn::allModelKinds())
+        if (req.model == gcn::modelKindName(kind))
+            modelKnown = true;
+    if (!modelKnown)
+        return fail("unknown model '" + req.model + "'");
+    const auto engines = driver::knownEngineKeys();
+    if (std::find(engines.begin(), engines.end(), req.engine) ==
+        engines.end())
+        return fail("unknown engine '" + req.engine + "'");
+    if (req.depth < 1 || req.depth > kMaxServeDepth)
+        return fail("depth must be in [1, " +
+                    std::to_string(kMaxServeDepth) + "], got " +
+                    std::to_string(req.depth));
+    req.costBytes = estimateRequestBytes(*spec, req.tier, req.depth);
+    return true;
+}
+
+ExecResult
+Executor::run(const ServeRequest &req) const
+{
+    ExecResult result;
+    util::WallClock clock;
+    ServeRequest checked = req;
+    if (!validate(checked, &result.error))
+        return result;
+    try {
+        const graph::DatasetSpec &spec = *findDataset(checked.dataset);
+        const driver::EngineSpec engine = driver::engineByKey(checked.engine);
+        gcn::WorkloadConfig wc;
+        wc.tier = checked.tier;
+        wc.model = gcn::modelKindFromString(checked.model);
+        wc.numLayers = checked.depth;
+        wc.seed = checked.seed;
+        const gcn::GcnWorkload workload = cache_.workload(spec, wc);
+        gcn::RunnerOptions options;
+        options.usePartitioning = engine.usePartitioning;
+        options.sim.threads = simThreads_;
+        auto sim = engine.make();
+        const gcn::InferenceResult inference =
+            gcn::runInference(*sim, workload, options);
+        result.digest.cycles = inference.totalCycles;
+        result.digest.dramBytes = inference.totalTrafficBytes();
+        result.digest.macOps = inference.macOps;
+        result.digest.cacheHits = inference.cacheHits;
+        result.digest.cacheMisses = inference.cacheMisses;
+        result.ok = true;
+    } catch (const std::exception &e) {
+        result.error = std::string("execution failed: ") + e.what();
+    }
+    result.hostMs = clock.elapsedMs();
+    return result;
+}
+
+} // namespace grow::serve

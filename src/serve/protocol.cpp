@@ -1,0 +1,316 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "report/json.hpp"
+
+namespace grow::serve {
+
+namespace {
+
+/** Non-fatal tier parse (tierFromString exits on bad input). */
+bool
+tierFromWire(const std::string &s, graph::ScaleTier &out)
+{
+    for (graph::ScaleTier t :
+         {graph::ScaleTier::Full, graph::ScaleTier::Mini,
+          graph::ScaleTier::Tiny, graph::ScaleTier::Unit}) {
+        if (s == graph::tierName(t)) {
+            out = t;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+fail(std::string *error, const std::string &msg)
+{
+    if (error)
+        *error = msg;
+    return false;
+}
+
+/** Exact unsigned integer from a JSON number (rejects 2^53+ / frac). */
+bool
+asUint(const report::JsonValue &v, uint64_t &out)
+{
+    if (!v.isNumber() || v.number < 0.0 || v.number > 9007199254740992.0 ||
+        v.number != std::floor(v.number))
+        return false;
+    out = static_cast<uint64_t>(v.number);
+    return true;
+}
+
+void
+appendField(std::ostringstream &os, bool &first, const std::string &key,
+            const std::string &jsonValue)
+{
+    os << (first ? "{" : ",") << '"' << key << "\":" << jsonValue;
+    first = false;
+}
+
+void
+appendString(std::ostringstream &os, bool &first, const std::string &key,
+             const std::string &value)
+{
+    appendField(os, first, key,
+                "\"" + report::jsonEscape(value) + "\"");
+}
+
+void
+appendUint(std::ostringstream &os, bool &first, const std::string &key,
+           uint64_t value)
+{
+    appendField(os, first, key, std::to_string(value));
+}
+
+void
+appendDouble(std::ostringstream &os, bool &first, const std::string &key,
+             double value)
+{
+    appendField(os, first, key, report::jsonNumber(value));
+}
+
+} // namespace
+
+bool
+parseClientLine(const std::string &line, ClientLine &out, std::string *error)
+{
+    report::JsonValue root;
+    std::string parseError;
+    if (!report::parseJson(line, root, &parseError))
+        return fail(error, "malformed JSON: " + parseError);
+    if (!root.isObject())
+        return fail(error, "expected a JSON object");
+
+    if (const report::JsonValue *cmd = root.find("cmd")) {
+        if (!cmd->isString())
+            return fail(error, "cmd must be a string");
+        if (root.obj.size() != 1)
+            return fail(error, "cmd lines carry no other keys");
+        if (cmd->str == "shutdown") {
+            out.kind = ClientLine::Kind::Shutdown;
+            return true;
+        }
+        if (cmd->str == "ping") {
+            out.kind = ClientLine::Kind::Ping;
+            return true;
+        }
+        return fail(error, "unknown cmd '" + cmd->str + "'");
+    }
+
+    out.kind = ClientLine::Kind::Request;
+    ServeRequest req;
+    bool haveId = false, haveDataset = false;
+    for (const auto &[key, value] : root.obj) {
+        if (key == "id") {
+            if (!asUint(value, req.id))
+                return fail(error, "id must be a non-negative integer");
+            haveId = true;
+        } else if (key == "tenant") {
+            if (!value.isString() || value.str.empty())
+                return fail(error, "tenant must be a non-empty string");
+            req.tenant = value.str;
+        } else if (key == "dataset") {
+            if (!value.isString() || value.str.empty())
+                return fail(error, "dataset must be a non-empty string");
+            req.dataset = value.str;
+            haveDataset = true;
+        } else if (key == "model") {
+            if (!value.isString())
+                return fail(error, "model must be a string");
+            req.model = value.str;
+        } else if (key == "engine") {
+            if (!value.isString())
+                return fail(error, "engine must be a string");
+            req.engine = value.str;
+        } else if (key == "scale") {
+            if (!value.isString() || !tierFromWire(value.str, req.tier))
+                return fail(error,
+                            "scale must be full/mini/tiny/unit");
+        } else if (key == "depth") {
+            uint64_t depth = 0;
+            if (!asUint(value, depth) || depth == 0 || depth > UINT32_MAX)
+                return fail(error, "depth must be a positive integer");
+            req.depth = static_cast<uint32_t>(depth);
+        } else if (key == "seed") {
+            if (!asUint(value, req.seed))
+                return fail(error, "seed must be a non-negative integer");
+        } else if (key == "deadline_ms") {
+            uint64_t ms = 0;
+            if (!asUint(value, ms))
+                return fail(error,
+                            "deadline_ms must be a non-negative integer");
+            req.deadlineRelUs = static_cast<Micros>(ms) * 1000;
+        } else {
+            return fail(error, "unknown request key '" + key + "'");
+        }
+    }
+    if (!haveId)
+        return fail(error, "missing required key 'id'");
+    if (!haveDataset)
+        return fail(error, "missing required key 'dataset'");
+    out.request = std::move(req);
+    return true;
+}
+
+std::string
+encodeRequest(const ServeRequest &req)
+{
+    std::ostringstream os;
+    bool first = true;
+    appendUint(os, first, "id", req.id);
+    appendString(os, first, "tenant", req.tenant);
+    appendString(os, first, "dataset", req.dataset);
+    appendString(os, first, "model", req.model);
+    appendString(os, first, "engine", req.engine);
+    appendString(os, first, "scale", graph::tierName(req.tier));
+    appendUint(os, first, "depth", req.depth);
+    appendUint(os, first, "seed", req.seed);
+    if (req.deadlineRelUs > 0)
+        appendUint(os, first, "deadline_ms",
+                   static_cast<uint64_t>(req.deadlineRelUs / 1000));
+    os << "}";
+    return os.str();
+}
+
+std::string
+encodeShutdown()
+{
+    return "{\"cmd\":\"shutdown\"}";
+}
+
+std::string
+encodePing()
+{
+    return "{\"cmd\":\"ping\"}";
+}
+
+std::string
+encodeResponse(const RequestRecord &record)
+{
+    std::ostringstream os;
+    bool first = true;
+    appendUint(os, first, "id", record.request.id);
+    appendString(os, first, "status", statusName(record.status));
+    appendString(os, first, "tenant", record.request.tenant);
+    appendString(os, first, "dataset", record.request.dataset);
+    appendString(os, first, "model", record.request.model);
+    appendString(os, first, "engine", record.request.engine);
+    appendString(os, first, "scale", graph::tierName(record.request.tier));
+    appendUint(os, first, "depth", record.request.depth);
+    appendUint(os, first, "seed", record.request.seed);
+    appendDouble(os, first, "queue_ms", record.queueMs());
+    appendDouble(os, first, "total_ms", record.totalMs());
+    if (record.status == RequestStatus::Completed) {
+        appendDouble(os, first, "exec_ms", record.execMs);
+        appendUint(os, first, "cycles", record.digest.cycles);
+        appendUint(os, first, "dram_bytes", record.digest.dramBytes);
+        appendUint(os, first, "mac_ops", record.digest.macOps);
+        appendUint(os, first, "cache_hits", record.digest.cacheHits);
+        appendUint(os, first, "cache_misses", record.digest.cacheMisses);
+    }
+    if (record.status == RequestStatus::Error)
+        appendString(os, first, "error", record.error);
+    os << "}";
+    return os.str();
+}
+
+bool
+parseResponse(const std::string &line, RequestRecord &out, std::string *error)
+{
+    report::JsonValue root;
+    std::string parseError;
+    if (!report::parseJson(line, root, &parseError))
+        return fail(error, "malformed JSON: " + parseError);
+    if (!root.isObject())
+        return fail(error, "expected a JSON object");
+
+    RequestRecord rec;
+    bool haveStatus = false;
+    double queueMs = 0.0, totalMs = 0.0;
+    for (const auto &[key, value] : root.obj) {
+        if (key == "id") {
+            if (!asUint(value, rec.request.id))
+                return fail(error, "id must be a non-negative integer");
+        } else if (key == "status") {
+            if (!value.isString() ||
+                !statusFromName(value.str, rec.status))
+                return fail(error, "unknown status");
+            haveStatus = true;
+        } else if (key == "tenant") {
+            rec.request.tenant = value.str;
+        } else if (key == "dataset") {
+            rec.request.dataset = value.str;
+        } else if (key == "model") {
+            rec.request.model = value.str;
+        } else if (key == "engine") {
+            rec.request.engine = value.str;
+        } else if (key == "scale") {
+            if (!value.isString() ||
+                !tierFromWire(value.str, rec.request.tier))
+                return fail(error, "bad scale");
+        } else if (key == "depth") {
+            uint64_t depth = 0;
+            if (!asUint(value, depth))
+                return fail(error, "bad depth");
+            rec.request.depth = static_cast<uint32_t>(depth);
+        } else if (key == "seed") {
+            if (!asUint(value, rec.request.seed))
+                return fail(error, "bad seed");
+        } else if (key == "queue_ms") {
+            queueMs = value.number;
+        } else if (key == "total_ms") {
+            totalMs = value.number;
+        } else if (key == "exec_ms") {
+            rec.execMs = value.number;
+        } else if (key == "cycles") {
+            if (!asUint(value, rec.digest.cycles))
+                return fail(error, "bad cycles");
+        } else if (key == "dram_bytes") {
+            if (!asUint(value, rec.digest.dramBytes))
+                return fail(error, "bad dram_bytes");
+        } else if (key == "mac_ops") {
+            if (!asUint(value, rec.digest.macOps))
+                return fail(error, "bad mac_ops");
+        } else if (key == "cache_hits") {
+            if (!asUint(value, rec.digest.cacheHits))
+                return fail(error, "bad cache_hits");
+        } else if (key == "cache_misses") {
+            if (!asUint(value, rec.digest.cacheMisses))
+                return fail(error, "bad cache_misses");
+        } else if (key == "error") {
+            rec.error = value.str;
+        } else {
+            return fail(error, "unknown response key '" + key + "'");
+        }
+    }
+    if (!haveStatus)
+        return fail(error, "missing required key 'status'");
+    // The client has no server timestamps; reconstruct them so the
+    // record's derived queueMs()/totalMs() return the wire values
+    // (arrival pinned at 0 on the client's copy).
+    rec.request.arrivalUs = 0;
+    rec.dispatchUs = static_cast<Micros>(std::llround(queueMs * 1000.0));
+    rec.completionUs = static_cast<Micros>(std::llround(totalMs * 1000.0));
+    out = std::move(rec);
+    return true;
+}
+
+std::string
+digestLine(const ServeRequest &req, const InferenceDigest &digest)
+{
+    std::ostringstream os;
+    os << "tenant=" << req.tenant << " id=" << req.id
+       << " dataset=" << req.dataset << " model=" << req.model
+       << " engine=" << req.engine << " scale=" << graph::tierName(req.tier)
+       << " depth=" << req.depth << " seed=" << req.seed
+       << " cycles=" << digest.cycles << " dram_bytes=" << digest.dramBytes
+       << " mac_ops=" << digest.macOps << " cache_hits=" << digest.cacheHits
+       << " cache_misses=" << digest.cacheMisses;
+    return os.str();
+}
+
+} // namespace grow::serve

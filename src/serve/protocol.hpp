@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Line-delimited JSON wire protocol of the serving daemon.
+ *
+ * One JSON object per newline-terminated line, both directions, over
+ * a Unix-domain socket. Parsing reuses the dependency-free strict
+ * parser from src/report/json.hpp; numbers ride as JSON numbers
+ * (exact for anything below 2^53 -- simulated cycle counts included).
+ *
+ * Client -> daemon:
+ *   {"id":1,"tenant":"t0","dataset":"cora","model":"gcn",
+ *    "engine":"grow","scale":"mini","depth":2,"seed":7,
+ *    "deadline_ms":250}
+ *   {"cmd":"shutdown"}          -- graceful shutdown (drain + report)
+ *   {"cmd":"ping"}              -- liveness probe
+ *
+ * Daemon -> client (response, echoing identity):
+ *   {"id":1,"status":"ok","tenant":"t0","dataset":"cora", ...,
+ *    "queue_ms":1.5,"exec_ms":40.2,"total_ms":41.7,
+ *    "cycles":123,"dram_bytes":456,"mac_ops":789,
+ *    "cache_hits":10,"cache_misses":2}
+ *   {"id":1,"status":"rejected_queue_full", ...}
+ *   {"id":1,"status":"error","error":"unknown dataset 'corra'"}
+ *   {"status":"shutting_down"} / {"status":"pong"}  -- cmd replies
+ *
+ * Unknown keys are rejected (same philosophy as CliArgs::
+ * requireKnown: a typoed key must fail loudly, not silently serve
+ * defaults).
+ */
+#pragma once
+
+#include <string>
+
+#include "serve/request.hpp"
+
+namespace grow::serve {
+
+/** What one client line asked for. */
+struct ClientLine
+{
+    enum class Kind { Request, Shutdown, Ping };
+    Kind kind = Kind::Request;
+    ServeRequest request; ///< Kind::Request only
+};
+
+/**
+ * Parse one client line. Returns false with @p error set on malformed
+ * JSON, an unknown key, a missing required field (id, dataset) or a
+ * bad field type -- the daemon answers such lines with a protocol
+ * error instead of dying.
+ */
+bool parseClientLine(const std::string &line, ClientLine &out,
+                     std::string *error);
+
+/** Serialize @p req as a request line (client side; no newline). */
+std::string encodeRequest(const ServeRequest &req);
+
+/** The shutdown/ping control lines. */
+std::string encodeShutdown();
+std::string encodePing();
+
+/** Serialize @p record as a response line (daemon side; no newline). */
+std::string encodeResponse(const RequestRecord &record);
+
+/**
+ * Parse a response line back into a record (client side). Timing and
+ * digest fields are restored exactly (shortest-round-trip numbers).
+ */
+bool parseResponse(const std::string &line, RequestRecord &out,
+                   std::string *error);
+
+/**
+ * Canonical one-line digest of a completed request, the byte-identity
+ * currency of the CI serving gate: daemon-side records, client-side
+ * response echoes and direct in-process execution of the same request
+ * must all produce identical lines. Integer-exact fields only -- no
+ * floating timing, nothing host-dependent.
+ */
+std::string digestLine(const ServeRequest &req,
+                       const InferenceDigest &digest);
+
+} // namespace grow::serve

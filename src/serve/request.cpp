@@ -1,0 +1,58 @@
+#include "serve/request.hpp"
+
+#include "util/logging.hpp"
+
+namespace grow::serve {
+
+const char *
+statusName(RequestStatus status)
+{
+    switch (status) {
+    case RequestStatus::Completed:
+        return "ok";
+    case RequestStatus::RejectedQueueFull:
+        return "rejected_queue_full";
+    case RequestStatus::RejectedBytes:
+        return "rejected_byte_budget";
+    case RequestStatus::RejectedClosed:
+        return "rejected_shutdown";
+    case RequestStatus::Expired:
+        return "expired";
+    case RequestStatus::Error:
+        return "error";
+    }
+    panic("unhandled RequestStatus");
+}
+
+bool
+statusFromName(const std::string &name, RequestStatus &out)
+{
+    for (RequestStatus s :
+         {RequestStatus::Completed, RequestStatus::RejectedQueueFull,
+          RequestStatus::RejectedBytes, RequestStatus::RejectedClosed,
+          RequestStatus::Expired, RequestStatus::Error}) {
+        if (name == statusName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+RequestStatus
+rejectionStatus(Admission a)
+{
+    switch (a) {
+    case Admission::QueueFull:
+        return RequestStatus::RejectedQueueFull;
+    case Admission::OverByteBudget:
+        return RequestStatus::RejectedBytes;
+    case Admission::Closed:
+        return RequestStatus::RejectedClosed;
+    case Admission::Admitted:
+        break;
+    }
+    panic("rejectionStatus() called on an admitted request");
+}
+
+} // namespace grow::serve

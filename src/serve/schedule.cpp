@@ -1,0 +1,99 @@
+#include "serve/schedule.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace grow::serve {
+
+std::vector<ScheduledRequest>
+buildSchedule(const ScheduleConfig &config)
+{
+    GROW_ASSERT(!config.tenants.empty(), "schedule needs >= 1 tenant");
+    GROW_ASSERT(!config.datasets.empty(), "schedule needs >= 1 dataset");
+    GROW_ASSERT(!config.engines.empty(), "schedule needs >= 1 engine");
+    GROW_ASSERT(config.meanGapUs >= 2, "meanGapUs must be >= 2");
+
+    uint64_t totalWeight = 0;
+    for (const TenantMix &t : config.tenants) {
+        GROW_ASSERT(t.weight > 0, "tenant weight must be positive");
+        totalWeight += t.weight;
+    }
+
+    Rng rng(config.seed);
+    std::vector<ScheduledRequest> out;
+    out.reserve(config.count);
+    Micros now = 0;
+    for (uint32_t i = 0; i < config.count; ++i) {
+        // Integer gap in [mean/2, 3*mean/2): deterministic timeline
+        // with the requested mean, no libm involved.
+        now += config.meanGapUs / 2 +
+               static_cast<Micros>(
+                   rng.bounded(static_cast<uint64_t>(config.meanGapUs)));
+
+        ScheduledRequest sr;
+        sr.atUs = now;
+        ServeRequest &r = sr.request;
+        r.id = i + 1;
+        uint64_t pick = rng.bounded(totalWeight);
+        for (const TenantMix &t : config.tenants) {
+            if (pick < t.weight) {
+                r.tenant = t.name;
+                break;
+            }
+            pick -= t.weight;
+        }
+        r.dataset = config.datasets[rng.bounded(config.datasets.size())];
+        r.engine = config.engines[rng.bounded(config.engines.size())];
+        r.model = config.model;
+        r.tier = config.tier;
+        r.depth = config.depth;
+        r.seed = config.featureSeedBase + r.id;
+        r.deadlineRelUs = config.deadlineRelUs;
+        out.push_back(std::move(sr));
+    }
+    return out;
+}
+
+bool
+parseTenantMix(const std::string &spec, std::vector<TenantMix> &out,
+               std::string *error)
+{
+    std::vector<TenantMix> parsed;
+    std::istringstream is(spec);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (item.empty())
+            continue;
+        TenantMix mix;
+        size_t colon = item.find(':');
+        mix.name = item.substr(0, colon);
+        if (mix.name.empty()) {
+            if (error)
+                *error = "empty tenant name in '" + spec + "'";
+            return false;
+        }
+        if (colon != std::string::npos) {
+            const std::string w = item.substr(colon + 1);
+            char *end = nullptr;
+            unsigned long v = std::strtoul(w.c_str(), &end, 10);
+            if (w.empty() || *end != '\0' || v == 0) {
+                if (error)
+                    *error = "bad tenant weight '" + w + "'";
+                return false;
+            }
+            mix.weight = static_cast<uint32_t>(v);
+        }
+        parsed.push_back(std::move(mix));
+    }
+    if (parsed.empty()) {
+        if (error)
+            *error = "empty tenant mix '" + spec + "'";
+        return false;
+    }
+    out = std::move(parsed);
+    return true;
+}
+
+} // namespace grow::serve

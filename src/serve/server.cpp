@@ -1,0 +1,399 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "serve/protocol.hpp"
+#include "util/logging.hpp"
+#include "util/wallclock.hpp"
+#include "util/work_pool.hpp"
+
+namespace grow::serve {
+
+namespace {
+
+/** Poll interval for loops that must notice stop_ without an event. */
+constexpr int kPollMs = 50;
+
+/** Write all of @p line plus a newline; false on a broken pipe. */
+bool
+writeLine(int fd, const std::string &line)
+{
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t off = 0;
+    while (off < framed.size()) {
+        ssize_t n = ::send(fd, framed.data() + off, framed.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+ServeDaemon::ServeDaemon(const Executor &executor, ServerConfig config,
+                         ServeMetrics &metrics)
+    : executor_(executor), config_(std::move(config)), metrics_(metrics),
+      queue_(config_.admission), epoch_(std::chrono::steady_clock::now())
+{
+    GROW_ASSERT(config_.maxInflight >= 1,
+                "ServeDaemon needs maxInflight >= 1");
+}
+
+ServeDaemon::~ServeDaemon()
+{
+    requestStop();
+    wait();
+}
+
+Micros
+ServeDaemon::now() const
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+bool
+ServeDaemon::start(std::string *error)
+{
+    if (config_.socketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+        if (error)
+            *error = "socket path too long: " + config_.socketPath;
+        return false;
+    }
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        if (error)
+            *error = std::string("socket(): ") + std::strerror(errno);
+        return false;
+    }
+    ::unlink(config_.socketPath.c_str());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        if (error)
+            *error = "bind(" + config_.socketPath +
+                     "): " + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::listen(listenFd_, 64) < 0) {
+        if (error)
+            *error = std::string("listen(): ") + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    dispatchThread_ = std::thread([this] { dispatchLoop(); });
+    return true;
+}
+
+void
+ServeDaemon::requestStop()
+{
+    bool expected = false;
+    if (!stop_.compare_exchange_strong(expected, true))
+        return;
+    queue_.close();
+    cv_.notify_all();
+}
+
+void
+ServeDaemon::wait()
+{
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (dispatchThread_.joinable())
+        dispatchThread_.join();
+    // Drain finished; connection readers exit on stop_ or EOF.
+    std::vector<std::thread> readers;
+    {
+        std::lock_guard<std::mutex> lk(connThreadsMu_);
+        readers.swap(connThreads_);
+    }
+    for (std::thread &t : readers)
+        t.join();
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto &[ticket, conn] : conns_) {
+        (void)ticket;
+        if (conn->fd >= 0) {
+            ::close(conn->fd);
+            conn->fd = -1;
+        }
+    }
+    conns_.clear();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(config_.socketPath.c_str());
+        listenFd_ = -1;
+    }
+}
+
+std::vector<RequestRecord>
+ServeDaemon::records() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return records_;
+}
+
+void
+ServeDaemon::acceptLoop()
+{
+    while (!stop_.load(std::memory_order_acquire)) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, kPollMs);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            logError(std::string("serve: poll(): ") +
+                     std::strerror(errno));
+            break;
+        }
+        if (rc == 0 || !(pfd.revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            logError(std::string("serve: accept(): ") +
+                     std::strerror(errno));
+            break;
+        }
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        uint64_t ticket;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            ticket = nextTicket_++;
+            conns_[ticket] = conn;
+        }
+        // The ticket travels on every request from this connection so
+        // responses route back to the right socket.
+        std::lock_guard<std::mutex> lk(connThreadsMu_);
+        connThreads_.emplace_back([this, conn, ticket]() mutable {
+            connectionLoop(std::move(conn), ticket);
+        });
+    }
+}
+
+void
+ServeDaemon::connectionLoop(std::shared_ptr<Conn> conn, uint64_t myTicket)
+{
+    std::string buffer;
+    char chunk[4096];
+    bool eof = false;
+    while (!eof && !stop_.load(std::memory_order_acquire)) {
+        pollfd pfd{conn->fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, kPollMs);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (rc == 0 || !(pfd.revents & (POLLIN | POLLHUP)))
+            continue;
+        ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0) {
+            eof = true;
+            break;
+        }
+        buffer.append(chunk, static_cast<size_t>(n));
+        size_t nl;
+        while ((nl = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            if (line.empty())
+                continue;
+
+            ClientLine parsed;
+            std::string error;
+            if (!parseClientLine(line, parsed, &error)) {
+                metrics_.recordProtocolError();
+                RequestRecord rec;
+                rec.status = RequestStatus::Error;
+                rec.error = "protocol: " + error;
+                std::lock_guard<std::mutex> wl(conn->writeMu);
+                writeLine(conn->fd, encodeResponse(rec));
+                continue;
+            }
+            if (parsed.kind == ClientLine::Kind::Ping) {
+                std::lock_guard<std::mutex> wl(conn->writeMu);
+                writeLine(conn->fd, "{\"cmd\":\"pong\"}");
+                continue;
+            }
+            if (parsed.kind == ClientLine::Kind::Shutdown) {
+                {
+                    std::lock_guard<std::mutex> wl(conn->writeMu);
+                    writeLine(conn->fd, "{\"cmd\":\"shutdown_ack\"}");
+                }
+                requestStop();
+                continue;
+            }
+
+            ServeRequest req = parsed.request;
+            req.ticket = myTicket;
+            std::string verror;
+            if (!executor_.validate(req, &verror)) {
+                RequestRecord rec;
+                rec.request = std::move(req);
+                rec.request.arrivalUs = now();
+                rec.completionUs = rec.request.arrivalUs;
+                rec.status = RequestStatus::Error;
+                rec.error = verror;
+                respond(rec);
+                finishRecord(std::move(rec));
+                continue;
+            }
+            const Micros arrival = now();
+            const Admission verdict = queue_.push(req, arrival);
+            metrics_.recordAdmission(verdict, queue_.depth(), arrival);
+            if (verdict != Admission::Admitted) {
+                RequestRecord rec;
+                rec.request = std::move(req);
+                rec.request.arrivalUs = arrival;
+                rec.completionUs = arrival;
+                rec.status = rejectionStatus(verdict);
+                respond(rec);
+                finishRecord(std::move(rec));
+                continue;
+            }
+            cv_.notify_one();
+        }
+    }
+
+    if (eof) {
+        // Client gone: drop the route so late responses are skipped.
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = conns_.find(myTicket);
+        if (it != conns_.end()) {
+            std::lock_guard<std::mutex> wl(it->second->writeMu);
+            ::close(it->second->fd);
+            it->second->fd = -1;
+            conns_.erase(it);
+        }
+    }
+}
+
+void
+ServeDaemon::dispatchLoop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait_for(lk, std::chrono::milliseconds(kPollMs), [this] {
+                return stop_.load(std::memory_order_acquire) ||
+                       (queue_.depth() > 0 &&
+                        inflight_ < config_.maxInflight);
+            });
+            if (stop_.load(std::memory_order_acquire) &&
+                queue_.depth() == 0 && inflight_ == 0)
+                return;
+        }
+        for (;;) {
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                if (inflight_ >= config_.maxInflight)
+                    break;
+            }
+            ServeRequest req;
+            std::vector<ServeRequest> expired;
+            const Micros t = now();
+            const bool got = queue_.pop(t, req, expired);
+            for (ServeRequest &e : expired) {
+                RequestRecord rec;
+                rec.request = std::move(e);
+                rec.status = RequestStatus::Expired;
+                rec.completionUs = t;
+                respond(rec);
+                finishRecord(std::move(rec));
+            }
+            metrics_.sampleQueueDepth(t, queue_.depth());
+            if (!got)
+                break;
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++inflight_;
+            }
+            // Copy-capturing keeps the lambda copyable (std::function).
+            auto task = [this, req]() { execute(req); };
+            if (!config_.pool || !config_.pool->trySubmit(task))
+                task();
+        }
+    }
+}
+
+void
+ServeDaemon::execute(ServeRequest req)
+{
+    RequestRecord rec;
+    rec.dispatchUs = now();
+    ExecResult er = executor_.run(req);
+    queue_.onComplete(req);
+    rec.request = std::move(req);
+    rec.completionUs = now();
+    if (er.ok) {
+        rec.status = RequestStatus::Completed;
+        rec.digest = er.digest;
+        rec.execMs = er.hostMs;
+    } else {
+        rec.status = RequestStatus::Error;
+        rec.error = er.error;
+    }
+    respond(rec);
+    finishRecord(std::move(rec));
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        GROW_ASSERT(inflight_ > 0, "execute() without dispatch");
+        --inflight_;
+    }
+    cv_.notify_one();
+}
+
+void
+ServeDaemon::respond(const RequestRecord &record)
+{
+    std::shared_ptr<Conn> conn;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = conns_.find(record.request.ticket);
+        if (it != conns_.end())
+            conn = it->second;
+    }
+    if (!conn)
+        return; // client disconnected; outcome still recorded
+    std::lock_guard<std::mutex> wl(conn->writeMu);
+    if (conn->fd >= 0)
+        writeLine(conn->fd, encodeResponse(record));
+}
+
+void
+ServeDaemon::finishRecord(RequestRecord record)
+{
+    metrics_.recordOutcome(record);
+    std::lock_guard<std::mutex> lk(mu_);
+    records_.push_back(std::move(record));
+}
+
+} // namespace grow::serve

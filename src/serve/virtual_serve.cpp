@@ -1,0 +1,154 @@
+#include "serve/virtual_serve.hpp"
+
+#include <cmath>
+#include <queue>
+
+#include "util/logging.hpp"
+
+namespace grow::serve {
+
+namespace {
+
+/** One in-flight request, resolving at doneUs on the virtual clock. */
+struct Pending
+{
+    Micros doneUs = 0;
+    RequestRecord record;
+};
+
+struct PendingLater
+{
+    bool
+    operator()(const Pending &a, const Pending &b) const
+    {
+        if (a.doneUs != b.doneUs)
+            return a.doneUs > b.doneUs;
+        return a.record.request.id > b.record.request.id;
+    }
+};
+
+} // namespace
+
+VirtualServeResult
+runVirtualServe(const std::vector<ScheduledRequest> &schedule,
+                const Executor *executor, const VirtualServeConfig &config,
+                ServeMetrics *metrics)
+{
+    GROW_ASSERT(config.slots >= 1, "virtual serve needs >= 1 slot");
+    GROW_ASSERT(executor || config.serviceMs,
+                "virtual serve needs an executor or a serviceMs override");
+
+    RequestQueue queue(config.admission);
+    std::priority_queue<Pending, std::vector<Pending>, PendingLater> inflight;
+    VirtualServeResult result;
+    result.records.reserve(schedule.size());
+    Micros now = 0;
+
+    auto resolve = [&](RequestRecord record) {
+        if (metrics)
+            metrics->recordOutcome(record);
+        result.records.push_back(std::move(record));
+    };
+
+    auto finishOne = [&]() {
+        Pending p = inflight.top();
+        inflight.pop();
+        now = p.doneUs;
+        queue.onComplete(p.record.request);
+        resolve(std::move(p.record));
+    };
+
+    // Dispatch until every slot is busy or the queue is dry; expiries
+    // discovered on the way out resolve at the current instant.
+    auto dispatch = [&]() {
+        while (inflight.size() < config.slots) {
+            ServeRequest req;
+            std::vector<ServeRequest> expired;
+            const bool got = queue.pop(now, req, expired);
+            for (ServeRequest &e : expired) {
+                RequestRecord rec;
+                rec.request = std::move(e);
+                rec.status = RequestStatus::Expired;
+                rec.completionUs = now;
+                resolve(std::move(rec));
+            }
+            if (!got)
+                break;
+            RequestRecord rec;
+            rec.request = std::move(req);
+            rec.dispatchUs = now;
+            double serviceMs = 0.0;
+            if (executor) {
+                ExecResult er = executor->run(rec.request);
+                if (!er.ok) {
+                    queue.onComplete(rec.request);
+                    rec.status = RequestStatus::Error;
+                    rec.error = er.error;
+                    rec.completionUs = now;
+                    resolve(std::move(rec));
+                    continue;
+                }
+                rec.digest = er.digest;
+                serviceMs = er.digest.simulatedMs();
+            }
+            if (config.serviceMs)
+                serviceMs = config.serviceMs(rec.request);
+            rec.status = RequestStatus::Completed;
+            rec.execMs = serviceMs;
+            Pending p;
+            p.doneUs = now + static_cast<Micros>(
+                                 std::llround(serviceMs * 1000.0));
+            rec.completionUs = p.doneUs;
+            p.record = std::move(rec);
+            inflight.push(std::move(p));
+        }
+        if (metrics)
+            metrics->sampleQueueDepth(now, queue.depth());
+    };
+
+    for (const ScheduledRequest &sr : schedule) {
+        // Completions scheduled before this arrival resolve first so
+        // their slots (and bytes) are free for admission.
+        while (!inflight.empty() && inflight.top().doneUs <= sr.atUs) {
+            finishOne();
+            dispatch();
+        }
+        now = sr.atUs;
+
+        ServeRequest req = sr.request;
+        std::string error;
+        if (executor && !executor->validate(req, &error)) {
+            RequestRecord rec;
+            rec.request = std::move(req);
+            rec.request.arrivalUs = now;
+            rec.status = RequestStatus::Error;
+            rec.error = error;
+            rec.completionUs = now;
+            resolve(std::move(rec));
+            continue;
+        }
+        const Admission verdict = queue.push(std::move(req), now);
+        if (metrics)
+            metrics->recordAdmission(verdict, queue.depth(), now);
+        if (verdict != Admission::Admitted) {
+            RequestRecord rec;
+            rec.request = sr.request;
+            rec.request.arrivalUs = now;
+            rec.status = rejectionStatus(verdict);
+            rec.completionUs = now;
+            resolve(std::move(rec));
+            continue;
+        }
+        dispatch();
+    }
+
+    // Arrivals exhausted: drain in-flight work and the backlog.
+    while (!inflight.empty()) {
+        finishOne();
+        dispatch();
+    }
+    result.endUs = now;
+    return result;
+}
+
+} // namespace grow::serve

@@ -127,6 +127,11 @@ struct WorkPool::Impl
     /** Retired batches available for reuse (under m). */
     std::vector<std::shared_ptr<Batch>> spares;
 
+    /** Fire-and-forget tasks (trySubmit) awaiting a worker (under m). */
+    std::deque<std::function<void()>> detached;
+    /** Detached tasks submitted but not yet finished (drain futex). */
+    std::atomic<uint64_t> detachedPending{0};
+
     bool stop = false;
 };
 
@@ -155,6 +160,9 @@ WorkPool::WorkPool(uint32_t workers) : impl_(std::make_unique<Impl>())
 
 WorkPool::~WorkPool()
 {
+    // Detached work first: a task handed to trySubmit() before the
+    // destructor began must run, not vanish with the workers.
+    drainDetached();
     {
         std::lock_guard<std::mutex> lk(impl_->m);
         impl_->stop = true;
@@ -207,16 +215,24 @@ WorkPool::workerLoop(uint32_t id)
     Impl::Slot &slot = impl.slots[id];
     while (true) {
         std::shared_ptr<Batch> batch;
+        std::function<void()> fire;
         uint32_t seen = 0;
         {
             std::unique_lock<std::mutex> lk(impl.m);
-            if (impl.stop)
-                return;
+            // Stop is honoured only once no work is pending: a pool
+            // being torn down finishes what was already submitted
+            // (tickets have a participating caller; detached tasks
+            // have nobody else).
             if (!impl.tickets.empty()) {
                 Impl::Ticket &t = impl.tickets.front();
                 batch = t.batch; // refcount bump only, no allocation
                 if (--t.invites == 0)
                     impl.tickets.pop_front();
+            } else if (!impl.detached.empty()) {
+                fire = std::move(impl.detached.front());
+                impl.detached.pop_front();
+            } else if (impl.stop) {
+                return;
             } else {
                 // The epoch load is ordered before any waker's bump by
                 // the mutex, so wait(seen) below cannot miss a wakeup:
@@ -231,6 +247,23 @@ WorkPool::workerLoop(uint32_t id)
         }
         if (batch) {
             help(*batch);
+            continue;
+        }
+        if (fire) {
+            try {
+                fire();
+            } catch (const std::exception &e) {
+                logError(std::string("detached pool task threw: ") +
+                         e.what());
+            } catch (...) {
+                logError("detached pool task threw a non-std exception");
+            }
+            // Destroy the closure before announcing completion: drain
+            // waiters may rely on resources the closure owns being
+            // released.
+            fire = nullptr;
+            impl.detachedPending.fetch_sub(1, std::memory_order_release);
+            impl.detachedPending.notify_all();
             continue;
         }
         slot.epoch.wait(seen);
@@ -315,6 +348,57 @@ WorkPool::runAll(std::vector<std::function<void()>> tasks,
         }
     }
     return errors;
+}
+
+bool
+WorkPool::trySubmit(std::function<void()> task)
+{
+    if (workers_.empty())
+        return false;
+    uint32_t wakeId = 0;
+    bool haveWake = false;
+    {
+        std::lock_guard<std::mutex> lk(impl_->m);
+        if (impl_->stop)
+            return false;
+        impl_->detached.push_back(std::move(task));
+        impl_->detachedPending.fetch_add(1, std::memory_order_relaxed);
+        if (!impl_->idle.empty()) {
+            wakeId = impl_->idle.back();
+            impl_->idle.pop_back();
+            impl_->slots[wakeId].parkedListed = false;
+            haveWake = true;
+        }
+        // No parked worker: a busy one re-checks the detached queue
+        // before parking, so the task is picked up as workers free up.
+    }
+    if (haveWake) {
+        impl_->slots[wakeId].epoch.fetch_add(1, std::memory_order_release);
+        impl_->slots[wakeId].epoch.notify_one();
+    }
+    return true;
+}
+
+uint32_t
+WorkPool::idleWorkers() const
+{
+    std::lock_guard<std::mutex> lk(impl_->m);
+    return static_cast<uint32_t>(impl_->idle.size());
+}
+
+uint64_t
+WorkPool::detachedPending() const
+{
+    return impl_->detachedPending.load(std::memory_order_acquire);
+}
+
+void
+WorkPool::drainDetached()
+{
+    uint64_t pending;
+    while ((pending = impl_->detachedPending.load(
+                std::memory_order_acquire)) != 0)
+        impl_->detachedPending.wait(pending);
 }
 
 uint32_t

@@ -93,6 +93,14 @@ class WorkPool
     /** @p workers persistent worker threads (>= 0; 0 means the caller
      *  of runAll() does all the work itself). */
     explicit WorkPool(uint32_t workers);
+
+    /**
+     * Shutdown ordering: finish every detached task (drainDetached()),
+     * then stop and join the workers. Workers honour the stop flag
+     * only once no ticket or detached work is pending, so a pool with
+     * parked workers drains cleanly -- nothing submitted before the
+     * destructor began is ever dropped.
+     */
     ~WorkPool();
 
     WorkPool(const WorkPool &) = delete;
@@ -119,6 +127,36 @@ class WorkPool
     std::vector<std::exception_ptr>
     runAll(std::vector<std::function<void()>> tasks,
            uint32_t max_parallel = 0);
+
+    /**
+     * Fire-and-forget submission: hand @p task to an idle pool worker
+     * without blocking the caller (the serving daemon's dispatch path;
+     * runAll() callers keep participating as before). Returns false --
+     * and does NOT take the task -- when the pool has no workers or is
+     * shutting down, in which case the caller must run the task inline
+     * itself. A detached task that throws is logged and swallowed:
+     * there is no caller left to rethrow into. Detached tasks may
+     * themselves call runAll() (nested fan-out composes as usual).
+     */
+    bool trySubmit(std::function<void()> task);
+
+    /**
+     * Workers currently parked with nothing to do -- an O(1) capacity
+     * hint for admission control (a racy snapshot, not a reservation:
+     * the value may be stale by the time the caller acts on it).
+     */
+    uint32_t idleWorkers() const;
+
+    /** Detached tasks submitted but not yet finished. */
+    uint64_t detachedPending() const;
+
+    /**
+     * Block until every detached task submitted so far has finished
+     * (graceful-shutdown path: stop submitting, drainDetached(), flush
+     * reports). runAll() batches need no draining -- their caller
+     * already blocks for them.
+     */
+    void drainDetached();
 
   private:
     struct Batch;

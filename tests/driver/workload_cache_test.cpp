@@ -7,12 +7,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "driver/workload_cache.hpp"
 
@@ -676,6 +678,70 @@ TEST(WorkloadCache, FileBackedBuildMatchesSynthesizedBuild)
     EXPECT_EQ(fromFile->adjacencyPartitioned().colIdx(),
               synthesized->adjacencyPartitioned().colIdx());
     fs::remove_all(dir);
+}
+
+TEST(WorkloadCache, SnapshotIsCoherentAndCountsReuses)
+{
+    WorkloadCache cache;
+    const auto &cora = graph::datasetByName("cora");
+    const auto &citeseer = graph::datasetByName("citeseer");
+    cache.workload(cora, unitConfig());
+    cache.workload(cora, unitConfig(3)); // same artefacts, new depth
+    cache.workload(citeseer, unitConfig());
+
+    const WorkloadCache::Snapshot snap = cache.snapshot();
+    EXPECT_EQ(snap.counters.builds, 2u);
+    EXPECT_EQ(snap.counters.memoryHits, 1u);
+    EXPECT_EQ(snap.reuses(), 1u);
+    EXPECT_EQ(snap.entries, 2u);
+    EXPECT_GT(snap.bytes, 0u);
+    EXPECT_EQ(snap.entryCap, 0u);
+    EXPECT_EQ(snap.byteCap, 0u);
+}
+
+TEST(WorkloadCache, SnapshotSafeUnderConcurrentLookups)
+{
+    // Hammer the cache from several threads while snapshotting from
+    // another: every snapshot must be internally consistent (tsan/
+    // helgrind would flag races; the arithmetic below flags torn
+    // counter sets even without them).
+    WorkloadCache cache;
+    const auto &cora = graph::datasetByName("cora");
+    const auto &citeseer = graph::datasetByName("citeseer");
+    std::atomic<bool> done{false};
+    std::atomic<uint64_t> lookups{0};
+
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 3; ++w)
+        workers.emplace_back([&, w] {
+            for (int i = 0; i < 20; ++i) {
+                cache.workload(w % 2 ? cora : citeseer,
+                               unitConfig(2 + (i % 3)));
+                lookups.fetch_add(1);
+            }
+        });
+    std::thread snapshotter([&] {
+        while (!done.load()) {
+            const WorkloadCache::Snapshot snap = cache.snapshot();
+            // Builds + hits + disk loads can never exceed observed
+            // lookups (torn reads would break this invariant), and
+            // the footprint only exists alongside entries.
+            EXPECT_LE(snap.counters.builds + snap.reuses(),
+                      lookups.load() + 3); // in-flight lookups slack
+            if (snap.entries == 0)
+                EXPECT_EQ(snap.bytes, 0u);
+            EXPECT_LE(snap.entries, 2u);
+        }
+    });
+    for (auto &t : workers)
+        t.join();
+    done.store(true);
+    snapshotter.join();
+
+    const WorkloadCache::Snapshot final = cache.snapshot();
+    EXPECT_EQ(final.counters.builds, 2u);
+    EXPECT_EQ(final.counters.builds + final.counters.memoryHits, 60u);
+    EXPECT_EQ(final.entries, 2u);
 }
 
 TEST(WorkloadCache, FileBackedBuildRejectsTierMismatch)

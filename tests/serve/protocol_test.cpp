@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Wire protocol: request/response round-trips, command lines,
+ * malformed-input rejection (the daemon must answer, never die), the
+ * canonical digest line, seeded schedules and the percentile helper.
+ */
+#include <gtest/gtest.h>
+
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/schedule.hpp"
+
+namespace grow::serve {
+namespace {
+
+TEST(Protocol, RequestRoundTrip)
+{
+    ServeRequest req;
+    req.id = 42;
+    req.tenant = "alpha";
+    req.dataset = "citeseer";
+    req.model = "gin";
+    req.engine = "gcnax";
+    req.tier = graph::ScaleTier::Tiny;
+    req.depth = 3;
+    req.seed = 99;
+    req.deadlineRelUs = 250000;
+
+    ClientLine parsed;
+    std::string error;
+    ASSERT_TRUE(parseClientLine(encodeRequest(req), parsed, &error))
+        << error;
+    ASSERT_EQ(parsed.kind, ClientLine::Kind::Request);
+    const ServeRequest &r = parsed.request;
+    EXPECT_EQ(r.id, 42u);
+    EXPECT_EQ(r.tenant, "alpha");
+    EXPECT_EQ(r.dataset, "citeseer");
+    EXPECT_EQ(r.model, "gin");
+    EXPECT_EQ(r.engine, "gcnax");
+    EXPECT_EQ(r.tier, graph::ScaleTier::Tiny);
+    EXPECT_EQ(r.depth, 3u);
+    EXPECT_EQ(r.seed, 99u);
+    EXPECT_EQ(r.deadlineRelUs, 250000);
+}
+
+TEST(Protocol, DefaultsApplyWhenKeysOmitted)
+{
+    ClientLine parsed;
+    std::string error;
+    ASSERT_TRUE(parseClientLine(R"({"id":1,"dataset":"cora"})", parsed,
+                                &error))
+        << error;
+    EXPECT_EQ(parsed.request.tenant, "default");
+    EXPECT_EQ(parsed.request.model, "gcn");
+    EXPECT_EQ(parsed.request.engine, "grow");
+    EXPECT_EQ(parsed.request.tier, graph::ScaleTier::Mini);
+    EXPECT_EQ(parsed.request.depth, 2u);
+    EXPECT_EQ(parsed.request.deadlineRelUs, 0);
+}
+
+TEST(Protocol, CommandLines)
+{
+    ClientLine parsed;
+    ASSERT_TRUE(parseClientLine(encodeShutdown(), parsed, nullptr));
+    EXPECT_EQ(parsed.kind, ClientLine::Kind::Shutdown);
+    ASSERT_TRUE(parseClientLine(encodePing(), parsed, nullptr));
+    EXPECT_EQ(parsed.kind, ClientLine::Kind::Ping);
+}
+
+TEST(Protocol, MalformedLinesRejectedWithReason)
+{
+    const char *bad[] = {
+        "",                                    // not JSON
+        "not json",                            // not JSON
+        "[1,2]",                               // not an object
+        R"({"dataset":"cora"})",               // missing id
+        R"({"id":1})",                         // missing dataset
+        R"({"id":-1,"dataset":"cora"})",       // negative id
+        R"({"id":1.5,"dataset":"cora"})",      // fractional id
+        R"({"id":1,"dataset":"cora","scale":"huge"})",  // bad tier
+        R"({"id":1,"dataset":"cora","depth":0})",       // zero depth
+        R"({"id":1,"dataset":"cora","bogus":1})",       // unknown key
+        R"({"cmd":"shutdown","id":1})",        // cmd with extras
+        R"({"cmd":"explode"})",                // unknown cmd
+    };
+    for (const char *line : bad) {
+        ClientLine parsed;
+        std::string error;
+        EXPECT_FALSE(parseClientLine(line, parsed, &error))
+            << "accepted: " << line;
+        EXPECT_FALSE(error.empty()) << line;
+    }
+}
+
+TEST(Protocol, ResponseRoundTripCompleted)
+{
+    RequestRecord rec;
+    rec.request.id = 7;
+    rec.request.tenant = "t";
+    rec.request.dataset = "pubmed";
+    rec.request.tier = graph::ScaleTier::Unit;
+    rec.status = RequestStatus::Completed;
+    rec.request.arrivalUs = 1000;
+    rec.dispatchUs = 3000;
+    rec.completionUs = 5500;
+    rec.execMs = 2.5;
+    rec.digest = {123456, 789, 1011, 12, 13};
+
+    RequestRecord parsed;
+    std::string error;
+    ASSERT_TRUE(parseResponse(encodeResponse(rec), parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.status, RequestStatus::Completed);
+    EXPECT_EQ(parsed.request.id, 7u);
+    EXPECT_EQ(parsed.digest.cycles, 123456u);
+    EXPECT_EQ(parsed.digest.dramBytes, 789u);
+    EXPECT_EQ(parsed.digest.macOps, 1011u);
+    EXPECT_EQ(parsed.digest.cacheHits, 12u);
+    EXPECT_EQ(parsed.digest.cacheMisses, 13u);
+    // Wire latencies survive the round trip via reconstructed stamps.
+    EXPECT_DOUBLE_EQ(parsed.queueMs(), rec.queueMs());
+    EXPECT_DOUBLE_EQ(parsed.totalMs(), rec.totalMs());
+}
+
+TEST(Protocol, ResponseRoundTripRejection)
+{
+    RequestRecord rec;
+    rec.request.id = 8;
+    rec.status = RequestStatus::RejectedQueueFull;
+    rec.request.arrivalUs = 100;
+    rec.completionUs = 100;
+
+    RequestRecord parsed;
+    std::string error;
+    ASSERT_TRUE(parseResponse(encodeResponse(rec), parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.status, RequestStatus::RejectedQueueFull);
+    EXPECT_EQ(parsed.digest.cycles, 0u);
+}
+
+TEST(Protocol, StatusNamesRoundTrip)
+{
+    for (RequestStatus s :
+         {RequestStatus::Completed, RequestStatus::RejectedQueueFull,
+          RequestStatus::RejectedBytes, RequestStatus::RejectedClosed,
+          RequestStatus::Expired, RequestStatus::Error}) {
+        RequestStatus back = RequestStatus::Completed;
+        ASSERT_TRUE(statusFromName(statusName(s), back));
+        EXPECT_EQ(back, s);
+    }
+    RequestStatus out;
+    EXPECT_FALSE(statusFromName("nope", out));
+}
+
+TEST(Protocol, DigestLineIsCanonical)
+{
+    ServeRequest req;
+    req.id = 3;
+    req.tenant = "alpha";
+    req.dataset = "cora";
+    req.tier = graph::ScaleTier::Unit;
+    InferenceDigest digest{100, 200, 300, 4, 5};
+    EXPECT_EQ(digestLine(req, digest),
+              "tenant=alpha id=3 dataset=cora model=gcn engine=grow "
+              "scale=unit depth=2 seed=7 cycles=100 dram_bytes=200 "
+              "mac_ops=300 cache_hits=4 cache_misses=5");
+}
+
+TEST(Schedule, DeterministicAndWeighted)
+{
+    ScheduleConfig config;
+    config.seed = 11;
+    config.count = 200;
+    config.tenants = {{"heavy", 8}, {"light", 1}};
+    config.datasets = {"cora", "citeseer"};
+    const auto a = buildSchedule(config);
+    const auto b = buildSchedule(config);
+    ASSERT_EQ(a.size(), 200u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].atUs, b[i].atUs);
+        EXPECT_EQ(a[i].request.tenant, b[i].request.tenant);
+        EXPECT_EQ(a[i].request.dataset, b[i].request.dataset);
+        EXPECT_EQ(a[i].request.seed, b[i].request.seed);
+    }
+    // Arrival times strictly increase; the weighted draw skews ~8:1.
+    size_t heavy = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (i > 0)
+            EXPECT_GT(a[i].atUs, a[i - 1].atUs);
+        heavy += a[i].request.tenant == "heavy";
+    }
+    EXPECT_GT(heavy, 150u);
+    EXPECT_LT(heavy, 200u);
+
+    // A different seed yields a different draw sequence.
+    config.seed = 12;
+    const auto c = buildSchedule(config);
+    bool differs = false;
+    for (size_t i = 0; i < a.size(); ++i)
+        differs |= a[i].atUs != c[i].atUs ||
+                   a[i].request.tenant != c[i].request.tenant;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Schedule, TenantMixParsing)
+{
+    std::vector<TenantMix> mix;
+    std::string error;
+    ASSERT_TRUE(parseTenantMix("alpha:3,beta,gamma:1", mix, &error));
+    ASSERT_EQ(mix.size(), 3u);
+    EXPECT_EQ(mix[0].name, "alpha");
+    EXPECT_EQ(mix[0].weight, 3u);
+    EXPECT_EQ(mix[1].name, "beta");
+    EXPECT_EQ(mix[1].weight, 1u);
+    EXPECT_FALSE(parseTenantMix("", mix, &error));
+    EXPECT_FALSE(parseTenantMix(":2", mix, &error));
+    EXPECT_FALSE(parseTenantMix("a:0", mix, &error));
+    EXPECT_FALSE(parseTenantMix("a:x", mix, &error));
+}
+
+TEST(Percentile, NearestRank)
+{
+    std::vector<double> sorted = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    EXPECT_DOUBLE_EQ(percentile(sorted, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(sorted, 0.50), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(sorted, 0.95), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(sorted, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 0.99), 42.0);
+}
+
+} // namespace
+} // namespace grow::serve

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Virtual-clock serving loop: deterministic replay, queue-overflow
+ * rejection, deadline expiry before dispatch, and per-tenant fairness
+ * under a skewed seeded workload -- all with synthetic service times
+ * (no simulator), so the queueing behaviour itself is under test.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "serve/virtual_serve.hpp"
+
+namespace grow::serve {
+namespace {
+
+/** Fixed service time in ms for every request. */
+VirtualServeConfig
+fixedService(double ms)
+{
+    VirtualServeConfig config;
+    config.serviceMs = [ms](const ServeRequest &) { return ms; };
+    return config;
+}
+
+std::vector<ScheduledRequest>
+arrivals(const std::vector<std::pair<Micros, std::string>> &list)
+{
+    std::vector<ScheduledRequest> schedule;
+    uint64_t id = 0;
+    for (const auto &[at, tenant] : list) {
+        ScheduledRequest sr;
+        sr.atUs = at;
+        sr.request.id = ++id;
+        sr.request.tenant = tenant;
+        sr.request.dataset = "cora";
+        schedule.push_back(std::move(sr));
+    }
+    return schedule;
+}
+
+std::map<RequestStatus, int>
+statusCounts(const VirtualServeResult &result)
+{
+    std::map<RequestStatus, int> counts;
+    for (const RequestRecord &r : result.records)
+        ++counts[r.status];
+    return counts;
+}
+
+TEST(VirtualServe, BackToBackServiceOnOneSlot)
+{
+    // Three arrivals at t=0 (well, 1us apart), 1 ms service each:
+    // completions at 1, 2, 3 ms.
+    auto schedule = arrivals({{1, "a"}, {2, "a"}, {3, "a"}});
+    auto result =
+        runVirtualServe(schedule, nullptr, fixedService(1.0), nullptr);
+    ASSERT_EQ(result.records.size(), 3u);
+    for (const RequestRecord &r : result.records)
+        EXPECT_EQ(r.status, RequestStatus::Completed);
+    EXPECT_EQ(result.records[0].completionUs, 1001);
+    EXPECT_EQ(result.records[1].completionUs, 2001);
+    EXPECT_EQ(result.records[2].completionUs, 3001);
+    // Queue latency accrues for the waiters.
+    EXPECT_EQ(result.records[1].dispatchUs, 1001);
+    EXPECT_EQ(result.records[2].dispatchUs, 2001);
+    EXPECT_EQ(result.endUs, 3001);
+}
+
+TEST(VirtualServe, TwoSlotsOverlap)
+{
+    auto schedule = arrivals({{1, "a"}, {2, "a"}, {3, "a"}});
+    auto config = fixedService(1.0);
+    config.slots = 2;
+    auto result = runVirtualServe(schedule, nullptr, config, nullptr);
+    // First two run in parallel; the third waits for the first slot.
+    EXPECT_EQ(result.records[0].completionUs, 1001);
+    EXPECT_EQ(result.records[1].completionUs, 1002);
+    EXPECT_EQ(result.records[2].dispatchUs, 1001);
+    EXPECT_EQ(result.records[2].completionUs, 2001);
+}
+
+TEST(VirtualServe, QueueOverflowRejects)
+{
+    // Burst of 6 arrivals into depth-2 queue with slow service: the
+    // first occupies the slot, two queue, the rest bounce.
+    auto schedule = arrivals(
+        {{1, "a"}, {2, "a"}, {3, "a"}, {4, "a"}, {5, "a"}, {6, "a"}});
+    auto config = fixedService(10.0);
+    config.admission.maxDepth = 2;
+    ServeMetrics metrics;
+    auto result = runVirtualServe(schedule, nullptr, config, &metrics);
+    auto counts = statusCounts(result);
+    EXPECT_EQ(counts[RequestStatus::Completed], 3);
+    EXPECT_EQ(counts[RequestStatus::RejectedQueueFull], 3);
+    EXPECT_EQ(metrics.outcomes(), 6u);
+    // Rejected requests resolve instantly (reject-with-reason, no
+    // queueing).
+    for (const RequestRecord &r : result.records)
+        if (r.status == RequestStatus::RejectedQueueFull)
+            EXPECT_DOUBLE_EQ(r.totalMs(), 0.0);
+}
+
+TEST(VirtualServe, ByteBudgetSheds)
+{
+    auto schedule = arrivals({{1, "a"}, {2, "a"}, {3, "a"}});
+    for (auto &sr : schedule)
+        sr.request.costBytes = 600;
+    auto config = fixedService(5.0);
+    config.admission.byteBudget = 1000; // one in flight + none queued
+    auto result = runVirtualServe(schedule, nullptr, config, nullptr);
+    auto counts = statusCounts(result);
+    EXPECT_EQ(counts[RequestStatus::Completed], 1);
+    EXPECT_EQ(counts[RequestStatus::RejectedBytes], 2);
+}
+
+TEST(VirtualServe, DeadlineExpiresBeforeDispatchNeverAfter)
+{
+    // 1 ms service, slot busy until t=1001us; requests 2 and 3 carry a
+    // 0.5 ms deadline and expire waiting; request 4's deadline is
+    // ample, so it completes even though dispatch happens later.
+    auto schedule =
+        arrivals({{1, "a"}, {10, "a"}, {20, "a"}, {30, "a"}});
+    schedule[1].request.deadlineRelUs = 500;
+    schedule[2].request.deadlineRelUs = 500;
+    schedule[3].request.deadlineRelUs = 5000;
+    auto result =
+        runVirtualServe(schedule, nullptr, fixedService(1.0), nullptr);
+    ASSERT_EQ(result.records.size(), 4u);
+    auto counts = statusCounts(result);
+    EXPECT_EQ(counts[RequestStatus::Completed], 2);
+    EXPECT_EQ(counts[RequestStatus::Expired], 2);
+    for (const RequestRecord &r : result.records) {
+        if (r.status != RequestStatus::Expired)
+            continue;
+        // Expired strictly after the deadline, before any dispatch.
+        EXPECT_GT(r.completionUs,
+                  r.request.arrivalUs + r.request.deadlineRelUs);
+        EXPECT_EQ(r.dispatchUs, 0);
+        EXPECT_EQ(r.digest.cycles, 0u);
+    }
+}
+
+TEST(VirtualServe, DeterministicReplay)
+{
+    ScheduleConfig sconfig;
+    sconfig.seed = 21;
+    sconfig.count = 64;
+    sconfig.meanGapUs = 100;
+    sconfig.tenants = {{"a", 3}, {"b", 1}};
+    auto schedule = buildSchedule(sconfig);
+    auto config = fixedService(0.3);
+    config.admission.maxDepth = 8;
+    auto r1 = runVirtualServe(schedule, nullptr, config, nullptr);
+    auto r2 = runVirtualServe(schedule, nullptr, config, nullptr);
+    ASSERT_EQ(r1.records.size(), r2.records.size());
+    for (size_t i = 0; i < r1.records.size(); ++i) {
+        EXPECT_EQ(r1.records[i].request.id, r2.records[i].request.id);
+        EXPECT_EQ(r1.records[i].status, r2.records[i].status);
+        EXPECT_EQ(r1.records[i].completionUs, r2.records[i].completionUs);
+    }
+    EXPECT_EQ(r1.endUs, r2.endUs);
+}
+
+TEST(VirtualServe, SkewedTenantCannotStarveLightTenants)
+{
+    // "heavy" floods 8:1 against two light tenants; service is slower
+    // than the arrival rate, so a deep backlog forms. Fair-share
+    // round-robin must keep the light tenants' waiting time near one
+    // service quantum while heavy's backlog piles up.
+    ScheduleConfig sconfig;
+    sconfig.seed = 5;
+    sconfig.count = 120;
+    // ~2k req/s against 1k req/s service: each light tenant arrives
+    // at ~0.2 req/ms, under its 1/3 req/ms fair share of the slot, so
+    // only heavy is overloaded.
+    sconfig.meanGapUs = 500;
+    sconfig.tenants = {{"heavy", 8}, {"light1", 1}, {"light2", 1}};
+    auto schedule = buildSchedule(sconfig);
+    auto config = fixedService(1.0);
+    config.admission.maxDepth = 1000; // no shedding: fairness only
+    ServeMetrics metrics;
+    auto result = runVirtualServe(schedule, nullptr, config, &metrics);
+
+    std::map<std::string, std::vector<double>> queueMsByTenant;
+    for (const RequestRecord &r : result.records) {
+        ASSERT_EQ(r.status, RequestStatus::Completed);
+        queueMsByTenant[r.request.tenant].push_back(r.queueMs());
+    }
+    ASSERT_EQ(queueMsByTenant.size(), 3u);
+    auto worst = [&](const std::string &tenant) {
+        double w = 0;
+        for (double v : queueMsByTenant[tenant])
+            w = std::max(w, v);
+        return w;
+    };
+    // Light tenants wait at most a few rounds of the active-tenant
+    // cycle (3 tenants x 1 ms) regardless of heavy's backlog; heavy's
+    // own worst wait grows with its queue. The x5 separation is far
+    // outside scheduling noise, so the test is robust yet sharp.
+    EXPECT_LT(worst("light1"), 10.0);
+    EXPECT_LT(worst("light2"), 10.0);
+    EXPECT_GT(worst("heavy"), 50.0);
+}
+
+} // namespace
+} // namespace grow::serve

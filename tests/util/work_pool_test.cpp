@@ -157,5 +157,83 @@ TEST(CheckedThreadCount, RejectsZeroNegativeAndSillyValues)
     EXPECT_THROW(checkedThreadCount(1 << 20), std::runtime_error);
 }
 
+TEST(WorkPoolDetached, TrySubmitRunsOnAWorker)
+{
+    WorkPool pool(2);
+    std::atomic<int> hits{0};
+    const auto caller = std::this_thread::get_id();
+    std::atomic<bool> onCaller{false};
+    for (int i = 0; i < 32; ++i)
+        ASSERT_TRUE(pool.trySubmit([&hits, &onCaller, caller] {
+            if (std::this_thread::get_id() == caller)
+                onCaller.store(true);
+            hits.fetch_add(1);
+        }));
+    pool.drainDetached();
+    EXPECT_EQ(hits.load(), 32);
+    EXPECT_FALSE(onCaller.load());
+    EXPECT_EQ(pool.detachedPending(), 0u);
+}
+
+TEST(WorkPoolDetached, ZeroWorkersRefusesSoCallerRunsInline)
+{
+    WorkPool pool(0);
+    EXPECT_EQ(pool.idleWorkers(), 0u);
+    EXPECT_FALSE(pool.trySubmit([] {}));
+}
+
+TEST(WorkPoolDetached, DestructorDrainsPendingDetachedWork)
+{
+    std::atomic<int> hits{0};
+    {
+        WorkPool pool(2);
+        for (int i = 0; i < 16; ++i)
+            ASSERT_TRUE(pool.trySubmit([&hits] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                hits.fetch_add(1);
+            }));
+        // No drain: shutdown ordering must run every accepted task
+        // before the workers stop.
+    }
+    EXPECT_EQ(hits.load(), 16);
+}
+
+TEST(WorkPoolDetached, ThrowingTaskIsSwallowedAndCounted)
+{
+    WorkPool pool(1);
+    std::atomic<int> after{0};
+    ASSERT_TRUE(
+        pool.trySubmit([] { throw std::runtime_error("detached boom"); }));
+    ASSERT_TRUE(pool.trySubmit([&after] { after.fetch_add(1); }));
+    pool.drainDetached();
+    // The throwing task must not take the worker down.
+    EXPECT_EQ(after.load(), 1);
+    EXPECT_EQ(pool.detachedPending(), 0u);
+}
+
+TEST(WorkPoolDetached, DetachedAndTicketBatchesCoexist)
+{
+    WorkPool pool(3);
+    std::atomic<int> detachedHits{0}, batchHits{0};
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(
+            pool.trySubmit([&detachedHits] { detachedHits.fetch_add(1); }));
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i)
+        tasks.emplace_back([&batchHits] { batchHits.fetch_add(1); });
+    pool.runAll(std::move(tasks));
+    pool.drainDetached();
+    EXPECT_EQ(detachedHits.load(), 8);
+    EXPECT_EQ(batchHits.load(), 8);
+}
+
+TEST(WorkPoolDetached, IdleWorkersIsBoundedByWorkerCount)
+{
+    WorkPool pool(2);
+    // Racy by design: only the invariant 0 <= idle <= workers holds.
+    EXPECT_LE(pool.idleWorkers(), 2u);
+}
+
 } // namespace
 } // namespace grow::util
