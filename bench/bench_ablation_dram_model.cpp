@@ -23,7 +23,7 @@ GROW_BENCH_MAIN("ablation_dram_model")
         .col("banked_over_simple", "banked/simple");
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
-        gcn::RunnerOptions opt = ctx.runnerOptions();
+        gcn::RunOptions opt = ctx.runOptions();
         opt.usePartitioning = true;
         core::GrowSim simA(driver::growDefaultConfig());
         auto simple = gcn::runInference(simA, w, opt);

@@ -22,7 +22,7 @@ GROW_BENCH_MAIN("fig25a_runahead_sweep")
               std::to_string(degree) + "-way");
     for (const auto &spec : ctx.specs()) {
         const auto &w = ctx.workload(spec.name);
-        gcn::RunnerOptions opt = ctx.runnerOptions();
+        gcn::RunOptions opt = ctx.runOptions();
         opt.usePartitioning = true;
         auto row = t.row({.dataset = spec.name, .engine = "grow"});
         row.add(report::textCell(spec.name));

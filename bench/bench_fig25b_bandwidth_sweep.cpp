@@ -42,7 +42,7 @@ GROW_BENCH_MAIN("fig25b_bandwidth_sweep")
                 core::GrowConfig cfg = driver::growDefaultConfig();
                 cfg.dram.bandwidthGBps = bw;
                 core::GrowSim sim(cfg);
-                gcn::RunnerOptions opt = ctx.runnerOptions();
+                gcn::RunOptions opt = ctx.runOptions();
                 opt.usePartitioning = true;
                 cycles.push_back(static_cast<double>(
                     gcn::runInference(sim, w, opt).totalCycles));
@@ -56,7 +56,7 @@ GROW_BENCH_MAIN("fig25b_bandwidth_sweep")
                 accel::GcnaxConfig cfg = driver::gcnaxDefaultConfig();
                 cfg.dram.bandwidthGBps = bw;
                 accel::GcnaxSim sim(cfg);
-                gcn::RunnerOptions opt = ctx.runnerOptions();
+                gcn::RunOptions opt = ctx.runOptions();
                 cycles.push_back(static_cast<double>(
                     gcn::runInference(sim, w, opt).totalCycles));
             }

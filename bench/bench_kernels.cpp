@@ -263,7 +263,7 @@ BM_BuildPhasePlan(benchmark::State &state)
     wc.tier = graph::ScaleTier::Unit;
     wc.model = model;
     auto w = gcn::buildWorkload(spec, wc);
-    gcn::RunnerOptions opt;
+    gcn::RunOptions opt;
     opt.usePartitioning = true;
     for (auto _ : state) {
         auto plan = gcn::buildPhasePlan(w, opt);

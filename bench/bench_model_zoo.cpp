@@ -70,7 +70,7 @@ GROW_BENCH_MAIN("model_zoo")
                     .first->second;
             for (const auto &engine : engineKeys)
                 jobs.push_back(driver::makeEngineJob(
-                    engine, w, ctx.runnerOptions()));
+                    engine, w, ctx.runOptions()));
         }
     }
     driver::SweepDriver pool(ctx.threads());

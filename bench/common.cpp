@@ -1,5 +1,6 @@
 #include "common.hpp"
 
+#include <algorithm>
 #include <iostream>
 #include <thread>
 
@@ -22,28 +23,6 @@ mutableCurrentBench()
 {
     static std::string name;
     return name;
-}
-
-/** Parse a `memcap=` byte size: digits with an optional K/M/G suffix. */
-uint64_t
-parseByteSize(const std::string &s)
-{
-    if (s.empty())
-        fatal("memcap needs a byte size (e.g. memcap=512M)");
-    uint64_t mult = 1;
-    std::string digits = s;
-    switch (s.back()) {
-      case 'k': case 'K': mult = 1ull << 10; break;
-      case 'm': case 'M': mult = 1ull << 20; break;
-      case 'g': case 'G': mult = 1ull << 30; break;
-      default: break;
-    }
-    if (mult != 1)
-        digits.pop_back();
-    if (digits.empty() ||
-        digits.find_first_not_of("0123456789") != std::string::npos)
-        fatal("memcap must be <digits>[K|M|G], got '" + s + "'");
-    return std::stoull(digits) * mult;
 }
 
 } // namespace
@@ -90,7 +69,8 @@ BenchContext::BenchContext(int argc, char **argv,
     std::vector<std::string> known = {"scale",  "datasets", "model",
                                       "cachedir", "format", "out",
                                       "threads",  "epoch",  "profile",
-                                      "memcap"};
+                                      "memcap",   "chips",  "link_gbps",
+                                      "link_ns"};
     known.insert(known.end(), extra_keys.begin(), extra_keys.end());
     args_.requireKnown(known);
 
@@ -103,8 +83,28 @@ BenchContext::BenchContext(int argc, char **argv,
                    ? util::checkedThreadCount(args_.getInt("threads", 1))
                    : std::max(1u, std::thread::hardware_concurrency());
     profile_ = args_.getBool("profile", false);
+    chipCounts_.clear();
+    for (const auto &c : args_.getList("chips", {"1"})) {
+        if (c.empty() || c.find_first_not_of("0123456789") != std::string::npos)
+            fatal("chips= takes positive chip counts, got '" + c + "'");
+        const uint64_t n = std::stoull(c);
+        if (n < 1 || n > scaleout::kMaxChips)
+            fatal("chips= must be in [1, " +
+                  std::to_string(scaleout::kMaxChips) + "], got " + c);
+        chipCounts_.push_back(static_cast<uint32_t>(n));
+    }
+    const bool anySharded =
+        std::any_of(chipCounts_.begin(), chipCounts_.end(),
+                    [](uint32_t n) { return n > 1; });
+    if ((args_.has("link_gbps") || args_.has("link_ns")) && !anySharded)
+        fatal("link_gbps=/link_ns= describe the inter-chip links of a "
+              "multi-chip topology; pass a chips= value > 1 (or drop "
+              "the link keys)");
+    link_.bandwidthGBps = args_.getDouble("link_gbps", link_.bandwidthGBps);
+    link_.latencyNs = args_.getDouble("link_ns", link_.latencyNs);
     if (args_.has("memcap"))
-        cache_.setMemoryByteCap(parseByteSize(args_.get("memcap", "")));
+        cache_.setMemoryByteCap(
+            parseByteSize("memcap", args_.get("memcap", "")));
     // Cache misses build with the bench's worker pool; artefacts are
     // bit-identical for every thread count (see DESIGN.md).
     cache_.setBuildThreads(threads_);
@@ -183,6 +183,11 @@ BenchContext::emitSimSpeed()
                     break;
                   case gcn::PhaseOp::AttentionScore:
                     attn += pm.hostMillis;
+                    break;
+                  case gcn::PhaseOp::HaloExchange:
+                    // Halo phases never reach the single-chip results
+                    // cached here (bench_scaleout reports link time in
+                    // its own tables).
                     break;
                 }
             }
@@ -266,21 +271,32 @@ BenchContext::workload(const std::string &name)
     return it->second;
 }
 
-gcn::RunnerOptions
-BenchContext::runnerOptions() const
+gcn::RunOptions
+BenchContext::runOptions() const
 {
-    gcn::RunnerOptions base;
+    gcn::RunOptions base;
     base.sim.threads = threads_;
     base.sim.epochCycles = epochCycles_;
     base.sim.epochAuto = epochAuto_;
     return base;
 }
 
+scaleout::EngineTopology
+BenchContext::topology(const std::string &engine_key, uint32_t chips) const
+{
+    auto topo = scaleout::EngineTopology{}
+                    .withEngine(engine_key)
+                    .withChips(chips)
+                    .withLink(link_);
+    topo.validate();
+    return topo;
+}
+
 gcn::InferenceResult
 BenchContext::runEngine(const gcn::GcnWorkload &w,
                         const std::string &engine_key)
 {
-    auto job = driver::makeEngineJob(engine_key, w, runnerOptions());
+    auto job = driver::makeEngineJob(engine_key, w, runOptions());
     auto engine = job.makeEngine();
     return gcn::runInference(*engine, w, job.options);
 }
@@ -320,7 +336,7 @@ BenchContext::prefetch(const std::vector<std::string> &engine_keys)
             std::string cacheKey = spec.name + "/" + key;
             if (results_.count(cacheKey))
                 continue;
-            auto job = driver::makeEngineJob(key, w, runnerOptions());
+            auto job = driver::makeEngineJob(key, w, runOptions());
             // Label IS the cache key: inference() must find these.
             job.label = std::move(cacheKey);
             jobs.push_back(std::move(job));

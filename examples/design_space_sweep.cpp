@@ -28,11 +28,19 @@
  *             over (cycles, SRAM), and the first pareto= survivors are
  *             simulated cycle-accurately for validation.
  *
- * Usage: design_space_sweep [dataset=pokec] [scale=tiny] [threads=0]
+ * With dse=1 a `chips=` list additionally sweeps multi-chip scale-out
+ * points analytically: the shard plan's cut arcs price the per-layer
+ * halo traffic through costmodel::estimateLinkTraffic under the
+ * link_gbps=/link_ns= spec.
+ *
+ * Usage: design_space_sweep [datasets=pokec] [scale=tiny] [threads=0]
  *                           [epoch=0] [dse=0] [pareto=8] [est=0]
+ *                           [chips=1] [link_gbps=64] [link_ns=500]
  *                           [cachedir=] [model=gcn|sage-mean|sage-pool|
  *                           gin|gat] [format=table|json|csv] [out=path]
+ *                           (dataset= is a deprecated alias)
  */
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -40,7 +48,12 @@
 
 #include "core/grow.hpp"
 #include "costmodel/cost_model.hpp"
+#include "costmodel/link_model.hpp"
 #include "driver/dse.hpp"
+#include "driver/engine_factory.hpp"
+#include "scaleout/halo.hpp"
+#include "scaleout/shard.hpp"
+#include "scaleout/topology.hpp"
 #include "driver/sweep_driver.hpp"
 #include "driver/workload_cache.hpp"
 #include "energy/area_model.hpp"
@@ -83,9 +96,17 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    args.requireKnown({"dataset", "scale", "threads", "cachedir", "model",
-                       "format", "out", "epoch", "dse", "pareto", "est"});
-    const auto &spec = graph::datasetByName(args.get("dataset", "pokec"));
+    // `dataset=` predates the bench-wide `datasets=` grammar; keep it
+    // working as a deprecated alias.
+    args.applyAliases({{"dataset", "datasets"}});
+    args.requireKnown({"datasets", "scale", "threads", "cachedir", "model",
+                       "format", "out", "epoch", "dse", "pareto", "est",
+                       "chips", "link_gbps", "link_ns"});
+    const auto names = args.getList("datasets", {"pokec"});
+    if (names.size() != 1)
+        fatal("design_space_sweep explores one dataset per run; got " +
+              std::to_string(names.size()) + " in datasets=");
+    const auto &spec = graph::datasetByName(names.front());
     auto tier = graph::tierFromString(args.get("scale", "tiny"));
     const int64_t threadsArg = args.getInt("threads", 0);
     if (threadsArg < 0 || threadsArg > 1024)
@@ -339,7 +360,7 @@ main(int argc, char **argv)
             auto &slot = models[wl];
             if (!slot) {
                 slot = std::make_unique<EstModel>();
-                gcn::RunnerOptions opt;
+                gcn::RunOptions opt;
                 opt.usePartitioning = true;
                 slot->plan = gcn::buildPhasePlan(*wl, opt);
                 slot->model =
@@ -380,7 +401,7 @@ main(int argc, char **argv)
 
     // --- dse=1: two-tier design-space exploration. --------------------
     if (dseArg) {
-        gcn::RunnerOptions dseBase;
+        gcn::RunOptions dseBase;
         dseBase.sim.threads = pool.numThreads();
         dseBase.sim.epochCycles = static_cast<Cycle>(epochArg);
         driver::DseDriver dse(w, dseBase);
@@ -426,6 +447,70 @@ main(int argc, char **argv)
                 .add(report::count(s.simulated.totalCycles, "cycles"))
                 .add(report::real(100.0 * s.cycleError, 2, "est"))
                 .add(report::real(100.0 * s.trafficError, 2, "est"));
+        }
+
+        // --- chips=: analytical multi-chip scale-out points. ----------
+        // Every chip count is priced without link co-simulation: the
+        // shard plan's cut structure gives the exact halo bytes and
+        // costmodel::estimateLinkTraffic the link-time roofline; chip
+        // compute scales the analytical single-chip estimate.
+        std::vector<uint32_t> chipCounts;
+        for (const auto &c : args.getList("chips", {"1"})) {
+            if (c.empty() ||
+                c.find_first_not_of("0123456789") != std::string::npos)
+                fatal("chips= takes positive chip counts, got '" + c + "'");
+            chipCounts.push_back(
+                static_cast<uint32_t>(std::stoull(c)));
+        }
+        const bool anySharded =
+            std::any_of(chipCounts.begin(), chipCounts.end(),
+                        [](uint32_t n) { return n > 1; });
+        if (anySharded) {
+            scaleout::LinkSpec link;
+            link.bandwidthGBps = args.getDouble("link_gbps", 64.0);
+            link.latencyNs = args.getDouble("link_ns", 500.0);
+
+            gcn::RunOptions estOpt;
+            estOpt.usePartitioning = true;
+            const auto basePlan = gcn::buildPhasePlan(w, estOpt);
+            costmodel::AnalyticalCostModel baseModel(basePlan);
+            core::GrowSim probe(driver::growDefaultConfig());
+            const auto baseEst = baseModel.estimate(probe.mapping());
+
+            auto sc = rep.table("scaleout_est",
+                                "Analytical multi-chip scale-out");
+            sc.col("chips", "chips")
+                .col("cut_arcs", "cut arcs", "arcs")
+                .col("halo_bytes", "halo bytes", "link-bytes")
+                .col("est_halo_cycles", "est halo cycles", "cycles")
+                .col("est_cycles", "est cycles", "cycles");
+            for (uint32_t chips : chipCounts) {
+                const auto &adj = w.adjacencyPartitioned();
+                const auto &clustering = w.relabel().clustering;
+                const auto shard =
+                    scaleout::buildShardPlan(adj, clustering, chips);
+                const auto haloPlan = scaleout::buildHaloPlan(adj, shard);
+                gcn::RunOptions shardOpt;
+                shardOpt.usePartitioning = true;
+                shardOpt.chips = chips;
+                const auto plan = gcn::buildPhasePlan(w, shardOpt);
+                const auto linkEst = costmodel::estimateLinkTraffic(
+                    plan, shard, haloPlan, link);
+                // First-order strong scaling: per-chip compute is the
+                // single-chip estimate over the chip count (balanced
+                // shards), plus the serialised halo steps.
+                const Cycle estCycles =
+                    baseEst.totalCycles / chips + linkEst.haloCycles;
+                sc.row({.dataset = spec.name,
+                        .engine = engineName,
+                        .extra = {{"label",
+                                   "chips/" + std::to_string(chips)}}})
+                    .add(report::count(chips))
+                    .add(report::count(shard.cutArcs, "arcs"))
+                    .add(report::count(linkEst.totalBytes, "link-bytes"))
+                    .add(report::count(linkEst.haloCycles, "cycles"))
+                    .add(report::count(estCycles, "cycles"));
+            }
         }
     }
 

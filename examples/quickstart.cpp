@@ -47,14 +47,14 @@ main(int argc, char **argv)
               << " clusters\n";
 
     // 2. Run GROW (with its graph-partitioning preprocessing).
-    gcn::RunnerOptions opt;
+    gcn::RunOptions opt;
     opt.sim.functional = functional;
     opt.usePartitioning = true;
     core::GrowSim grow((core::GrowConfig()));
     auto growRes = gcn::runInference(grow, workload, opt);
 
     // 3. Run the GCNAX baseline (no preprocessing, Table II).
-    gcn::RunnerOptions optBase = opt;
+    gcn::RunOptions optBase = opt;
     optBase.usePartitioning = false;
     accel::GcnaxSim gcnax((accel::GcnaxConfig()));
     auto gcnaxRes = gcn::runInference(gcnax, workload, optBase);

@@ -7,9 +7,11 @@
 
 namespace grow::accel {
 
-LaneDramPort::LaneDramPort(EpochDramArbiter &arbiter, uint32_t lane_id)
-    : mem::DramModel(arbiter.canonical_.config()), arbiter_(arbiter),
-      lane_(lane_id), cluster_(lane_id)
+LaneDramPort::LaneDramPort(EpochArbiter &arbiter, uint32_t resource_id,
+                           uint32_t lane_id)
+    : mem::DramModel(arbiter.resources_.at(resource_id)->config()),
+      arbiter_(arbiter), resource_(resource_id), lane_(lane_id),
+      cluster_(lane_id)
 {
 }
 
@@ -22,6 +24,7 @@ LaneDramPort::record(bool is_write, Cycle now, uint64_t addr, Bytes bytes,
                 "missing)");
     DramRequest req;
     req.epoch = arbiter_.epoch_;
+    req.resourceId = resource_;
     req.clusterId = cluster_;
     req.laneId = lane_;
     req.seq = seq_++;
@@ -60,53 +63,63 @@ LaneDramPort::cloneTimingState() const
           "onto the canonical device)");
 }
 
-EpochDramArbiter::EpochDramArbiter(mem::DramModel &canonical,
-                                   uint32_t num_lanes)
-    : canonical_(canonical)
+EpochArbiter::EpochArbiter(std::vector<mem::DramModel *> resources,
+                           uint32_t num_lanes)
+    : resources_(std::move(resources)), numLanes_(num_lanes)
 {
+    GROW_ASSERT(!resources_.empty(),
+                "arbiter needs at least one resource");
+    for (const mem::DramModel *r : resources_)
+        GROW_ASSERT(r != nullptr, "arbiter resource is null");
     GROW_ASSERT(num_lanes >= 1, "arbiter needs at least one lane");
-    lanes_.reserve(num_lanes);
-    for (uint32_t i = 0; i < num_lanes; ++i)
-        lanes_.push_back(std::make_unique<LaneDramPort>(*this, i));
+    ports_.reserve(static_cast<size_t>(resources_.size()) * numLanes_);
+    for (uint32_t r = 0; r < resources_.size(); ++r)
+        for (uint32_t i = 0; i < numLanes_; ++i)
+            ports_.push_back(std::make_unique<LaneDramPort>(*this, r, i));
 }
 
 void
-EpochDramArbiter::beginEpoch()
+EpochArbiter::beginEpoch()
 {
     ++epoch_;
-    for (auto &lane : lanes_) {
-        GROW_ASSERT(lane->pending_.empty(),
+    for (auto &port : ports_) {
+        GROW_ASSERT(port->pending_.empty(),
                     "beginEpoch with uncommitted requests (commitEpoch "
                     "missing)");
-        lane->replica_ = canonical_.cloneTimingState();
+        port->replica_ =
+            resources_[port->resource_]->cloneTimingState();
     }
 }
 
 void
-EpochDramArbiter::commitEpoch()
+EpochArbiter::commitEpoch()
 {
     GROW_ASSERT(epoch_ > 0, "commitEpoch before the first beginEpoch");
     std::vector<DramRequest> all;
-    for (auto &lane : lanes_) {
-        all.insert(all.end(), lane->pending_.begin(),
-                   lane->pending_.end());
-        lane->pending_.clear();
-        lane->replica_.reset();
+    for (auto &port : ports_) {
+        all.insert(all.end(), port->pending_.begin(),
+                   port->pending_.end());
+        port->pending_.clear();
+        port->replica_.reset();
     }
-    // Canonical total order: cluster id first (the issue key the
+    // Canonical total order: resource first (each canonical device
+    // replays its own stream), then cluster id (the issue key the
     // hardware arbiter would see), lane id as a defensive tie-break,
-    // lane-local sequence last so program order within a cluster is
+    // port-local sequence last so program order within a cluster is
     // preserved. The sort key is unique, so std::sort is stable here.
     std::sort(all.begin(), all.end(),
               [](const DramRequest &a, const DramRequest &b) {
-                  return std::tie(a.epoch, a.clusterId, a.laneId, a.seq) <
-                         std::tie(b.epoch, b.clusterId, b.laneId, b.seq);
+                  return std::tie(a.epoch, a.resourceId, a.clusterId,
+                                  a.laneId, a.seq) <
+                         std::tie(b.epoch, b.resourceId, b.clusterId,
+                                  b.laneId, b.seq);
               });
     for (const DramRequest &r : all) {
+        mem::DramModel &device = *resources_[r.resourceId];
         if (r.isWrite)
-            canonical_.write(r.now, r.addr, r.bytes, r.cls);
+            device.write(r.now, r.addr, r.bytes, r.cls);
         else
-            canonical_.read(r.now, r.addr, r.bytes, r.cls);
+            device.read(r.now, r.addr, r.bytes, r.cls);
     }
     committed_ += all.size();
 }

@@ -1,29 +1,36 @@
 /**
  * @file
- * Deterministic epoch-based arbitration of a shared DRAM channel.
+ * Deterministic epoch-based arbitration of shared memory-like devices.
  *
  * The cluster-parallel co-simulation (core::GrowSim with
  * SimOptions::epochCycles > 0) runs one lane per processing engine,
  * each lane executing its share of the graph clusters concurrently.
  * The lanes share one DRAM device -- exactly the coupling that makes
  * naive parallel simulation non-deterministic: the interleaving of
- * read()/write() calls would depend on OS scheduling.
+ * read()/write() calls would depend on OS scheduling. The multi-chip
+ * scale-out co-simulation (src/scaleout/) has the same structure one
+ * level up: receiving chips (lanes) pull halo rows through shared
+ * egress links (resources), so the identical protocol arbitrates
+ * inter-chip link ports too.
  *
- * The arbiter removes the scheduling dependence with a bulk-
- * synchronous protocol:
+ * EpochArbiter removes the scheduling dependence with a bulk-
+ * synchronous protocol over any set of mem::DramModel-shaped shared
+ * resources (DRAM channels, inter-chip links):
  *
- *  1. beginEpoch() snapshots the canonical device's timing state into
- *     one private replica per lane (DramModel::cloneTimingState).
- *  2. During the epoch each lane talks only to its LaneDramPort: the
- *     response comes from the lane's replica (snapshot + the lane's
- *     own earlier requests of this epoch), and the request is recorded
- *     with its canonical key (epoch, clusterId, requestSeq). Lanes
- *     never touch shared mutable state, so they may run on any number
- *     of worker threads in any order.
+ *  1. beginEpoch() snapshots every canonical device's timing state
+ *     into one private replica per (resource, lane) port
+ *     (DramModel::cloneTimingState).
+ *  2. During the epoch each lane talks only to its LaneDramPorts: the
+ *     response comes from the port's replica (snapshot + the lane's
+ *     own earlier requests of this epoch on that resource), and the
+ *     request is recorded with its canonical key (epoch, resourceId,
+ *     clusterId, laneId, requestSeq). Lanes never touch shared mutable
+ *     state, so they may run on any number of worker threads in any
+ *     order.
  *  3. commitEpoch() sorts the recorded requests by the canonical key
- *     and replays them through the canonical device, which accumulates
- *     the official traffic accounting and the channel backlog that the
- *     next epoch's snapshots observe.
+ *     and replays them through their canonical devices, which
+ *     accumulate the official traffic accounting and the channel
+ *     backlog that the next epoch's snapshots observe.
  *
  * Determinism: every response and the canonical replay order are pure
  * functions of the simulation state at the epoch boundary -- thread
@@ -34,6 +41,10 @@
  * of parallel architecture simulators; epochCycles == 0 disables the
  * arbiter entirely and keeps the exact serial interleaving. See
  * DESIGN.md "Parallel co-simulation & DRAM arbitration".
+ *
+ * EpochDramArbiter below is the original single-resource (one DRAM
+ * channel) specialisation -- its protocol, canonical order and results
+ * are bit-identical to the pre-generalisation implementation.
  */
 #pragma once
 
@@ -46,19 +57,21 @@
 
 namespace grow::accel {
 
-class EpochDramArbiter;
+class EpochArbiter;
 
 /** One recorded memory request with its canonical ordering key. */
 struct DramRequest
 {
     uint64_t epoch = 0;
+    /** Canonical resource (DRAM channel / link) the request targets. */
+    uint32_t resourceId = 0;
     /** Graph cluster the owning lane was executing (falls back to the
      *  lane id before the first cluster transition). Clusters are
-     *  owned by exactly one lane, so (epoch, clusterId, seq) is
-     *  unique; laneId breaks ties defensively. */
+     *  owned by exactly one lane, so (epoch, resourceId, clusterId,
+     *  seq) is unique; laneId breaks ties defensively. */
     uint32_t clusterId = 0;
     uint32_t laneId = 0;
-    /** Lane-local issue index (program order within the lane). */
+    /** Port-local issue index (program order within the lane). */
     uint64_t seq = 0;
 
     bool isWrite = false;
@@ -69,14 +82,15 @@ struct DramRequest
 };
 
 /**
- * Per-lane port: a DramModel whose responses are computed against the
- * lane's private replica of the canonical device. Engines use it as a
- * drop-in DRAM; the arbiter owns it.
+ * Per-(resource, lane) port: a DramModel whose responses are computed
+ * against the lane's private replica of that canonical device. Engines
+ * use it as a drop-in DRAM; the arbiter owns it.
  */
 class LaneDramPort : public mem::DramModel
 {
   public:
-    LaneDramPort(EpochDramArbiter &arbiter, uint32_t lane_id);
+    LaneDramPort(EpochArbiter &arbiter, uint32_t resource_id,
+                 uint32_t lane_id);
 
     /** Stamp subsequent requests as belonging to @p cluster_id
      *  (wired to RowEngine's cluster transitions). */
@@ -89,62 +103,91 @@ class LaneDramPort : public mem::DramModel
     std::unique_ptr<mem::DramModel> cloneTimingState() const override;
 
   private:
-    friend class EpochDramArbiter;
+    friend class EpochArbiter;
 
     Cycle record(bool is_write, Cycle now, uint64_t addr, Bytes bytes,
                  mem::TrafficClass cls);
 
-    EpochDramArbiter &arbiter_;
+    EpochArbiter &arbiter_;
+    uint32_t resource_;
     uint32_t lane_;
     uint32_t cluster_;
     uint64_t seq_ = 0;
-    /** Snapshot of the canonical device + this lane's epoch requests. */
+    /** Snapshot of the canonical device + this port's epoch requests. */
     std::unique_ptr<mem::DramModel> replica_;
     std::vector<DramRequest> pending_;
 };
 
 /**
- * The epoch coordinator. Owns the lane ports; the canonical device is
- * borrowed and must outlive the arbiter.
+ * The epoch coordinator over a set of shared resources. Owns the
+ * (resource x lane) ports; the canonical devices are borrowed and must
+ * outlive the arbiter.
  */
-class EpochDramArbiter
+class EpochArbiter
 {
   public:
-    EpochDramArbiter(mem::DramModel &canonical, uint32_t num_lanes);
+    EpochArbiter(std::vector<mem::DramModel *> resources,
+                 uint32_t num_lanes);
 
-    uint32_t numLanes() const
+    uint32_t numResources() const
     {
-        return static_cast<uint32_t>(lanes_.size());
+        return static_cast<uint32_t>(resources_.size());
     }
-    LaneDramPort &lane(uint32_t i) { return *lanes_.at(i); }
+    uint32_t numLanes() const { return numLanes_; }
+
+    /** Lane @p lane's private port onto resource @p resource. */
+    LaneDramPort &port(uint32_t resource, uint32_t lane)
+    {
+        return *ports_.at(static_cast<size_t>(resource) * numLanes_ +
+                          lane);
+    }
 
     /** Current epoch index (first beginEpoch() starts epoch 1). */
     uint64_t epoch() const { return epoch_; }
 
-    /** Total requests replayed through the canonical device so far. */
+    /** Total requests replayed through the canonical devices so far. */
     uint64_t committedRequests() const { return committed_; }
 
-    /** Open the next epoch: re-snapshot every lane's replica from the
+    /** Open the next epoch: re-snapshot every port's replica from its
      *  canonical device. */
     void beginEpoch();
 
     /**
-     * Close the epoch: gather every lane's recorded requests, order
-     * them by the canonical (epoch, clusterId, laneId, seq) key and
-     * replay them through the canonical device. Responses of the
-     * replay are discarded -- lanes already consumed their replica
-     * responses; the replay exists to accumulate the official traffic
-     * and carry the channel backlog into the next epoch.
+     * Close the epoch: gather every port's recorded requests, order
+     * them by the canonical (epoch, resourceId, clusterId, laneId,
+     * seq) key and replay them through their canonical devices.
+     * Responses of the replay are discarded -- lanes already consumed
+     * their replica responses; the replay exists to accumulate the
+     * official traffic and carry the channel backlog into the next
+     * epoch.
      */
     void commitEpoch();
 
   private:
     friend class LaneDramPort;
 
-    mem::DramModel &canonical_;
-    std::vector<std::unique_ptr<LaneDramPort>> lanes_;
+    std::vector<mem::DramModel *> resources_;
+    uint32_t numLanes_ = 0;
+    std::vector<std::unique_ptr<LaneDramPort>> ports_;
     uint64_t epoch_ = 0;
     uint64_t committed_ = 0;
+};
+
+/**
+ * The single-resource specialisation: one DRAM channel shared by
+ * per-PE lanes (core::GrowSim's epoch mode). Canonical order and
+ * results are bit-identical to the original dedicated implementation
+ * (the resourceId key is constant 0).
+ */
+class EpochDramArbiter : public EpochArbiter
+{
+  public:
+    EpochDramArbiter(mem::DramModel &canonical, uint32_t num_lanes)
+        : EpochArbiter({&canonical}, num_lanes)
+    {
+    }
+
+    LaneDramPort &lane(uint32_t i) { return port(0, i); }
 };
 
 } // namespace grow::accel

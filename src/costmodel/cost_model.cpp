@@ -327,6 +327,10 @@ AnalyticalCostModel::AnalyticalCostModel(const gcn::PhasePlan &plan)
     : plan_(&plan)
 {
     for (const auto &ph : plan) {
+        // Halo-exchange markers move bytes over links, not SpDeGEMM
+        // work; costmodel::estimateLinkTraffic prices them.
+        if (ph.op == gcn::PhaseOp::HaloExchange)
+            continue;
         GROW_ASSERT(ph.problem.lhs != nullptr,
                     "phase plan entry without LHS");
         bool known = false;
@@ -364,6 +368,8 @@ AnalyticalCostModel::estimate(const mapping::EngineMapping &em) const
     PlanEstimate pe;
     pe.phases.reserve(plan_->size());
     for (const auto &ph : *plan_) {
+        if (ph.op == gcn::PhaseOp::HaloExchange)
+            continue;
         const MappingSpec &spec = em.spec(ph.mapping.phaseClass);
         PhaseEstimate e =
             estimatePhase(spec, em, statsFor(ph), ph.problem.rhsCols);
@@ -388,6 +394,8 @@ AnalyticalCostModel::estimate(const mapping::EngineMapping &em) const
             pe.cacheHits += e.cacheHits;
             pe.cacheMisses += e.cacheMisses;
             break;
+          case gcn::PhaseOp::HaloExchange:
+            break; // skipped above
         }
         pe.phases.push_back(std::move(e));
     }

@@ -75,7 +75,7 @@ DseAnalysis::microsPerPoint() const
 }
 
 DseDriver::DseDriver(const gcn::GcnWorkload &workload,
-                     const gcn::RunnerOptions &base)
+                     const gcn::RunOptions &base)
     : workload_(&workload), options_(base)
 {
     // The grid is GROW's: lower once under the partitioned convention

@@ -97,7 +97,7 @@ class DseDriver
 {
   public:
     DseDriver(const gcn::GcnWorkload &workload,
-              const gcn::RunnerOptions &base);
+              const gcn::RunOptions &base);
 
     /** Tier 1: score the whole grid and compute the Pareto frontier
      *  over (cycles, SRAM bytes). */
@@ -117,7 +117,7 @@ class DseDriver
 
   private:
     const gcn::GcnWorkload *workload_;
-    gcn::RunnerOptions options_;
+    gcn::RunOptions options_;
     gcn::PhasePlan plan_;
     std::unique_ptr<costmodel::AnalyticalCostModel> model_;
     double setupMillis_ = 0.0;

@@ -126,6 +126,21 @@ engineByKey(const std::string &key)
     fatal("unknown engine key: " + key + " (known: " + known + ")");
 }
 
+EngineSpec
+engineForTopology(const scaleout::EngineTopology &topo)
+{
+    topo.validate();
+    EngineSpec spec = engineByKey(topo.engine);
+    if (topo.growConfig)
+        spec.make = factoryOf<core::GrowSim>(*topo.growConfig);
+    if (topo.chips > 1 && !spec.usePartitioning)
+        fatal("engine '" + topo.engine +
+              "' does not consume the graph partitioning, so it "
+              "cannot be sharded across chips (pick a partitioning "
+              "engine or chips=1)");
+    return spec;
+}
+
 std::vector<std::string>
 knownEngineKeys()
 {

@@ -20,6 +20,7 @@
 #include "accel/gcnax.hpp"
 #include "accel/matraptor.hpp"
 #include "core/grow_config.hpp"
+#include "scaleout/topology.hpp"
 
 namespace grow::driver {
 
@@ -38,6 +39,17 @@ struct EngineSpec
 
 /** Lookup by key; fatal() (naming the known keys) when unknown. */
 EngineSpec engineByKey(const std::string &key);
+
+/**
+ * Resolve the engine of an EngineTopology: engineByKey(topo.engine),
+ * with topo.growConfig (when set) overriding the registry
+ * configuration, and the multi-chip constraints enforced -- a sharded
+ * topology needs a partitioning-consuming engine (the shard plan is
+ * built from the cluster structure). fatal() with a clear message on
+ * any violation. The returned factory builds ONE chip's engine; the
+ * scale-out runner instantiates it once per chip.
+ */
+EngineSpec engineForTopology(const scaleout::EngineTopology &topo);
 
 /** Every key engineByKey() accepts. */
 std::vector<std::string> knownEngineKeys();

@@ -14,7 +14,7 @@ namespace grow::driver {
 
 SweepJob
 makeEngineJob(const std::string &key, const gcn::GcnWorkload &workload,
-              const gcn::RunnerOptions &base)
+              const gcn::RunOptions &base)
 {
     auto spec = engineByKey(key);
     SweepJob job;
@@ -37,7 +37,7 @@ makeEngineJob(const std::string &key, const gcn::GcnWorkload &workload,
 SweepJob
 makeEngineJob(const std::string &key,
               std::shared_ptr<const gcn::GcnWorkload> workload,
-              const gcn::RunnerOptions &base)
+              const gcn::RunOptions &base)
 {
     GROW_ASSERT(workload != nullptr, "engine job without a workload");
     SweepJob job = makeEngineJob(key, *workload, base);

@@ -44,7 +44,7 @@ struct SweepJob
      * When set, `workload` points into it.
      */
     std::shared_ptr<const gcn::GcnWorkload> ownedWorkload;
-    gcn::RunnerOptions options;
+    gcn::RunOptions options;
 };
 
 /** Outcome of one job. */
@@ -61,12 +61,12 @@ struct SweepOutcome
  */
 SweepJob makeEngineJob(const std::string &key,
                        const gcn::GcnWorkload &workload,
-                       const gcn::RunnerOptions &base = {});
+                       const gcn::RunOptions &base = {});
 
 /** As above, but the job co-owns the workload (see SweepJob). */
 SweepJob makeEngineJob(const std::string &key,
                        std::shared_ptr<const gcn::GcnWorkload> workload,
-                       const gcn::RunnerOptions &base = {});
+                       const gcn::RunOptions &base = {});
 
 /** Fixed-size thread pool running sweep jobs. */
 class SweepDriver

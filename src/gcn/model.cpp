@@ -27,6 +27,7 @@ phaseOpName(PhaseOp op)
       case PhaseOp::Combination: return "combination";
       case PhaseOp::Aggregation: return "aggregation";
       case PhaseOp::AttentionScore: return "attention-score";
+      case PhaseOp::HaloExchange: return "halo-exchange";
     }
     panic("unknown PhaseOp");
 }

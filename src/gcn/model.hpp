@@ -61,7 +61,16 @@ enum class ModelKind {
 enum class PhaseOp {
     Combination,   ///< X * W, dense W resident on-chip
     Aggregation,   ///< A * (XW): weighted-sum / mean / pool reduction
-    AttentionScore ///< SDDMM-shaped per-edge score pass, softmax folded
+    AttentionScore, ///< SDDMM-shaped per-edge score pass, softmax folded
+    /**
+     * Multi-chip boundary-feature exchange (src/scaleout/): before a
+     * layer's adjacency-streaming steps can run, every chip pulls the
+     * combination outputs of its remote boundary vertices across the
+     * inter-chip links. Only plans lowered with RunOptions::chips > 1
+     * carry this op; the single-chip executor rejects it (the scale-out
+     * runner co-simulates it against the link models).
+     */
+    HaloExchange
 };
 
 /** Canonical CLI token of @p kind ("gcn", "sage-mean", ...). */

@@ -81,6 +81,9 @@ accumulatePhase(InferenceResult &res, const PlannedPhase &step,
         res.cacheHits += r.cacheHits;
         res.cacheMisses += r.cacheMisses;
         break;
+      case PhaseOp::HaloExchange:
+        res.haloCycles += r.cycles;
+        break;
     }
     // Drop bulky functional outputs before archiving.
     r.output = sparse::DenseMatrix();
@@ -101,9 +104,16 @@ InferenceResult::cacheHitRate() const
 }
 
 PhasePlan
-buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
+buildPhasePlan(const GcnWorkload &workload, const RunOptions &options)
 {
     const bool part = options.usePartitioning;
+    const bool sharded = options.chips > 1;
+    GROW_ASSERT(options.chips >= 1, "chips must be >= 1");
+    GROW_ASSERT(!sharded || part,
+                "multi-chip lowering requires partitioning artefacts "
+                "(the shard plan is built from the cluster structure)");
+    GROW_ASSERT(!sharded || !options.sim.functional,
+                "multi-chip lowering has no functional mode");
     GROW_ASSERT(!part || workload.hasPartitioning(),
                 "workload lacks partitioning artefacts");
     const bool functional = options.sim.functional;
@@ -129,7 +139,8 @@ buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
                     : workload.adjacency());
 
     PhasePlan plan;
-    plan.reserve(static_cast<size_t>(modelPhasesPerLayer(model)) *
+    plan.reserve(static_cast<size_t>(modelPhasesPerLayer(model) +
+                                     (sharded ? 1 : 0)) *
                  workload.numLayers());
 
     // The dataflow mapping the plan is lowered against. Everything
@@ -190,6 +201,25 @@ buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
         plan.push_back(std::move(ph));
     };
 
+    // ---- Halo exchange (multi-chip lowering only): before a layer's
+    // adjacency-streaming steps, every chip pulls the combination
+    // outputs of its remote boundary vertices across the inter-chip
+    // links. The marker carries the adjacency (boundary structure) and
+    // the layer's feature width; only scaleout::runInference can
+    // execute it -- executePlan rejects plans that contain one. --------
+    auto pushHalo = [&](uint32_t layer) {
+        if (!sharded)
+            return;
+        PlannedPhase ph;
+        ph.layer = layer;
+        ph.model = model;
+        ph.op = PhaseOp::HaloExchange;
+        ph.problem.lhs = &A;
+        ph.problem.rhsCols = workload.layer(layer).outDim;
+        ph.problem.label = describePhase(ph);
+        plan.push_back(std::move(ph));
+    };
+
     for (uint32_t layer = 0; layer < workload.numLayers(); ++layer) {
         const sparse::CsrMatrix &x =
             part ? workload.xPartitioned(layer) : workload.x(layer);
@@ -203,6 +233,7 @@ buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
             // X*W then A*(XW) -- the Sec. II-B order; SAGEConv only
             // swaps A for the sampled operand (Sec. VIII).
             pushCombination(layer, x, wts);
+            pushHalo(layer);
             pushAdjacencyStep(layer, PhaseOp::Aggregation);
             break;
           case ModelKind::Gat:
@@ -211,6 +242,7 @@ buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
             // table-based softmax folded into the score phase
             // (Sec. VIII); the weighted aggregation follows.
             pushCombination(layer, x, wts);
+            pushHalo(layer);
             pushAdjacencyStep(layer, PhaseOp::AttentionScore);
             pushAdjacencyStep(layer, PhaseOp::Aggregation);
             break;
@@ -221,6 +253,7 @@ buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
             // combination over the synthetic stand-in for the
             // aggregated output.
             pushCombination(layer, x, wts);
+            pushHalo(layer);
             pushAdjacencyStep(layer, PhaseOp::Aggregation);
             pushCombination(layer,
                             part ? workload.xMlpPartitioned(layer)
@@ -236,9 +269,15 @@ buildPhasePlan(const GcnWorkload &workload, const RunnerOptions &options)
 
 InferenceResult
 executePlan(accel::AcceleratorSim &engine, const PhasePlan &plan,
-            const RunnerOptions &options)
+            const RunOptions &options)
 {
     const bool functional = options.sim.functional;
+    for (const PlannedPhase &step : plan) {
+        GROW_ASSERT(step.op != PhaseOp::HaloExchange,
+                    "plan contains a halo-exchange step; only the "
+                    "scale-out runner (scaleout::runInference) can "
+                    "execute multi-chip plans");
+    }
     util::WallClock runClock;
 
     InferenceResult res;
@@ -336,6 +375,8 @@ executePlan(accel::AcceleratorSim &engine, const PhasePlan &plan,
               case PhaseOp::Aggregation:
                 hasPending = false;
                 break;
+              case PhaseOp::HaloExchange:
+                panic("halo-exchange step in single-chip executor");
             }
         }
         accumulatePhase(res, step, std::move(phaseRes), options.energy,
@@ -354,9 +395,9 @@ executePlan(accel::AcceleratorSim &engine, const PhasePlan &plan,
 
 InferenceResult
 runInference(accel::AcceleratorSim &engine, const GcnWorkload &workload,
-             const RunnerOptions &options)
+             const RunOptions &options)
 {
-    RunnerOptions opts = options;
+    RunOptions opts = options;
     if (!opts.mapping) {
         opts.mapping = std::make_shared<mapping::EngineMapping>(
             engine.mapping());

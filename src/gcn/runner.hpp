@@ -28,7 +28,7 @@
 namespace grow::gcn {
 
 /** Options of one inference run. */
-struct RunnerOptions
+struct RunOptions
 {
     accel::SimOptions sim;
     energy::EnergyParams energy;
@@ -39,6 +39,14 @@ struct RunnerOptions
      */
     bool usePartitioning = false;
     /**
+     * Number of chips the inference is sharded across. 1 lowers the
+     * classic single-chip plan; > 1 makes buildPhasePlan insert one
+     * HaloExchange step per layer ahead of the adjacency-streaming
+     * steps, which only the scale-out runner (scaleout::runInference)
+     * can execute -- the single-chip executePlan rejects such plans.
+     */
+    uint32_t chips = 1;
+    /**
      * Dataflow mapping of the engine the plan will execute on.
      * runInference fills it from AcceleratorSim::mapping(); a plan
      * built without an engine in hand falls back to
@@ -46,7 +54,32 @@ struct RunnerOptions
      * identical to every published engine mapping's.
      */
     std::shared_ptr<const mapping::EngineMapping> mapping;
+
+    /** Fluent setters (the common knobs, chainable). */
+    RunOptions &withThreads(uint32_t t)
+    {
+        sim.threads = t;
+        return *this;
+    }
+    RunOptions &withPartitioning(bool on = true)
+    {
+        usePartitioning = on;
+        return *this;
+    }
+    RunOptions &withChips(uint32_t n)
+    {
+        chips = n;
+        return *this;
+    }
+    RunOptions &withFunctional(bool on = true)
+    {
+        sim.functional = on;
+        return *this;
+    }
 };
+
+/** Deprecated spelling of RunOptions (pre-scale-out API). */
+using RunnerOptions = RunOptions;
 
 /**
  * One step of a lowered inference: a fully described SpDeGEMM plus its
@@ -98,6 +131,7 @@ struct InferenceResult
     Cycle combinationCycles = 0;
     Cycle aggregationCycles = 0;
     Cycle attentionCycles = 0; ///< GAT attention-score phases
+    Cycle haloCycles = 0; ///< multi-chip halo-exchange phases (scale-out)
     uint64_t macOps = 0;
     mem::DramTraffic traffic;
     energy::EnergyBreakdown energy;
@@ -137,7 +171,7 @@ struct InferenceResult
  * reproduces the original 2-SpDeGEMM-per-layer lowering exactly.
  */
 PhasePlan buildPhasePlan(const GcnWorkload &workload,
-                         const RunnerOptions &options);
+                         const RunOptions &options);
 
 /**
  * Execute @p plan on @p engine and aggregate the per-phase metrics.
@@ -158,7 +192,7 @@ PhasePlan buildPhasePlan(const GcnWorkload &workload,
  */
 InferenceResult executePlan(accel::AcceleratorSim &engine,
                             const PhasePlan &plan,
-                            const RunnerOptions &options);
+                            const RunOptions &options);
 
 /**
  * Run N-layer inference for @p workload on @p engine: convenience
@@ -166,6 +200,6 @@ InferenceResult executePlan(accel::AcceleratorSim &engine,
  */
 InferenceResult runInference(accel::AcceleratorSim &engine,
                              const GcnWorkload &workload,
-                             const RunnerOptions &options);
+                             const RunOptions &options);
 
 } // namespace grow::gcn

@@ -167,7 +167,7 @@ struct EngineMapping
      * Whether the engine can exploit GROW's preprocessing artefacts
      * (cluster layout + per-cluster HDN lists). A run convention may
      * still disable partitioning for such an engine ("grow w/o G.P"),
-     * which is why RunnerOptions::usePartitioning stays separate.
+     * which is why RunOptions::usePartitioning stays separate.
      */
     bool consumesPartitioning = false;
 
@@ -209,7 +209,7 @@ std::string describe(const MappingSpec &spec);
 /**
  * The engine-neutral lowering contract: combination is DenseResident,
  * adjacency steps are SparseStreaming. buildPhasePlan falls back to
- * this when RunnerOptions carries no engine mapping (plans built
+ * this when RunOptions carries no engine mapping (plans built
  * without an engine in hand, e.g. plan-shape tests); the problems it
  * produces are field-identical to every published engine mapping's.
  */

@@ -15,7 +15,18 @@ evaluatePartition(const graph::CsrView &g, const PartitionResult &parts)
     uint64_t intraArcs = 0;
     for (NodeId v = 0; v < g.numNodes(); ++v) {
         uint32_t pv = parts.assignment[v];
+        // Views built straight from raw edge lists may still carry
+        // self loops and duplicate arcs (convertEdgeListFile removes
+        // them during conversion; grow::Graph never has them). Neither
+        // is a cut *edge*: a self loop cannot cross a part boundary by
+        // definition, and a duplicated arc is the same edge counted
+        // twice. Rows are sorted (CsrView invariant), so duplicates
+        // are adjacent.
+        NodeId prev = kInvalidNode;
         for (NodeId nb : g.neighbors(v)) {
+            if (nb == v || nb == prev)
+                continue;
+            prev = nb;
             if (parts.assignment[nb] == pv)
                 ++intraArcs;
             else if (v < nb)

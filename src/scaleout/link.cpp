@@ -1,0 +1,39 @@
+#include "scaleout/link.hpp"
+
+namespace grow::scaleout {
+
+mem::DramConfig
+linkDramConfig(const LinkSpec &spec)
+{
+    mem::DramConfig config;
+    config.bandwidthGBps = spec.bandwidthGBps;
+    config.clockGHz = spec.clockGHz;
+    config.accessLatency = spec.latencyCycles();
+    // Byte-exact accounting: no line rounding, so the link's traffic
+    // counters equal the halo payload bytes exactly.
+    config.lineBytes = 1;
+    return config;
+}
+
+InterchipLink::InterchipLink(uint32_t source_chip, const LinkSpec &spec)
+    : mem::SimpleDram(linkDramConfig(spec)), source_(source_chip)
+{
+}
+
+Cycle
+InterchipLink::read(Cycle now, uint64_t addr, Bytes bytes,
+                    mem::TrafficClass cls)
+{
+    ++transfers_;
+    return mem::SimpleDram::read(now, addr, bytes, cls);
+}
+
+Cycle
+InterchipLink::write(Cycle now, uint64_t addr, Bytes bytes,
+                     mem::TrafficClass cls)
+{
+    ++transfers_;
+    return mem::SimpleDram::write(now, addr, bytes, cls);
+}
+
+} // namespace grow::scaleout

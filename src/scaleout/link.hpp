@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Inter-chip link model.
+ *
+ * One InterchipLink is the egress port of one chip: a bandwidth-
+ * serialized channel with a fixed per-transfer latency, shared by
+ * every remote chip pulling halo rows from its owner. It reuses the
+ * SimpleDram timing core (serialization with exact fractional-cycle
+ * occupancy accounting) with byte-exact granularity -- lineBytes is 1,
+ * so the per-link byte counters equal the halo payload exactly, which
+ * the conservation tests (and the `tol.link-bytes=0.0` CI gate) rely
+ * on. Being a mem::DramModel, a link drops straight into the
+ * generalized accel::EpochArbiter as one arbitrated resource.
+ */
+#pragma once
+
+#include <memory>
+
+#include "mem/dram.hpp"
+#include "scaleout/topology.hpp"
+
+namespace grow::scaleout {
+
+/** Egress link of one chip (a DramModel-shaped shared resource). */
+class InterchipLink : public mem::SimpleDram
+{
+  public:
+    InterchipLink(uint32_t source_chip, const LinkSpec &spec);
+
+    /** Chip whose egress this link is. */
+    uint32_t source() const { return source_; }
+
+    /** Completed transfers (replayed through the canonical device). */
+    uint64_t transfers() const { return transfers_; }
+
+    Cycle read(Cycle now, uint64_t addr, Bytes bytes,
+               mem::TrafficClass cls) override;
+    Cycle write(Cycle now, uint64_t addr, Bytes bytes,
+                mem::TrafficClass cls) override;
+
+  private:
+    uint32_t source_ = 0;
+    uint64_t transfers_ = 0;
+};
+
+/** The DramConfig an InterchipLink runs @p spec under. */
+mem::DramConfig linkDramConfig(const LinkSpec &spec);
+
+} // namespace grow::scaleout

@@ -1,0 +1,29 @@
+#include "scaleout/topology.hpp"
+
+#include "util/logging.hpp"
+
+namespace grow::scaleout {
+
+void
+EngineTopology::validate() const
+{
+    if (engine.empty())
+        fatal("EngineTopology: engine key is empty");
+    if (chips < 1 || chips > kMaxChips)
+        fatal("EngineTopology: chips must be in [1, " +
+              std::to_string(kMaxChips) + "], got " +
+              std::to_string(chips));
+    if (growConfig && engine.rfind("grow", 0) != 0)
+        fatal("EngineTopology: a GrowConfig override needs a "
+              "grow-family engine key, got '" + engine + "'");
+    if (!(link.bandwidthGBps > 0.0))
+        fatal("EngineTopology: link bandwidth must be > 0 GB/s");
+    if (link.latencyNs < 0.0)
+        fatal("EngineTopology: link latency must be >= 0 ns");
+    if (link.chunkBytes == 0)
+        fatal("EngineTopology: link chunk size must be > 0 bytes");
+    if (!(link.clockGHz > 0.0))
+        fatal("EngineTopology: link clock must be > 0 GHz");
+}
+
+} // namespace grow::scaleout

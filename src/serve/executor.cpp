@@ -113,7 +113,7 @@ Executor::run(const ServeRequest &req) const
         wc.numLayers = checked.depth;
         wc.seed = checked.seed;
         const gcn::GcnWorkload workload = cache_.workload(spec, wc);
-        gcn::RunnerOptions options;
+        gcn::RunOptions options;
         options.usePartitioning = engine.usePartitioning;
         options.sim.threads = simThreads_;
         auto sim = engine.make();

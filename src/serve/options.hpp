@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The serving binaries' shared `key=value` option grammar.
+ *
+ * grow_serve (mode=sim and the socket daemon), serve_load and the
+ * batched_serving example all accept the same schedule- and
+ * admission-control flags; this is the one place their key lists and
+ * parsing live, so the grammars cannot drift between the tools and a
+ * requireKnown() list always matches what the parser reads.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "serve/schedule.hpp"
+#include "util/cli.hpp"
+
+namespace grow::serve {
+
+/**
+ * The schedule flags shared by grow_serve mode=sim, serve_load and
+ * batched_serving: requests=, seed=, mean_gap_us=, tenants=,
+ * datasets=, engines=, model=, scale=, depth=, feature_seed=,
+ * deadline_ms=. Append to a tool's requireKnown() list.
+ */
+const std::vector<std::string> &scheduleKeys();
+
+/** Build a ScheduleConfig from parsed flags (defaults per field);
+ *  fatal() on a malformed tenants= mix. */
+ScheduleConfig scheduleFromArgs(const CliArgs &args);
+
+/** The admission-control flags: queue_depth=, bytebudget=,
+ *  default_deadline_ms=. */
+const std::vector<std::string> &admissionKeys();
+
+/**
+ * Build an AdmissionConfig from parsed flags: queue_depth= (default
+ * 64), bytebudget= (grow::parseByteSize grammar, default off) and
+ * default_deadline_ms= (default 0 = none).
+ */
+AdmissionConfig admissionFromArgs(const CliArgs &args);
+
+} // namespace grow::serve

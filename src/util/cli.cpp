@@ -119,6 +119,48 @@ CliArgs::requireKnown(const std::vector<std::string> &known,
           accepted + ")");
 }
 
+void
+CliArgs::applyAliases(
+    const std::vector<std::pair<std::string, std::string>> &aliases)
+{
+    for (const auto &[oldKey, canonical] : aliases) {
+        auto it = kv_.find(oldKey);
+        if (it == kv_.end())
+            continue;
+        if (kv_.count(canonical)) {
+            fatal("both '" + oldKey + "=' and '" + canonical +
+                  "=' supplied; '" + oldKey +
+                  "=' is a deprecated alias of '" + canonical +
+                  "=' -- pass only the canonical key");
+        }
+        logWarn("'" + oldKey + "=' is deprecated; use '" + canonical +
+                "='");
+        kv_.emplace(canonical, it->second);
+        kv_.erase(it);
+    }
+}
+
+uint64_t
+parseByteSize(const std::string &key, const std::string &value)
+{
+    if (value.empty())
+        fatal(key + " needs a byte size (e.g. " + key + "=512M)");
+    uint64_t mult = 1;
+    std::string digits = value;
+    switch (value.back()) {
+      case 'k': case 'K': mult = 1ull << 10; break;
+      case 'm': case 'M': mult = 1ull << 20; break;
+      case 'g': case 'G': mult = 1ull << 30; break;
+      default: break;
+    }
+    if (mult != 1)
+        digits.pop_back();
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+        fatal(key + " must be <digits>[K|M|G], got '" + value + "'");
+    return std::stoull(digits) * mult;
+}
+
 std::vector<std::string>
 CliArgs::getList(const std::string &key,
                  const std::vector<std::string> &def) const

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace grow {
@@ -64,8 +65,26 @@ class CliArgs
                       const std::vector<std::string> &known_prefixes = {})
         const;
 
+    /**
+     * Rename deprecated keys to their canonical spelling before any
+     * lookup: each (old, canonical) pair moves a supplied `old=` value
+     * under `canonical=` and logs a one-line deprecation note. Both
+     * spellings supplied at once is a conflict and fatal()s -- the
+     * caller cannot know which value was meant. Call before
+     * requireKnown() so only the canonical grammar needs listing.
+     */
+    void applyAliases(
+        const std::vector<std::pair<std::string, std::string>> &aliases);
+
   private:
     std::map<std::string, std::string> kv_;
 };
+
+/**
+ * Parse a byte-size option value: digits with an optional K/M/G suffix
+ * (binary multiples). @p key names the option in error messages. The
+ * one grammar behind every byte-budget flag (`memcap=`, `bytebudget=`).
+ */
+uint64_t parseByteSize(const std::string &key, const std::string &value);
 
 } // namespace grow

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/metrics.hpp"
+#include "partition/multilevel.hpp"
+
+namespace grow::partition {
+namespace {
+
+/** A CsrView over caller-owned offset/adjacency arrays. */
+graph::CsrView
+viewOf(const std::vector<uint64_t> &offsets,
+       const std::vector<NodeId> &adjacency)
+{
+    graph::CsrView v;
+    v.offsets = offsets;
+    v.adjacency = adjacency;
+    return v;
+}
+
+// Regression: evaluatePartition must not count self loops or
+// duplicated arcs toward the edge cut. Views built straight from raw
+// edge lists (dataset=file: without tools/graph_convert cleanup) can
+// carry both; a self loop cannot cross a part boundary and a
+// duplicated arc is the same edge, so the cut of the dirty view must
+// equal the cut of its deduplicated form.
+TEST(PartitionMetrics, SelfLoopsAndDuplicateArcsDoNotInflateCut)
+{
+    // Path 0-1 | 2-3 with the single cut edge (0,2).
+    const std::vector<uint64_t> cleanOff = {0, 2, 3, 5, 6};
+    const std::vector<NodeId> cleanAdj = {1, 2, 0, 0, 3, 2};
+
+    // Same graph with a self loop at 0 and 3 (twice), the cut edge
+    // (0,2) duplicated in both directions and the intra edge (0,1)
+    // duplicated in one. Rows stay sorted (CsrView invariant).
+    const std::vector<uint64_t> dirtyOff = {0, 6, 8, 11, 14};
+    const std::vector<NodeId> dirtyAdj = {0, 1, 1, 2, 2, 2,  // row 0
+                                          0, 0,              // row 1
+                                          0, 0, 3,           // row 2
+                                          2, 3, 3};          // row 3
+
+    PartitionResult parts;
+    parts.numParts = 2;
+    parts.assignment = {0, 0, 1, 1};
+
+    const auto clean = evaluatePartition(viewOf(cleanOff, cleanAdj), parts);
+    const auto dirty = evaluatePartition(viewOf(dirtyOff, dirtyAdj), parts);
+
+    EXPECT_EQ(clean.cutEdges, 1u);
+    EXPECT_EQ(dirty.cutEdges, clean.cutEdges);
+    EXPECT_EQ(dirty.nonEmptyParts, 2u);
+    EXPECT_DOUBLE_EQ(dirty.balance, clean.balance);
+}
+
+// A graph of only self loops has no cut at all, whatever the split.
+TEST(PartitionMetrics, AllSelfLoopsHaveZeroCut)
+{
+    const std::vector<uint64_t> offsets = {0, 1, 2, 3};
+    const std::vector<NodeId> adjacency = {0, 1, 2};
+    PartitionResult parts;
+    parts.numParts = 3;
+    parts.assignment = {0, 1, 2};
+    const auto q = evaluatePartition(viewOf(offsets, adjacency), parts);
+    EXPECT_EQ(q.cutEdges, 0u);
+    EXPECT_EQ(q.nonEmptyParts, 3u);
+}
+
+} // namespace
+} // namespace grow::partition

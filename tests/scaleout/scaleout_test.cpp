@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Multi-chip scale-out invariants: chips=1 reproduces the single-chip
+ * runner bit-for-bit, sharded runs are deterministic for every worker
+ * count, the link byte counters obey conservation (sent == received ==
+ * cut-edge halo feature bytes), and the closed-form link estimate
+ * prices the co-simulation within its documented envelope.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "costmodel/link_model.hpp"
+#include "driver/engine_factory.hpp"
+#include "gcn/runner.hpp"
+#include "gcn/workload.hpp"
+#include "scaleout/runner.hpp"
+
+namespace grow::scaleout {
+namespace {
+
+/** Unit-tier workloads with clusters small enough to shard 8 ways. */
+const gcn::GcnWorkload &
+workloadOf(const std::string &name)
+{
+    static std::map<std::string, gcn::GcnWorkload> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        gcn::WorkloadConfig c;
+        c.tier = graph::ScaleTier::Unit;
+        c.targetClusterSize = 64;
+        it = cache
+                 .emplace(name,
+                          gcn::buildWorkload(graph::datasetByName(name),
+                                             c))
+                 .first;
+    }
+    return it->second;
+}
+
+/** Field-by-field equality of everything the reports consume. */
+void
+expectSameResult(const gcn::InferenceResult &a,
+                 const gcn::InferenceResult &b)
+{
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.combinationCycles, b.combinationCycles);
+    EXPECT_EQ(a.aggregationCycles, b.aggregationCycles);
+    EXPECT_EQ(a.attentionCycles, b.attentionCycles);
+    EXPECT_EQ(a.haloCycles, b.haloCycles);
+    EXPECT_EQ(a.macOps, b.macOps);
+    EXPECT_EQ(a.totalTrafficBytes(), b.totalTrafficBytes());
+    EXPECT_EQ(a.cacheHits, b.cacheHits);
+    EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+    ASSERT_EQ(a.phases.size(), b.phases.size());
+    for (size_t i = 0; i < a.phases.size(); ++i) {
+        EXPECT_EQ(a.phases[i].op, b.phases[i].op) << "phase " << i;
+        EXPECT_EQ(a.phases[i].result.cycles, b.phases[i].result.cycles)
+            << "phase " << i;
+        EXPECT_EQ(a.phases[i].result.traffic.total(),
+                  b.phases[i].result.traffic.total())
+            << "phase " << i;
+    }
+}
+
+TEST(Scaleout, OneChipTopologyReproducesSingleChipRunner)
+{
+    const auto &w = workloadOf("cora");
+    const auto topo = EngineTopology("grow").withChips(1);
+
+    gcn::RunOptions opts;
+    opts.sim.threads = 2;
+    const auto sharded = runInference(topo, w, opts);
+
+    auto spec = driver::engineByKey("grow");
+    gcn::RunOptions single = opts;
+    single.usePartitioning = spec.usePartitioning;
+    auto engine = spec.make();
+    const auto direct = gcn::runInference(*engine, w, single);
+
+    expectSameResult(sharded.merged, direct);
+    EXPECT_EQ(sharded.haloBytes, 0u);
+    EXPECT_EQ(sharded.haloCycles, 0u);
+    EXPECT_EQ(sharded.shard.cutArcs, 0u);
+}
+
+TEST(Scaleout, ShardedRunIsThreadCountInvariant)
+{
+    const auto &w = workloadOf("citeseer");
+    const auto topo = EngineTopology("grow").withChips(4);
+
+    gcn::RunOptions serial;
+    serial.sim.threads = 1;
+    const auto a = runInference(topo, w, serial);
+
+    gcn::RunOptions parallel;
+    parallel.sim.threads = 4;
+    const auto b = runInference(topo, w, parallel);
+
+    expectSameResult(a.merged, b.merged);
+    EXPECT_EQ(a.haloBytes, b.haloBytes);
+    ASSERT_EQ(a.links.egressBytes.size(), b.links.egressBytes.size());
+    for (size_t i = 0; i < a.links.egressBytes.size(); ++i)
+        EXPECT_EQ(a.links.egressBytes[i], b.links.egressBytes[i]);
+}
+
+TEST(Scaleout, EpochWindowDoesNotChangeResults)
+{
+    const auto &w = workloadOf("cora");
+    const auto topo = EngineTopology("grow").withChips(2);
+
+    gcn::RunOptions a;
+    a.sim.threads = 1;
+    a.sim.epochCycles = 256;
+    gcn::RunOptions b;
+    b.sim.threads = 3;
+    b.sim.epochCycles = 256;
+    expectSameResult(runInference(topo, w, a).merged,
+                     runInference(topo, w, b).merged);
+}
+
+TEST(Scaleout, LinkByteConservation)
+{
+    const auto &w = workloadOf("pubmed");
+    for (uint32_t chips : {2u, 4u, 8u}) {
+        const auto topo = EngineTopology("grow").withChips(chips);
+        gcn::RunOptions opts;
+        opts.sim.threads = 2;
+        const auto r = runInference(topo, w, opts);
+
+        // Sent == received == the halo plan's cut-edge feature bytes.
+        std::vector<Bytes> sent(chips, 0), received(chips, 0);
+        Bytes pairTotal = 0;
+        for (const auto &pair : r.links.pairs) {
+            sent[pair.src] += pair.bytes;
+            received[pair.dst] += pair.bytes;
+            pairTotal += pair.bytes;
+        }
+        for (uint32_t c = 0; c < chips; ++c)
+            EXPECT_EQ(r.links.egressBytes[c], sent[c])
+                << "chips=" << chips << " link " << c;
+        EXPECT_EQ(pairTotal, r.haloBytes) << "chips=" << chips;
+
+        // Independently recompute the expected halo payload from the
+        // halo plan: boundary vertices x per-layer feature bytes.
+        Bytes expected = 0;
+        gcn::RunOptions planOpts;
+        planOpts.usePartitioning = true;
+        planOpts.chips = chips;
+        const auto plan = gcn::buildPhasePlan(w, planOpts);
+        for (const auto &ph : plan) {
+            if (ph.op != gcn::PhaseOp::HaloExchange)
+                continue;
+            for (uint32_t dst = 0; dst < chips; ++dst)
+                for (uint32_t src = 0; src < chips; ++src)
+                    expected += r.halo.pairPhaseBytes(
+                        dst, src, ph.problem.rhsCols);
+        }
+        EXPECT_EQ(expected, r.haloBytes) << "chips=" << chips;
+        EXPECT_GT(r.haloBytes, 0u) << "chips=" << chips;
+    }
+}
+
+TEST(Scaleout, LinkEstimateMatchesSimulatedBytesExactly)
+{
+    const auto &w = workloadOf("pubmed");
+    const uint32_t chips = 4;
+    const auto topo = EngineTopology("grow").withChips(chips);
+    gcn::RunOptions opts;
+    opts.sim.threads = 2;
+    const auto r = runInference(topo, w, opts);
+
+    gcn::RunOptions planOpts;
+    planOpts.usePartitioning = true;
+    planOpts.chips = chips;
+    const auto plan = gcn::buildPhasePlan(w, planOpts);
+    const auto est = costmodel::estimateLinkTraffic(plan, r.shard,
+                                                    r.halo, topo.link);
+
+    // Bytes are exact by construction: estimator and runner read the
+    // same halo plan.
+    EXPECT_EQ(est.totalBytes, r.haloBytes);
+    for (uint32_t c = 0; c < chips; ++c)
+        EXPECT_EQ(est.egressBytes[c], r.links.egressBytes[c])
+            << "link " << c;
+
+    // Cycles are a roofline under the co-simulation: the sim adds
+    // epoch-window quantisation and per-transfer issue effects on top
+    // of latency + serialization, and overlap can shave the latency
+    // leg. Documented envelope: within [0.5x, 2x].
+    EXPECT_GT(est.haloCycles, 0u);
+    EXPECT_GE(r.haloCycles * 2, est.haloCycles);
+    EXPECT_LE(r.haloCycles, est.haloCycles * 2);
+}
+
+TEST(Scaleout, NonPartitioningEngineRejectsSharding)
+{
+    const auto topo = EngineTopology("gcnax").withChips(2);
+    EXPECT_THROW(driver::engineForTopology(topo), std::runtime_error);
+}
+
+TEST(Scaleout, TopologyValidationRejectsNonsense)
+{
+    EXPECT_THROW(EngineTopology("grow").withChips(0).validate(),
+                 std::runtime_error);
+    EXPECT_THROW(EngineTopology("grow").withChips(65).validate(),
+                 std::runtime_error);
+    EXPECT_THROW(EngineTopology("grow").withLinkGbps(0.0).validate(),
+                 std::runtime_error);
+    EXPECT_THROW(
+        EngineTopology("gcnax")
+            .withGrowConfig(core::GrowConfig{})
+            .validate(),
+        std::runtime_error);
+    EXPECT_NO_THROW(
+        EngineTopology("grow").withChips(8).withLinkGbps(32).validate());
+}
+
+} // namespace
+} // namespace grow::scaleout

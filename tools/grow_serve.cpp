@@ -90,11 +90,12 @@ main(int argc, char **argv)
 
     CliArgs args(argc, argv);
     std::vector<std::string> known = {
-        "mode",     "socket",   "queue_depth", "bytebudget",
-        "default_deadline_ms",  "inflight",    "slots",
-        "threads",  "cachedir", "memcap",      "format",
+        "mode",     "socket",   "inflight", "slots",
+        "threads",  "cachedir", "memcap",   "format",
         "out",      "records_out"};
-    for (const std::string &k : serve_tool::scheduleKeys())
+    for (const std::string &k : serve::scheduleKeys())
+        known.push_back(k);
+    for (const std::string &k : serve::admissionKeys())
         known.push_back(k);
     args.requireKnown(known);
 
@@ -102,19 +103,13 @@ main(int argc, char **argv)
     if (mode != "socket" && mode != "sim")
         fatal("mode must be socket or sim, got '" + mode + "'");
 
-    serve::AdmissionConfig admission;
-    admission.maxDepth =
-        static_cast<uint32_t>(args.getInt("queue_depth", 64));
-    if (args.has("bytebudget"))
-        admission.byteBudget = serve_tool::parseByteSize(
-            "bytebudget", args.get("bytebudget", ""));
-    admission.defaultDeadlineUs =
-        args.getInt("default_deadline_ms", 0) * 1000;
+    const serve::AdmissionConfig admission =
+        serve::admissionFromArgs(args);
 
     driver::WorkloadCache cache(args.get("cachedir", ""));
     if (args.has("memcap"))
         cache.setMemoryByteCap(
-            serve_tool::parseByteSize("memcap", args.get("memcap", "")));
+            parseByteSize("memcap", args.get("memcap", "")));
 
     const auto specs = resolveDatasets(args.getList(
         "datasets", {mode == "sim" ? "cora" : "all"}));
@@ -134,7 +129,7 @@ main(int argc, char **argv)
     std::vector<serve::RequestRecord> records;
     if (mode == "sim") {
         const auto schedule =
-            serve::buildSchedule(serve_tool::scheduleFromArgs(args));
+            serve::buildSchedule(serve::scheduleFromArgs(args));
         serve::VirtualServeConfig config;
         config.admission = admission;
         config.slots = static_cast<uint32_t>(args.getInt("slots", 1));

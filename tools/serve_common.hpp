@@ -1,8 +1,10 @@
 /**
  * @file
  * Helpers shared by the serving binaries (grow_serve, serve_load) and
- * the batched_serving example: schedule construction from `key=value`
- * flags and the canonical digest-record file both sides of the CI
+ * the batched_serving example. The schedule/admission option grammar
+ * lives in src/serve/options.hpp (serve::scheduleKeys,
+ * serve::scheduleFromArgs, serve::admissionFromArgs); this header only
+ * keeps the canonical digest-record file both sides of the CI
  * byte-identity gate write.
  */
 #pragma once
@@ -12,71 +14,12 @@
 #include <string>
 #include <vector>
 
+#include "serve/options.hpp"
 #include "serve/protocol.hpp"
 #include "serve/request.hpp"
-#include "serve/schedule.hpp"
-#include "util/cli.hpp"
 #include "util/logging.hpp"
 
 namespace grow::serve_tool {
-
-/** Parse a byte size: digits with an optional K/M/G suffix. */
-inline uint64_t
-parseByteSize(const std::string &key, const std::string &s)
-{
-    if (s.empty())
-        fatal(key + " needs a byte size (e.g. " + key + "=512M)");
-    uint64_t mult = 1;
-    std::string digits = s;
-    switch (s.back()) {
-      case 'k': case 'K': mult = 1ull << 10; break;
-      case 'm': case 'M': mult = 1ull << 20; break;
-      case 'g': case 'G': mult = 1ull << 30; break;
-      default: break;
-    }
-    if (mult != 1)
-        digits.pop_back();
-    if (digits.empty() ||
-        digits.find_first_not_of("0123456789") != std::string::npos)
-        fatal(key + " must be <digits>[K|M|G], got '" + s + "'");
-    return std::stoull(digits) * mult;
-}
-
-/** The schedule flags shared by grow_serve mode=sim and serve_load. */
-inline const std::vector<std::string> &
-scheduleKeys()
-{
-    static const std::vector<std::string> keys = {
-        "requests", "seed",  "mean_gap_us", "tenants",     "datasets",
-        "engines",  "model", "scale",       "depth",       "feature_seed",
-        "deadline_ms"};
-    return keys;
-}
-
-/** Build a ScheduleConfig from parsed flags (defaults per field). */
-inline serve::ScheduleConfig
-scheduleFromArgs(const CliArgs &args)
-{
-    serve::ScheduleConfig config;
-    config.seed = static_cast<uint64_t>(args.getInt("seed", 7));
-    config.count = static_cast<uint32_t>(args.getInt("requests", 32));
-    config.meanGapUs = args.getInt("mean_gap_us", 2000);
-    if (args.has("tenants")) {
-        std::string error;
-        if (!serve::parseTenantMix(args.get("tenants", ""), config.tenants,
-                                   &error))
-            fatal("tenants=: " + error);
-    }
-    config.datasets = args.getList("datasets", {"cora"});
-    config.engines = args.getList("engines", {"grow"});
-    config.model = args.get("model", "gcn");
-    config.tier = graph::tierFromString(args.get("scale", "mini"));
-    config.depth = static_cast<uint32_t>(args.getInt("depth", 2));
-    config.featureSeedBase =
-        static_cast<uint64_t>(args.getInt("feature_seed", 7));
-    config.deadlineRelUs = args.getInt("deadline_ms", 0) * 1000;
-    return config;
-}
 
 /**
  * Write the canonical digest-record file: one digestLine per

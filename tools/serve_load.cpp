@@ -159,7 +159,7 @@ main(int argc, char **argv)
         "mode",   "socket", "concurrency", "connect_timeout_s",
         "shutdown", "cachedir", "memcap",  "threads",
         "format", "out",    "records_out"};
-    for (const std::string &k : serve_tool::scheduleKeys())
+    for (const std::string &k : serve::scheduleKeys())
         known.push_back(k);
     args.requireKnown(known);
 
@@ -168,7 +168,7 @@ main(int argc, char **argv)
         fatal("mode must be closed, open or direct, got '" + mode + "'");
 
     const serve::ScheduleConfig scheduleConfig =
-        serve_tool::scheduleFromArgs(args);
+        serve::scheduleFromArgs(args);
     const auto schedule = serve::buildSchedule(scheduleConfig);
 
     serve::ServeMetrics metrics;
@@ -178,7 +178,7 @@ main(int argc, char **argv)
     if (mode == "direct") {
         driver::WorkloadCache cache(args.get("cachedir", ""));
         if (args.has("memcap"))
-            cache.setMemoryByteCap(serve_tool::parseByteSize(
+            cache.setMemoryByteCap(parseByteSize(
                 "memcap", args.get("memcap", "")));
         std::vector<graph::DatasetSpec> specs;
         for (const std::string &name : scheduleConfig.datasets)
